@@ -1,0 +1,46 @@
+//! ABL-ALLOC — processor-assignment strategies.
+//!
+//! The companion paper [4] compares four strategies and finds the
+//! data-flow (balanced) one best; this paper's §1 cites that result as its
+//! motivation and §4.1 requires the MC to keep "processors … distributed
+//! across all nodes in the query tree". This ablation compares the four
+//! analogous policies implemented in `df-core::AllocationStrategy`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use df_bench::{fig31_params, setup};
+use df_core::{run_queries, AllocationStrategy, Granularity};
+
+fn abl_alloc(c: &mut Criterion) {
+    let s = setup(0.05);
+    let params = fig31_params(&s, 16);
+    let run = |strategy: AllocationStrategy| {
+        run_queries(&s.db, &s.queries, &params, Granularity::Page, strategy)
+            .expect("runs")
+            .metrics
+    };
+    eprintln!("\nABL-ALLOC (scale 0.05): allocation strategies at 16 processors, page level");
+    for strategy in AllocationStrategy::ALL {
+        let m = run(strategy);
+        eprintln!(
+            "  {:<22} elapsed={:8.3}s  mean-response={:8.3}s  util={:4.1}%",
+            strategy.to_string(),
+            m.elapsed.as_secs_f64(),
+            m.mean_response().as_secs_f64(),
+            m.processor_utilization() * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("abl_alloc");
+    group.sample_size(10);
+    for strategy in AllocationStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("benchmark", strategy.to_string()),
+            &strategy,
+            |b, &st| b.iter(|| run(st)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl_alloc);
+criterion_main!(benches);

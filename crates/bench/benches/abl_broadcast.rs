@@ -1,0 +1,55 @@
+//! ABL-BCAST — the broadcast facility (requirement 4, §4.0).
+//!
+//! "When more than one processor is used to execute the nested-loops join
+//! algorithm … a broadcast facility is needed so that a page from the inner
+//! relation can be distributed to some or all of the participating
+//! processors simultaneously" — otherwise each page pair re-ships its inner
+//! page. This ablation toggles `broadcast_join` on the df-core machine and
+//! reports the network-traffic and time difference on join-heavy work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use df_bench::{fig31_params, setup};
+use df_core::{run_queries, AllocationStrategy, Granularity};
+
+fn abl_broadcast(c: &mut Criterion) {
+    let s = setup(0.05);
+    let run = |broadcast: bool| {
+        let mut params = fig31_params(&s, 16);
+        params.broadcast_join = broadcast;
+        run_queries(
+            &s.db,
+            &s.queries,
+            &params,
+            Granularity::Page,
+            AllocationStrategy::default(),
+        )
+        .expect("runs")
+        .metrics
+    };
+    eprintln!("\nABL-BCAST (scale 0.05): nested-loops join with and without broadcast");
+    for broadcast in [true, false] {
+        let m = run(broadcast);
+        eprintln!(
+            "  broadcast={:<5} elapsed={:8.3}s  arb={:8} KB ({} packets)  cache-out={:8} KB",
+            broadcast,
+            m.elapsed.as_secs_f64(),
+            m.arbitration.bytes / 1024,
+            m.arbitration.transfers,
+            m.cache_out.bytes / 1024
+        );
+    }
+
+    let mut group = c.benchmark_group("abl_broadcast");
+    group.sample_size(10);
+    for broadcast in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("benchmark", broadcast),
+            &broadcast,
+            |b, &bc| b.iter(|| run(bc)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl_broadcast);
+criterion_main!(benches);

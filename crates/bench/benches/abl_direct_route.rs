@@ -1,0 +1,49 @@
+//! ABL-ROUTE — the §5 future-work extension: direct IP→IP page routing.
+//!
+//! "…it should be possible to route some of the data pages which are
+//! produced by IPs directly from one IP to another without first sending
+//! the page to an IC. If such an approach could be successfully implemented
+//! then message traffic on the outer ring could be further reduced." This
+//! ablation toggles `direct_routing` on the ring machine and measures the
+//! outer-ring traffic the paper expected to save.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use df_bench::setup;
+use df_ring::{run_ring_queries, RingParams};
+
+fn abl_direct_route(c: &mut Criterion) {
+    let s = setup(0.05);
+    let run = |direct: bool| {
+        let mut params = RingParams::with_pools(8, 16);
+        params.direct_routing = direct;
+        params.cache.frames = 1024;
+        params.concurrency_control = false;
+        run_ring_queries(&s.db, &s.queries, &params)
+            .expect("runs")
+            .metrics
+    };
+    eprintln!("\nABL-ROUTE (scale 0.05): store-and-forward vs direct IP->IP routing");
+    for direct in [false, true] {
+        let m = run(direct);
+        eprintln!(
+            "  direct={:<5} elapsed={:8.3}s  outer ring={:8} KB ({:5.2} Mbps)  direct pages={}",
+            direct,
+            m.elapsed.as_secs_f64(),
+            m.outer_ring.bytes / 1024,
+            m.outer_ring_mbps(),
+            m.direct_routed_pages
+        );
+    }
+
+    let mut group = c.benchmark_group("abl_direct_route");
+    group.sample_size(10);
+    for direct in [false, true] {
+        group.bench_with_input(BenchmarkId::new("benchmark", direct), &direct, |b, &d| {
+            b.iter(|| run(d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl_direct_route);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! ABL-JOIN — nested loops vs sort-merge (Blasgen & Eswaran [5]).
+//!
+//! §2.1: sort-merge is the faster *uniprocessor* algorithm (O(n log n) vs
+//! O(n·m)), but nested loops parallelizes perfectly, which is why the paper
+//! builds its machines around it. This is a genuine CPU microbenchmark of
+//! the two kernel implementations (no simulation): Criterion measures real
+//! host time, demonstrating the uniprocessor crossover the paper cites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use df_query::ops::{merge_join_relations, nested_loops_join_relations};
+use df_relalg::{DataType, JoinCondition, Relation, Schema, Tuple, Value};
+use df_sim::rng::SimRng;
+
+fn make_relation(name: &str, n: usize, key_domain: i64, seed: u64) -> Relation {
+    let schema = Schema::build()
+        .attr("key", DataType::Int)
+        .attr("pad", DataType::Str(92))
+        .finish()
+        .expect("schema");
+    let mut rng = SimRng::new(seed);
+    Relation::from_tuples(
+        name,
+        schema,
+        1016,
+        (0..n).map(|_| {
+            Tuple::new(vec![
+                Value::Int(rng.gen_range(0..key_domain)),
+                Value::str("x"),
+            ])
+        }),
+    )
+    .expect("relation")
+}
+
+fn abl_join_kernels(c: &mut Criterion) {
+    eprintln!("\nABL-JOIN: uniprocessor join kernels (real CPU time, not simulated)");
+    let mut group = c.benchmark_group("abl_join_kernels");
+    group.sample_size(10);
+    for n in [200usize, 800, 2000] {
+        let outer = make_relation("outer", n, n as i64, 1);
+        let inner = make_relation("inner", n, n as i64, 2);
+        let cond = JoinCondition::equi(outer.schema(), "key", inner.schema(), "key")
+            .expect("condition");
+        group.bench_with_input(BenchmarkId::new("nested_loops", n), &n, |b, _| {
+            b.iter(|| nested_loops_join_relations(&outer, &inner, &cond))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_merge", n), &n, |b, _| {
+            b.iter(|| merge_join_relations(&outer, &inner, &cond).expect("equi-join"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl_join_kernels);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! ABL-OPT — what the host-side optimizer buys the machine.
+//!
+//! The paper assumes query trees arrive ready-made from a host computer;
+//! DIRECT's front end did the algebraic clean-up. This ablation runs naive
+//! chain queries (restricts stacked above the joins) against their
+//! `df-opt`-optimized forms on the data-flow machine and reports the
+//! simulated-time and network-traffic difference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use df_core::{run_query, Granularity, MachineParams};
+use df_opt::{optimize, CatalogStats};
+use df_query::QueryTree;
+use df_workload::{chain_query_naive, generate_database, DatabaseSpec};
+
+fn abl_optimizer(c: &mut Criterion) {
+    let db = generate_database(&DatabaseSpec::scaled(0.05));
+    let stats = CatalogStats::gather(&db);
+    let params = MachineParams::with_processors(16);
+    let shapes: [(usize, usize, usize); 3] = [(1, 1, 2), (2, 2, 3), (4, 3, 4)];
+
+    eprintln!("\nABL-OPT (scale 0.05): naive vs optimized plans, 16 processors");
+    let mut plans: Vec<(String, QueryTree, QueryTree)> = Vec::new();
+    for &(start, joins, restricts) in &shapes {
+        let naive = chain_query_naive(&db, 15, start, joins, restricts, 500).expect("naive");
+        let optimized = optimize(&db, &naive, &stats).expect("optimizes").tree;
+        let (r1, m1) = run_query(&db, &naive, &params, Granularity::Page).expect("naive runs");
+        let (r2, m2) =
+            run_query(&db, &optimized, &params, Granularity::Page).expect("optimized runs");
+        assert!(r1.same_contents(&r2), "optimizer changed results");
+        eprintln!(
+            "  {joins} joins/{restricts} restricts: naive={:8.3}s optimized={:8.3}s \
+             speedup={:4.2}x  arb {:6} -> {:6} KB",
+            m1.elapsed.as_secs_f64(),
+            m2.elapsed.as_secs_f64(),
+            m1.elapsed.as_secs_f64() / m2.elapsed.as_secs_f64(),
+            m1.arbitration.bytes / 1024,
+            m2.arbitration.bytes / 1024,
+        );
+        plans.push((format!("{joins}j{restricts}r"), naive, optimized));
+    }
+
+    let mut group = c.benchmark_group("abl_optimizer");
+    group.sample_size(10);
+    for (label, naive, optimized) in &plans {
+        group.bench_with_input(BenchmarkId::new("naive", label), naive, |b, q| {
+            b.iter(|| run_query(&db, q, &params, Granularity::Page).expect("runs"))
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", label), optimized, |b, q| {
+            b.iter(|| run_query(&db, q, &params, Granularity::Page).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! ABL-PGSZ — the page-size trade-off of §3.3.
+//!
+//! "While increasing the page size to 10,000 bytes will obviously decrease
+//! the arbitration network bandwidth requirements by another order of
+//! magnitude, such an increase may have an adverse effect on query
+//! execution time because it may reduce the maximum degree of concurrency."
+//! This ablation sweeps the page size and reports simulated time, network
+//! traffic, and the number of schedulable work units (the concurrency pool).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use df_bench::{fig31_params, setup};
+use df_core::{run_queries, AllocationStrategy, Granularity};
+use df_workload::generate_database;
+
+fn abl_page_size(c: &mut Criterion) {
+    let s = setup(0.05);
+    // Regenerate the database at each page size (the database's own pages
+    // must match the machine's).
+    eprintln!("\nABL-PGSZ (scale 0.05): page-size sweep at 16 processors");
+    eprintln!(
+        "  {:>7} {:>10} {:>12} {:>10}",
+        "page B", "elapsed", "arb net KB", "units"
+    );
+    let run_at = |page_size: usize| {
+        let mut spec = s.spec.clone();
+        spec.database.page_size = page_size;
+        let db = generate_database(&spec.database);
+        let queries = df_workload::benchmark_queries(&db, &spec).expect("queries");
+        let mut params = fig31_params(&s, 16);
+        params.page_size = page_size;
+        params.cache.frames = (db.total_bytes() / page_size / 5).max(16);
+        run_queries(
+            &db,
+            &queries,
+            &params,
+            Granularity::Page,
+            AllocationStrategy::default(),
+        )
+        .expect("runs")
+        .metrics
+    };
+    for page_size in [1016usize, 2016, 4016, 8016, 16016] {
+        let m = run_at(page_size);
+        eprintln!(
+            "  {:>7} {:>9.3}s {:>12} {:>10}",
+            page_size,
+            m.elapsed.as_secs_f64(),
+            m.arbitration.bytes / 1024,
+            m.units_dispatched
+        );
+    }
+
+    let mut group = c.benchmark_group("abl_page_size");
+    group.sample_size(10);
+    for page_size in [1016usize, 8016] {
+        group.bench_with_input(
+            BenchmarkId::new("benchmark", page_size),
+            &page_size,
+            |b, &ps| b.iter(|| run_at(ps)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl_page_size);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! FIG-3.1 — "Comparison of Page-Level and Relation-Level Granularities".
+//!
+//! The paper's Figure 3.1 plots the ten-query benchmark's execution time
+//! under relation-level and page-level granularity, with page-level winning
+//! by "a factor of about two". This bench runs the same comparison at
+//! reduced scale across a processor sweep; the measured *simulated* times
+//! and their ratio are printed before Criterion measures the (host) cost of
+//! each simulation. Full scale: `experiments fig3_1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use df_bench::{fig31_params, run_core, setup};
+use df_core::Granularity;
+
+fn fig_3_1(c: &mut Criterion) {
+    let s = setup(0.05);
+    eprintln!("\nFIG-3.1 (scale 0.05): simulated benchmark execution time");
+    for procs in [4usize, 8, 16, 32] {
+        let params = fig31_params(&s, procs);
+        let rel = run_core(&s, &params, Granularity::Relation);
+        let page = run_core(&s, &params, Granularity::Page);
+        eprintln!(
+            "  procs={procs:3}  relation={:8.3}s  page={:8.3}s  ratio={:.2}",
+            rel.elapsed.as_secs_f64(),
+            page.elapsed.as_secs_f64(),
+            rel.elapsed.as_secs_f64() / page.elapsed.as_secs_f64()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig3_1");
+    group.sample_size(10);
+    for procs in [8usize, 32] {
+        let params = fig31_params(&s, procs);
+        for g in [Granularity::Relation, Granularity::Page] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{g}"), procs),
+                &procs,
+                |b, _| b.iter(|| run_core(&s, &params, g)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig_3_1);
+criterion_main!(benches);

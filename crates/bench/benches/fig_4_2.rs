@@ -1,0 +1,46 @@
+//! FIG-4.2 — bandwidth requirements of the ring machine vs number of IPs.
+//!
+//! Paper Figure 4.2 reports the average bandwidth demand (total bytes
+//! divided by benchmark execution time) of DIRECT with page-level
+//! granularity as the IP count grows, under the §4.1 assumptions (16 KB
+//! operand pages, LSI-11 processors, CCD cache, two IBM 3330 drives). The
+//! conclusion: a 40 Mbps ring suffices for up to ~50 IPs; ~100 Mbps for
+//! larger configurations. Full scale: `experiments fig4_2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use df_bench::{fig42_params, run_ring, setup_with_page_size};
+
+fn fig_4_2(c: &mut Criterion) {
+    let s = setup_with_page_size(0.05, 16 * 1024);
+    eprintln!("\nFIG-4.2 (scale 0.05): average bandwidth vs number of IPs");
+    eprintln!(
+        "  {:>4} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "IPs", "elapsed", "outer ring", "inner ring", "cache", "disk"
+    );
+    for ips in [5usize, 10, 20, 40] {
+        let params = fig42_params(&s, ips);
+        let m = run_ring(&s, &params);
+        eprintln!(
+            "  {:>4} {:>9.3}s {:>8.2} Mbps {:>8.3} Mbps {:>8.2} Mbps {:>8.2} Mbps",
+            ips,
+            m.elapsed.as_secs_f64(),
+            m.outer_ring_mbps(),
+            m.inner_ring_mbps(),
+            m.cache_mbps(),
+            m.disk_mbps()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4_2");
+    group.sample_size(10);
+    for ips in [10usize, 40] {
+        let params = fig42_params(&s, ips);
+        group.bench_with_input(BenchmarkId::new("ring_benchmark", ips), &ips, |b, _| {
+            b.iter(|| run_ring(&s, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig_4_2);
+criterion_main!(benches);

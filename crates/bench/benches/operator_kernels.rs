@@ -1,0 +1,76 @@
+//! Microbenchmarks of the page-at-a-time operator kernels and the tuple
+//! codec — the per-packet work an instruction processor performs. These are
+//! real CPU benchmarks (no simulation) guarding the hot path from
+//! regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use df_query::ops::{join_pages, project_page, restrict_page};
+use df_relalg::{
+    CmpOp, DataType, JoinCondition, Page, Predicate, Projection, Schema, Tuple, Value,
+};
+
+fn schema() -> Schema {
+    Schema::build()
+        .attr("key", DataType::Int)
+        .attr("fk", DataType::Int)
+        .attr("val", DataType::Int)
+        .attr("pad", DataType::Str(76))
+        .finish()
+        .expect("schema")
+}
+
+/// A full 10-tuple page of 100-byte tuples — §3.3's standard page.
+fn page() -> Page {
+    let s = schema();
+    let mut p = Page::new(s, 1016).expect("page");
+    for i in 0..10 {
+        p.push(&Tuple::new(vec![
+            Value::Int(i),
+            Value::Int(i * 3 % 10),
+            Value::Int(i * 97 % 1000),
+            Value::str("pad"),
+        ]))
+        .expect("push");
+    }
+    p
+}
+
+fn operator_kernels(c: &mut Criterion) {
+    let p = page();
+    let s = schema();
+
+    let pred = Predicate::cmp_const(&s, "val", CmpOp::Lt, Value::Int(500)).expect("pred");
+    c.bench_function("restrict_page_10_tuples", |b| {
+        b.iter(|| restrict_page(&p, &pred))
+    });
+
+    let proj = Projection::new(&s, &["key", "val"]).expect("proj");
+    c.bench_function("project_page_10_tuples", |b| {
+        b.iter(|| project_page(&p, &proj))
+    });
+
+    let cond = JoinCondition::equi(&s, "fk", &s, "key").expect("cond");
+    c.bench_function("join_pages_10x10", |b| b.iter(|| join_pages(&p, &p, &cond)));
+
+    let tuple = p.get(0).expect("tuple");
+    c.bench_function("tuple_encode_100B", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(100);
+            tuple.encode(&s, &mut buf).expect("encode");
+            buf
+        })
+    });
+
+    let mut buf = Vec::new();
+    tuple.encode(&s, &mut buf).expect("encode");
+    c.bench_function("tuple_decode_100B", |b| {
+        b.iter(|| Tuple::decode(&s, &buf).expect("decode"))
+    });
+
+    c.bench_function("page_iterate_10_tuples", |b| {
+        b.iter(|| p.tuples().count())
+    });
+}
+
+criterion_group!(benches, operator_kernels);
+criterion_main!(benches);

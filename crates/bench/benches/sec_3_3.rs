@@ -1,0 +1,71 @@
+//! SEC-3.3 — the arbitration-network bandwidth analysis.
+//!
+//! Paper §3.3: a nested-loops join of n × m 100-byte tuples moves
+//! `n·m·(200+c)` bytes at tuple granularity but only `n·m·(20+c/100)` at
+//! page granularity (1000-byte pages) — a 10× difference. This bench
+//! (a) evaluates the closed-form model across `c`, and (b) *measures* the
+//! same quantities from the simulated machine with the broadcast facility
+//! disabled (the analysis pre-dates §4's broadcast design) and checks the
+//! measured ratio lands on the predicted one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use df_core::{bandwidth, run_queries, AllocationStrategy, Granularity, MachineParams};
+use df_workload::{chain_query, generate_database, DatabaseSpec, VAL_DOMAIN};
+
+fn sec_3_3(c: &mut Criterion) {
+    // (a) Closed form, exactly the paper's arithmetic.
+    eprintln!("\nSEC-3.3 closed form: join of 1000 x 1000 100-byte tuples, 10 tuples/page");
+    eprintln!("  {:>4} {:>16} {:>16} {:>7}", "c", "tuple bytes", "page bytes", "ratio");
+    for c_overhead in [0usize, 32, 50, 100, 200] {
+        let t = bandwidth::tuple_level_join_bytes(1000, 1000, 100, c_overhead);
+        let p = bandwidth::page_level_join_bytes(1000, 1000, 100, 10, c_overhead);
+        eprintln!(
+            "  {:>4} {:>16} {:>16} {:>7.2}",
+            c_overhead,
+            t,
+            p,
+            t as f64 / p as f64
+        );
+    }
+
+    // (b) Measured from the simulator (single unrestricted join, broadcast
+    // off so page-level ships page pairs exactly as §3.3 assumes).
+    let db = generate_database(&DatabaseSpec::scaled(0.02));
+    let q = chain_query(&db, 15, 9, 1, 0, VAL_DOMAIN).expect("join query");
+    let mut params = MachineParams::with_processors(8);
+    params.broadcast_join = false;
+    params.max_inner_batch = 1; // exactly one (outer, inner) pair per packet
+    params.cache.frames = 1024;
+    let run = |g: Granularity| {
+        run_queries(
+            &db,
+            std::slice::from_ref(&q),
+            &params,
+            g,
+            AllocationStrategy::default(),
+        )
+        .expect("join runs")
+        .metrics
+    };
+    let tuple = run(Granularity::Tuple);
+    let page = run(Granularity::Page);
+    let n = db.get("r09").unwrap().num_tuples();
+    let m = db.get("r10").unwrap().num_tuples();
+    eprintln!(
+        "\n  measured (n={n}, m={m}, c={}): tuple={} B / page={} B -> ratio {:.2} (predicted {:.2})",
+        params.packet_overhead,
+        tuple.arbitration.bytes,
+        page.arbitration.bytes,
+        tuple.arbitration.bytes as f64 / page.arbitration.bytes as f64,
+        bandwidth::tuple_over_page_ratio(n, m, 100, 10, params.packet_overhead),
+    );
+
+    let mut group = c.benchmark_group("sec3_3");
+    group.sample_size(10);
+    group.bench_function("tuple_level_join", |b| b.iter(|| run(Granularity::Tuple)));
+    group.bench_function("page_level_join", |b| b.iter(|| run(Granularity::Page)));
+    group.finish();
+}
+
+criterion_group!(benches, sec_3_3);
+criterion_main!(benches);

@@ -1,0 +1,553 @@
+//! Compiling query trees into machine instructions.
+//!
+//! Paper §2.3: *"the instruction in each memory cell corresponds to a node
+//! in the query tree"*. Scans are not instructions — a scan child simply
+//! makes its parent's operand a *source* operand whose page table is
+//! complete from the start (the relation sits on mass storage). Every other
+//! node becomes an [`Instruction`] with a [`Kernel`] — the actual operator
+//! code an instruction processor executes on the pages in a work unit.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use df_query::{ops, validate, NodeId, Op, QueryTree};
+use df_relalg::{Catalog, JoinCondition, Page, Predicate, Projection, Result, Schema, Tuple};
+
+/// Index of an instruction within a [`Program`].
+pub type InstrId = usize;
+/// Index of a query within a batch.
+pub type QueryId = usize;
+
+/// How work units are generated for a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitGen {
+    /// One unit per input page (streaming unary operators).
+    PerPage,
+    /// One unit per (outer page, inner page) pair (nested-loops join/cross).
+    PerPair,
+    /// A single unit over the complete input(s): the blocking operators the
+    /// paper could not parallelize (duplicate-eliminating project, §5) plus
+    /// the set operators that need the whole right side.
+    WholeRelation,
+}
+
+/// The operator code executed per work unit.
+#[derive(Debug, Clone)]
+pub enum Kernel {
+    /// σ — emit tuples satisfying the predicate.
+    Restrict(Predicate),
+    /// π without duplicate elimination — streaming.
+    Project(Projection),
+    /// Copy input to output (bare scan roots, append staging).
+    Identity,
+    /// Emit tuples *matching* the predicate (the tuples a delete removes —
+    /// the query's result; the catalog update happens after the run).
+    DeleteFilter(Predicate),
+    /// Nested-loops join of one page pair.
+    JoinPair(JoinCondition),
+    /// Cross product of one page pair.
+    CrossPair,
+    /// Set union of two complete inputs.
+    UnionFinal,
+    /// Set difference of two complete inputs.
+    DifferenceFinal,
+    /// π with duplicate elimination over a complete input.
+    ProjectDedupFinal(Projection),
+}
+
+impl Kernel {
+    /// The unit-generation class.
+    pub fn unit_gen(&self) -> UnitGen {
+        match self {
+            Kernel::Restrict(_)
+            | Kernel::Project(_)
+            | Kernel::Identity
+            | Kernel::DeleteFilter(_) => UnitGen::PerPage,
+            Kernel::JoinPair(_) | Kernel::CrossPair => UnitGen::PerPair,
+            Kernel::UnionFinal | Kernel::DifferenceFinal | Kernel::ProjectDedupFinal(_) => {
+                UnitGen::WholeRelation
+            }
+        }
+    }
+
+    /// Execute one page-or-pair work unit.
+    ///
+    /// # Panics
+    /// Panics if called on a [`UnitGen::WholeRelation`] kernel (use
+    /// [`Kernel::run_final`]) or with the wrong operand count.
+    pub fn run_unit(&self, pages: &[&Page]) -> Vec<Tuple> {
+        match self {
+            Kernel::Restrict(p) => ops::restrict_page(pages[0], p),
+            Kernel::Project(proj) => ops::project_page(pages[0], proj),
+            Kernel::Identity => pages[0].tuples().collect(),
+            Kernel::DeleteFilter(p) => pages[0].tuples().filter(|t| p.eval(t)).collect(),
+            Kernel::JoinPair(c) => ops::join_pages(pages[0], pages[1], c),
+            Kernel::CrossPair => ops::cross_pages(pages[0], pages[1]),
+            k => panic!("run_unit called on whole-relation kernel {k:?}"),
+        }
+    }
+
+    /// Execute a whole-relation finalizer over complete inputs.
+    ///
+    /// Set semantics match `df-query::ops` exactly so machine results are
+    /// oracle-comparable.
+    pub fn run_final(&self, inputs: &[Vec<&Page>]) -> Vec<Tuple> {
+        self.run_final_bucket(inputs, 0, 1)
+    }
+
+    /// Execute one *bucket* of a whole-relation finalizer: only tuples whose
+    /// hash lands in `bucket` (of `buckets`) are considered. Hash
+    /// partitioning makes the blocking operators parallelizable — the
+    /// parallel duplicate-elimination algorithm the paper's §5 leaves open:
+    /// duplicates always hash to the same bucket, so per-bucket
+    /// deduplication composes to exact global deduplication.
+    ///
+    /// With `buckets == 1` this is the ordinary serial finalizer.
+    pub fn run_final_bucket(&self, inputs: &[Vec<&Page>], bucket: u64, buckets: u64) -> Vec<Tuple> {
+        assert!(buckets > 0 && bucket < buckets, "invalid bucket {bucket}/{buckets}");
+        let in_bucket = |t: &Tuple| -> bool { buckets == 1 || tuple_bucket(t, buckets) == bucket };
+        let tuples_of = |pages: &[&Page]| -> Vec<Tuple> {
+            pages.iter().flat_map(|p| p.tuples()).collect()
+        };
+        match self {
+            Kernel::UnionFinal => {
+                let mut seen = HashSet::new();
+                let mut out = Vec::new();
+                for t in tuples_of(&inputs[0]).into_iter().chain(tuples_of(&inputs[1])) {
+                    if in_bucket(&t) && seen.insert(t.clone()) {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            Kernel::DifferenceFinal => {
+                let exclude: HashSet<Tuple> = tuples_of(&inputs[1])
+                    .into_iter()
+                    .filter(&in_bucket)
+                    .collect();
+                let mut seen = HashSet::new();
+                let mut out = Vec::new();
+                for t in tuples_of(&inputs[0]) {
+                    if in_bucket(&t) && !exclude.contains(&t) && seen.insert(t.clone()) {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            Kernel::ProjectDedupFinal(proj) => {
+                // Partition on the *projected* tuple: duplicates collide
+                // exactly in one bucket.
+                let projected = inputs[0]
+                    .iter()
+                    .flat_map(|p| ops::project_page(p, proj))
+                    .filter(&in_bucket);
+                ops::dedup_tuples(projected)
+            }
+            k => panic!("run_final called on streaming kernel {k:?}"),
+        }
+    }
+
+    /// Per-tuple operation count for the cost model: how many tuple-level
+    /// steps the unit performs.
+    pub fn tuple_ops(&self, tuple_counts: &[usize]) -> usize {
+        match self.unit_gen() {
+            UnitGen::PerPage => tuple_counts[0],
+            UnitGen::PerPair => tuple_counts[0] * tuple_counts[1],
+            UnitGen::WholeRelation => tuple_counts.iter().sum(),
+        }
+    }
+}
+
+/// Deterministic hash bucket of a tuple (used to partition blocking
+/// operators across processors).
+pub fn tuple_bucket(t: &Tuple, buckets: u64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish() % buckets
+}
+
+/// One operand of an instruction: either a base relation (pages on disk at
+/// t = 0, page table complete) or the output of a child instruction (page
+/// table filled as the child produces).
+#[derive(Debug, Clone)]
+pub struct OperandSpec {
+    /// Tuple schema of the operand's pages.
+    pub schema: Schema,
+    /// `Some(name)` for a base-relation operand; `None` when fed by a child.
+    pub source: Option<String>,
+}
+
+/// A compiled instruction (static plan; runtime state lives in the machine).
+#[derive(Debug, Clone)]
+pub struct Instruction {
+    /// This instruction's id.
+    pub id: InstrId,
+    /// The query it belongs to.
+    pub query: QueryId,
+    /// The query-tree node it was compiled from.
+    pub node: NodeId,
+    /// Operator code.
+    pub kernel: Kernel,
+    /// Display name of the operator.
+    pub op_name: &'static str,
+    /// Operands (1 or 2).
+    pub operands: Vec<OperandSpec>,
+    /// Output tuple schema.
+    pub output_schema: Schema,
+    /// Where output pages go: `Some((parent, operand_index))`, or `None`
+    /// for the query root (output pages are the query result).
+    pub parent: Option<(InstrId, usize)>,
+}
+
+/// A post-run database update the query requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateSpec {
+    /// Append the query result to `target`.
+    Append {
+        /// Target base relation.
+        target: String,
+    },
+    /// Remove the query-result tuples from `target`.
+    Delete {
+        /// Target base relation.
+        target: String,
+    },
+}
+
+/// A compiled batch of queries.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// All instructions, children before parents within each query.
+    pub instructions: Vec<Instruction>,
+    /// Root instruction of each query.
+    pub roots: Vec<InstrId>,
+    /// Per-query update to apply after the run (None for read-only).
+    pub updates: Vec<Option<UpdateSpec>>,
+    /// Names of every base relation the program reads.
+    pub base_relations: Vec<String>,
+}
+
+/// Compile a batch of validated query trees into a [`Program`].
+///
+/// # Errors
+/// Propagates validation errors (unknown relations, type mismatches…).
+pub fn compile(db: &Catalog, queries: &[QueryTree]) -> Result<Program> {
+    let mut instructions: Vec<Instruction> = Vec::new();
+    let mut roots = Vec::new();
+    let mut updates = Vec::new();
+    let mut base: Vec<String> = Vec::new();
+
+    for (qid, tree) in queries.iter().enumerate() {
+        let schemas = validate(db, tree)?;
+        // node -> instr id (None for scans).
+        let mut map: HashMap<NodeId, InstrId> = HashMap::new();
+        let mut root_instr: Option<InstrId> = None;
+        let mut update: Option<UpdateSpec> = None;
+
+        for nid in tree.topo_order() {
+            let node = tree.node(nid);
+            let operand_of = |child: NodeId| -> OperandSpec {
+                let child_node = tree.node(child);
+                match &child_node.op {
+                    Op::Scan { relation } => OperandSpec {
+                        schema: schemas.schema(child).clone(),
+                        source: Some(relation.clone()),
+                    },
+                    _ => OperandSpec {
+                        schema: schemas.schema(child).clone(),
+                        source: None,
+                    },
+                }
+            };
+
+            let (kernel, operands): (Kernel, Vec<OperandSpec>) = match &node.op {
+                Op::Scan { relation } => {
+                    base.push(relation.clone());
+                    if nid == tree.root() {
+                        // Bare scan: an identity instruction so the machine
+                        // has something to execute.
+                        (
+                            Kernel::Identity,
+                            vec![OperandSpec {
+                                schema: schemas.schema(nid).clone(),
+                                source: Some(relation.clone()),
+                            }],
+                        )
+                    } else {
+                        continue; // scans feed their parent directly
+                    }
+                }
+                Op::Restrict { predicate } => (
+                    Kernel::Restrict(predicate.clone()),
+                    vec![operand_of(node.children[0])],
+                ),
+                Op::Project { projection, dedup } => {
+                    let k = if *dedup {
+                        Kernel::ProjectDedupFinal(projection.clone())
+                    } else {
+                        Kernel::Project(projection.clone())
+                    };
+                    (k, vec![operand_of(node.children[0])])
+                }
+                Op::Join { condition } => (
+                    Kernel::JoinPair(*condition),
+                    vec![operand_of(node.children[0]), operand_of(node.children[1])],
+                ),
+                Op::CrossProduct => (
+                    Kernel::CrossPair,
+                    vec![operand_of(node.children[0]), operand_of(node.children[1])],
+                ),
+                Op::Union => (
+                    Kernel::UnionFinal,
+                    vec![operand_of(node.children[0]), operand_of(node.children[1])],
+                ),
+                Op::Difference => (
+                    Kernel::DifferenceFinal,
+                    vec![operand_of(node.children[0]), operand_of(node.children[1])],
+                ),
+                Op::Append { target } => {
+                    update = Some(UpdateSpec::Append {
+                        target: target.clone(),
+                    });
+                    (Kernel::Identity, vec![operand_of(node.children[0])])
+                }
+                Op::Delete { target, predicate } => {
+                    update = Some(UpdateSpec::Delete {
+                        target: target.clone(),
+                    });
+                    base.push(target.clone());
+                    (
+                        Kernel::DeleteFilter(predicate.clone()),
+                        vec![OperandSpec {
+                            schema: db.require(target)?.schema().clone(),
+                            source: Some(target.clone()),
+                        }],
+                    )
+                }
+            };
+
+            // Record source scans feeding this instruction.
+            for op_spec in &operands {
+                if let Some(src) = &op_spec.source {
+                    base.push(src.clone());
+                }
+            }
+
+            let id = instructions.len();
+            instructions.push(Instruction {
+                id,
+                query: qid,
+                node: nid,
+                kernel,
+                op_name: node.op.name(),
+                operands,
+                output_schema: schemas.schema(nid).clone(),
+                parent: None, // fixed up below
+            });
+            map.insert(nid, id);
+            if nid == tree.root() {
+                root_instr = Some(id);
+            }
+        }
+
+        // Fix up parent pointers: for each instruction, find which operand of
+        // which parent its node feeds.
+        for nid in tree.topo_order() {
+            let Some(&iid) = map.get(&nid) else { continue };
+            if nid == tree.root() {
+                continue;
+            }
+            // Find the parent node and operand slot.
+            let mut assigned = false;
+            'outer: for pid in tree.topo_order() {
+                let pnode = tree.node(pid);
+                for (slot, &c) in pnode.children.iter().enumerate() {
+                    if c == nid {
+                        let parent_iid = map[&pid];
+                        instructions[iid].parent = Some((parent_iid, slot));
+                        assigned = true;
+                        break 'outer;
+                    }
+                }
+            }
+            assert!(assigned, "non-root instruction {iid} has no parent");
+        }
+
+        roots.push(root_instr.expect("every tree compiles a root instruction"));
+        updates.push(update);
+    }
+
+    base.sort();
+    base.dedup();
+    Ok(Program {
+        instructions,
+        roots,
+        updates,
+        base_relations: base,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_query::{parse_query, TreeBuilder};
+    use df_relalg::{CmpOp, DataType, Relation, Tuple, Value};
+
+    fn db() -> Catalog {
+        let mut db = Catalog::new();
+        let s = Schema::build()
+            .attr("k", DataType::Int)
+            .attr("v", DataType::Int)
+            .finish()
+            .unwrap();
+        for name in ["a", "b", "c"] {
+            db.insert(
+                Relation::from_tuples(
+                    name,
+                    s.clone(),
+                    16 + 16 * 4,
+                    (0..10).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 2)])),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn compiles_join_over_restricts() {
+        let db = db();
+        let q = parse_query(
+            &db,
+            "(join (restrict (scan a) (> k 2)) (restrict (scan b) (< k 8)) (= k k))",
+        )
+        .unwrap();
+        let prog = compile(&db, &[q]).unwrap();
+        assert_eq!(prog.instructions.len(), 3); // 2 restricts + 1 join
+        assert_eq!(prog.roots, vec![2]);
+        let join = &prog.instructions[2];
+        assert!(matches!(join.kernel, Kernel::JoinPair(_)));
+        assert_eq!(join.node, NodeId(4)); // scans 0/2, restricts 1/3, join 4
+        assert_eq!(join.operands.len(), 2);
+        assert!(join.operands[0].source.is_none()); // fed by restrict
+        let r0 = &prog.instructions[0];
+        assert_eq!(r0.parent, Some((2, 0)));
+        assert_eq!(r0.operands[0].source.as_deref(), Some("a"));
+        assert_eq!(prog.base_relations, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn bare_scan_becomes_identity() {
+        let db = db();
+        let q = parse_query(&db, "(scan a)").unwrap();
+        let prog = compile(&db, &[q]).unwrap();
+        assert_eq!(prog.instructions.len(), 1);
+        assert!(matches!(prog.instructions[0].kernel, Kernel::Identity));
+        assert_eq!(
+            prog.instructions[0].operands[0].source.as_deref(),
+            Some("a")
+        );
+    }
+
+    #[test]
+    fn updates_are_recorded() {
+        let db = db();
+        let q = parse_query(&db, "(append (scan a) b)").unwrap();
+        let prog = compile(&db, &[q]).unwrap();
+        assert_eq!(
+            prog.updates[0],
+            Some(UpdateSpec::Append {
+                target: "b".into()
+            })
+        );
+        let q = parse_query(&db, "(delete a (> k 5))").unwrap();
+        let prog = compile(&db, &[q]).unwrap();
+        assert_eq!(
+            prog.updates[0],
+            Some(UpdateSpec::Delete {
+                target: "a".into()
+            })
+        );
+        assert!(matches!(
+            prog.instructions[0].kernel,
+            Kernel::DeleteFilter(_)
+        ));
+    }
+
+    #[test]
+    fn multi_query_batches_share_nothing() {
+        let db = db();
+        let q1 = parse_query(&db, "(restrict (scan a) (> k 1))").unwrap();
+        let q2 = parse_query(&db, "(restrict (scan a) (< k 9))").unwrap();
+        let prog = compile(&db, &[q1, q2]).unwrap();
+        assert_eq!(prog.instructions.len(), 2);
+        assert_eq!(prog.roots, vec![0, 1]);
+        assert_eq!(prog.instructions[0].query, 0);
+        assert_eq!(prog.instructions[1].query, 1);
+        assert_eq!(prog.base_relations, vec!["a"]);
+    }
+
+    #[test]
+    fn kernel_unit_classes() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let q = b
+            .scan("a")
+            .unwrap()
+            .project(&["v"], true)
+            .unwrap()
+            .finish();
+        let prog = compile(&db, &[q]).unwrap();
+        assert_eq!(
+            prog.instructions[0].kernel.unit_gen(),
+            UnitGen::WholeRelation
+        );
+        let q = b
+            .scan("a")
+            .unwrap()
+            .restrict_where("k", CmpOp::Gt, Value::Int(0))
+            .unwrap()
+            .finish();
+        let prog = compile(&db, &[q]).unwrap();
+        assert_eq!(prog.instructions[0].kernel.unit_gen(), UnitGen::PerPage);
+    }
+
+    #[test]
+    fn kernel_run_unit_matches_ops() {
+        let db = db();
+        let a = db.get("a").unwrap();
+        let page = &a.pages()[0];
+        let pred = Predicate::cmp_const(a.schema(), "k", CmpOp::Lt, Value::Int(2)).unwrap();
+        let out = Kernel::Restrict(pred.clone()).run_unit(&[page]);
+        assert_eq!(out, ops::restrict_page(page, &pred));
+        let ident = Kernel::Identity.run_unit(&[page]);
+        assert_eq!(ident.len(), page.len());
+    }
+
+    #[test]
+    fn final_kernels_match_set_semantics() {
+        let db = db();
+        let a = db.get("a").unwrap();
+        let pages: Vec<&Page> = a.pages().iter().collect();
+        // a ∪ a = a (set semantics)
+        let u = Kernel::UnionFinal.run_final(&[pages.clone(), pages.clone()]);
+        assert_eq!(u.len(), 10);
+        // a − a = ∅
+        let d = Kernel::DifferenceFinal.run_final(&[pages.clone(), pages.clone()]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn tuple_ops_cost_proxy() {
+        let pred = Predicate::True;
+        assert_eq!(Kernel::Restrict(pred).tuple_ops(&[7]), 7);
+        let c = JoinCondition {
+            left: 0,
+            op: CmpOp::Eq,
+            right: 0,
+        };
+        assert_eq!(Kernel::JoinPair(c).tuple_ops(&[3, 5]), 15);
+        assert_eq!(Kernel::UnionFinal.tuple_ops(&[3, 5]), 8);
+    }
+}

@@ -1,0 +1,267 @@
+//! Execution metrics: everything Figures 3.1 / 4.2 and the §3.3 analysis
+//! report, measured (not estimated) from the simulation.
+
+use std::fmt;
+
+use df_sim::stats::ByteCounter;
+use df_sim::{Duration, SimTime};
+
+/// Per-instruction statistics.
+#[derive(Debug, Clone, Default)]
+pub struct InstructionStats {
+    /// Operator name ("restrict", "join", …).
+    pub op_name: &'static str,
+    /// Query index within the batch.
+    pub query: usize,
+    /// Work units executed.
+    pub units: u64,
+    /// Tuples produced.
+    pub tuples_out: u64,
+    /// Pages produced.
+    pub pages_out: u64,
+    /// When the instruction first fired.
+    pub first_fire: Option<SimTime>,
+    /// When the instruction completed.
+    pub completed: Option<SimTime>,
+}
+
+/// Whole-run metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Makespan: when the last instruction completed.
+    pub elapsed: SimTime,
+    /// Bytes and packets through the arbitration network (memory → IPs).
+    pub arbitration: ByteCounter,
+    /// Bytes and packets through the distribution network (IPs → memory).
+    pub distribution: ByteCounter,
+    /// Bytes read from mass storage.
+    pub disk_read: ByteCounter,
+    /// Bytes written to mass storage (intermediate spills).
+    pub disk_write: ByteCounter,
+    /// Bytes moved into the disk cache.
+    pub cache_in: ByteCounter,
+    /// Bytes read out of the disk cache.
+    pub cache_out: ByteCounter,
+    /// Total processor busy time (across all processors).
+    pub proc_busy: Duration,
+    /// Number of processors configured.
+    pub processors: usize,
+    /// Total work units dispatched.
+    pub units_dispatched: u64,
+    /// Completion time of each query in the batch.
+    pub query_completions: Vec<SimTime>,
+    /// Per-instruction statistics.
+    pub instructions: Vec<InstructionStats>,
+}
+
+impl Metrics {
+    /// Mean processor utilization over the makespan.
+    pub fn processor_utilization(&self) -> f64 {
+        let denom = self.elapsed.as_nanos() as f64 * self.processors as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.proc_busy.as_nanos() as f64 / denom
+        }
+    }
+
+    /// Average arbitration-network bandwidth in Mbps (Figure 4.2's y-axis
+    /// convention: total bytes / execution time).
+    pub fn arbitration_mbps(&self) -> f64 {
+        self.arbitration.mean_bandwidth_mbps(self.elapsed)
+    }
+
+    /// Average distribution-network bandwidth in Mbps.
+    pub fn distribution_mbps(&self) -> f64 {
+        self.distribution.mean_bandwidth_mbps(self.elapsed)
+    }
+
+    /// Average mass-storage bandwidth (read + write) in Mbps.
+    pub fn disk_mbps(&self) -> f64 {
+        let mut total = self.disk_read;
+        total.merge(&self.disk_write);
+        total.mean_bandwidth_mbps(self.elapsed)
+    }
+
+    /// Average cache-port bandwidth (both directions) in Mbps.
+    pub fn cache_mbps(&self) -> f64 {
+        let mut total = self.cache_in;
+        total.merge(&self.cache_out);
+        total.mean_bandwidth_mbps(self.elapsed)
+    }
+
+    /// Render an ASCII Gantt chart of per-instruction activity spans
+    /// (first fire → completion), one row per instruction, `width`
+    /// characters across the makespan. Handy for seeing pipelining: under
+    /// page-level granularity parent and child bars overlap; under
+    /// relation-level they abut.
+    pub fn render_timeline(&self, width: usize) -> String {
+        let width = width.max(10);
+        let horizon = self.elapsed.as_nanos().max(1) as f64;
+        let mut out = String::new();
+        for st in &self.instructions {
+            let (Some(start), Some(end)) = (st.first_fire, st.completed) else {
+                continue;
+            };
+            let a = ((start.as_nanos() as f64 / horizon) * width as f64) as usize;
+            let b = ((end.as_nanos() as f64 / horizon) * width as f64).ceil() as usize;
+            let b = b.clamp(a + 1, width);
+            let mut bar = String::with_capacity(width);
+            bar.extend(std::iter::repeat(' ').take(a));
+            bar.extend(std::iter::repeat('#').take(b - a));
+            bar.extend(std::iter::repeat(' ').take(width - b));
+            out.push_str(&format!(
+                "q{:<2} {:<9} |{bar}| {:>9} -> {}\n",
+                st.query,
+                st.op_name,
+                format!("{start}"),
+                end,
+            ));
+        }
+        out
+    }
+
+    /// Mean query response time across the batch.
+    pub fn mean_response(&self) -> Duration {
+        if self.query_completions.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u64 = self
+            .query_completions
+            .iter()
+            .map(|t| t.as_nanos())
+            .sum();
+        Duration::from_nanos(total / self.query_completions.len() as u64)
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "elapsed            : {}", self.elapsed)?;
+        writeln!(
+            f,
+            "processors         : {} ({:.1}% utilized)",
+            self.processors,
+            self.processor_utilization() * 100.0
+        )?;
+        writeln!(f, "units dispatched   : {}", self.units_dispatched)?;
+        writeln!(
+            f,
+            "arbitration net    : {} bytes, {} packets, {:.2} Mbps avg",
+            self.arbitration.bytes,
+            self.arbitration.transfers,
+            self.arbitration_mbps()
+        )?;
+        writeln!(
+            f,
+            "distribution net   : {} bytes, {} packets, {:.2} Mbps avg",
+            self.distribution.bytes,
+            self.distribution.transfers,
+            self.distribution_mbps()
+        )?;
+        writeln!(
+            f,
+            "disk               : {} B read, {} B written, {:.2} Mbps avg",
+            self.disk_read.bytes,
+            self.disk_write.bytes,
+            self.disk_mbps()
+        )?;
+        writeln!(
+            f,
+            "cache              : {} B in, {} B out, {:.2} Mbps avg",
+            self.cache_in.bytes,
+            self.cache_out.bytes,
+            self.cache_mbps()
+        )?;
+        writeln!(f, "mean query response: {}", self.mean_response())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let m = Metrics {
+            elapsed: SimTime::from_nanos(1_000),
+            proc_busy: Duration::from_nanos(1_500),
+            processors: 3,
+            ..Metrics::default()
+        };
+        assert!((m.processor_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_is_safe() {
+        let m = Metrics::default();
+        assert_eq!(m.processor_utilization(), 0.0);
+        assert_eq!(m.arbitration_mbps(), 0.0);
+        assert_eq!(m.mean_response(), Duration::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_views() {
+        let mut m = Metrics {
+            elapsed: SimTime::from_nanos(1_000_000_000), // 1 s
+            ..Metrics::default()
+        };
+        m.arbitration.record(1_000_000);
+        m.disk_read.record(500_000);
+        m.disk_write.record(500_000);
+        assert!((m.arbitration_mbps() - 8.0).abs() < 1e-9);
+        assert!((m.disk_mbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_response() {
+        let m = Metrics {
+            query_completions: vec![SimTime::from_nanos(100), SimTime::from_nanos(300)],
+            ..Metrics::default()
+        };
+        assert_eq!(m.mean_response(), Duration::from_nanos(200));
+    }
+
+    #[test]
+    fn timeline_renders_overlap() {
+        let mut m = Metrics {
+            elapsed: SimTime::from_nanos(1_000),
+            ..Metrics::default()
+        };
+        m.instructions.push(InstructionStats {
+            op_name: "restrict",
+            query: 0,
+            first_fire: Some(SimTime::from_nanos(0)),
+            completed: Some(SimTime::from_nanos(500)),
+            ..InstructionStats::default()
+        });
+        m.instructions.push(InstructionStats {
+            op_name: "join",
+            query: 0,
+            first_fire: Some(SimTime::from_nanos(250)),
+            completed: Some(SimTime::from_nanos(1_000)),
+            ..InstructionStats::default()
+        });
+        // An instruction that never fired is skipped.
+        m.instructions.push(InstructionStats::default());
+        let art = m.render_timeline(40);
+        assert_eq!(art.lines().count(), 2);
+        let rows: Vec<&str> = art.lines().collect();
+        assert!(rows[0].contains("restrict"));
+        assert!(rows[1].contains("join"));
+        // The join's bar starts midway: its row has leading spaces inside
+        // the frame where the restrict's has '#'.
+        let bar = |r: &str| r.split('|').nth(1).unwrap().to_string();
+        assert!(bar(rows[0]).starts_with('#'));
+        assert!(bar(rows[1]).starts_with(' '));
+    }
+
+    #[test]
+    fn display_renders() {
+        let m = Metrics::default();
+        let s = format!("{m}");
+        assert!(s.contains("elapsed"));
+        assert!(s.contains("arbitration"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests of the data-flow machine: random tiny databases, random
+//! queries, random machine shapes — the machine must always agree with the
+//! oracle and satisfy basic accounting invariants.
+
+use df_core::{run_queries, AllocationStrategy, Granularity, MachineParams};
+use df_query::{execute_readonly, ExecParams, TreeBuilder};
+use df_relalg::{Catalog, CmpOp, DataType, Relation, Schema, Tuple, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::build()
+        .attr("k", DataType::Int)
+        .attr("v", DataType::Int)
+        .finish()
+        .expect("schema")
+}
+
+/// A tiny random database of two relations.
+fn arb_db() -> impl Strategy<Value = Catalog> {
+    (
+        prop::collection::vec((-8i64..8, -8i64..8), 0..40),
+        prop::collection::vec((-8i64..8, -8i64..8), 0..40),
+    )
+        .prop_map(|(a_rows, b_rows)| {
+            let mut db = Catalog::new();
+            for (name, rows) in [("a", a_rows), ("b", b_rows)] {
+                db.insert(
+                    Relation::from_tuples(
+                        name,
+                        schema(),
+                        16 + 16 * 3,
+                        rows.iter()
+                            .map(|&(k, v)| Tuple::new(vec![Value::Int(k), Value::Int(v)])),
+                    )
+                    .expect("relation"),
+                )
+                .expect("insert");
+            }
+            db
+        })
+}
+
+/// A random query over relations `a` and `b`.
+fn arb_query_shape() -> impl Strategy<Value = (u8, i64, i64)> {
+    (0u8..5, -8i64..8, -8i64..8)
+}
+
+fn build_query(
+    db: &Catalog,
+    shape: (u8, i64, i64),
+) -> df_query::QueryTree {
+    let (kind, c1, c2) = shape;
+    let b = TreeBuilder::new(db);
+    match kind {
+        0 => b
+            .scan("a")
+            .unwrap()
+            .restrict_where("k", CmpOp::Lt, Value::Int(c1))
+            .unwrap()
+            .finish(),
+        1 => b
+            .scan("a")
+            .unwrap()
+            .restrict_where("k", CmpOp::Ge, Value::Int(c1))
+            .unwrap()
+            .equi_join(b.scan("b").unwrap(), "v", "k")
+            .unwrap()
+            .finish(),
+        2 => b
+            .scan("a")
+            .unwrap()
+            .equi_join(
+                b.scan("b")
+                    .unwrap()
+                    .restrict_where("v", CmpOp::Le, Value::Int(c2))
+                    .unwrap(),
+                "k",
+                "k",
+            )
+            .unwrap()
+            .project(&["v", "r_v"], false)
+            .unwrap()
+            .finish(),
+        3 => b
+            .scan("a")
+            .unwrap()
+            .union(b.scan("b").unwrap())
+            .unwrap()
+            .finish(),
+        _ => b
+            .scan("a")
+            .unwrap()
+            .difference(
+                b.scan("b")
+                    .unwrap()
+                    .restrict_where("k", CmpOp::Gt, Value::Int(c2))
+                    .unwrap(),
+            )
+            .unwrap()
+            .finish(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Machine == oracle for random (db, query, machine shape, granularity).
+    #[test]
+    fn machine_always_agrees_with_oracle(
+        db in arb_db(),
+        shape in arb_query_shape(),
+        processors in 1usize..6,
+        cells in 1usize..3,
+        frames in 4usize..64,
+        g_pick in 0usize..3,
+    ) {
+        let query = build_query(&db, shape);
+        let oracle = execute_readonly(&db, &query, &ExecParams::default()).unwrap();
+        let mut params = MachineParams::with_processors(processors);
+        params.cells_per_processor = cells;
+        params.cache.frames = frames;
+        params.page_size = 16 + 16 * 3;
+        let g = Granularity::ALL[g_pick];
+        let out = run_queries(
+            &db,
+            std::slice::from_ref(&query),
+            &params,
+            g,
+            AllocationStrategy::default(),
+        )
+        .unwrap();
+        prop_assert!(
+            out.results[0].same_contents(&oracle),
+            "granularity {g}, {processors} procs, {frames} frames: {} vs {} tuples",
+            out.results[0].num_tuples(),
+            oracle.num_tuples()
+        );
+        // Accounting invariants.
+        let m = &out.metrics;
+        prop_assert!(m.elapsed.as_nanos() > 0 || oracle.is_empty());
+        prop_assert!(m.processor_utilization() <= 1.0 + 1e-9);
+        prop_assert!(m.arbitration.bytes >= m.arbitration.transfers,
+            "packets smaller than 1 byte each");
+    }
+
+    /// Byte conservation: everything written to disk is an intermediate
+    /// spill, so disk writes never exceed distribution-network traffic.
+    #[test]
+    fn spills_are_bounded_by_produced_pages(
+        db in arb_db(),
+        shape in arb_query_shape(),
+        frames in 4usize..16,
+    ) {
+        let query = build_query(&db, shape);
+        let mut params = MachineParams::with_processors(3);
+        params.cache.frames = frames;
+        params.page_size = 16 + 16 * 3;
+        let out = run_queries(
+            &db,
+            std::slice::from_ref(&query),
+            &params,
+            Granularity::Relation,
+            AllocationStrategy::default(),
+        )
+        .unwrap();
+        let m = &out.metrics;
+        prop_assert!(
+            m.disk_write.bytes <= m.distribution.bytes + m.arbitration.bytes,
+            "spilled {} B but produced only {} B",
+            m.disk_write.bytes,
+            m.distribution.bytes + m.arbitration.bytes
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Bottom-up cardinality estimation for query trees.
+
+use df_query::{validate, NodeId, Op, QueryTree};
+use df_relalg::{Catalog, CmpOp, Result};
+
+use crate::stats::CatalogStats;
+
+/// Estimated output cardinality (tuples) of every node, in node order.
+#[derive(Debug, Clone)]
+pub struct NodeEstimates {
+    rows: Vec<f64>,
+}
+
+impl NodeEstimates {
+    /// Estimated output rows of `id`.
+    pub fn rows(&self, id: NodeId) -> f64 {
+        self.rows[id.0]
+    }
+
+    /// Estimated rows of the root.
+    pub fn output_rows(&self, tree: &QueryTree) -> f64 {
+        self.rows(tree.root())
+    }
+}
+
+/// Estimate per-node output cardinalities.
+///
+/// ```
+/// use df_opt::{estimate, CatalogStats};
+/// use df_query::parse_query;
+/// use df_workload::{generate_database, DatabaseSpec};
+/// let db = generate_database(&DatabaseSpec::scaled(0.01));
+/// let stats = CatalogStats::gather(&db);
+/// let q = parse_query(&db, "(restrict (scan r00) (< val 500))").unwrap();
+/// let est = estimate(&db, &q, &stats).unwrap();
+/// let half = db.get("r00").unwrap().num_tuples() as f64 / 2.0;
+/// assert!((est.output_rows(&q) - half).abs() / half < 0.2);
+/// ```
+///
+/// Selectivities use uniformity and independence; joins use the classic
+/// `|L|·|R| / max(d_L, d_R)` equi-join estimate with the *base* statistics
+/// of whichever scan the predicate column descends from approximated by the
+/// nearest leaf (restricts do not change distinct-value spans drastically
+/// under uniformity, which is the standard System-R-era simplification).
+///
+/// # Errors
+/// Propagates validation errors for malformed trees.
+pub fn estimate(db: &Catalog, tree: &QueryTree, stats: &CatalogStats) -> Result<NodeEstimates> {
+    validate(db, tree)?; // schemas are sound; estimation cannot panic
+    let mut rows: Vec<f64> = Vec::with_capacity(tree.len());
+    // Track, per node, the base-relation stats that "dominate" it (nearest
+    // leaf on the left spine) for predicate selectivity estimation.
+    let mut dominant: Vec<Option<String>> = Vec::with_capacity(tree.len());
+
+    for id in tree.topo_order() {
+        let node = tree.node(id);
+        let child_rows = |i: usize| rows[node.children[i].0];
+        let child_dom = |i: usize| dominant[node.children[i].0].clone();
+        let (r, dom) = match &node.op {
+            Op::Scan { relation } => {
+                let n = stats
+                    .get(relation)
+                    .map(|s| s.tuples as f64)
+                    .unwrap_or_else(|| db.get(relation).map(|r| r.num_tuples() as f64).unwrap_or(0.0));
+                (n, Some(relation.clone()))
+            }
+            Op::Restrict { predicate } => {
+                let sel = child_dom(0)
+                    .and_then(|name| stats.get(&name).map(|s| s.predicate_selectivity(predicate)))
+                    .unwrap_or(1.0 / 3.0);
+                (child_rows(0) * sel, child_dom(0))
+            }
+            Op::Project { dedup, .. } => {
+                let n = child_rows(0);
+                // Duplicate elimination: square-root heuristic bounded by n.
+                let out = if *dedup { n.sqrt().max(1.0).min(n) } else { n };
+                (out, child_dom(0))
+            }
+            Op::Join { condition } => {
+                let (l, r) = (child_rows(0), child_rows(1));
+                if condition.op == CmpOp::Eq {
+                    let d = [child_dom(0), child_dom(1)]
+                        .into_iter()
+                        .flatten()
+                        .filter_map(|name| stats.get(&name).map(|s| s.tuples))
+                        .max()
+                        .unwrap_or(10)
+                        .max(1);
+                    ((l * r / d as f64).max(0.0), child_dom(0))
+                } else {
+                    (l * r / 3.0, child_dom(0))
+                }
+            }
+            Op::CrossProduct => (child_rows(0) * child_rows(1), child_dom(0)),
+            Op::Union => (child_rows(0) + child_rows(1), child_dom(0)),
+            Op::Difference => ((child_rows(0) - child_rows(1)).max(0.0), child_dom(0)),
+            Op::Append { .. } => (child_rows(0), child_dom(0)),
+            Op::Delete { target, .. } => {
+                let n = stats.get(target).map(|s| s.tuples as f64).unwrap_or(0.0);
+                (n / 3.0, Some(target.clone()))
+            }
+        };
+        rows.push(r);
+        dominant.push(dom);
+    }
+    Ok(NodeEstimates { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_query::parse_query;
+    use df_workload::{generate_database, DatabaseSpec};
+
+    fn setup() -> (Catalog, CatalogStats) {
+        let db = generate_database(&DatabaseSpec::scaled(0.02));
+        let stats = CatalogStats::gather(&db);
+        (db, stats)
+    }
+
+    #[test]
+    fn scan_estimate_is_exact() {
+        let (db, stats) = setup();
+        let q = parse_query(&db, "(scan r00)").unwrap();
+        let est = estimate(&db, &q, &stats).unwrap();
+        assert_eq!(
+            est.output_rows(&q) as usize,
+            db.get("r00").unwrap().num_tuples()
+        );
+    }
+
+    #[test]
+    fn restrict_estimate_tracks_selectivity() {
+        let (db, stats) = setup();
+        let q = parse_query(&db, "(restrict (scan r00) (< val 500))").unwrap();
+        let est = estimate(&db, &q, &stats).unwrap();
+        let n = db.get("r00").unwrap().num_tuples() as f64;
+        let predicted = est.output_rows(&q);
+        assert!(
+            (predicted / n - 0.5).abs() < 0.1,
+            "predicted {predicted} of {n}"
+        );
+    }
+
+    #[test]
+    fn fk_join_estimate_is_near_child_size() {
+        // fk joins match each child tuple with exactly one parent key, so
+        // |A ⋈ B| ≈ |A|.
+        let (db, stats) = setup();
+        let q = parse_query(&db, "(join (scan r00) (scan r01) (= fk key))").unwrap();
+        let est = estimate(&db, &q, &stats).unwrap();
+        let actual = df_query::execute_readonly(&db, &q, &df_query::ExecParams::default())
+            .unwrap()
+            .num_tuples() as f64;
+        let predicted = est.output_rows(&q);
+        assert!(
+            predicted / actual < 3.0 && actual / predicted < 3.0,
+            "predicted {predicted} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn union_and_cross_compose() {
+        let (db, stats) = setup();
+        let q = parse_query(&db, "(union (scan r13) (scan r14))").unwrap();
+        let est = estimate(&db, &q, &stats).unwrap();
+        let expect = (db.get("r13").unwrap().num_tuples()
+            + db.get("r14").unwrap().num_tuples()) as f64;
+        assert_eq!(est.output_rows(&q), expect);
+
+        let q = parse_query(&db, "(cross (scan r13) (scan r14))").unwrap();
+        let est = estimate(&db, &q, &stats).unwrap();
+        let expect = (db.get("r13").unwrap().num_tuples()
+            * db.get("r14").unwrap().num_tuples()) as f64;
+        assert_eq!(est.output_rows(&q), expect);
+    }
+}

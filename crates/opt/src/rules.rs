@@ -1,0 +1,750 @@
+//! The rewrite rules and the optimizer driver.
+//!
+//! Rewrites operate on an owned recursive tree ([`RNode`]) converted from
+//! the arena-based [`QueryTree`], which makes structural surgery (splitting
+//! a conjunction across a join, inserting a compensating projection)
+//! straightforward. Every rule preserves semantics exactly — the property
+//! tests compare oracle outputs before and after on random trees.
+
+use df_query::{validate, NodeId, Op, QueryNode, QueryTree};
+use df_relalg::{Catalog, CmpOp, Error, JoinCondition, Predicate, Projection, Result, Schema};
+
+use crate::stats::CatalogStats;
+
+/// The optimizer's result: the rewritten tree and the rules that fired.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The rewritten, validated query tree.
+    pub tree: QueryTree,
+    /// Human-readable names of the rules applied, in order.
+    pub applied: Vec<String>,
+}
+
+/// Owned working representation.
+#[derive(Debug, Clone)]
+enum RNode {
+    Scan(String),
+    Restrict {
+        predicate: Predicate,
+        input: Box<RNode>,
+    },
+    Project {
+        projection: Projection,
+        dedup: bool,
+        input: Box<RNode>,
+    },
+    Join {
+        condition: JoinCondition,
+        left: Box<RNode>,
+        right: Box<RNode>,
+    },
+    Cross {
+        left: Box<RNode>,
+        right: Box<RNode>,
+    },
+    Union {
+        left: Box<RNode>,
+        right: Box<RNode>,
+    },
+    Difference {
+        left: Box<RNode>,
+        right: Box<RNode>,
+    },
+    Append {
+        target: String,
+        input: Box<RNode>,
+    },
+    Delete {
+        target: String,
+        predicate: Predicate,
+    },
+}
+
+// ------------------------------------------------------------- conversion
+
+fn to_rnode(tree: &QueryTree, id: NodeId) -> RNode {
+    let node = tree.node(id);
+    let child = |i: usize| Box::new(to_rnode(tree, node.children[i]));
+    match &node.op {
+        Op::Scan { relation } => RNode::Scan(relation.clone()),
+        Op::Restrict { predicate } => RNode::Restrict {
+            predicate: predicate.clone(),
+            input: child(0),
+        },
+        Op::Project { projection, dedup } => RNode::Project {
+            projection: projection.clone(),
+            dedup: *dedup,
+            input: child(0),
+        },
+        Op::Join { condition } => RNode::Join {
+            condition: *condition,
+            left: child(0),
+            right: child(1),
+        },
+        Op::CrossProduct => RNode::Cross {
+            left: child(0),
+            right: child(1),
+        },
+        Op::Union => RNode::Union {
+            left: child(0),
+            right: child(1),
+        },
+        Op::Difference => RNode::Difference {
+            left: child(0),
+            right: child(1),
+        },
+        Op::Append { target } => RNode::Append {
+            target: target.clone(),
+            input: child(0),
+        },
+        Op::Delete { target, predicate } => RNode::Delete {
+            target: target.clone(),
+            predicate: predicate.clone(),
+        },
+    }
+}
+
+fn from_rnode(node: &RNode, arena: &mut Vec<QueryNode>) -> NodeId {
+    let (op, children) = match node {
+        RNode::Scan(name) => (
+            Op::Scan {
+                relation: name.clone(),
+            },
+            vec![],
+        ),
+        RNode::Restrict { predicate, input } => (
+            Op::Restrict {
+                predicate: predicate.clone(),
+            },
+            vec![from_rnode(input, arena)],
+        ),
+        RNode::Project {
+            projection,
+            dedup,
+            input,
+        } => (
+            Op::Project {
+                projection: projection.clone(),
+                dedup: *dedup,
+            },
+            vec![from_rnode(input, arena)],
+        ),
+        RNode::Join {
+            condition,
+            left,
+            right,
+        } => (
+            Op::Join {
+                condition: *condition,
+            },
+            vec![from_rnode(left, arena), from_rnode(right, arena)],
+        ),
+        RNode::Cross { left, right } => (
+            Op::CrossProduct,
+            vec![from_rnode(left, arena), from_rnode(right, arena)],
+        ),
+        RNode::Union { left, right } => (
+            Op::Union,
+            vec![from_rnode(left, arena), from_rnode(right, arena)],
+        ),
+        RNode::Difference { left, right } => (
+            Op::Difference,
+            vec![from_rnode(left, arena), from_rnode(right, arena)],
+        ),
+        RNode::Append { target, input } => (
+            Op::Append {
+                target: target.clone(),
+            },
+            vec![from_rnode(input, arena)],
+        ),
+        RNode::Delete { target, predicate } => (
+            Op::Delete {
+                target: target.clone(),
+                predicate: predicate.clone(),
+            },
+            vec![],
+        ),
+    };
+    arena.push(QueryNode { op, children });
+    NodeId(arena.len() - 1)
+}
+
+/// Output schema of an [`RNode`] (needed for index arithmetic).
+fn schema_of(node: &RNode, db: &Catalog) -> Result<Schema> {
+    match node {
+        RNode::Scan(name) => Ok(db.require(name)?.schema().clone()),
+        RNode::Restrict { input, .. } => schema_of(input, db),
+        RNode::Project {
+            projection, input, ..
+        } => projection.output_schema(&schema_of(input, db)?),
+        RNode::Join { left, right, .. } | RNode::Cross { left, right } => {
+            Ok(schema_of(left, db)?.concat(&schema_of(right, db)?))
+        }
+        RNode::Union { left, .. } | RNode::Difference { left, .. } => schema_of(left, db),
+        RNode::Append { input, .. } => schema_of(input, db),
+        RNode::Delete { target, .. } => Ok(db.require(target)?.schema().clone()),
+    }
+}
+
+/// Estimated output rows (mirrors `crate::estimate` on the working tree).
+fn est_rows(node: &RNode, db: &Catalog, stats: &CatalogStats) -> f64 {
+    match node {
+        RNode::Scan(name) => stats
+            .get(name)
+            .map(|s| s.tuples as f64)
+            .unwrap_or_else(|| db.get(name).map(|r| r.num_tuples() as f64).unwrap_or(0.0)),
+        RNode::Restrict { predicate, input } => {
+            let sel = leftmost_scan(input)
+                .and_then(|name| stats.get(&name).map(|s| s.predicate_selectivity(predicate)))
+                .unwrap_or(1.0 / 3.0);
+            est_rows(input, db, stats) * sel
+        }
+        RNode::Project { dedup, input, .. } => {
+            let n = est_rows(input, db, stats);
+            if *dedup {
+                n.sqrt().max(1.0).min(n)
+            } else {
+                n
+            }
+        }
+        RNode::Join {
+            condition,
+            left,
+            right,
+        } => {
+            let (l, r) = (est_rows(left, db, stats), est_rows(right, db, stats));
+            if condition.op == CmpOp::Eq {
+                let d = [leftmost_scan(left), leftmost_scan(right)]
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|n| stats.get(&n).map(|s| s.tuples))
+                    .max()
+                    .unwrap_or(10)
+                    .max(1);
+                l * r / d as f64
+            } else {
+                l * r / 3.0
+            }
+        }
+        RNode::Cross { left, right } => {
+            est_rows(left, db, stats) * est_rows(right, db, stats)
+        }
+        RNode::Union { left, right } => {
+            est_rows(left, db, stats) + est_rows(right, db, stats)
+        }
+        RNode::Difference { left, right } => {
+            (est_rows(left, db, stats) - est_rows(right, db, stats)).max(0.0)
+        }
+        RNode::Append { input, .. } => est_rows(input, db, stats),
+        RNode::Delete { target, .. } => stats
+            .get(target)
+            .map(|s| s.tuples as f64 / 3.0)
+            .unwrap_or(0.0),
+    }
+}
+
+fn leftmost_scan(node: &RNode) -> Option<String> {
+    match node {
+        RNode::Scan(name) => Some(name.clone()),
+        RNode::Restrict { input, .. }
+        | RNode::Project { input, .. }
+        | RNode::Append { input, .. } => leftmost_scan(input),
+        RNode::Join { left, .. }
+        | RNode::Cross { left, .. }
+        | RNode::Union { left, .. }
+        | RNode::Difference { left, .. } => leftmost_scan(left),
+        RNode::Delete { target, .. } => Some(target.clone()),
+    }
+}
+
+// --------------------------------------------------------- predicate utils
+
+/// All attribute indices a predicate references.
+fn pred_refs(p: &Predicate, out: &mut Vec<usize>) {
+    match p {
+        Predicate::True => {}
+        Predicate::CmpConst { index, .. } => out.push(*index),
+        Predicate::CmpAttrs { left, right, .. } => {
+            out.push(*left);
+            out.push(*right);
+        }
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            pred_refs(a, out);
+            pred_refs(b, out);
+        }
+        Predicate::Not(a) => pred_refs(a, out),
+    }
+}
+
+/// Rewrite every attribute index through `f`.
+fn pred_remap(p: &Predicate, f: &impl Fn(usize) -> usize) -> Predicate {
+    match p {
+        Predicate::True => Predicate::True,
+        Predicate::CmpConst { index, op, value } => Predicate::CmpConst {
+            index: f(*index),
+            op: *op,
+            value: value.clone(),
+        },
+        Predicate::CmpAttrs { left, op, right } => Predicate::CmpAttrs {
+            left: f(*left),
+            op: *op,
+            right: f(*right),
+        },
+        Predicate::And(a, b) => pred_remap(a, f).and(pred_remap(b, f)),
+        Predicate::Or(a, b) => pred_remap(a, f).or(pred_remap(b, f)),
+        Predicate::Not(a) => pred_remap(a, f).not(),
+    }
+}
+
+/// Split a top-level conjunction into its conjuncts.
+fn conjuncts(p: Predicate) -> Vec<Predicate> {
+    match p {
+        Predicate::And(a, b) => {
+            let mut out = conjuncts(*a);
+            out.extend(conjuncts(*b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Rebuild a conjunction (None for an empty list ≡ True).
+fn conjoin(ps: Vec<Predicate>) -> Predicate {
+    ps.into_iter()
+        .reduce(|a, b| a.and(b))
+        .unwrap_or(Predicate::True)
+}
+
+/// Algebraic simplification: `p ∧ true → p`, `¬¬p → p`, `true ∨ p → true`.
+fn simplify_pred(p: Predicate) -> (Predicate, bool) {
+    match p {
+        Predicate::And(a, b) => {
+            let (a, ca) = simplify_pred(*a);
+            let (b, cb) = simplify_pred(*b);
+            match (a, b) {
+                (Predicate::True, x) | (x, Predicate::True) => (x, true),
+                (a, b) => (a.and(b), ca || cb),
+            }
+        }
+        Predicate::Or(a, b) => {
+            let (a, ca) = simplify_pred(*a);
+            let (b, cb) = simplify_pred(*b);
+            match (a, b) {
+                (Predicate::True, _) | (_, Predicate::True) => (Predicate::True, true),
+                (a, b) => (a.or(b), ca || cb),
+            }
+        }
+        Predicate::Not(inner) => {
+            let (inner, ci) = simplify_pred(*inner);
+            match inner {
+                Predicate::Not(x) => (*x, true),
+                other => (other.not(), ci),
+            }
+        }
+        leaf => (leaf, false),
+    }
+}
+
+// ------------------------------------------------------------------ rules
+
+struct Rewriter<'a> {
+    db: &'a Catalog,
+    stats: &'a CatalogStats,
+    applied: Vec<String>,
+}
+
+impl<'a> Rewriter<'a> {
+    /// One full bottom-up pass; returns the rewritten node and whether
+    /// anything changed.
+    fn pass(&mut self, node: RNode) -> Result<(RNode, bool)> {
+        // Rewrite children first.
+        let (node, child_changed) = self.rewrite_children(node)?;
+        // Then try the local rules until none fires at this node.
+        let mut node = node;
+        let mut changed = child_changed;
+        loop {
+            let (next, fired) = self.apply_local(node)?;
+            node = next;
+            if !fired {
+                break;
+            }
+            changed = true;
+        }
+        Ok((node, changed))
+    }
+
+    fn rewrite_children(&mut self, node: RNode) -> Result<(RNode, bool)> {
+        Ok(match node {
+            RNode::Restrict { predicate, input } => {
+                let (input, c) = self.pass(*input)?;
+                (
+                    RNode::Restrict {
+                        predicate,
+                        input: Box::new(input),
+                    },
+                    c,
+                )
+            }
+            RNode::Project {
+                projection,
+                dedup,
+                input,
+            } => {
+                let (input, c) = self.pass(*input)?;
+                (
+                    RNode::Project {
+                        projection,
+                        dedup,
+                        input: Box::new(input),
+                    },
+                    c,
+                )
+            }
+            RNode::Join {
+                condition,
+                left,
+                right,
+            } => {
+                let (left, cl) = self.pass(*left)?;
+                let (right, cr) = self.pass(*right)?;
+                (
+                    RNode::Join {
+                        condition,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                    cl || cr,
+                )
+            }
+            RNode::Cross { left, right } => {
+                let (left, cl) = self.pass(*left)?;
+                let (right, cr) = self.pass(*right)?;
+                (
+                    RNode::Cross {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                    cl || cr,
+                )
+            }
+            RNode::Union { left, right } => {
+                let (left, cl) = self.pass(*left)?;
+                let (right, cr) = self.pass(*right)?;
+                (
+                    RNode::Union {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                    cl || cr,
+                )
+            }
+            RNode::Difference { left, right } => {
+                let (left, cl) = self.pass(*left)?;
+                let (right, cr) = self.pass(*right)?;
+                (
+                    RNode::Difference {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                    cl || cr,
+                )
+            }
+            RNode::Append { target, input } => {
+                let (input, c) = self.pass(*input)?;
+                (
+                    RNode::Append {
+                        target,
+                        input: Box::new(input),
+                    },
+                    c,
+                )
+            }
+            leaf @ (RNode::Scan(_) | RNode::Delete { .. }) => (leaf, false),
+        })
+    }
+
+    /// Try each local rule at `node`; returns (node, fired).
+    fn apply_local(&mut self, node: RNode) -> Result<(RNode, bool)> {
+        match node {
+            // Rule: predicate simplification.
+            RNode::Restrict { predicate, input } => {
+                let (predicate, simplified) = simplify_pred(predicate);
+                if simplified {
+                    self.applied.push("simplify-predicate".into());
+                }
+                // Rule: σ(true) elimination.
+                if matches!(predicate, Predicate::True) {
+                    self.applied.push("drop-trivial-restrict".into());
+                    return Ok((*input, true));
+                }
+                // Rule: restrict fusion.
+                if let RNode::Restrict {
+                    predicate: inner_p,
+                    input: inner_in,
+                } = *input
+                {
+                    self.applied.push("fuse-restricts".into());
+                    return Ok((
+                        RNode::Restrict {
+                            predicate: predicate.and(inner_p),
+                            input: inner_in,
+                        },
+                        true,
+                    ));
+                }
+                // Rule: pushdown.
+                if let Some(rewritten) = self.push_restrict(predicate.clone(), *input.clone())? {
+                    return Ok((rewritten, true));
+                }
+                Ok((
+                    RNode::Restrict {
+                        predicate,
+                        input,
+                    },
+                    simplified,
+                ))
+            }
+            // Rule: projection collapse (inner must be duplicate-preserving).
+            RNode::Project {
+                projection,
+                dedup,
+                input,
+            } => {
+                if let RNode::Project {
+                    projection: inner_proj,
+                    dedup: false,
+                    input: inner_in,
+                } = *input
+                {
+                    let composed: Vec<usize> = projection
+                        .indices()
+                        .iter()
+                        .map(|&i| inner_proj.indices()[i])
+                        .collect();
+                    let inner_schema = schema_of(&inner_in, self.db)?;
+                    let projection = Projection::from_indices(&inner_schema, composed)?;
+                    self.applied.push("collapse-projections".into());
+                    return Ok((
+                        RNode::Project {
+                            projection,
+                            dedup,
+                            input: inner_in,
+                        },
+                        true,
+                    ));
+                }
+                Ok((
+                    RNode::Project {
+                        projection,
+                        dedup,
+                        input,
+                    },
+                    false,
+                ))
+            }
+            // Rule: join input ordering — the machines parallelize over
+            // outer pages and broadcast inner pages, so the larger input
+            // belongs outside. A compensating projection restores the
+            // original column order.
+            RNode::Join {
+                condition,
+                left,
+                right,
+            } => {
+                let l_rows = est_rows(&left, self.db, self.stats);
+                let r_rows = est_rows(&right, self.db, self.stats);
+                if l_rows * 1.2 < r_rows {
+                    let l_schema = schema_of(&left, self.db)?;
+                    let r_schema = schema_of(&right, self.db)?;
+                    let original = l_schema.concat(&r_schema);
+                    let (l_arity, r_arity) = (l_schema.arity(), r_schema.arity());
+                    let flipped = JoinCondition {
+                        left: condition.right,
+                        op: condition.op.flip(),
+                        right: condition.left,
+                    };
+                    let swapped = RNode::Join {
+                        condition: flipped,
+                        left: right,
+                        right: left,
+                    };
+                    // Restore the original column order *and names* (concat
+                    // renames collide differently after the swap).
+                    let perm: Vec<usize> = (0..l_arity)
+                        .map(|i| r_arity + i)
+                        .chain(0..r_arity)
+                        .collect();
+                    let names: Vec<String> = original
+                        .attrs()
+                        .iter()
+                        .map(|a| a.name.clone())
+                        .collect();
+                    let swapped_schema = schema_of(&swapped, self.db)?;
+                    let projection =
+                        Projection::with_renames(&swapped_schema, perm, names)?;
+                    self.applied.push("swap-join-inputs".into());
+                    return Ok((
+                        RNode::Project {
+                            projection,
+                            dedup: false,
+                            input: Box::new(swapped),
+                        },
+                        true,
+                    ));
+                }
+                Ok((
+                    RNode::Join {
+                        condition,
+                        left,
+                        right,
+                    },
+                    false,
+                ))
+            }
+            other => Ok((other, false)),
+        }
+    }
+
+    /// Push the conjuncts of `predicate` below `input` where legal.
+    /// Returns `None` if nothing moved.
+    fn push_restrict(&mut self, predicate: Predicate, input: RNode) -> Result<Option<RNode>> {
+        match input {
+            RNode::Join {
+                condition,
+                left,
+                right,
+            } => self.push_into_binary(predicate, left, right, move |l, r| RNode::Join {
+                condition,
+                left: l,
+                right: r,
+            }),
+            RNode::Cross { left, right } => {
+                self.push_into_binary(predicate, left, right, |l, r| RNode::Cross {
+                    left: l,
+                    right: r,
+                })
+            }
+            RNode::Project {
+                projection,
+                dedup,
+                input: inner,
+            } => {
+                // σ(π(R)) → π(σ'(R)) with indices remapped through π. Legal
+                // for both bag and set projection: the predicate only reads
+                // projected attributes.
+                let indices = projection.indices().to_vec();
+                let remapped = pred_remap(&predicate, &|i| indices[i]);
+                self.applied.push("pushdown-through-project".into());
+                Ok(Some(RNode::Project {
+                    projection,
+                    dedup,
+                    input: Box::new(RNode::Restrict {
+                        predicate: remapped,
+                        input: inner,
+                    }),
+                }))
+            }
+            RNode::Union { left, right } => {
+                // σ(A ∪ B) = σA ∪ σB.
+                self.applied.push("pushdown-through-union".into());
+                Ok(Some(RNode::Union {
+                    left: Box::new(RNode::Restrict {
+                        predicate: predicate.clone(),
+                        input: left,
+                    }),
+                    right: Box::new(RNode::Restrict {
+                        predicate,
+                        input: right,
+                    }),
+                }))
+            }
+            RNode::Difference { left, right } => {
+                // σ(A − B) = σA − B.
+                self.applied.push("pushdown-through-difference".into());
+                Ok(Some(RNode::Difference {
+                    left: Box::new(RNode::Restrict {
+                        predicate,
+                        input: left,
+                    }),
+                    right,
+                }))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Split `predicate` across a binary product node: conjuncts touching
+    /// only left attributes go left, only right attributes go right
+    /// (indices shifted), mixed ones stay above.
+    fn push_into_binary(
+        &mut self,
+        predicate: Predicate,
+        left: Box<RNode>,
+        right: Box<RNode>,
+        rebuild: impl FnOnce(Box<RNode>, Box<RNode>) -> RNode,
+    ) -> Result<Option<RNode>> {
+        let l_arity = schema_of(&left, self.db)?.arity();
+        let mut to_left = Vec::new();
+        let mut to_right = Vec::new();
+        let mut stay = Vec::new();
+        for c in conjuncts(predicate) {
+            let mut refs = Vec::new();
+            pred_refs(&c, &mut refs);
+            if !refs.is_empty() && refs.iter().all(|&i| i < l_arity) {
+                to_left.push(c);
+            } else if !refs.is_empty() && refs.iter().all(|&i| i >= l_arity) {
+                to_right.push(pred_remap(&c, &|i| i - l_arity));
+            } else {
+                stay.push(c);
+            }
+        }
+        if to_left.is_empty() && to_right.is_empty() {
+            return Ok(None);
+        }
+        self.applied.push("pushdown-through-join".into());
+        let left = wrap_restrict(conjoin(to_left), left);
+        let right = wrap_restrict(conjoin(to_right), right);
+        let product = rebuild(left, right);
+        Ok(Some(*wrap_restrict(conjoin(stay), Box::new(product))))
+    }
+}
+
+/// Wrap `input` in a restrict unless the predicate is `true`.
+fn wrap_restrict(predicate: Predicate, input: Box<RNode>) -> Box<RNode> {
+    if matches!(predicate, Predicate::True) {
+        input
+    } else {
+        Box::new(RNode::Restrict { predicate, input })
+    }
+}
+
+/// Optimize `tree` against `db` using `stats`.
+///
+/// # Errors
+/// Propagates validation errors; the returned tree is re-validated.
+pub fn optimize(db: &Catalog, tree: &QueryTree, stats: &CatalogStats) -> Result<Optimized> {
+    validate(db, tree)?;
+    let mut node = to_rnode(tree, tree.root());
+    let mut rewriter = Rewriter {
+        db,
+        stats,
+        applied: Vec::new(),
+    };
+    for _ in 0..8 {
+        let (next, changed) = rewriter.pass(node)?;
+        node = next;
+        if !changed {
+            break;
+        }
+    }
+    let mut arena = Vec::new();
+    let root = from_rnode(&node, &mut arena);
+    let tree = QueryTree::from_parts(arena, root);
+    validate(db, &tree).map_err(|e| Error::SchemaMismatch {
+        detail: format!("optimizer produced an invalid tree: {e}"),
+    })?;
+    Ok(Optimized {
+        tree,
+        applied: rewriter.applied,
+    })
+}

@@ -1,0 +1,222 @@
+//! Base-relation statistics and selectivity estimation.
+
+use std::collections::BTreeMap;
+
+use df_relalg::{Catalog, CmpOp, Predicate, Relation, Value};
+
+/// Per-attribute statistics (integer attributes only; strings and booleans
+/// fall back to default selectivities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttrStats {
+    /// Smallest value observed.
+    pub min: i64,
+    /// Largest value observed.
+    pub max: i64,
+    /// Number of distinct values observed.
+    pub distinct: usize,
+}
+
+/// Statistics for one relation, gathered by one exact scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStats {
+    /// Tuple count.
+    pub tuples: usize,
+    /// Page count.
+    pub pages: usize,
+    /// Per-attribute stats (index-aligned with the schema; `None` for
+    /// non-integer attributes).
+    pub attrs: Vec<Option<AttrStats>>,
+}
+
+impl RelationStats {
+    /// Scan `relation` and compute exact statistics.
+    pub fn gather(relation: &Relation) -> RelationStats {
+        let arity = relation.schema().arity();
+        let mut mins = vec![i64::MAX; arity];
+        let mut maxs = vec![i64::MIN; arity];
+        let mut values: Vec<std::collections::BTreeSet<i64>> = vec![Default::default(); arity];
+        let mut tuples = 0usize;
+        for t in relation.tuples() {
+            tuples += 1;
+            for (i, v) in t.values().iter().enumerate() {
+                if let Value::Int(x) = v {
+                    mins[i] = mins[i].min(*x);
+                    maxs[i] = maxs[i].max(*x);
+                    values[i].insert(*x);
+                }
+            }
+        }
+        let attrs = (0..arity)
+            .map(|i| {
+                if values[i].is_empty() {
+                    None
+                } else {
+                    Some(AttrStats {
+                        min: mins[i],
+                        max: maxs[i],
+                        distinct: values[i].len(),
+                    })
+                }
+            })
+            .collect();
+        RelationStats {
+            tuples,
+            pages: relation.num_pages(),
+            attrs,
+        }
+    }
+
+    /// Estimated selectivity of `attr op constant` under uniformity.
+    pub fn selectivity(&self, attr: usize, op: CmpOp, value: &Value) -> f64 {
+        let Some(Some(st)) = self.attrs.get(attr) else {
+            return default_selectivity(op);
+        };
+        let Value::Int(c) = value else {
+            return default_selectivity(op);
+        };
+        if self.tuples == 0 {
+            return 0.0;
+        }
+        let span = (st.max - st.min) as f64 + 1.0;
+        let frac_below = (((*c - st.min) as f64) / span).clamp(0.0, 1.0);
+        let eq = 1.0 / st.distinct.max(1) as f64;
+        match op {
+            CmpOp::Eq => eq,
+            CmpOp::Ne => 1.0 - eq,
+            CmpOp::Lt => frac_below,
+            CmpOp::Le => (frac_below + eq).min(1.0),
+            CmpOp::Gt => 1.0 - (frac_below + eq).min(1.0),
+            CmpOp::Ge => 1.0 - frac_below,
+        }
+    }
+
+    /// Estimated selectivity of an arbitrary predicate (independence
+    /// assumption for conjunction/disjunction).
+    pub fn predicate_selectivity(&self, predicate: &Predicate) -> f64 {
+        match predicate {
+            Predicate::True => 1.0,
+            Predicate::CmpConst { index, op, value } => self.selectivity(*index, *op, value),
+            // Attribute-vs-attribute: classic 1/max(distinct) heuristic.
+            Predicate::CmpAttrs { left, op, right } => {
+                let d = [*left, *right]
+                    .iter()
+                    .filter_map(|&i| self.attrs.get(i).copied().flatten())
+                    .map(|s| s.distinct)
+                    .max()
+                    .unwrap_or(10);
+                match op {
+                    CmpOp::Eq => 1.0 / d.max(1) as f64,
+                    CmpOp::Ne => 1.0 - 1.0 / d.max(1) as f64,
+                    _ => 1.0 / 3.0,
+                }
+            }
+            Predicate::And(a, b) => {
+                self.predicate_selectivity(a) * self.predicate_selectivity(b)
+            }
+            Predicate::Or(a, b) => {
+                let (sa, sb) = (self.predicate_selectivity(a), self.predicate_selectivity(b));
+                (sa + sb - sa * sb).min(1.0)
+            }
+            Predicate::Not(a) => 1.0 - self.predicate_selectivity(a),
+        }
+    }
+}
+
+fn default_selectivity(op: CmpOp) -> f64 {
+    match op {
+        CmpOp::Eq => 0.1,
+        CmpOp::Ne => 0.9,
+        _ => 1.0 / 3.0,
+    }
+}
+
+/// Statistics for every relation in a catalog.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogStats {
+    stats: BTreeMap<String, RelationStats>,
+}
+
+impl CatalogStats {
+    /// Gather exact statistics for every relation in `db`.
+    pub fn gather(db: &Catalog) -> CatalogStats {
+        CatalogStats {
+            stats: db
+                .iter()
+                .map(|r| (r.name().to_owned(), RelationStats::gather(r)))
+                .collect(),
+        }
+    }
+
+    /// Statistics for `relation`, if gathered.
+    pub fn get(&self, relation: &str) -> Option<&RelationStats> {
+        self.stats.get(relation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_relalg::{DataType, Schema, Tuple};
+
+    fn rel() -> Relation {
+        let s = Schema::build()
+            .attr("k", DataType::Int)
+            .attr("name", DataType::Str(4))
+            .finish()
+            .unwrap();
+        Relation::from_tuples(
+            "t",
+            s,
+            256,
+            (0..100).map(|i| Tuple::new(vec![Value::Int(i % 50), Value::str("x")])),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gather_is_exact() {
+        let st = RelationStats::gather(&rel());
+        assert_eq!(st.tuples, 100);
+        let a = st.attrs[0].unwrap();
+        assert_eq!((a.min, a.max, a.distinct), (0, 49, 50));
+        assert!(st.attrs[1].is_none(), "string attrs have no int stats");
+    }
+
+    #[test]
+    fn range_selectivities_are_sane() {
+        let st = RelationStats::gather(&rel());
+        let half = st.selectivity(0, CmpOp::Lt, &Value::Int(25));
+        assert!((half - 0.5).abs() < 0.05, "σ(k<25) ≈ 0.5, got {half}");
+        let eq = st.selectivity(0, CmpOp::Eq, &Value::Int(10));
+        assert!((eq - 0.02).abs() < 1e-9);
+        let none = st.selectivity(0, CmpOp::Lt, &Value::Int(-5));
+        assert_eq!(none, 0.0);
+        let all = st.selectivity(0, CmpOp::Ge, &Value::Int(-5));
+        assert_eq!(all, 1.0);
+    }
+
+    #[test]
+    fn predicate_selectivity_composes() {
+        let st = RelationStats::gather(&rel());
+        let s = st.predicate_selectivity(&Predicate::True);
+        assert_eq!(s, 1.0);
+        let p = Predicate::CmpConst {
+            index: 0,
+            op: CmpOp::Lt,
+            value: Value::Int(25),
+        };
+        let and = st.predicate_selectivity(&p.clone().and(p.clone()));
+        assert!((and - 0.25).abs() < 0.05);
+        let not = st.predicate_selectivity(&p.not());
+        assert!((not - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn catalog_stats_lookup() {
+        let mut db = Catalog::new();
+        db.insert(rel()).unwrap();
+        let cs = CatalogStats::gather(&db);
+        assert!(cs.get("t").is_some());
+        assert!(cs.get("missing").is_none());
+    }
+}

@@ -1,0 +1,234 @@
+//! Optimizer correctness: every rewrite preserves oracle semantics, and the
+//! intended rules actually fire on the shapes they target.
+
+use df_opt::{estimate, optimize, CatalogStats};
+use df_query::{execute_readonly, parse_query, ExecParams, QueryTree};
+use df_relalg::Catalog;
+use df_workload::{generate_database, DatabaseSpec};
+
+fn setup() -> (Catalog, CatalogStats) {
+    let db = generate_database(&DatabaseSpec::scaled(0.02));
+    let stats = CatalogStats::gather(&db);
+    (db, stats)
+}
+
+fn check_equivalent(db: &Catalog, before: &QueryTree, after: &QueryTree) {
+    let a = execute_readonly(db, before, &ExecParams::default()).expect("before runs");
+    let b = execute_readonly(db, after, &ExecParams::default()).expect("after runs");
+    assert!(
+        a.same_contents(&b),
+        "optimizer changed semantics: {} vs {} tuples",
+        a.num_tuples(),
+        b.num_tuples()
+    );
+}
+
+fn opt(db: &Catalog, stats: &CatalogStats, q: &str) -> (QueryTree, df_opt::Optimized) {
+    let tree = parse_query(db, q).expect("parses");
+    let optimized = optimize(db, &tree, stats).expect("optimizes");
+    check_equivalent(db, &tree, &optimized.tree);
+    (tree, optimized)
+}
+
+#[test]
+fn pushes_restricts_below_a_join() {
+    let (db, stats) = setup();
+    let (before, after) = opt(
+        &db,
+        &stats,
+        "(restrict (join (scan r01) (scan r02) (= fk key))
+                   (and (< val 300) (> r_val 200)))",
+    );
+    assert!(after.applied.iter().any(|r| r == "pushdown-through-join"));
+    // Both conjuncts now sit below the join (the cost-based swap rule may
+    // also fire, adding a compensating projection at the root).
+    assert_eq!(after.tree.count_op("restrict"), 2);
+    let parents = after.tree.parents();
+    for id in after.tree.topo_order() {
+        if after.tree.node(id).op.name() == "restrict" {
+            let parent = parents[id.0].expect("restrict is not the root");
+            assert_eq!(after.tree.node(parent).op.name(), "join");
+        }
+    }
+    let _ = before;
+}
+
+#[test]
+fn mixed_conjuncts_stay_above() {
+    let (db, stats) = setup();
+    let (_, after) = opt(
+        &db,
+        &stats,
+        // key < r_key references both sides: must not move.
+        "(restrict (join (scan r13) (scan r14) (= fk key)) (< key r_key))",
+    );
+    assert!(
+        !after.applied.iter().any(|r| r == "pushdown-through-join"),
+        "cross-side predicate must not be pushed: {:?}",
+        after.applied
+    );
+}
+
+#[test]
+fn fuses_adjacent_restricts() {
+    let (db, stats) = setup();
+    let (_, after) = opt(
+        &db,
+        &stats,
+        "(restrict (restrict (scan r00) (< val 800)) (> val 100))",
+    );
+    assert!(after.applied.iter().any(|r| r == "fuse-restricts"));
+    assert_eq!(after.tree.count_op("restrict"), 1);
+}
+
+#[test]
+fn drops_trivial_restricts_and_double_negation() {
+    let (db, stats) = setup();
+    let (_, after) = opt(&db, &stats, "(restrict (scan r00) true)");
+    assert!(after.applied.iter().any(|r| r == "drop-trivial-restrict"));
+    assert_eq!(after.tree.count_op("restrict"), 0);
+
+    let (_, after) = opt(
+        &db,
+        &stats,
+        "(restrict (scan r00) (not (not (< val 500))))",
+    );
+    assert!(after.applied.iter().any(|r| r == "simplify-predicate"));
+}
+
+#[test]
+fn pushes_through_projection_with_index_remap() {
+    let (db, stats) = setup();
+    // After π(val, key) the predicate `< key 40` references output index 1,
+    // which maps back to input index 0 (`key`).
+    let (_, after) = opt(
+        &db,
+        &stats,
+        "(restrict (project (scan r05) (val key)) (< key 40))",
+    );
+    assert!(after
+        .applied
+        .iter()
+        .any(|r| r == "pushdown-through-project"));
+    // Projection is now the root; restrict below it.
+    assert_eq!(after.tree.node(after.tree.root()).op.name(), "project");
+}
+
+#[test]
+fn pushes_through_union_and_difference() {
+    let (db, stats) = setup();
+    let (_, after) = opt(
+        &db,
+        &stats,
+        "(restrict (union (scan r13) (scan r14)) (< val 500))",
+    );
+    assert!(after.applied.iter().any(|r| r == "pushdown-through-union"));
+    assert_eq!(after.tree.count_op("restrict"), 2);
+
+    let (_, after) = opt(
+        &db,
+        &stats,
+        "(restrict (difference (scan r13) (scan r13)) (< val 500))",
+    );
+    assert!(after
+        .applied
+        .iter()
+        .any(|r| r == "pushdown-through-difference"));
+}
+
+#[test]
+fn collapses_projection_chains() {
+    let (db, stats) = setup();
+    let (_, after) = opt(
+        &db,
+        &stats,
+        "(project (project (scan r00) (key fk val)) (val key))",
+    );
+    assert!(after.applied.iter().any(|r| r == "collapse-projections"));
+    assert_eq!(after.tree.count_op("project"), 1);
+}
+
+#[test]
+fn swaps_join_inputs_when_left_is_smaller() {
+    let (db, stats) = setup();
+    // r14 (weight 1) is much smaller than r00 (weight 10): putting it on
+    // the outer side starves parallelism, so the optimizer swaps.
+    let (_, after) = opt(
+        &db,
+        &stats,
+        "(join (scan r14) (scan r00) (= fk key))",
+    );
+    assert!(after.applied.iter().any(|r| r == "swap-join-inputs"));
+    // A compensating projection keeps the schema identical.
+    assert_eq!(after.tree.node(after.tree.root()).op.name(), "project");
+}
+
+#[test]
+fn does_not_swap_when_left_is_already_larger() {
+    let (db, stats) = setup();
+    let (_, after) = opt(&db, &stats, "(join (scan r00) (scan r14) (= fk key))");
+    assert!(!after.applied.iter().any(|r| r == "swap-join-inputs"));
+}
+
+#[test]
+fn estimates_improve_after_pushdown() {
+    let (db, stats) = setup();
+    let before = parse_query(
+        &db,
+        "(restrict (join (scan r01) (scan r02) (= fk key)) (< val 100))",
+    )
+    .unwrap();
+    let after = optimize(&db, &before, &stats).unwrap().tree;
+    // The join's estimated input shrinks after pushdown: total estimated
+    // intermediate rows (sum over nodes) must not grow.
+    let sum = |t: &QueryTree| -> f64 {
+        let est = estimate(&db, t, &stats).unwrap();
+        t.topo_order().map(|id| est.rows(id)).sum()
+    };
+    assert!(
+        sum(&after) <= sum(&before) + 1e-6,
+        "pushdown should shrink intermediates: {} vs {}",
+        sum(&after),
+        sum(&before)
+    );
+}
+
+#[test]
+fn benchmark_queries_survive_optimization() {
+    let (db, _) = setup();
+    let stats = CatalogStats::gather(&db);
+    let spec = df_workload::BenchmarkSpec::scaled(0.02);
+    for (i, q) in df_workload::benchmark_queries(&db, &spec)
+        .unwrap()
+        .iter()
+        .enumerate()
+    {
+        let optimized = optimize(&db, q, &stats).unwrap_or_else(|e| panic!("Q{}: {e}", i + 1));
+        check_equivalent(&db, q, &optimized.tree);
+    }
+}
+
+#[test]
+fn optimized_trees_run_on_the_dataflow_machine() {
+    use df_core::{run_query, Granularity, MachineParams};
+    let (db, stats) = setup();
+    let q = parse_query(
+        &db,
+        "(restrict (join (scan r01) (scan r02) (= fk key))
+                   (and (< val 300) (> r_val 200)))",
+    )
+    .unwrap();
+    let optimized = optimize(&db, &q, &stats).unwrap();
+    let params = MachineParams::with_processors(8);
+    let (plain, m_plain) = run_query(&db, &q, &params, Granularity::Page).unwrap();
+    let (opt, m_opt) = run_query(&db, &optimized.tree, &params, Granularity::Page).unwrap();
+    assert!(plain.same_contents(&opt));
+    // Pushdown shrinks join inputs: the optimized plan moves fewer bytes.
+    assert!(
+        m_opt.arbitration.bytes < m_plain.arbitration.bytes,
+        "optimized {} B vs plain {} B",
+        m_opt.arbitration.bytes,
+        m_plain.arbitration.bytes
+    );
+    assert!(m_opt.elapsed <= m_plain.elapsed);
+}

@@ -1,0 +1,391 @@
+//! The uniprocessor oracle executor.
+//!
+//! Evaluates a query tree bottom-up, one node at a time, using the same
+//! page-level kernels the simulated machines run. This is the ground truth:
+//! every machine execution in `df-core` and `df-ring` is checked against it
+//! by the integration tests (as multiset equality — the machines interleave
+//! work and therefore produce tuples in a different order).
+
+use df_relalg::{Catalog, Error, Relation, Result};
+
+use crate::ops;
+use crate::tree::{Op, QueryTree};
+use crate::validate::validate;
+
+/// Which join algorithm the oracle uses (\[5\] compares both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgorithm {
+    /// O(n·m) nested loops — the paper's choice for multiprocessors, and the
+    /// default so the oracle exercises exactly the machine kernels.
+    #[default]
+    NestedLoops,
+    /// O(n log n) sort-merge — the faster uniprocessor algorithm; falls back
+    /// to nested loops for non-equi joins.
+    SortMerge,
+}
+
+/// Execution parameters for the oracle.
+#[derive(Debug, Clone)]
+pub struct ExecParams {
+    /// Page size (bytes, header included) for intermediate and result
+    /// relations.
+    pub page_size: usize,
+    /// Join algorithm.
+    pub join_algorithm: JoinAlgorithm,
+}
+
+impl Default for ExecParams {
+    fn default() -> Self {
+        ExecParams {
+            page_size: 1024,
+            join_algorithm: JoinAlgorithm::NestedLoops,
+        }
+    }
+}
+
+/// Execute a read-only query, returning the result relation (named
+/// `"result"`).
+///
+/// # Errors
+/// Fails on validation errors or if the tree contains update operators.
+pub fn execute_readonly(db: &Catalog, tree: &QueryTree, params: &ExecParams) -> Result<Relation> {
+    if !tree.written_relations().is_empty() {
+        return Err(Error::SchemaMismatch {
+            detail: "execute_readonly called on an updating query".into(),
+        });
+    }
+    // Updates never run, so the mutable path is unreachable; a clone keeps
+    // the signature honest without copying (relations are only read).
+    let mut scratch = db.clone();
+    execute(&mut scratch, tree, params)
+}
+
+/// Execute a query, applying any root update operator to `db`.
+///
+/// Returns the root's result relation:
+/// * read-only root → the query result,
+/// * `Append` → the tuples that were appended,
+/// * `Delete` → the tuples that were deleted.
+pub fn execute(db: &mut Catalog, tree: &QueryTree, params: &ExecParams) -> Result<Relation> {
+    let schemas = validate(db, tree)?;
+    let mut results: Vec<Relation> = Vec::with_capacity(tree.len());
+
+    for id in tree.topo_order() {
+        let node = tree.node(id);
+        let schema = schemas.schema(id).clone();
+        let child = |i: usize| -> &Relation { &results[node.children[i].0] };
+        let name = format!("{id}_{}", node.op.name());
+
+        let rel = match &node.op {
+            Op::Scan { relation } => db.require(relation)?.clone(),
+            Op::Restrict { predicate } => {
+                let input = child(0);
+                let tuples = input
+                    .pages()
+                    .iter()
+                    .flat_map(|p| ops::restrict_page(p, predicate));
+                ops::pack_tuples(&name, schema, params.page_size, tuples)?
+            }
+            Op::Project { projection, dedup } => {
+                let input = child(0);
+                let projected: Vec<_> = input
+                    .pages()
+                    .iter()
+                    .flat_map(|p| ops::project_page(p, projection))
+                    .collect();
+                let tuples = if *dedup {
+                    ops::dedup_tuples(projected)
+                } else {
+                    projected
+                };
+                ops::pack_tuples(&name, schema, params.page_size, tuples)?
+            }
+            Op::Join { condition } => {
+                let (outer, inner) = (child(0), child(1));
+                let tuples = match params.join_algorithm {
+                    JoinAlgorithm::NestedLoops => {
+                        ops::nested_loops_join_relations(outer, inner, condition)
+                    }
+                    JoinAlgorithm::SortMerge => {
+                        match ops::merge_join_relations(outer, inner, condition) {
+                            Ok(ts) => ts,
+                            // Non-equi θ: sort-merge does not apply.
+                            Err(_) => ops::nested_loops_join_relations(outer, inner, condition),
+                        }
+                    }
+                };
+                ops::pack_tuples(&name, schema, params.page_size, tuples)?
+            }
+            Op::CrossProduct => {
+                let (outer, inner) = (child(0), child(1));
+                let mut tuples = Vec::new();
+                for op_ in outer.pages() {
+                    for ip in inner.pages() {
+                        tuples.extend(ops::cross_pages(op_, ip));
+                    }
+                }
+                ops::pack_tuples(&name, schema, params.page_size, tuples)?
+            }
+            Op::Union => {
+                let tuples = ops::union_relations(child(0), child(1))?;
+                ops::pack_tuples(&name, schema, params.page_size, tuples)?
+            }
+            Op::Difference => {
+                let tuples = ops::difference_relations(child(0), child(1))?;
+                ops::pack_tuples(&name, schema, params.page_size, tuples)?
+            }
+            Op::Append { target } => {
+                let to_add: Vec<_> = child(0).tuples().collect();
+                let appended =
+                    ops::pack_tuples(&name, schema, params.page_size, to_add.iter().cloned())?;
+                let target_rel = db.get_mut(target).expect("validated");
+                for t in to_add {
+                    target_rel.append(t)?;
+                }
+                appended
+            }
+            Op::Delete { target, predicate } => {
+                let target_rel = db.get_mut(target).expect("validated");
+                let (kept, deleted): (Vec<_>, Vec<_>) =
+                    target_rel.tuples().partition(|t| !predicate.eval(t));
+                let page_size = target_rel.page_size();
+                let rebuilt =
+                    Relation::from_tuples(target, target_rel.schema().clone(), page_size, kept)?;
+                db.insert_or_replace(rebuilt);
+                ops::pack_tuples(&name, schema, params.page_size, deleted)?
+            }
+        };
+        results.push(rel);
+    }
+
+    let mut out = results
+        .pop()
+        .expect("validated tree has at least one node");
+    // The loop pushes in topo order; the root is last.
+    debug_assert_eq!(tree.root().0, results.len());
+    out.set_name("result");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use df_relalg::{CmpOp, DataType, Schema, Tuple, Value};
+
+    fn db() -> Catalog {
+        let mut db = Catalog::new();
+        let emp = Schema::build()
+            .attr("id", DataType::Int)
+            .attr("dept", DataType::Int)
+            .attr("salary", DataType::Int)
+            .finish()
+            .unwrap();
+        db.insert(
+            Relation::from_tuples(
+                "emp",
+                emp,
+                128,
+                (0..20).map(|i| {
+                    Tuple::new(vec![Value::Int(i), Value::Int(i % 4), Value::Int(i * 10)])
+                }),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let dept = Schema::build()
+            .attr("dno", DataType::Int)
+            .attr("floor", DataType::Int)
+            .finish()
+            .unwrap();
+        db.insert(
+            Relation::from_tuples(
+                "dept",
+                dept,
+                128,
+                (0..4).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i + 1)])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn restrict_counts() {
+        let db = db();
+        let q = TreeBuilder::new(&db)
+            .scan("emp")
+            .unwrap()
+            .restrict_where("salary", CmpOp::Ge, Value::Int(100))
+            .unwrap()
+            .finish();
+        let out = execute_readonly(&db, &q, &ExecParams::default()).unwrap();
+        assert_eq!(out.num_tuples(), 10); // ids 10..20
+    }
+
+    #[test]
+    fn join_fanout() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let q = b
+            .scan("emp")
+            .unwrap()
+            .equi_join(b.scan("dept").unwrap(), "dept", "dno")
+            .unwrap()
+            .finish();
+        let out = execute_readonly(&db, &q, &ExecParams::default()).unwrap();
+        assert_eq!(out.num_tuples(), 20); // every emp matches exactly one dept
+        assert_eq!(out.schema().arity(), 5);
+    }
+
+    #[test]
+    fn both_join_algorithms_agree() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let q = b
+            .scan("emp")
+            .unwrap()
+            .equi_join(b.scan("dept").unwrap(), "dept", "dno")
+            .unwrap()
+            .finish();
+        let nl = execute_readonly(
+            &db,
+            &q,
+            &ExecParams {
+                join_algorithm: JoinAlgorithm::NestedLoops,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sm = execute_readonly(
+            &db,
+            &q,
+            &ExecParams {
+                join_algorithm: JoinAlgorithm::SortMerge,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(nl.same_contents(&sm));
+    }
+
+    #[test]
+    fn sort_merge_falls_back_on_theta() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let q = b
+            .scan("dept")
+            .unwrap()
+            .join_on(b.scan("dept").unwrap(), "dno", CmpOp::Lt, "dno")
+            .unwrap()
+            .finish();
+        let out = execute_readonly(
+            &db,
+            &q,
+            &ExecParams {
+                join_algorithm: JoinAlgorithm::SortMerge,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.num_tuples(), 6); // pairs (i, j) with i < j, 4 depts
+    }
+
+    #[test]
+    fn project_distinct() {
+        let db = db();
+        let q = TreeBuilder::new(&db)
+            .scan("emp")
+            .unwrap()
+            .project(&["dept"], true)
+            .unwrap()
+            .finish();
+        let out = execute_readonly(&db, &q, &ExecParams::default()).unwrap();
+        assert_eq!(out.num_tuples(), 4);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let low = b
+            .scan("emp")
+            .unwrap()
+            .restrict_where("id", CmpOp::Lt, Value::Int(10))
+            .unwrap();
+        let high = b
+            .scan("emp")
+            .unwrap()
+            .restrict_where("id", CmpOp::Ge, Value::Int(5))
+            .unwrap();
+        let u = low.clone().union(high.clone()).unwrap().finish();
+        let out = execute_readonly(&db, &u, &ExecParams::default()).unwrap();
+        assert_eq!(out.num_tuples(), 20);
+        let d = low.difference(high).unwrap().finish();
+        let out = execute_readonly(&db, &d, &ExecParams::default()).unwrap();
+        assert_eq!(out.num_tuples(), 5); // ids 0..5
+    }
+
+    #[test]
+    fn append_mutates_database() {
+        let mut db = db();
+        let b = TreeBuilder::new(&db);
+        let q = b
+            .scan("emp")
+            .unwrap()
+            .restrict_where("id", CmpOp::Lt, Value::Int(3))
+            .unwrap()
+            .append_to("emp")
+            .unwrap()
+            .finish();
+        let appended = execute(&mut db, &q, &ExecParams::default()).unwrap();
+        assert_eq!(appended.num_tuples(), 3);
+        assert_eq!(db.get("emp").unwrap().num_tuples(), 23);
+    }
+
+    #[test]
+    fn delete_mutates_database() {
+        let mut db = db();
+        let q = TreeBuilder::new(&db)
+            .delete_where("emp", "dept", CmpOp::Eq, Value::Int(0))
+            .unwrap();
+        let deleted = execute(&mut db, &q, &ExecParams::default()).unwrap();
+        assert_eq!(deleted.num_tuples(), 5);
+        assert_eq!(db.get("emp").unwrap().num_tuples(), 15);
+    }
+
+    #[test]
+    fn readonly_rejects_updates() {
+        let db = db();
+        let q = TreeBuilder::new(&db)
+            .delete_where("emp", "id", CmpOp::Eq, Value::Int(0))
+            .unwrap();
+        assert!(execute_readonly(&db, &q, &ExecParams::default()).is_err());
+    }
+
+    #[test]
+    fn deep_tree_figure_2_1() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let r1 = b
+            .scan("emp")
+            .unwrap()
+            .restrict_where("salary", CmpOp::Gt, Value::Int(0))
+            .unwrap();
+        let r2 = b
+            .scan("dept")
+            .unwrap()
+            .restrict_where("floor", CmpOp::Ge, Value::Int(1))
+            .unwrap();
+        let q = r1
+            .equi_join(r2, "dept", "dno")
+            .unwrap()
+            .project(&["id", "floor"], false)
+            .unwrap()
+            .finish();
+        let out = execute_readonly(&db, &q, &ExecParams::default()).unwrap();
+        assert_eq!(out.num_tuples(), 19); // id 0 has salary 0
+        assert_eq!(out.schema().arity(), 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! # df-query — relational algebra query trees and operators
+//!
+//! Paper §2.1: *"Each relational algebra query is generally comprised of one
+//! or more relational algebra operations (instructions) and is organized in
+//! the form of a tree."* This crate provides:
+//!
+//! * [`QueryTree`] / [`Op`] — the query-tree IR. Leaves scan base relations;
+//!   inner nodes are restrict / project / join / cross / union / difference;
+//!   append and delete (the paper's update operators) are root-only.
+//! * [`ops`] — **page-at-a-time operator kernels**. These are the exact same
+//!   functions the simulated machines run inside instruction packets, so a
+//!   simulated run's output is bit-comparable with the oracle's.
+//! * [`execute`] / [`execute_readonly`] — the uniprocessor oracle executor
+//!   (the ground truth every machine result is checked against), including
+//!   both nested-loops and sort-merge join algorithms from Blasgen & Eswaran
+//!   \[5\].
+//! * [`TreeBuilder`] — fluent, name-based construction with schema
+//!   derivation at each step.
+//! * [`validate`] — whole-tree schema/type checking and output-schema
+//!   derivation.
+//! * [`parse_query`] — a small s-expression query language, convenient for
+//!   examples and tests:
+//!
+//! ```
+//! use df_relalg::{Catalog, DataType, Relation, Schema, Tuple, Value};
+//! use df_query::{parse_query, execute_readonly, ExecParams};
+//!
+//! let schema = Schema::build()
+//!     .attr("id", DataType::Int)
+//!     .attr("dept", DataType::Int)
+//!     .finish().unwrap();
+//! let emp = Relation::from_tuples("emp", schema, 1024,
+//!     (0..10).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 3)]))).unwrap();
+//! let mut db = Catalog::new();
+//! db.insert(emp).unwrap();
+//!
+//! let q = parse_query(&db, "(restrict (scan emp) (> id 6))").unwrap();
+//! let out = execute_readonly(&db, &q, &ExecParams::default()).unwrap();
+//! assert_eq!(out.num_tuples(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod builder;
+mod exec;
+mod parser;
+mod render;
+mod tree;
+mod validate;
+
+pub mod ops;
+
+pub use builder::{SubTree, TreeBuilder};
+pub use exec::{execute, execute_readonly, ExecParams, JoinAlgorithm};
+pub use parser::parse_query;
+pub use render::render_tree;
+pub use tree::{NodeId, Op, QueryNode, QueryTree};
+pub use validate::{validate, NodeSchemas};

@@ -1,0 +1,201 @@
+//! Join kernels: page×page nested loops, plus whole-relation nested-loops
+//! and sort-merge baselines from Blasgen & Eswaran \[5\].
+//!
+//! The paper (§2.1) argues the O(n²) nested-loops algorithm is "the best
+//! algorithm for execution of the join operator on multiple processors"
+//! because each page (or tuple) of the outer relation can be joined with the
+//! inner relation independently — [`join_pages`] is precisely that unit of
+//! independent work. The sort-merge algorithm, faster on one processor, is
+//! implemented as the uniprocessor baseline ([`merge_join_relations`]) and
+//! exercised by the `abl_join_kernels` bench.
+
+use std::cmp::Ordering;
+
+use df_relalg::{CmpOp, Error, JoinCondition, Page, Relation, Result, Tuple};
+
+/// Join one outer page against one inner page: the IP work unit for a join
+/// instruction packet (Fig 4.3 carries exactly these two data pages).
+///
+/// Emits `outer ++ inner` concatenated tuples for every pair satisfying the
+/// condition, in (outer slot, inner slot) order.
+pub fn join_pages(outer: &Page, inner: &Page, condition: &JoinCondition) -> Vec<Tuple> {
+    let inner_tuples: Vec<Tuple> = inner.tuples().collect();
+    let mut out = Vec::new();
+    for o in outer.tuples() {
+        for i in &inner_tuples {
+            if condition.matches(&o, i) {
+                out.push(o.concat(i));
+            }
+        }
+    }
+    out
+}
+
+/// Whole-relation nested-loops join (the uniprocessor form of the paper's
+/// chosen algorithm).
+pub fn nested_loops_join_relations(
+    outer: &Relation,
+    inner: &Relation,
+    condition: &JoinCondition,
+) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for op in outer.pages() {
+        for ip in inner.pages() {
+            out.extend(join_pages(op, ip, condition));
+        }
+    }
+    out
+}
+
+/// Sort-merge join (\[5\]'s "sorted-merge", O(n log n)). Only defined for
+/// equi-joins; other θs fall back to an error so callers choose nested loops.
+///
+/// Handles duplicate keys on both sides (emits the full cross product of
+/// each matching group).
+pub fn merge_join_relations(
+    outer: &Relation,
+    inner: &Relation,
+    condition: &JoinCondition,
+) -> Result<Vec<Tuple>> {
+    if condition.op != CmpOp::Eq {
+        return Err(Error::TypeMismatch {
+            detail: format!(
+                "sort-merge join requires an equi-join, got `{}`",
+                condition.op
+            ),
+        });
+    }
+    let key_of = |t: &Tuple, idx: usize| t.get(idx).expect("condition validated").clone();
+
+    let mut left: Vec<Tuple> = outer.tuples().collect();
+    let mut right: Vec<Tuple> = inner.tuples().collect();
+    let lcmp = |a: &Tuple, b: &Tuple| {
+        key_of(a, condition.left)
+            .partial_cmp_typed(&key_of(b, condition.left))
+            .expect("join keys share a type")
+    };
+    let rcmp = |a: &Tuple, b: &Tuple| {
+        key_of(a, condition.right)
+            .partial_cmp_typed(&key_of(b, condition.right))
+            .expect("join keys share a type")
+    };
+    left.sort_by(lcmp);
+    right.sort_by(rcmp);
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        let lk = key_of(&left[i], condition.left);
+        let rk = key_of(&right[j], condition.right);
+        match lk.partial_cmp_typed(&rk).expect("join keys share a type") {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                // Find both duplicate groups, emit their cross product.
+                let i_end = (i..left.len())
+                    .find(|&x| key_of(&left[x], condition.left) != lk)
+                    .unwrap_or(left.len());
+                let j_end = (j..right.len())
+                    .find(|&x| key_of(&right[x], condition.right) != rk)
+                    .unwrap_or(right.len());
+                for l in &left[i..i_end] {
+                    for r in &right[j..j_end] {
+                        out.push(l.concat(r));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_support::*;
+    use df_relalg::{Schema, Value};
+
+    fn rel(pairs: &[(i64, i64)]) -> Relation {
+        Relation::from_tuples(
+            "t",
+            kv_schema(),
+            16 + 16 * 3, // 3 tuples/page
+            pairs.iter().map(|&(k, v)| kv(k, v)),
+        )
+        .unwrap()
+    }
+
+    fn cond(outer: &Schema, inner: &Schema) -> JoinCondition {
+        JoinCondition::equi(outer, "k", inner, "k").unwrap()
+    }
+
+    #[test]
+    fn page_join_matches_pairs() {
+        let a = kv_page(&[(1, 10), (2, 20)]);
+        let b = kv_page(&[(2, 200), (3, 300), (2, 201)]);
+        let c = cond(&kv_schema(), &kv_schema());
+        let out = join_pages(&a, &b, &c);
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0].values(),
+            &[
+                Value::Int(2),
+                Value::Int(20),
+                Value::Int(2),
+                Value::Int(200)
+            ]
+        );
+    }
+
+    #[test]
+    fn theta_join_non_equi() {
+        let a = kv_page(&[(1, 0), (5, 0)]);
+        let b = kv_page(&[(3, 0)]);
+        let c = JoinCondition::new(&kv_schema(), "k", CmpOp::Lt, &kv_schema(), "k").unwrap();
+        let out = join_pages(&a, &b, &c);
+        assert_eq!(out.len(), 1); // only 1 < 3
+    }
+
+    #[test]
+    fn nested_loops_equals_merge_join_on_equi() {
+        let outer = rel(&[(1, 1), (2, 2), (2, 3), (4, 4), (7, 7)]);
+        let inner = rel(&[(2, 20), (2, 21), (4, 40), (9, 90)]);
+        let c = cond(outer.schema(), inner.schema());
+        let mut nl = nested_loops_join_relations(&outer, &inner, &c);
+        let mut mj = merge_join_relations(&outer, &inner, &c).unwrap();
+        // Compare as multisets.
+        let key = |t: &Tuple| format!("{t}");
+        nl.sort_by_key(key);
+        mj.sort_by_key(key);
+        assert_eq!(nl, mj);
+        assert_eq!(nl.len(), 2 * 2 + 1); // (2,2),(2,3) × (2,20),(2,21) + (4,4)×(4,40)
+    }
+
+    #[test]
+    fn merge_join_rejects_non_equi() {
+        let outer = rel(&[(1, 1)]);
+        let inner = rel(&[(1, 1)]);
+        let c = JoinCondition::new(outer.schema(), "k", CmpOp::Lt, inner.schema(), "k").unwrap();
+        assert!(merge_join_relations(&outer, &inner, &c).is_err());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = rel(&[]);
+        let full = rel(&[(1, 1)]);
+        let c = cond(empty.schema(), full.schema());
+        assert!(nested_loops_join_relations(&empty, &full, &c).is_empty());
+        assert!(merge_join_relations(&full, &empty, &c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn join_output_width_is_concat() {
+        let a = kv_page(&[(1, 10)]);
+        let b = kv_page(&[(1, 99)]);
+        let c = cond(&kv_schema(), &kv_schema());
+        let out = join_pages(&a, &b, &c);
+        assert_eq!(out[0].arity(), 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Page-at-a-time operator kernels.
+//!
+//! These functions are the "opcode" implementations an instruction processor
+//! runs on the data pages inside an instruction packet (paper Fig 4.3). The
+//! oracle executor composes the very same kernels sequentially, which is why
+//! simulated-machine results are bit-comparable with oracle results.
+
+mod join;
+mod project;
+mod restrict;
+mod set_ops;
+
+pub use join::{join_pages, merge_join_relations, nested_loops_join_relations};
+pub use project::{dedup_tuples, project_page};
+pub use restrict::restrict_page;
+pub use set_ops::{cross_pages, difference_relations, union_relations};
+
+use df_relalg::{Page, Relation, Result, Schema, Tuple};
+
+/// Pack a tuple stream into pages of `page_size` (the last page may be
+/// partial). Used by kernels' callers to build output relations.
+pub fn pack_tuples(
+    name: &str,
+    schema: Schema,
+    page_size: usize,
+    tuples: impl IntoIterator<Item = Tuple>,
+) -> Result<Relation> {
+    Relation::from_tuples(name, schema, page_size, tuples)
+}
+
+/// Pack tuples into a single (possibly overfull-rejecting) sequence of
+/// pages without a relation wrapper — what an IP's output buffer does.
+pub fn pack_pages(
+    schema: &Schema,
+    page_size: usize,
+    tuples: impl IntoIterator<Item = Tuple>,
+) -> Result<Vec<Page>> {
+    let mut pages: Vec<Page> = Vec::new();
+    for t in tuples {
+        if pages.last().map_or(true, Page::is_full) {
+            pages.push(Page::new(schema.clone(), page_size)?);
+        }
+        pages
+            .last_mut()
+            .expect("just pushed a page")
+            .push(&t)?;
+    }
+    Ok(pages)
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for kernel tests.
+    use df_relalg::{DataType, Page, Schema, Tuple, Value};
+
+    pub fn kv_schema() -> Schema {
+        Schema::build()
+            .attr("k", DataType::Int)
+            .attr("v", DataType::Int)
+            .finish()
+            .unwrap()
+    }
+
+    pub fn kv(k: i64, v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k), Value::Int(v)])
+    }
+
+    /// A page holding the given (k, v) pairs.
+    pub fn kv_page(pairs: &[(i64, i64)]) -> Page {
+        let mut p = Page::new(kv_schema(), 16 + 16 * pairs.len().max(1)).unwrap();
+        for &(k, v) in pairs {
+            p.push(&kv(k, v)).unwrap();
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn pack_tuples_pages_correctly() {
+        let r = pack_tuples("t", kv_schema(), 16 + 32, (0..5).map(|i| kv(i, i))).unwrap();
+        assert_eq!(r.num_pages(), 3); // 2 per page
+        assert_eq!(r.num_tuples(), 5);
+    }
+
+    #[test]
+    fn pack_pages_behaves_like_ip_output_buffer() {
+        let pages = pack_pages(&kv_schema(), 16 + 32, (0..5).map(|i| kv(i, i))).unwrap();
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[2].len(), 1);
+        let empty = pack_pages(&kv_schema(), 16 + 32, std::iter::empty()).unwrap();
+        assert!(empty.is_empty());
+    }
+}

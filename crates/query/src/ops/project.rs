@@ -1,0 +1,87 @@
+//! The project (π) kernel and duplicate elimination.
+//!
+//! Paper §5 reports the authors had "not yet developed an algorithm for
+//! which a high degree of parallelism can be maintained" for projection
+//! with duplicate elimination. We therefore split the operator exactly the
+//! way their machines would have to:
+//!
+//! 1. [`project_page`] — the embarrassingly parallel part (attribute
+//!    elimination), run per page on any IP;
+//! 2. [`dedup_tuples`] — the blocking part (duplicate elimination), run
+//!    where the projected stream is gathered (the oracle, or the IC that
+//!    owns the project instruction).
+
+use std::collections::HashSet;
+
+use df_relalg::{Page, Projection, Tuple};
+
+/// Project every tuple of `page` onto the given attribute list.
+pub fn project_page(page: &Page, projection: &Projection) -> Vec<Tuple> {
+    page.tuples()
+        .map(|t| {
+            projection
+                .apply(&t)
+                .expect("projection validated against page schema")
+        })
+        .collect()
+}
+
+/// Eliminate duplicates from a tuple stream, preserving first occurrence
+/// order. Order preservation makes the oracle deterministic; the machines'
+/// outputs are compared as multisets so their gather order doesn't matter.
+pub fn dedup_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Vec<Tuple> {
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    let mut out = Vec::new();
+    for t in tuples {
+        if seen.insert(t.clone()) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_support::*;
+    use df_relalg::Value;
+
+    #[test]
+    fn projects_attributes() {
+        let page = kv_page(&[(1, 10), (2, 20)]);
+        let proj = Projection::new(&kv_schema(), &["v"]).unwrap();
+        let out = project_page(&page, &proj);
+        assert_eq!(out[0].values(), &[Value::Int(10)]);
+        assert_eq!(out[1].values(), &[Value::Int(20)]);
+    }
+
+    #[test]
+    fn projection_can_reorder() {
+        let page = kv_page(&[(1, 10)]);
+        let proj = Projection::new(&kv_schema(), &["v", "k"]).unwrap();
+        let out = project_page(&page, &proj);
+        assert_eq!(out[0].values(), &[Value::Int(10), Value::Int(1)]);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_keeping_first() {
+        let ts = vec![kv(1, 1), kv(2, 2), kv(1, 1), kv(3, 3), kv(2, 2)];
+        let out = dedup_tuples(ts);
+        assert_eq!(out, vec![kv(1, 1), kv(2, 2), kv(3, 3)]);
+    }
+
+    #[test]
+    fn dedup_of_unique_stream_is_identity() {
+        let ts = vec![kv(1, 1), kv(2, 2)];
+        assert_eq!(dedup_tuples(ts.clone()), ts);
+    }
+
+    #[test]
+    fn projection_then_dedup_models_distinct() {
+        // π_v over (1,7),(2,7),(3,8) with dedup -> {7, 8}
+        let page = kv_page(&[(1, 7), (2, 7), (3, 8)]);
+        let proj = Projection::new(&kv_schema(), &["v"]).unwrap();
+        let out = dedup_tuples(project_page(&page, &proj));
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross product, union, and difference kernels.
+
+use std::collections::HashSet;
+
+use df_relalg::{Error, Page, Relation, Result, Tuple};
+
+/// Cross product of one page pair (the join kernel with θ ≡ true, kept
+/// separate so metrics can distinguish the operators).
+pub fn cross_pages(outer: &Page, inner: &Page) -> Vec<Tuple> {
+    let inner_tuples: Vec<Tuple> = inner.tuples().collect();
+    let mut out = Vec::new();
+    for o in outer.tuples() {
+        for i in &inner_tuples {
+            out.push(o.concat(i));
+        }
+    }
+    out
+}
+
+/// Set union of two relations (duplicates across and within inputs removed).
+///
+/// # Errors
+/// Fails if the inputs are not union-compatible (different schemas).
+pub fn union_relations(left: &Relation, right: &Relation) -> Result<Vec<Tuple>> {
+    if left.schema() != right.schema() {
+        return Err(Error::SchemaMismatch {
+            detail: format!(
+                "union of incompatible schemas {} vs {}",
+                left.schema(),
+                right.schema()
+            ),
+        });
+    }
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    let mut out = Vec::new();
+    for t in left.tuples().chain(right.tuples()) {
+        if seen.insert(t.clone()) {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Set difference `left − right`.
+///
+/// This operator is *blocking* on its right input: no tuple of `left` can be
+/// emitted until all of `right` has been seen — which is why
+/// [`crate::Op::Difference`] reports `is_pipelineable() == false` and the
+/// page-level scheduler treats its right operand at relation granularity.
+///
+/// # Errors
+/// Fails if the inputs are not union-compatible.
+pub fn difference_relations(left: &Relation, right: &Relation) -> Result<Vec<Tuple>> {
+    if left.schema() != right.schema() {
+        return Err(Error::SchemaMismatch {
+            detail: format!(
+                "difference of incompatible schemas {} vs {}",
+                left.schema(),
+                right.schema()
+            ),
+        });
+    }
+    let exclude: HashSet<Tuple> = right.tuples().collect();
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    let mut out = Vec::new();
+    for t in left.tuples() {
+        if !exclude.contains(&t) && seen.insert(t.clone()) {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_support::*;
+
+    fn rel(pairs: &[(i64, i64)]) -> Relation {
+        Relation::from_tuples("t", kv_schema(), 16 + 32, pairs.iter().map(|&(k, v)| kv(k, v)))
+            .unwrap()
+    }
+
+    #[test]
+    fn cross_is_full_product() {
+        let a = kv_page(&[(1, 1), (2, 2)]);
+        let b = kv_page(&[(9, 9), (8, 8), (7, 7)]);
+        assert_eq!(cross_pages(&a, &b).len(), 6);
+        assert_eq!(cross_pages(&a, &kv_page(&[])).len(), 0);
+    }
+
+    #[test]
+    fn union_removes_duplicates() {
+        let a = rel(&[(1, 1), (2, 2), (2, 2)]);
+        let b = rel(&[(2, 2), (3, 3)]);
+        let out = union_relations(&a, &b).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn union_incompatible_schemas_fail() {
+        let a = rel(&[(1, 1)]);
+        let other_schema = df_relalg::Schema::build()
+            .attr("z", df_relalg::DataType::Int)
+            .finish()
+            .unwrap();
+        let b = Relation::new("b", other_schema, 100).unwrap();
+        assert!(union_relations(&a, &b).is_err());
+    }
+
+    #[test]
+    fn difference_subtracts_and_dedups() {
+        let a = rel(&[(1, 1), (2, 2), (2, 2), (3, 3)]);
+        let b = rel(&[(2, 2)]);
+        let out = difference_relations(&a, &b).unwrap();
+        assert_eq!(out, vec![kv(1, 1), kv(3, 3)]);
+    }
+
+    #[test]
+    fn difference_with_empty_right_is_dedup_of_left() {
+        let a = rel(&[(1, 1), (1, 1)]);
+        let b = rel(&[]);
+        assert_eq!(difference_relations(&a, &b).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! ASCII rendering of query trees (cf. the paper's Figure 2.1).
+
+use crate::tree::{NodeId, Op, QueryTree};
+
+/// Render a query tree as indented ASCII, root first:
+///
+/// ```text
+/// J join (#0 = #0)
+/// ├── J join (#1 = #0)
+/// │   ├── R restrict id > 3
+/// │   │   └── scan emp
+/// │   └── scan dept
+/// └── R restrict floor = 2
+///     └── scan dept
+/// ```
+///
+/// `R`/`J` markers follow Figure 2.1's labelling of restricts and joins.
+pub fn render_tree(tree: &QueryTree) -> String {
+    let mut out = String::new();
+    render_node(tree, tree.root(), "", "", &mut out);
+    out
+}
+
+fn label(op: &Op) -> String {
+    match op {
+        Op::Scan { relation } => format!("scan {relation}"),
+        Op::Restrict { predicate } => {
+            format!("R restrict {predicate}").chars().take(72).collect()
+        }
+        Op::Project { projection, dedup } => format!(
+            "P project{} {:?}",
+            if *dedup { "-distinct" } else { "" },
+            projection.indices()
+        ),
+        Op::Join { condition } => format!(
+            "J join (#{} {} #{})",
+            condition.left, condition.op, condition.right
+        ),
+        Op::CrossProduct => "X cross".into(),
+        Op::Union => "U union".into(),
+        Op::Difference => "D difference".into(),
+        Op::Append { target } => format!("A append -> {target}"),
+        Op::Delete { target, .. } => format!("D delete from {target}"),
+    }
+}
+
+fn render_node(tree: &QueryTree, id: NodeId, prefix: &str, child_prefix: &str, out: &mut String) {
+    out.push_str(prefix);
+    out.push_str(&label(&tree.node(id).op));
+    out.push('\n');
+    let children = &tree.node(id).children;
+    for (i, &c) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let (branch, extend) = if last {
+            ("└── ", "    ")
+        } else {
+            ("├── ", "│   ")
+        };
+        render_node(
+            tree,
+            c,
+            &format!("{child_prefix}{branch}"),
+            &format!("{child_prefix}{extend}"),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use df_relalg::{Catalog, CmpOp, DataType, Relation, Schema, Value};
+
+    fn db() -> Catalog {
+        let mut db = Catalog::new();
+        let s = Schema::build()
+            .attr("a", DataType::Int)
+            .attr("b", DataType::Int)
+            .finish()
+            .unwrap();
+        for name in ["x", "y", "z"] {
+            db.insert(Relation::new(name, s.clone(), 256).unwrap())
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn renders_figure_2_1_like_tree() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let rx = b
+            .scan("x")
+            .unwrap()
+            .restrict_where("a", CmpOp::Gt, Value::Int(0))
+            .unwrap();
+        let ry = b
+            .scan("y")
+            .unwrap()
+            .restrict_where("b", CmpOp::Lt, Value::Int(9))
+            .unwrap();
+        let rz = b
+            .scan("z")
+            .unwrap()
+            .restrict_where("a", CmpOp::Eq, Value::Int(5))
+            .unwrap();
+        let q = rx
+            .equi_join(ry, "a", "a")
+            .unwrap()
+            .equi_join(rz, "b", "b")
+            .unwrap()
+            .finish();
+        let art = render_tree(&q);
+        assert!(art.starts_with("J join"));
+        assert_eq!(art.matches("scan").count(), 3);
+        assert_eq!(art.matches("restrict").count(), 3);
+        assert_eq!(art.matches("J join").count(), 2);
+        assert!(art.contains("└── "));
+        assert!(art.contains("├── "));
+    }
+
+    #[test]
+    fn renders_single_leaf() {
+        let db = db();
+        let q = TreeBuilder::new(&db).scan("x").unwrap().finish();
+        assert_eq!(render_tree(&q), "scan x\n");
+    }
+}

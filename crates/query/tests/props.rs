@@ -1,0 +1,183 @@
+//! Property-based tests of the relational operators: algebraic identities
+//! that must hold for arbitrary data, plus kernel/oracle agreement.
+
+use df_query::ops::{
+    cross_pages, dedup_tuples, difference_relations, join_pages, merge_join_relations,
+    nested_loops_join_relations, project_page, restrict_page, union_relations,
+};
+use df_relalg::{
+    CmpOp, DataType, JoinCondition, Predicate, Projection, Relation, Schema, Tuple, Value,
+};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::build()
+        .attr("a", DataType::Int)
+        .attr("b", DataType::Int)
+        .finish()
+        .expect("schema")
+}
+
+fn relation(name: &str, rows: &[(i64, i64)]) -> Relation {
+    Relation::from_tuples(
+        name,
+        schema(),
+        16 + 16 * 3,
+        rows.iter()
+            .map(|&(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)])),
+    )
+    .expect("relation")
+}
+
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((-20i64..20, -20i64..20), 0..max)
+}
+
+fn count_matches(rows: &[(i64, i64)], pred: impl Fn(&(i64, i64)) -> bool) -> usize {
+    rows.iter().filter(|r| pred(r)).count()
+}
+
+proptest! {
+    /// σ keeps exactly the matching tuples, page by page.
+    #[test]
+    fn restrict_counts_match_reference(rows in arb_rows(60), cutoff in -20i64..20) {
+        let rel = relation("t", &rows);
+        let p = Predicate::cmp_const(rel.schema(), "a", CmpOp::Lt, Value::Int(cutoff)).unwrap();
+        let kept: usize = rel.pages().iter().map(|pg| restrict_page(pg, &p).len()).sum();
+        prop_assert_eq!(kept, count_matches(&rows, |&(a, _)| a < cutoff));
+    }
+
+    /// σ_p(σ_q(R)) ≡ σ_{p∧q}(R).
+    #[test]
+    fn restrict_composes_as_conjunction(rows in arb_rows(60), c1 in -20i64..20, c2 in -20i64..20) {
+        let rel = relation("t", &rows);
+        let p = Predicate::cmp_const(rel.schema(), "a", CmpOp::Lt, Value::Int(c1)).unwrap();
+        let q = Predicate::cmp_const(rel.schema(), "b", CmpOp::Ge, Value::Int(c2)).unwrap();
+        let pq = p.clone().and(q.clone());
+        let two_pass: Vec<Tuple> = rel
+            .pages()
+            .iter()
+            .flat_map(|pg| restrict_page(pg, &p))
+            .filter(|t| q.eval(t))
+            .collect();
+        let one_pass: Vec<Tuple> = rel
+            .pages()
+            .iter()
+            .flat_map(|pg| restrict_page(pg, &pq))
+            .collect();
+        prop_assert_eq!(two_pass, one_pass);
+    }
+
+    /// Nested loops and sort-merge agree (as multisets) on any equi-join.
+    #[test]
+    fn join_algorithms_agree(left in arb_rows(40), right in arb_rows(40)) {
+        let l = relation("l", &left);
+        let r = relation("r", &right);
+        let cond = JoinCondition::equi(l.schema(), "a", r.schema(), "a").unwrap();
+        let mut nl = nested_loops_join_relations(&l, &r, &cond);
+        let mut sm = merge_join_relations(&l, &r, &cond).unwrap();
+        let key = |t: &Tuple| format!("{t}");
+        nl.sort_by_key(key);
+        sm.sort_by_key(key);
+        prop_assert_eq!(nl, sm);
+    }
+
+    /// |R ⋈ S| on the key attribute equals the sum over key groups of
+    /// |R_k|·|S_k| (the textbook cardinality identity).
+    #[test]
+    fn join_cardinality_identity(left in arb_rows(40), right in arb_rows(40)) {
+        let l = relation("l", &left);
+        let r = relation("r", &right);
+        let cond = JoinCondition::equi(l.schema(), "a", r.schema(), "a").unwrap();
+        let joined = nested_loops_join_relations(&l, &r, &cond).len();
+        let expected: usize = (-20i64..20)
+            .map(|k| {
+                count_matches(&left, |&(a, _)| a == k) * count_matches(&right, |&(a, _)| a == k)
+            })
+            .sum();
+        prop_assert_eq!(joined, expected);
+    }
+
+    /// Cross product cardinality is |R|·|S| (page-wise kernel).
+    #[test]
+    fn cross_cardinality(left in arb_rows(25), right in arb_rows(25)) {
+        let l = relation("l", &left);
+        let r = relation("r", &right);
+        let mut n = 0;
+        for lp in l.pages() {
+            for rp in r.pages() {
+                n += cross_pages(lp, rp).len();
+            }
+        }
+        prop_assert_eq!(n, left.len() * right.len());
+    }
+
+    /// Set identities: |R ∪ S| = |distinct R| + |S − R|;  R − R = ∅;
+    /// union is commutative as a set.
+    #[test]
+    fn set_operator_identities(left in arb_rows(40), right in arb_rows(40)) {
+        let l = relation("l", &left);
+        let r = relation("r", &right);
+        let union_lr = union_relations(&l, &r).unwrap();
+        let union_rl = union_relations(&r, &l).unwrap();
+        prop_assert_eq!(union_lr.len(), union_rl.len());
+        let distinct_l = dedup_tuples(l.tuples()).len();
+        let r_minus_l = difference_relations(&r, &l).unwrap().len();
+        prop_assert_eq!(union_lr.len(), distinct_l + r_minus_l);
+        prop_assert!(difference_relations(&l, &l).unwrap().is_empty());
+    }
+
+    /// π is idempotent on the identity projection and length-preserving.
+    #[test]
+    fn projection_laws(rows in arb_rows(40)) {
+        let rel = relation("t", &rows);
+        let ident = Projection::new(rel.schema(), &["a", "b"]).unwrap();
+        for pg in rel.pages() {
+            let out = project_page(pg, &ident);
+            prop_assert_eq!(out.len(), pg.len());
+            let back: Vec<Tuple> = pg.tuples().collect();
+            prop_assert_eq!(out, back);
+        }
+        let narrow = Projection::new(rel.schema(), &["b"]).unwrap();
+        let projected: usize = rel.pages().iter().map(|pg| project_page(pg, &narrow).len()).sum();
+        prop_assert_eq!(projected, rows.len());
+    }
+
+    /// join_pages over all page pairs equals the whole-relation kernel.
+    #[test]
+    fn page_kernel_composes_to_relation_kernel(left in arb_rows(30), right in arb_rows(30)) {
+        let l = relation("l", &left);
+        let r = relation("r", &right);
+        let cond = JoinCondition::new(l.schema(), "a", CmpOp::Le, r.schema(), "b").unwrap();
+        let mut page_wise = Vec::new();
+        for lp in l.pages() {
+            for rp in r.pages() {
+                page_wise.extend(join_pages(lp, rp, &cond));
+            }
+        }
+        let mut whole = nested_loops_join_relations(&l, &r, &cond);
+        let key = |t: &Tuple| format!("{t}");
+        page_wise.sort_by_key(key);
+        whole.sort_by_key(key);
+        prop_assert_eq!(page_wise, whole);
+    }
+
+    /// dedup is idempotent and order-preserving on first occurrences.
+    #[test]
+    fn dedup_idempotent(rows in arb_rows(50)) {
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|&(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+            .collect();
+        let once = dedup_tuples(tuples.clone());
+        let twice = dedup_tuples(once.clone());
+        prop_assert_eq!(&once, &twice);
+        // Every output tuple appears in the input, in order of first occurrence.
+        let mut cursor = 0;
+        for t in &once {
+            let pos = tuples[cursor..].iter().position(|u| u == t);
+            prop_assert!(pos.is_some());
+            cursor += pos.unwrap();
+        }
+    }
+}

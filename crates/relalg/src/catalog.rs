@@ -1,0 +1,174 @@
+//! The catalog: a named collection of relations (the "database").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+
+/// A database: named relations with deterministic iteration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Insert a relation under its own name.
+    ///
+    /// # Errors
+    /// Fails if the name is already taken.
+    pub fn insert(&mut self, relation: Relation) -> Result<()> {
+        let name = relation.name().to_owned();
+        if self.relations.contains_key(&name) {
+            return Err(Error::DuplicateRelation { name });
+        }
+        self.relations.insert(name, relation);
+        Ok(())
+    }
+
+    /// Insert, replacing any existing relation of the same name.
+    pub fn insert_or_replace(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.name().to_owned(), relation);
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Look up a relation, erroring when absent.
+    pub fn require(&self, name: &str) -> Result<&Relation> {
+        self.get(name).ok_or_else(|| Error::UnknownRelation {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Remove a relation, returning it.
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when no relations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterate in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Relation names, in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Total bytes across all relations (the paper's database is "15
+    /// relations with a combined size of 5.5 megabytes").
+    pub fn total_bytes(&self) -> usize {
+        self.relations.values().map(Relation::total_bytes).sum()
+    }
+
+    /// Total tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::num_tuples).sum()
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "catalog: {} relations, {} tuples, {} bytes",
+            self.len(),
+            self.total_tuples(),
+            self.total_bytes()
+        )?;
+        for r in self.iter() {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+    use crate::value::{DataType, Value};
+
+    fn rel(name: &str, n: i64) -> Relation {
+        let s = Schema::build().attr("k", DataType::Int).finish().unwrap();
+        Relation::from_tuples(
+            name,
+            s,
+            1016,
+            (0..n).map(|k| Tuple::new(vec![Value::Int(k)])),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c = Catalog::new();
+        c.insert(rel("a", 3)).unwrap();
+        assert!(c.get("a").is_some());
+        assert!(c.require("a").is_ok());
+        assert!(matches!(
+            c.require("zz"),
+            Err(Error::UnknownRelation { .. })
+        ));
+        assert_eq!(c.remove("a").unwrap().num_tuples(), 3);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut c = Catalog::new();
+        c.insert(rel("a", 1)).unwrap();
+        assert!(matches!(
+            c.insert(rel("a", 2)),
+            Err(Error::DuplicateRelation { .. })
+        ));
+        // insert_or_replace overwrites.
+        c.insert_or_replace(rel("a", 2));
+        assert_eq!(c.get("a").unwrap().num_tuples(), 2);
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let mut c = Catalog::new();
+        for name in ["zeta", "alpha", "mid"] {
+            c.insert(rel(name, 1)).unwrap();
+        }
+        let names: Vec<_> = c.names().collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn aggregate_sizes() {
+        let mut c = Catalog::new();
+        c.insert(rel("a", 10)).unwrap();
+        c.insert(rel("b", 5)).unwrap();
+        assert_eq!(c.total_tuples(), 15);
+        assert!(c.total_bytes() > 0);
+        assert_eq!(c.len(), 2);
+    }
+}

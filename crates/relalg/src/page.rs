@@ -1,0 +1,300 @@
+//! Fixed-size slotted pages of encoded tuples.
+//!
+//! A page is the paper's central unit: the operand granularity it argues for
+//! (§3.2), the thing the arbitration network carries, the thing the disk
+//! cache holds. Our page is a fixed-capacity container of fixed-width tuple
+//! images plus a small header. The header models the on-wire/on-disk bytes
+//! the packet formats of Figure 4.3–4.4 account for ("relation name", "tuple
+//! length & format", "page length").
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// Modeled page-header size in bytes: relation id (4) + page length (4) +
+/// tuple count (4) + tuple width (4). All byte accounting includes it.
+pub const PAGE_HEADER_BYTES: usize = 16;
+
+/// A fixed-size page of encoded tuples.
+///
+/// The page owns its schema handle (cheap `Arc` clone) so that a page in
+/// flight through a simulated network is self-describing, exactly like the
+/// paper's instruction packets which carry "tuple length & format" alongside
+/// each data page.
+///
+/// ```
+/// use df_relalg::{DataType, Page, Schema, Tuple, Value};
+/// let schema = Schema::build().attr("k", DataType::Int).finish()?;
+/// let mut page = Page::new(schema, 48)?; // header 16 + 4 slots of 8
+/// assert_eq!(page.capacity(), 4);
+/// page.push(&Tuple::new(vec![Value::Int(7)]))?;
+/// assert_eq!(page.len(), 1);
+/// assert_eq!(page.wire_bytes(), 16 + 8);
+/// # Ok::<(), df_relalg::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    schema: Schema,
+    /// Page size in bytes, including [`PAGE_HEADER_BYTES`].
+    page_size: usize,
+    /// Concatenated fixed-width tuple images.
+    data: Vec<u8>,
+    ntuples: usize,
+}
+
+impl Page {
+    /// An empty page of `page_size` bytes for tuples of `schema`.
+    ///
+    /// # Errors
+    /// Fails if even one tuple does not fit (`page_size` too small).
+    pub fn new(schema: Schema, page_size: usize) -> Result<Page> {
+        let needed = PAGE_HEADER_BYTES + schema.tuple_width();
+        if page_size < needed {
+            return Err(Error::PageTooSmall { page_size, needed });
+        }
+        Ok(Page {
+            schema,
+            page_size,
+            data: Vec::new(),
+            ntuples: 0,
+        })
+    }
+
+    /// The tuple schema of this page.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Configured page size in bytes (header included).
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Maximum number of tuples this page can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        (self.page_size - PAGE_HEADER_BYTES) / self.schema.tuple_width()
+    }
+
+    /// Number of tuples currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ntuples
+    }
+
+    /// True if no tuples are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ntuples == 0
+    }
+
+    /// True if another tuple cannot be appended.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.ntuples >= self.capacity()
+    }
+
+    /// Bytes this page occupies on the wire / on disk: header plus the
+    /// stored tuple images. A partially-full page costs only what it holds
+    /// (the paper's ICs *compact* partial pages precisely to avoid shipping
+    /// and storing slack).
+    #[inline]
+    pub fn wire_bytes(&self) -> usize {
+        PAGE_HEADER_BYTES + self.data.len()
+    }
+
+    /// Append a tuple.
+    ///
+    /// # Errors
+    /// [`Error::PageFull`] if at capacity; schema errors if the tuple does
+    /// not conform.
+    pub fn push(&mut self, tuple: &Tuple) -> Result<()> {
+        if self.is_full() {
+            return Err(Error::PageFull);
+        }
+        tuple.encode(&self.schema, &mut self.data)?;
+        self.ntuples += 1;
+        Ok(())
+    }
+
+    /// Decode the tuple in slot `i`.
+    pub fn get(&self, i: usize) -> Result<Tuple> {
+        if i >= self.ntuples {
+            return Err(Error::AttrIndexOutOfBounds {
+                index: i,
+                arity: self.ntuples,
+            });
+        }
+        let w = self.schema.tuple_width();
+        Tuple::decode(&self.schema, &self.data[i * w..])
+    }
+
+    /// Iterate over all tuples (decoding on the fly).
+    pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        let w = self.schema.tuple_width();
+        self.data
+            .chunks_exact(w)
+            .map(move |chunk| Tuple::decode(&self.schema, chunk).expect("page data is valid"))
+    }
+
+    /// Move as many tuples as fit from `other` into `self` (page compaction,
+    /// paper §4.2: partial result pages arriving at an IC "are compressed to
+    /// form full pages"). Returns the number of tuples moved.
+    ///
+    /// # Errors
+    /// Fails if the two pages have different schemas.
+    pub fn compact_from(&mut self, other: &mut Page) -> Result<usize> {
+        if self.schema != other.schema {
+            return Err(Error::SchemaMismatch {
+                detail: "compacting pages of different schemas".into(),
+            });
+        }
+        let w = self.schema.tuple_width();
+        let room = self.capacity() - self.len();
+        let take = room.min(other.ntuples);
+        if take > 0 {
+            self.data.extend_from_slice(&other.data[..take * w]);
+            self.ntuples += take;
+            other.data.drain(..take * w);
+            other.ntuples -= take;
+        }
+        Ok(take)
+    }
+
+    /// The raw encoded tuple area (no header).
+    #[inline]
+    pub fn raw_data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Display for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Page[{}/{} tuples, {} bytes]",
+            self.ntuples,
+            self.capacity(),
+            self.wire_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::build()
+            .attr("k", DataType::Int)
+            .attr("pad", DataType::Str(92))
+            .finish()
+            .unwrap()
+    }
+
+    fn tup(k: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k), Value::str("x")])
+    }
+
+    #[test]
+    fn paper_capacity_math() {
+        // §3.3: 100-byte tuples, 1000-byte pages "hold 10 tuples" — with our
+        // explicit 16-byte header, a 1016-byte page holds exactly 10.
+        let s = schema();
+        assert_eq!(s.tuple_width(), 100);
+        let p = Page::new(s, 1016).unwrap();
+        assert_eq!(p.capacity(), 10);
+    }
+
+    #[test]
+    fn push_until_full() {
+        let mut p = Page::new(schema(), 316).unwrap(); // 3 tuples
+        assert_eq!(p.capacity(), 3);
+        for k in 0..3 {
+            p.push(&tup(k)).unwrap();
+        }
+        assert!(p.is_full());
+        assert!(matches!(p.push(&tup(9)), Err(Error::PageFull)));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn get_and_iterate() {
+        let mut p = Page::new(schema(), 1016).unwrap();
+        for k in 0..5 {
+            p.push(&tup(k)).unwrap();
+        }
+        assert_eq!(p.get(2).unwrap().get(0).unwrap(), &Value::Int(2));
+        assert!(p.get(5).is_err());
+        let keys: Vec<_> = p
+            .tuples()
+            .map(|t| match t.get(0).unwrap() {
+                Value::Int(k) => *k,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wire_bytes_grow_with_content() {
+        let mut p = Page::new(schema(), 1016).unwrap();
+        assert_eq!(p.wire_bytes(), PAGE_HEADER_BYTES);
+        p.push(&tup(1)).unwrap();
+        assert_eq!(p.wire_bytes(), PAGE_HEADER_BYTES + 100);
+    }
+
+    #[test]
+    fn too_small_page_rejected() {
+        let s = schema();
+        assert!(matches!(
+            Page::new(s, 50),
+            Err(Error::PageTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn compaction_moves_tuples() {
+        let mut a = Page::new(schema(), 516).unwrap(); // cap 5
+        let mut b = Page::new(schema(), 516).unwrap();
+        a.push(&tup(1)).unwrap();
+        for k in 10..14 {
+            b.push(&tup(k)).unwrap();
+        }
+        let moved = a.compact_from(&mut b).unwrap();
+        assert_eq!(moved, 4);
+        assert_eq!(a.len(), 5);
+        assert!(b.is_empty());
+        // Partially-fitting case.
+        let mut c = Page::new(schema(), 516).unwrap();
+        for k in 20..25 {
+            c.push(&tup(k)).unwrap();
+        }
+        let mut d = Page::new(schema(), 516).unwrap();
+        d.push(&tup(30)).unwrap();
+        let moved = d.compact_from(&mut c).unwrap();
+        assert_eq!(moved, 4);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(0).unwrap().get(0).unwrap(), &Value::Int(24));
+    }
+
+    #[test]
+    fn compaction_schema_mismatch() {
+        let other = Schema::build().attr("z", DataType::Int).finish().unwrap();
+        let mut a = Page::new(schema(), 1016).unwrap();
+        let mut b = Page::new(other, 1016).unwrap();
+        assert!(a.compact_from(&mut b).is_err());
+    }
+
+    #[test]
+    fn rejects_nonconforming_tuple() {
+        let mut p = Page::new(schema(), 1016).unwrap();
+        assert!(p.push(&Tuple::new(vec![Value::Int(1)])).is_err());
+        assert_eq!(p.len(), 0);
+    }
+}

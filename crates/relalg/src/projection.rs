@@ -1,0 +1,189 @@
+//! Projections: attribute selection with output-schema derivation.
+//!
+//! The paper singles out the project operator (§5) as the hard one for
+//! multiprocessor execution because of duplicate elimination; the relational
+//! semantics live here, the parallel algorithm lives in `df-query`.
+
+use crate::error::{Error, Result};
+use crate::schema::{Attribute, Schema};
+use crate::tuple::Tuple;
+
+/// An ordered list of attribute indices to keep, with optional output
+/// renaming (π with renaming — used e.g. by optimizers inserting
+/// compensating projections that must preserve an existing schema).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    indices: Vec<usize>,
+    renames: Option<Vec<String>>,
+}
+
+impl Projection {
+    /// Build from attribute names against an input schema.
+    pub fn new(schema: &Schema, names: &[&str]) -> Result<Projection> {
+        let indices = names
+            .iter()
+            .map(|n| schema.index_of(n))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Projection {
+            indices,
+            renames: None,
+        })
+    }
+
+    /// Build directly from indices (validated against `schema`).
+    pub fn from_indices(schema: &Schema, indices: Vec<usize>) -> Result<Projection> {
+        for &i in &indices {
+            schema.attr(i)?;
+        }
+        Ok(Projection {
+            indices,
+            renames: None,
+        })
+    }
+
+    /// Build from indices with explicit output attribute names.
+    ///
+    /// # Errors
+    /// Fails if an index is out of bounds or the name count mismatches.
+    pub fn with_renames(
+        schema: &Schema,
+        indices: Vec<usize>,
+        names: Vec<String>,
+    ) -> Result<Projection> {
+        if names.len() != indices.len() {
+            return Err(Error::SchemaMismatch {
+                detail: format!(
+                    "{} renames for {} projected attributes",
+                    names.len(),
+                    indices.len()
+                ),
+            });
+        }
+        for &i in &indices {
+            schema.attr(i)?;
+        }
+        Ok(Projection {
+            indices,
+            renames: Some(names),
+        })
+    }
+
+    /// The attribute indices kept, in output order.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Derive the output schema (renames applied if present).
+    pub fn output_schema(&self, input: &Schema) -> Result<Schema> {
+        match &self.renames {
+            None => input.select(&self.indices),
+            Some(names) => {
+                let attrs = self
+                    .indices
+                    .iter()
+                    .zip(names)
+                    .map(|(&i, name)| {
+                        Ok(Attribute {
+                            name: name.clone(),
+                            dtype: input.attr(i)?.dtype,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Schema::new(attrs)
+            }
+        }
+    }
+
+    /// Apply to one tuple.
+    pub fn apply(&self, tuple: &Tuple) -> Result<Tuple> {
+        tuple.project(&self.indices)
+    }
+
+    /// Validate the indices against a (possibly different) input schema.
+    pub fn validate_against(&self, schema: &Schema) -> Result<()> {
+        for &i in &self.indices {
+            schema.attr(i)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::build()
+            .attr("a", DataType::Int)
+            .attr("b", DataType::Int)
+            .attr("c", DataType::Str(4))
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn by_names() {
+        let s = schema();
+        let p = Projection::new(&s, &["c", "a"]).unwrap();
+        assert_eq!(p.indices(), &[2, 0]);
+        let out = p.output_schema(&s).unwrap();
+        assert_eq!(out.attrs()[0].name, "c");
+        assert_eq!(out.attrs()[1].name, "a");
+        let t = Tuple::new(vec![Value::Int(1), Value::Int(2), Value::str("hi")]);
+        assert_eq!(
+            p.apply(&t).unwrap().values(),
+            &[Value::str("hi"), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn unknown_name_fails() {
+        assert!(Projection::new(&schema(), &["nope"]).is_err());
+    }
+
+    #[test]
+    fn from_indices_validates() {
+        let s = schema();
+        assert!(Projection::from_indices(&s, vec![0, 2]).is_ok());
+        assert!(Projection::from_indices(&s, vec![3]).is_err());
+    }
+
+    #[test]
+    fn validate_against_narrower_schema() {
+        let s = schema();
+        let p = Projection::new(&s, &["c"]).unwrap();
+        let narrow = Schema::build().attr("x", DataType::Int).finish().unwrap();
+        assert!(p.validate_against(&narrow).is_err());
+        assert!(p.validate_against(&s).is_ok());
+    }
+
+    #[test]
+    fn renames_override_output_names() {
+        let s = schema();
+        let p = Projection::with_renames(
+            &s,
+            vec![2, 0],
+            vec!["third".into(), "first".into()],
+        )
+        .unwrap();
+        let out = p.output_schema(&s).unwrap();
+        assert_eq!(out.attrs()[0].name, "third");
+        assert_eq!(out.attrs()[1].name, "first");
+        assert_eq!(out.attrs()[1].dtype, DataType::Int);
+        // Mismatched counts rejected.
+        assert!(Projection::with_renames(&s, vec![0], vec![]).is_err());
+        assert!(Projection::with_renames(&s, vec![9], vec!["x".into()]).is_err());
+    }
+
+    #[test]
+    fn duplicate_indices_allowed() {
+        // π(a, a) is legal relational algebra over bags; the schema derivation
+        // renames the collision.
+        let s = schema();
+        let p = Projection::from_indices(&s, vec![0, 0]);
+        // Schema::select will produce duplicate names -> must error.
+        assert!(p.unwrap().output_schema(&s).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Tuples: typed rows with an exact fixed-width wire encoding.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A typed row. Values are stored decoded; [`Tuple::encode`] produces the
+/// fixed-width on-page / on-wire image defined by a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Construct from a value list. Validation against a schema happens at
+    /// append/encode time (tuples are often built before their destination
+    /// schema exists, e.g. inside a join kernel).
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// The values, in attribute order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at attribute index `i`.
+    pub fn get(&self, i: usize) -> Result<&Value> {
+        self.values.get(i).ok_or(Error::AttrIndexOutOfBounds {
+            index: i,
+            arity: self.values.len(),
+        })
+    }
+
+    /// Check this tuple against `schema` (arity and per-attribute types).
+    pub fn conforms_to(&self, schema: &Schema) -> Result<()> {
+        if self.values.len() != schema.arity() {
+            return Err(Error::SchemaMismatch {
+                detail: format!(
+                    "tuple arity {} vs schema arity {}",
+                    self.values.len(),
+                    schema.arity()
+                ),
+            });
+        }
+        for (v, a) in self.values.iter().zip(schema.attrs()) {
+            if !a.dtype.admits(v) {
+                return Err(Error::SchemaMismatch {
+                    detail: format!("value {v} does not fit attribute {}: {}", a.name, a.dtype),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Append this tuple's fixed-width image (exactly
+    /// [`Schema::tuple_width`] bytes) to `out`.
+    ///
+    /// # Errors
+    /// Fails if the tuple does not conform to `schema`.
+    pub fn encode(&self, schema: &Schema, out: &mut Vec<u8>) -> Result<()> {
+        self.conforms_to(schema)?;
+        let start = out.len();
+        for (v, a) in self.values.iter().zip(schema.attrs()) {
+            v.encode(a.dtype, out)?;
+        }
+        debug_assert_eq!(out.len() - start, schema.tuple_width());
+        Ok(())
+    }
+
+    /// Decode one tuple image from the front of `bytes`.
+    pub fn decode(schema: &Schema, bytes: &[u8]) -> Result<Tuple> {
+        if bytes.len() < schema.tuple_width() {
+            return Err(Error::Corrupt {
+                detail: format!(
+                    "tuple image needs {} bytes, have {}",
+                    schema.tuple_width(),
+                    bytes.len()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(schema.arity());
+        let mut off = 0;
+        for a in schema.attrs() {
+            let (v, n) = Value::decode(a.dtype, &bytes[off..])?;
+            values.push(v);
+            off += n;
+        }
+        Ok(Tuple { values })
+    }
+
+    /// Concatenate two tuples (the output row of a join / cross product).
+    pub fn concat(&self, right: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + right.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&right.values);
+        Tuple { values }
+    }
+
+    /// Project this tuple onto the attribute `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Result<Tuple> {
+        let values = indices
+            .iter()
+            .map(|&i| self.get(i).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Tuple { values })
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::build()
+            .attr("id", DataType::Int)
+            .attr("flag", DataType::Bool)
+            .attr("tag", DataType::Str(4))
+            .finish()
+            .unwrap()
+    }
+
+    fn tup() -> Tuple {
+        Tuple::new(vec![Value::Int(-7), Value::Bool(true), Value::str("ab")])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = schema();
+        let t = tup();
+        let mut buf = Vec::new();
+        t.encode(&s, &mut buf).unwrap();
+        assert_eq!(buf.len(), s.tuple_width());
+        let back = Tuple::decode(&s, &buf).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn conforms_catches_arity_and_type_errors() {
+        let s = schema();
+        assert!(Tuple::new(vec![Value::Int(1)]).conforms_to(&s).is_err());
+        let wrong_type = Tuple::new(vec![Value::Bool(true), Value::Bool(true), Value::str("x")]);
+        assert!(wrong_type.conforms_to(&s).is_err());
+        assert!(tup().conforms_to(&s).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let s = schema();
+        let mut buf = Vec::new();
+        tup().encode(&s, &mut buf).unwrap();
+        buf.pop();
+        assert!(matches!(
+            Tuple::decode(&s, &buf),
+            Err(Error::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let t = tup();
+        let u = t.concat(&t);
+        assert_eq!(u.arity(), 6);
+        let p = u.project(&[0, 3]).unwrap();
+        assert_eq!(p.values(), &[Value::Int(-7), Value::Int(-7)]);
+        assert!(u.project(&[99]).is_err());
+    }
+
+    #[test]
+    fn get_bounds() {
+        let t = tup();
+        assert_eq!(t.get(0).unwrap(), &Value::Int(-7));
+        assert!(t.get(3).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", tup()), "[-7, true, \"ab\"]");
+    }
+}

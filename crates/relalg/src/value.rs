@@ -1,0 +1,254 @@
+//! Data types and values.
+//!
+//! A deliberately small, 1979-plausible type system. Every type has a fixed
+//! encoded width, so a tuple's wire size is a function of its schema alone —
+//! the property the paper's packet formats ("tuple length & format", Fig 4.3)
+//! and its byte-level bandwidth analysis (§3.3) rely on.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// The type of an attribute. Every type has a fixed encoded width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer, encoded big-endian in 8 bytes.
+    Int,
+    /// Boolean, encoded in 1 byte (0 or 1).
+    Bool,
+    /// Fixed-length string of `n` bytes, NUL-padded. `n` must be ≥ 1.
+    Str(u16),
+}
+
+impl DataType {
+    /// The encoded width in bytes.
+    #[inline]
+    pub fn width(self) -> usize {
+        match self {
+            DataType::Int => 8,
+            DataType::Bool => 1,
+            DataType::Str(n) => n as usize,
+        }
+    }
+
+    /// Whether `value` inhabits this type (strings must fit, NULs forbidden
+    /// because NUL is the pad byte).
+    pub fn admits(self, value: &Value) -> bool {
+        match (self, value) {
+            (DataType::Int, Value::Int(_)) => true,
+            (DataType::Bool, Value::Bool(_)) => true,
+            (DataType::Str(n), Value::Str(s)) => {
+                s.len() <= n as usize && !s.as_bytes().contains(&0)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "int"),
+            DataType::Bool => write!(f, "bool"),
+            DataType::Str(n) => write!(f, "str({n})"),
+        }
+    }
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A 64-bit integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (validated against its `Str(n)` type at append time).
+    Str(String),
+}
+
+impl Value {
+    /// Shorthand for building string values in tests and examples.
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+
+    /// The [`DataType`] *kind* this value belongs to. For strings the declared
+    /// width comes from the schema, so this reports the value's own length.
+    pub fn data_type_of(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Bool(_) => DataType::Bool,
+            Value::Str(s) => DataType::Str(s.len().min(u16::MAX as usize) as u16),
+        }
+    }
+
+    /// Total ordering *within* a type; `None` across types.
+    ///
+    /// The relational operators only ever compare same-typed attributes (the
+    /// validator guarantees it), so `None` signals a planning bug upstream.
+    pub fn partial_cmp_typed(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Compare, returning an error on cross-type comparison.
+    pub fn try_cmp(&self, other: &Value) -> Result<Ordering> {
+        self.partial_cmp_typed(other).ok_or_else(|| Error::TypeMismatch {
+            detail: format!("cannot compare {self} with {other}"),
+        })
+    }
+
+    /// Encode into `out` using exactly `dtype.width()` bytes.
+    ///
+    /// # Errors
+    /// Fails if the value does not inhabit `dtype`.
+    pub fn encode(&self, dtype: DataType, out: &mut Vec<u8>) -> Result<()> {
+        if !dtype.admits(self) {
+            return Err(Error::ValueOutOfRange {
+                detail: format!("value {self} does not fit type {dtype}"),
+            });
+        }
+        match (self, dtype) {
+            (Value::Int(x), DataType::Int) => out.extend_from_slice(&x.to_be_bytes()),
+            (Value::Bool(b), DataType::Bool) => out.push(u8::from(*b)),
+            (Value::Str(s), DataType::Str(n)) => {
+                out.extend_from_slice(s.as_bytes());
+                out.resize(out.len() + (n as usize - s.len()), 0);
+            }
+            _ => unreachable!("admits() checked the pairing"),
+        }
+        Ok(())
+    }
+
+    /// Decode a value of type `dtype` from the front of `bytes`.
+    ///
+    /// Returns the value and the number of bytes consumed.
+    pub fn decode(dtype: DataType, bytes: &[u8]) -> Result<(Value, usize)> {
+        let w = dtype.width();
+        if bytes.len() < w {
+            return Err(Error::Corrupt {
+                detail: format!("need {w} bytes for {dtype}, have {}", bytes.len()),
+            });
+        }
+        let v = match dtype {
+            DataType::Int => {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&bytes[..8]);
+                Value::Int(i64::from_be_bytes(buf))
+            }
+            DataType::Bool => match bytes[0] {
+                0 => Value::Bool(false),
+                1 => Value::Bool(true),
+                b => {
+                    return Err(Error::Corrupt {
+                        detail: format!("invalid bool byte {b}"),
+                    })
+                }
+            },
+            DataType::Str(n) => {
+                let raw = &bytes[..n as usize];
+                let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+                let s = std::str::from_utf8(&raw[..end]).map_err(|_| Error::Corrupt {
+                    detail: "string field is not UTF-8".into(),
+                })?;
+                Value::Str(s.to_owned())
+            }
+        };
+        Ok((v, w))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(DataType::Int.width(), 8);
+        assert_eq!(DataType::Bool.width(), 1);
+        assert_eq!(DataType::Str(100).width(), 100);
+    }
+
+    #[test]
+    fn admits_checks_type_and_fit() {
+        assert!(DataType::Int.admits(&Value::Int(5)));
+        assert!(!DataType::Int.admits(&Value::Bool(true)));
+        assert!(DataType::Str(5).admits(&Value::str("abcde")));
+        assert!(!DataType::Str(4).admits(&Value::str("abcde")));
+        assert!(!DataType::Str(4).admits(&Value::Str("a\0b".into())));
+    }
+
+    #[test]
+    fn int_round_trip() {
+        for x in [0i64, 1, -1, i64::MAX, i64::MIN, 123_456_789] {
+            let mut buf = Vec::new();
+            Value::Int(x).encode(DataType::Int, &mut buf).unwrap();
+            assert_eq!(buf.len(), 8);
+            let (v, n) = Value::decode(DataType::Int, &buf).unwrap();
+            assert_eq!((v, n), (Value::Int(x), 8));
+        }
+    }
+
+    #[test]
+    fn str_round_trip_with_padding() {
+        let mut buf = Vec::new();
+        Value::str("hi").encode(DataType::Str(6), &mut buf).unwrap();
+        assert_eq!(buf, b"hi\0\0\0\0");
+        let (v, n) = Value::decode(DataType::Str(6), &buf).unwrap();
+        assert_eq!((v, n), (Value::str("hi"), 6));
+    }
+
+    #[test]
+    fn bool_round_trip_and_corruption() {
+        let mut buf = Vec::new();
+        Value::Bool(true).encode(DataType::Bool, &mut buf).unwrap();
+        let (v, _) = Value::decode(DataType::Bool, &buf).unwrap();
+        assert_eq!(v, Value::Bool(true));
+        assert!(matches!(
+            Value::decode(DataType::Bool, &[7]),
+            Err(Error::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_short_input() {
+        assert!(matches!(
+            Value::decode(DataType::Int, &[1, 2, 3]),
+            Err(Error::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_rejects_misfit() {
+        let mut buf = Vec::new();
+        assert!(Value::str("toolong").encode(DataType::Str(3), &mut buf).is_err());
+        assert!(Value::Int(1).encode(DataType::Bool, &mut buf).is_err());
+    }
+
+    #[test]
+    fn ordering_within_and_across_types() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(1).partial_cmp_typed(&Value::Int(2)), Some(Less));
+        assert_eq!(
+            Value::str("b").partial_cmp_typed(&Value::str("a")),
+            Some(Greater)
+        );
+        assert_eq!(Value::Int(1).partial_cmp_typed(&Value::str("a")), None);
+        assert!(Value::Int(1).try_cmp(&Value::Bool(true)).is_err());
+    }
+}

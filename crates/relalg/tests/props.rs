@@ -1,0 +1,146 @@
+//! Property-based tests for the relational model's core invariants.
+
+use df_relalg::{DataType, Page, Relation, Schema, Tuple, Value, PAGE_HEADER_BYTES};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary schema of 1..=6 attributes.
+fn arb_schema() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(DataType::Int),
+            Just(DataType::Bool),
+            (1u16..24).prop_map(DataType::Str),
+        ],
+        1..=6,
+    )
+    .prop_map(|types| {
+        let mut b = Schema::build();
+        for (i, t) in types.into_iter().enumerate() {
+            b = b.attr(&format!("a{i}"), t);
+        }
+        b.finish().expect("generated names are unique")
+    })
+}
+
+/// Strategy: a value inhabiting `dtype`.
+fn arb_value(dtype: DataType) -> BoxedStrategy<Value> {
+    match dtype {
+        DataType::Int => any::<i64>().prop_map(Value::Int).boxed(),
+        DataType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
+        DataType::Str(n) => prop::collection::vec(prop::char::range('a', 'z'), 0..=n as usize)
+            .prop_map(|cs| Value::Str(cs.into_iter().collect()))
+            .boxed(),
+    }
+}
+
+/// Strategy: a (schema, tuples) pair where every tuple conforms.
+fn arb_schema_and_tuples(max_tuples: usize) -> impl Strategy<Value = (Schema, Vec<Tuple>)> {
+    arb_schema().prop_flat_map(move |schema| {
+        let tuple_strat = schema
+            .attrs()
+            .iter()
+            .map(|a| arb_value(a.dtype))
+            .collect::<Vec<_>>()
+            .prop_map(Tuple::new);
+        (
+            Just(schema),
+            prop::collection::vec(tuple_strat, 0..=max_tuples),
+        )
+    })
+}
+
+proptest! {
+    /// encode ∘ decode = identity for conforming tuples.
+    #[test]
+    fn tuple_encode_decode_round_trip((schema, tuples) in arb_schema_and_tuples(16)) {
+        for t in &tuples {
+            let mut buf = Vec::new();
+            t.encode(&schema, &mut buf).unwrap();
+            prop_assert_eq!(buf.len(), schema.tuple_width());
+            let back = Tuple::decode(&schema, &buf).unwrap();
+            prop_assert_eq!(&back, t);
+        }
+    }
+
+    /// A page never exceeds its configured byte size and never loses tuples.
+    #[test]
+    fn page_respects_size_and_preserves_tuples((schema, tuples) in arb_schema_and_tuples(32)) {
+        let page_size = PAGE_HEADER_BYTES + schema.tuple_width() * 4;
+        let mut pages = vec![Page::new(schema.clone(), page_size).unwrap()];
+        for t in &tuples {
+            if pages.last().unwrap().is_full() {
+                pages.push(Page::new(schema.clone(), page_size).unwrap());
+            }
+            pages.last_mut().unwrap().push(t).unwrap();
+        }
+        let mut seen = Vec::new();
+        for p in &pages {
+            prop_assert!(p.wire_bytes() <= page_size);
+            prop_assert!(p.len() <= p.capacity());
+            seen.extend(p.tuples());
+        }
+        prop_assert_eq!(seen, tuples);
+    }
+
+    /// Relation::append distributes tuples over pages without loss or
+    /// reordering, for any page size that can hold at least one tuple.
+    #[test]
+    fn relation_append_preserves_order(
+        (schema, tuples) in arb_schema_and_tuples(64),
+        extra_slots in 0usize..8,
+    ) {
+        let page_size = PAGE_HEADER_BYTES + schema.tuple_width() * (1 + extra_slots);
+        let r = Relation::from_tuples("t", schema.clone(), page_size, tuples.clone()).unwrap();
+        prop_assert_eq!(r.num_tuples(), tuples.len());
+        let back: Vec<Tuple> = r.tuples().collect();
+        prop_assert_eq!(back, tuples);
+        // All pages except possibly the last are full.
+        if let Some((last, rest)) = r.pages().split_last() {
+            for p in rest {
+                prop_assert!(p.is_full());
+            }
+            prop_assert!(!last.is_empty());
+        }
+    }
+
+    /// Compaction preserves multiset contents and leaves at most one
+    /// non-full page.
+    #[test]
+    fn compaction_invariants((schema, tuples) in arb_schema_and_tuples(48)) {
+        let page_size = PAGE_HEADER_BYTES + schema.tuple_width() * 5;
+        // Build a deliberately fragmented relation: one tuple per page.
+        let mut r = Relation::new("frag", schema.clone(), page_size).unwrap();
+        for t in &tuples {
+            let mut p = Page::new(schema.clone(), page_size).unwrap();
+            p.push(t).unwrap();
+            r.append_page(p).unwrap();
+        }
+        let reference = r.clone();
+        r.compact();
+        prop_assert!(r.same_contents(&reference));
+        let non_full = r.pages().iter().filter(|p| !p.is_full()).count();
+        prop_assert!(non_full <= 1);
+        prop_assert!(r.pages().iter().all(|p| !p.is_empty()));
+    }
+
+    /// same_contents is insensitive to tuple order (it is multiset equality).
+    #[test]
+    fn same_contents_is_order_insensitive((schema, mut tuples) in arb_schema_and_tuples(24)) {
+        let a = Relation::from_tuples("a", schema.clone(), PAGE_HEADER_BYTES + schema.tuple_width() * 3, tuples.clone()).unwrap();
+        tuples.reverse();
+        let b = Relation::from_tuples("b", schema.clone(), PAGE_HEADER_BYTES + schema.tuple_width() * 7, tuples).unwrap();
+        prop_assert!(a.same_contents(&b));
+    }
+
+    /// Schema::concat always yields unique names and the summed width.
+    #[test]
+    fn concat_width_and_uniqueness(left in arb_schema(), right in arb_schema()) {
+        let joined = left.concat(&right);
+        prop_assert_eq!(joined.arity(), left.arity() + right.arity());
+        prop_assert_eq!(joined.tuple_width(), left.tuple_width() + right.tuple_width());
+        let mut names: Vec<_> = joined.attrs().iter().map(|a| a.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        prop_assert_eq!(names.len(), joined.arity());
+    }
+}

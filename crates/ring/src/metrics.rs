@@ -1,0 +1,189 @@
+//! Ring-machine metrics — the quantities Figure 4.2 plots.
+
+use std::fmt;
+
+use df_sim::stats::ByteCounter;
+use df_sim::{Duration, SimTime};
+
+/// Whole-run metrics for the ring machine.
+#[derive(Debug, Clone, Default)]
+pub struct RingMetrics {
+    /// Makespan.
+    pub elapsed: SimTime,
+    /// Number of IPs configured.
+    pub ips: usize,
+    /// Number of ICs configured.
+    pub ics: usize,
+    /// Traffic on the inner (control) ring.
+    pub inner_ring: ByteCounter,
+    /// Traffic on the outer (data) ring.
+    pub outer_ring: ByteCounter,
+    /// Bytes read from mass storage.
+    pub disk_read: ByteCounter,
+    /// Bytes written to mass storage.
+    pub disk_write: ByteCounter,
+    /// Bytes into the disk cache.
+    pub cache_in: ByteCounter,
+    /// Bytes out of the disk cache.
+    pub cache_out: ByteCounter,
+    /// Total IP busy time.
+    pub ip_busy: Duration,
+    /// Instruction packets sent by ICs.
+    pub instruction_packets: u64,
+    /// Result packets sent by IPs.
+    pub result_packets: u64,
+    /// Control packets sent by IPs.
+    pub control_packets: u64,
+    /// Inner-page broadcasts performed.
+    pub broadcasts: u64,
+    /// Advance requests the ICs ignored under the "soon afterwards" rule.
+    pub requests_ignored: u64,
+    /// Broadcast pages IPs missed (memory full) and later caught up on.
+    pub pages_missed: u64,
+    /// Result pages routed directly IP→IP (§5 extension), if enabled.
+    pub direct_routed_pages: u64,
+    /// Per-query completion times.
+    pub query_completions: Vec<SimTime>,
+    /// Per-query arrival (submission) times.
+    pub query_arrivals: Vec<SimTime>,
+    /// Queries that had to wait for concurrency-control admission.
+    pub queries_delayed_by_cc: u64,
+    /// Peak number of IPs computing simultaneously.
+    pub peak_busy_ips: u64,
+    /// Peak number of IPs granted to instructions simultaneously.
+    pub peak_granted_ips: u64,
+    /// Per-instruction timeline: (operator, query, first packet sent,
+    /// completed).
+    pub instruction_timeline: Vec<(String, usize, SimTime, SimTime)>,
+}
+
+impl RingMetrics {
+    /// Average outer-ring load in Mbps (the Figure 4.2 y-axis).
+    pub fn outer_ring_mbps(&self) -> f64 {
+        self.outer_ring.mean_bandwidth_mbps(self.elapsed)
+    }
+
+    /// Average inner-ring load in Mbps.
+    pub fn inner_ring_mbps(&self) -> f64 {
+        self.inner_ring.mean_bandwidth_mbps(self.elapsed)
+    }
+
+    /// Average disk bandwidth (both directions) in Mbps.
+    pub fn disk_mbps(&self) -> f64 {
+        let mut t = self.disk_read;
+        t.merge(&self.disk_write);
+        t.mean_bandwidth_mbps(self.elapsed)
+    }
+
+    /// Average cache bandwidth (both directions) in Mbps.
+    pub fn cache_mbps(&self) -> f64 {
+        let mut t = self.cache_in;
+        t.merge(&self.cache_out);
+        t.mean_bandwidth_mbps(self.elapsed)
+    }
+
+    /// Per-query response times (completion − arrival).
+    pub fn response_times(&self) -> Vec<Duration> {
+        self.query_completions
+            .iter()
+            .zip(&self.query_arrivals)
+            .map(|(&done, &arrived)| done.saturating_since(arrived))
+            .collect()
+    }
+
+    /// Mean IP utilization over the makespan.
+    pub fn ip_utilization(&self) -> f64 {
+        let denom = self.elapsed.as_nanos() as f64 * self.ips as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.ip_busy.as_nanos() as f64 / denom
+        }
+    }
+}
+
+impl fmt::Display for RingMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "elapsed        : {}", self.elapsed)?;
+        writeln!(
+            f,
+            "pools          : {} ICs, {} IPs ({:.1}% utilized)",
+            self.ics,
+            self.ips,
+            self.ip_utilization() * 100.0
+        )?;
+        writeln!(
+            f,
+            "inner ring     : {} bytes, {:.3} Mbps avg",
+            self.inner_ring.bytes,
+            self.inner_ring_mbps()
+        )?;
+        writeln!(
+            f,
+            "outer ring     : {} bytes, {:.3} Mbps avg",
+            self.outer_ring.bytes,
+            self.outer_ring_mbps()
+        )?;
+        writeln!(
+            f,
+            "disk           : {} B read, {} B written, {:.3} Mbps avg",
+            self.disk_read.bytes,
+            self.disk_write.bytes,
+            self.disk_mbps()
+        )?;
+        writeln!(
+            f,
+            "cache          : {} B in, {} B out, {:.3} Mbps avg",
+            self.cache_in.bytes,
+            self.cache_out.bytes,
+            self.cache_mbps()
+        )?;
+        writeln!(
+            f,
+            "packets        : {} instruction, {} result, {} control",
+            self.instruction_packets, self.result_packets, self.control_packets
+        )?;
+        writeln!(
+            f,
+            "join protocol  : {} broadcasts, {} requests ignored, {} pages missed",
+            self.broadcasts, self.requests_ignored, self.pages_missed
+        )?;
+        if self.direct_routed_pages > 0 {
+            writeln!(f, "direct routing : {} pages IP->IP", self.direct_routed_pages)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_views() {
+        let mut m = RingMetrics {
+            elapsed: SimTime::from_nanos(1_000_000_000),
+            ips: 4,
+            ..RingMetrics::default()
+        };
+        m.outer_ring.record(5_000_000);
+        assert!((m.outer_ring_mbps() - 40.0).abs() < 1e-9);
+        m.ip_busy = Duration::from_millis(2_000);
+        assert!((m.ip_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_safe() {
+        let m = RingMetrics::default();
+        assert_eq!(m.outer_ring_mbps(), 0.0);
+        assert_eq!(m.ip_utilization(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_protocol_counters() {
+        let m = RingMetrics::default();
+        let s = format!("{m}");
+        assert!(s.contains("broadcasts"));
+        assert!(s.contains("outer ring"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests of the Figure 4.3/4.4/4.5 packet codecs: round-trip
+//! identity, size formulas, and corruption rejection on arbitrary inputs.
+
+use df_ring::packet::{
+    instruction_packet_size, result_packet_size, ControlMessage, ControlPacket,
+    InstructionPacket, Opcode, OperandSection, ResultPacket, CONTROL_PACKET_SIZE,
+    INSTRUCTION_HEADER_BYTES, OPERAND_HEADER_BYTES,
+};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::char::range('a', 'z'), 1..=8)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    prop_oneof![
+        Just(Opcode::Restrict),
+        Just(Opcode::Project),
+        Just(Opcode::Join),
+        Just(Opcode::Cross),
+        Just(Opcode::Union),
+        Just(Opcode::Difference),
+        Just(Opcode::ProjectDistinct),
+        Just(Opcode::Copy),
+        Just(Opcode::Delete),
+    ]
+}
+
+fn arb_operand() -> impl Strategy<Value = OperandSection> {
+    (arb_name(), any::<u16>(), prop::collection::vec(any::<u8>(), 0..600)).prop_map(
+        |(relation_name, tuple_length, data_page)| OperandSection {
+            relation_name,
+            tuple_length,
+            data_page,
+        },
+    )
+}
+
+fn arb_instruction() -> impl Strategy<Value = InstructionPacket> {
+    (
+        any::<u16>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<bool>(),
+        arb_opcode(),
+        arb_name(),
+        any::<u16>(),
+        prop::collection::vec(arb_operand(), 0..3),
+    )
+        .prop_map(
+            |(ipid, query_id, icid_sender, icid_destination, flush, opcode, result_relation, result_tuple_length, operands)| {
+                InstructionPacket {
+                    ipid,
+                    query_id,
+                    icid_sender,
+                    icid_destination,
+                    flush_when_done: flush,
+                    opcode,
+                    result_relation,
+                    result_tuple_length,
+                    operands,
+                }
+            },
+        )
+}
+
+fn arb_control_message() -> impl Strategy<Value = ControlMessage> {
+    prop_oneof![
+        Just(ControlMessage::Done),
+        any::<u32>().prop_map(|index| ControlMessage::RequestInner { index }),
+        any::<u32>().prop_map(|index| ControlMessage::RequestMissed { index }),
+        Just(ControlMessage::RequestOuter),
+    ]
+}
+
+proptest! {
+    /// Instruction packets round-trip and honour the Fig 4.3 size formula.
+    #[test]
+    fn instruction_round_trip(p in arb_instruction()) {
+        let bytes = p.encode().unwrap();
+        prop_assert_eq!(bytes.len(), p.wire_size());
+        let sizes: Vec<usize> = p.operands.iter().map(|o| o.data_page.len()).collect();
+        prop_assert_eq!(
+            p.wire_size(),
+            INSTRUCTION_HEADER_BYTES
+                + sizes.iter().map(|b| OPERAND_HEADER_BYTES + b).sum::<usize>()
+        );
+        prop_assert_eq!(instruction_packet_size(&sizes), p.wire_size());
+        let back = InstructionPacket::decode(&bytes).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// Truncating an instruction packet anywhere makes it undecodable (or
+    /// decodable only by rejecting the length field).
+    #[test]
+    fn truncated_instruction_rejected(p in arb_instruction(), cut in 1usize..64) {
+        let bytes = p.encode().unwrap();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        if cut > 0 {
+            let trunc = &bytes[..bytes.len() - cut];
+            prop_assert!(InstructionPacket::decode(trunc).is_err());
+        }
+    }
+
+    /// Result packets round-trip.
+    #[test]
+    fn result_round_trip(
+        icid in any::<u16>(),
+        relation_name in arb_name(),
+        data_page in prop::collection::vec(any::<u8>(), 0..800),
+    ) {
+        let p = ResultPacket { icid, relation_name, data_page };
+        let bytes = p.encode().unwrap();
+        prop_assert_eq!(bytes.len(), result_packet_size(p.data_page.len()));
+        prop_assert_eq!(ResultPacket::decode(&bytes).unwrap(), p);
+    }
+
+    /// Control packets round-trip at their fixed size.
+    #[test]
+    fn control_round_trip(
+        icid in any::<u16>(),
+        ipid_sender in any::<u16>(),
+        message in arb_control_message(),
+    ) {
+        let p = ControlPacket { icid, ipid_sender, message };
+        let bytes = p.encode();
+        prop_assert_eq!(bytes.len(), CONTROL_PACKET_SIZE);
+        prop_assert_eq!(ControlPacket::decode(&bytes).unwrap(), p);
+    }
+
+    /// Arbitrary byte soup never panics the decoders.
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = InstructionPacket::decode(&bytes);
+        let _ = ResultPacket::decode(&bytes);
+        let _ = ControlPacket::decode(&bytes);
+    }
+}

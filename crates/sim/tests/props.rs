@@ -1,0 +1,99 @@
+//! Property-based tests for the simulation kernel's ordering and
+//! conservation invariants.
+
+use df_sim::{Duration, EventQueue, Resource, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events come out in (time, insertion) order regardless of insertion
+    /// order, and the clock never goes backwards.
+    #[test]
+    fn event_queue_is_a_stable_time_sort(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = (SimTime::ZERO, 0usize);
+        let mut seen = Vec::new();
+        while let Some((at, idx)) = q.pop() {
+            prop_assert!(at >= last.0, "clock went backwards");
+            if at == last.0 {
+                prop_assert!(idx > last.1 || seen.is_empty(), "FIFO tie-break violated");
+            }
+            prop_assert_eq!(SimTime::from_nanos(times[idx]), at);
+            last = (at, idx);
+            seen.push(idx);
+        }
+        prop_assert_eq!(seen.len(), times.len());
+        // Stability: among equal times, indices ascend.
+        for w in seen.windows(2) {
+            if times[w[0]] == times[w[1]] {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    /// A resource conserves work: total busy time equals the sum of
+    /// services; completions never precede arrivals + service; a single
+    /// server never overlaps jobs.
+    #[test]
+    fn resource_conservation(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100),
+        servers in 1usize..5,
+    ) {
+        // Arrivals must be offered in non-decreasing order (the machines'
+        // usage pattern).
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|&(a, _)| a);
+        let mut r = Resource::new("prop", servers);
+        let mut completions: Vec<(SimTime, SimTime, Duration)> = Vec::new();
+        let mut total = Duration::ZERO;
+        for &(arr, svc) in &sorted {
+            let arrival = SimTime::from_nanos(arr);
+            let service = Duration::from_nanos(svc);
+            let (start, done) = r.submit(arrival, service);
+            prop_assert!(start >= arrival);
+            prop_assert_eq!(done, start + service);
+            completions.push((start, done, service));
+            total += service;
+        }
+        prop_assert_eq!(r.stats().busy, total);
+        prop_assert_eq!(r.stats().jobs as usize, sorted.len());
+        // Overlap bound: at any job start, at most `servers` jobs are open.
+        for &(s, _, _) in &completions {
+            let open = completions
+                .iter()
+                .filter(|&&(s2, d2, _)| s2 <= s && s < d2)
+                .count();
+            prop_assert!(open <= servers, "{open} jobs open with {servers} servers");
+        }
+    }
+
+    /// Makespan lower bound: an M-server resource cannot finish earlier
+    /// than total_work / M after the first arrival.
+    #[test]
+    fn resource_respects_capacity_bound(
+        services in prop::collection::vec(1u64..1_000, 1..60),
+        servers in 1usize..4,
+    ) {
+        let mut r = Resource::new("bound", servers);
+        let mut total: u64 = 0;
+        for &svc in &services {
+            r.submit(SimTime::ZERO, Duration::from_nanos(svc));
+            total += svc;
+        }
+        let finish = r.all_free().as_nanos();
+        prop_assert!(finish >= total / servers as u64);
+        prop_assert!(finish <= total, "finish {finish} beyond serial bound {total}");
+    }
+
+    /// Duration arithmetic round-trips through seconds within 1 ns.
+    #[test]
+    fn duration_seconds_round_trip(ns in 0u64..10_000_000_000_000) {
+        let d = Duration::from_nanos(ns);
+        let back = Duration::from_secs_f64(d.as_secs_f64());
+        let diff = back.as_nanos().abs_diff(ns);
+        // f64 has 52 bits of mantissa; for < 10^13 ns we stay within ~2 ns.
+        prop_assert!(diff <= 2, "{ns} -> {} (diff {diff})", back.as_nanos());
+    }
+}

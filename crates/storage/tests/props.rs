@@ -1,0 +1,116 @@
+//! Property tests of the storage hierarchy: capacity, conservation and
+//! LRU invariants under arbitrary operation sequences.
+
+use df_sim::SimTime;
+use df_storage::{CacheParams, DiskCache, DiskParams, LocalMemory, MassStorage, PageId};
+use proptest::prelude::*;
+
+proptest! {
+    /// The cache never exceeds its frame budget unless every resident page
+    /// is pinned, and evicted pages are always previously inserted ones.
+    #[test]
+    fn cache_respects_frames(
+        frames in 1usize..12,
+        ops in prop::collection::vec((0u64..40, any::<bool>()), 1..120),
+    ) {
+        let mut cache = DiskCache::new(CacheParams {
+            frames,
+            bytes_per_sec: 1e6,
+            ports: 2,
+        });
+        let mut inserted = std::collections::HashSet::new();
+        let mut pinned: Vec<PageId> = Vec::new();
+        for (raw, pin) in ops {
+            let id = PageId(raw);
+            if inserted.contains(&id) {
+                if cache.contains(id) {
+                    cache.read(SimTime::ZERO, id);
+                }
+                continue;
+            }
+            let (_, _, evicted) = cache.insert(SimTime::ZERO, 0, id, 100);
+            inserted.insert(id);
+            for e in &evicted {
+                prop_assert!(inserted.contains(e), "evicted a never-inserted page");
+                prop_assert!(!pinned.contains(e), "evicted a pinned page");
+                inserted.remove(e);
+            }
+            if pin && cache.contains(id) && pinned.len() + 1 < frames {
+                cache.pin(id);
+                pinned.push(id);
+            }
+            prop_assert!(
+                cache.frames_used() <= frames || cache.frames_used() <= pinned.len() + 1,
+                "{} frames used of {frames} with {} pinned",
+                cache.frames_used(),
+                pinned.len()
+            );
+        }
+        for id in pinned {
+            cache.unpin(id);
+        }
+    }
+
+    /// Local memory conserves pages: len == inserted − spilled − removed.
+    #[test]
+    fn local_memory_conserves_pages(
+        capacity in 1usize..8,
+        ids in prop::collection::vec(0u64..1_000, 1..80),
+    ) {
+        let mut mem = LocalMemory::new(capacity);
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for (i, &raw) in ids.iter().enumerate() {
+            let id = PageId(raw + i as u64 * 10_000); // unique ids
+            let spilled = mem.insert(id, 100, |_| 100);
+            resident.insert(id.0);
+            for s in spilled {
+                prop_assert!(resident.remove(&s.0), "spilled an unknown page");
+            }
+            prop_assert_eq!(mem.len(), resident.len());
+            prop_assert!(mem.len() <= capacity);
+        }
+    }
+
+    /// Disk timing is additive and FCFS: k same-size reads on d arms finish
+    /// no earlier than ceil(k/d) service times.
+    #[test]
+    fn disk_fcfs_lower_bound(k in 1usize..30, drives in 1usize..4) {
+        let params = DiskParams {
+            drives,
+            ..DiskParams::default()
+        };
+        let service = params.service_time(1000);
+        let mut disk = MassStorage::new(params);
+        let mut last = SimTime::ZERO;
+        for i in 0..k {
+            let id = PageId(i as u64);
+            disk.preload(id);
+            let (_, done) = disk.read(SimTime::ZERO, id, 1000);
+            last = last.max(done);
+        }
+        let rounds = k.div_ceil(drives) as u64;
+        let bound = SimTime::ZERO + service.saturating_mul(rounds);
+        prop_assert_eq!(last, bound, "k={} drives={}", k, drives);
+        prop_assert_eq!(disk.read_traffic.transfers, k as u64);
+    }
+
+    /// Re-inserting after discard works, and byte counters are monotone.
+    #[test]
+    fn discard_reinsert_cycle(rounds in 1usize..20) {
+        let mut cache = DiskCache::new(CacheParams {
+            frames: 2,
+            bytes_per_sec: 1e6,
+            ports: 1,
+        });
+        let id = PageId(7);
+        let mut last_bytes = 0;
+        for _ in 0..rounds {
+            cache.insert(SimTime::ZERO, 0, id, 50);
+            prop_assert!(cache.contains(id));
+            prop_assert!(cache.in_traffic.bytes > last_bytes);
+            last_bytes = cache.in_traffic.bytes;
+            cache.discard(id);
+            prop_assert!(!cache.contains(id));
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Workspace glue crate hosting the root tests/ directory.

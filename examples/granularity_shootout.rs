@@ -1,0 +1,83 @@
+//! Granularity shootout: a miniature Figure 3.1.
+//!
+//! Runs the paper's ten-query benchmark at reduced scale under all three
+//! operand granularities across a processor sweep, printing execution time,
+//! network traffic, and disk traffic for each. The full-scale version is
+//! `cargo run --release -p df-bench --bin experiments -- fig3_1`.
+//!
+//! ```sh
+//! cargo run --release -p df-bench --example granularity_shootout
+//! ```
+
+use df_core::{run_queries, AllocationStrategy, Granularity, MachineParams};
+use df_workload::{benchmark_queries, generate_database, BenchmarkSpec};
+
+fn main() {
+    let spec = BenchmarkSpec::scaled(0.1); // 550 KB database
+    let db = generate_database(&spec.database);
+    let queries = benchmark_queries(&db, &spec).expect("benchmark builds");
+    println!(
+        "database: {} relations, {} KB; benchmark: {} queries\n",
+        db.len(),
+        db.total_bytes() / 1024,
+        queries.len()
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "procs", "granular.", "elapsed", "arb net", "disk", "util"
+    );
+
+    for processors in [4usize, 8, 16, 32] {
+        let mut params = MachineParams::with_processors(processors);
+        params.cache.frames = 128; // ~1/4 of the database: real pressure
+        let mut elapsed = std::collections::HashMap::new();
+        for granularity in Granularity::ALL {
+            let out = run_queries(
+                &db,
+                &queries,
+                &params,
+                granularity,
+                AllocationStrategy::default(),
+            )
+            .expect("benchmark runs");
+            let m = &out.metrics;
+            elapsed.insert(granularity, m.elapsed.as_secs_f64());
+            println!(
+                "{:>6} {:>10} {:>11.3}s {:>9} KB {:>9} KB {:>9.1}%",
+                processors,
+                granularity.to_string(),
+                m.elapsed.as_secs_f64(),
+                m.arbitration.bytes / 1024,
+                (m.disk_read.bytes + m.disk_write.bytes) / 1024,
+                m.processor_utilization() * 100.0
+            );
+        }
+        println!(
+            "        relation/page ratio: {:.2}x (paper Figure 3.1: ~2x)\n",
+            elapsed[&Granularity::Relation] / elapsed[&Granularity::Page]
+        );
+    }
+
+    // Visualize the pipelining difference on one deep query (Q10): under
+    // page-level granularity the join bars overlap their producers; under
+    // relation-level each stage waits for the previous to finish.
+    let deep = &queries[9..10];
+    let mut params = MachineParams::with_processors(16);
+    params.cache.frames = 128;
+    for granularity in [Granularity::Relation, Granularity::Page] {
+        let out = run_queries(
+            &db,
+            deep,
+            &params,
+            granularity,
+            AllocationStrategy::default(),
+        )
+        .expect("Q10 runs");
+        println!(
+            "Q10 instruction timeline, {granularity} granularity ({}):",
+            out.metrics.elapsed
+        );
+        print!("{}", out.metrics.render_timeline(60));
+        println!();
+    }
+}

@@ -1,0 +1,193 @@
+//! An interactive query shell over the whole stack: type s-expression
+//! queries against the generated database and run them on your choice of
+//! engine, with optional optimization.
+//!
+//! ```sh
+//! cargo run --release -p df-bench --example repl
+//! ```
+//!
+//! ```text
+//! df> :relations
+//! df> (restrict (scan r00) (< val 100))
+//! df> :engine ring
+//! df> :optimize on
+//! df> (restrict (join (scan r01) (scan r02) (= fk key)) (< val 300))
+//! df> :quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use df_core::{run_query, Granularity, MachineParams};
+use df_opt::{optimize, CatalogStats};
+use df_query::{execute_readonly, parse_query, render_tree, ExecParams};
+use df_ring::{run_ring_queries, RingParams};
+use df_workload::{generate_database, DatabaseSpec};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Oracle,
+    Relation,
+    Page,
+    Tuple,
+    Ring,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Oracle => "oracle",
+            Engine::Relation => "relation",
+            Engine::Page => "page",
+            Engine::Tuple => "tuple",
+            Engine::Ring => "ring",
+        }
+    }
+}
+
+fn main() {
+    let db = generate_database(&DatabaseSpec::scaled(0.05));
+    let stats = CatalogStats::gather(&db);
+    let mut engine = Engine::Page;
+    let mut optimizing = false;
+
+    println!(
+        "dataflow-dbm shell — {} relations, {} KB. :help for commands.",
+        db.len(),
+        db.total_bytes() / 1024
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("df> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ":quit" | ":q" => break,
+            ":help" => {
+                println!(
+                    ":engine oracle|relation|page|tuple|ring   select execution engine\n\
+                     :optimize on|off                          run df-opt first\n\
+                     :relations                                list relations\n\
+                     :quit                                     exit\n\
+                     anything else is parsed as a query, e.g.\n\
+                     (restrict (scan r00) (< val 100))"
+                );
+                continue;
+            }
+            ":relations" => {
+                for r in db.iter() {
+                    println!("  {r}");
+                }
+                continue;
+            }
+            ":optimize on" => {
+                optimizing = true;
+                println!("optimizer on");
+                continue;
+            }
+            ":optimize off" => {
+                optimizing = false;
+                println!("optimizer off");
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(rest) = line.strip_prefix(":engine ") {
+            engine = match rest.trim() {
+                "oracle" => Engine::Oracle,
+                "relation" => Engine::Relation,
+                "page" => Engine::Page,
+                "tuple" => Engine::Tuple,
+                "ring" => Engine::Ring,
+                other => {
+                    println!("unknown engine `{other}`");
+                    continue;
+                }
+            };
+            println!("engine = {}", engine.name());
+            continue;
+        }
+
+        // A query.
+        let tree = match parse_query(&db, line) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("parse error: {e}");
+                continue;
+            }
+        };
+        let tree = if optimizing {
+            match optimize(&db, &tree, &stats) {
+                Ok(o) => {
+                    if !o.applied.is_empty() {
+                        println!("optimizer applied: {:?}", o.applied);
+                    }
+                    o.tree
+                }
+                Err(e) => {
+                    println!("optimizer error: {e}");
+                    continue;
+                }
+            }
+        } else {
+            tree
+        };
+        println!("{}", render_tree(&tree));
+
+        let result = match engine {
+            Engine::Oracle => execute_readonly(&db, &tree, &ExecParams::default())
+                .map(|r| (r, String::from("(sequential oracle)"))),
+            Engine::Relation | Engine::Page | Engine::Tuple => {
+                let g = match engine {
+                    Engine::Relation => Granularity::Relation,
+                    Engine::Tuple => Granularity::Tuple,
+                    _ => Granularity::Page,
+                };
+                run_query(&db, &tree, &MachineParams::with_processors(16), g).map(|(r, m)| {
+                    (
+                        r,
+                        format!(
+                            "(simulated {} on 16 processors, {g} granularity, arb {:.2} Mbps)",
+                            m.elapsed,
+                            m.arbitration_mbps()
+                        ),
+                    )
+                })
+            }
+            Engine::Ring => run_ring_queries(
+                &db,
+                std::slice::from_ref(&tree),
+                &RingParams::with_pools(4, 12),
+            )
+            .map(|mut out| {
+                let r = out.results.remove(0);
+                let note = format!(
+                    "(ring machine, simulated {}, outer ring {:.2} Mbps, {} broadcasts)",
+                    out.metrics.elapsed,
+                    out.metrics.outer_ring_mbps(),
+                    out.metrics.broadcasts
+                );
+                (r, note)
+            }),
+        };
+        match result {
+            Ok((rel, note)) => {
+                println!("{} tuples {note}", rel.num_tuples());
+                for t in rel.tuples().take(10) {
+                    println!("  {t}");
+                }
+                if rel.num_tuples() > 10 {
+                    println!("  ... and {} more", rel.num_tuples() - 10);
+                }
+            }
+            Err(e) => println!("execution error: {e}"),
+        }
+    }
+    println!("bye");
+}

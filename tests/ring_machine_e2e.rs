@@ -1,0 +1,121 @@
+//! Ring machine (§4) vs oracle and vs the centralized df-core machine on
+//! the paper's workload, plus protocol-level invariants at scale.
+
+use df_core::{run_queries, AllocationStrategy, Granularity, MachineParams};
+use df_query::{execute_readonly, ExecParams};
+use df_relalg::Catalog;
+use df_ring::{run_ring_queries, RingParams};
+use df_workload::{benchmark_queries, chain_query, generate_database, BenchmarkSpec};
+
+fn setup() -> (Catalog, BenchmarkSpec) {
+    let spec = BenchmarkSpec::scaled(0.01);
+    let db = generate_database(&spec.database);
+    (db, spec)
+}
+
+fn ring_params() -> RingParams {
+    let mut p = RingParams::with_pools(4, 8);
+    p.cache.frames = 128;
+    p.ic_memory_pages = 16;
+    p
+}
+
+#[test]
+fn ring_machine_runs_the_whole_benchmark_correctly() {
+    let (db, spec) = setup();
+    let queries = benchmark_queries(&db, &spec).unwrap();
+    let out = run_ring_queries(&db, &queries, &ring_params()).unwrap();
+    for (i, (q, rel)) in queries.iter().zip(&out.results).enumerate() {
+        let oracle = execute_readonly(&db, q, &ExecParams::default()).unwrap();
+        assert!(
+            rel.same_contents(&oracle),
+            "ring Q{}: {} tuples vs oracle {}",
+            i + 1,
+            rel.num_tuples(),
+            oracle.num_tuples()
+        );
+    }
+    // Read-only benchmark: concurrency control must not serialize anything.
+    assert_eq!(out.metrics.queries_delayed_by_cc, 0);
+    // The join protocol must actually have run.
+    assert!(out.metrics.broadcasts > 0);
+    assert!(out.metrics.instruction_packets > 0);
+    assert!(out.metrics.result_packets > 0);
+}
+
+#[test]
+fn ring_and_centralized_machine_agree_on_results() {
+    let (db, spec) = setup();
+    let q = chain_query(&db, 15, 3, 2, 3, spec.cutoff()).unwrap();
+    let central = run_queries(
+        &db,
+        std::slice::from_ref(&q),
+        &MachineParams::with_processors(8),
+        Granularity::Page,
+        AllocationStrategy::default(),
+    )
+    .unwrap();
+    let ring = run_ring_queries(&db, std::slice::from_ref(&q), &ring_params()).unwrap();
+    assert!(ring.results[0].same_contents(&central.results[0]));
+}
+
+#[test]
+fn inner_ring_stays_far_below_its_budget() {
+    // Paper §4.1: "a bandwidth of 1-2 million bits per second should be
+    // sufficient" for the inner ring.
+    let (db, spec) = setup();
+    let queries = benchmark_queries(&db, &spec).unwrap();
+    let out = run_ring_queries(&db, &queries, &ring_params()).unwrap();
+    let mbps = out.metrics.inner_ring_mbps();
+    assert!(
+        mbps < 2.0,
+        "inner ring needs {mbps:.2} Mbps, exceeding the paper's budget"
+    );
+}
+
+#[test]
+fn join_protocol_counters_are_consistent() {
+    let (db, spec) = setup();
+    let q = chain_query(&db, 15, 0, 1, 0, spec.cutoff()).unwrap();
+    let mut p = ring_params();
+    p.ip_memory_pages = 2; // force misses
+    let out = run_ring_queries(&db, std::slice::from_ref(&q), &p).unwrap();
+    let m = &out.metrics;
+    assert!(m.broadcasts > 0);
+    // Every missed page is eventually caught up, so the run completed; the
+    // catch-up traffic shows up as extra control packets.
+    if m.pages_missed > 0 {
+        assert!(m.control_packets > m.result_packets);
+    }
+}
+
+#[test]
+fn direct_routing_is_correct_on_the_benchmark() {
+    let (db, spec) = setup();
+    let queries = benchmark_queries(&db, &spec).unwrap();
+    let mut p = ring_params();
+    p.direct_routing = true;
+    let out = run_ring_queries(&db, &queries, &p).unwrap();
+    for (i, (q, rel)) in queries.iter().zip(&out.results).enumerate() {
+        let oracle = execute_readonly(&db, q, &ExecParams::default()).unwrap();
+        assert!(rel.same_contents(&oracle), "direct-routed Q{}", i + 1);
+    }
+    assert!(out.metrics.direct_routed_pages > 0);
+}
+
+#[test]
+fn pool_size_sweep_is_deterministic_and_correct() {
+    let (db, spec) = setup();
+    let q = chain_query(&db, 15, 5, 1, 2, spec.cutoff()).unwrap();
+    let oracle = execute_readonly(&db, &q, &ExecParams::default()).unwrap();
+    for (ics, ips) in [(1usize, 1usize), (2, 3), (4, 8), (6, 16)] {
+        let mut p = ring_params();
+        p.ics = ics;
+        p.ips = ips;
+        let a = run_ring_queries(&db, std::slice::from_ref(&q), &p).unwrap();
+        let b = run_ring_queries(&db, std::slice::from_ref(&q), &p).unwrap();
+        assert!(a.results[0].same_contents(&oracle), "{ics} ICs / {ips} IPs");
+        assert_eq!(a.metrics.elapsed, b.metrics.elapsed, "{ics}/{ips} not deterministic");
+        assert_eq!(a.metrics.outer_ring.bytes, b.metrics.outer_ring.bytes);
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate storage-hierarchy behaviour: the three-level hierarchy under
+//! a machine workload (conservation, spill behaviour, quota effects).
+
+use df_core::{run_queries, AllocationStrategy, Granularity, MachineParams};
+use df_ring::{run_ring_queries, RingParams};
+use df_sim::SimTime;
+use df_storage::{CacheParams, DiskCache, DiskParams, LocalMemory, MassStorage, PageId};
+use df_workload::{benchmark_queries, generate_database, BenchmarkSpec};
+
+#[test]
+fn tiny_cache_forces_spills_big_cache_avoids_them() {
+    let spec = BenchmarkSpec::scaled(0.02);
+    let db = generate_database(&spec.database);
+    let queries = benchmark_queries(&db, &spec).unwrap();
+    let mut tiny = MachineParams::with_processors(8);
+    tiny.cache.frames = 16;
+    let mut big = MachineParams::with_processors(8);
+    big.cache.frames = 4096;
+    let m_tiny = run_queries(&db, &queries, &tiny, Granularity::Relation, AllocationStrategy::default())
+        .unwrap()
+        .metrics;
+    let m_big = run_queries(&db, &queries, &big, Granularity::Relation, AllocationStrategy::default())
+        .unwrap()
+        .metrics;
+    assert!(
+        m_tiny.disk_write.bytes > m_big.disk_write.bytes,
+        "tiny cache must spill more ({} vs {})",
+        m_tiny.disk_write.bytes,
+        m_big.disk_write.bytes
+    );
+    assert_eq!(m_big.disk_write.bytes, 0, "4096 frames should absorb everything");
+    assert!(m_tiny.elapsed > m_big.elapsed);
+}
+
+#[test]
+fn source_reads_are_bounded_by_database_size_with_broadcast_joins() {
+    // With broadcast joins every base page is read from disk at most once
+    // per consuming instruction; the benchmark touches relations from
+    // multiple queries, so reads are bounded by (instructions × db size)
+    // but must at least cover each referenced relation once.
+    let spec = BenchmarkSpec::scaled(0.02);
+    let db = generate_database(&spec.database);
+    let queries = benchmark_queries(&db, &spec).unwrap();
+    let mut p = MachineParams::with_processors(8);
+    p.cache.frames = 4096;
+    let m = run_queries(&db, &queries, &p, Granularity::Page, AllocationStrategy::default())
+        .unwrap()
+        .metrics;
+    let db_bytes = db.total_bytes() as u64;
+    assert!(m.disk_read.bytes >= db_bytes / 4, "benchmark must actually read the database");
+    assert!(
+        m.disk_read.bytes <= 4 * db_bytes,
+        "disk reads {} exceed 4x the database ({}); caching is broken",
+        m.disk_read.bytes,
+        db_bytes
+    );
+}
+
+#[test]
+fn ring_ic_memory_pressure_spills_into_cache_segments() {
+    let spec = BenchmarkSpec::scaled(0.01);
+    let db = generate_database(&spec.database);
+    let queries = benchmark_queries(&db, &spec).unwrap();
+    let mut tight = RingParams::with_pools(3, 6);
+    tight.ic_memory_pages = 2;
+    tight.cache.frames = 512;
+    let mut roomy = RingParams::with_pools(3, 6);
+    roomy.ic_memory_pages = 512;
+    roomy.cache.frames = 512;
+    let m_tight = run_ring_queries(&db, &queries, &tight).unwrap().metrics;
+    let m_roomy = run_ring_queries(&db, &queries, &roomy).unwrap().metrics;
+    assert!(
+        m_tight.cache_in.bytes > m_roomy.cache_in.bytes,
+        "tight IC memories must push more into the cache ({} vs {})",
+        m_tight.cache_in.bytes,
+        m_roomy.cache_in.bytes
+    );
+}
+
+#[test]
+fn device_timing_composes_in_a_hierarchy() {
+    // Unit-style sanity across the three levels with one page.
+    let mut disk = MassStorage::new(DiskParams::default());
+    let mut cache = DiskCache::new(CacheParams {
+        frames: 2,
+        bytes_per_sec: 4e6,
+        ports: 1,
+    });
+    let mut local = LocalMemory::new(2);
+    let page = PageId(1);
+    disk.preload(page);
+
+    let t0 = SimTime::ZERO;
+    let (_, t1) = disk.read(t0, page, 16_384);
+    let (_, t2, evicted) = cache.insert(t1, 0, page, 16_384);
+    assert!(evicted.is_empty());
+    assert!(t2 > t1 && t1 > t0);
+    let spilled = local.insert(page, 16_384, |_| 16_384);
+    assert!(spilled.is_empty());
+    // Disk leg dominates: a 16 KB page at 3330 speeds is ~58 ms, the cache
+    // leg ~4 ms.
+    let disk_leg = t1.since(t0);
+    let cache_leg = t2.since(t1);
+    assert!(disk_leg.as_millis_f64() > 10.0 * cache_leg.as_millis_f64());
+}
+
+#[test]
+fn per_ic_quota_isolation_under_workload() {
+    // Two ICs share a cache; quotas keep one IC's spill storm from evicting
+    // the other's pages.
+    let mut cache = DiskCache::new(CacheParams {
+        frames: 8,
+        bytes_per_sec: 4e6,
+        ports: 2,
+    });
+    cache.set_quota(0, 4);
+    cache.set_quota(1, 4);
+    for i in 0..4u64 {
+        cache.insert(SimTime::ZERO, 1, PageId(100 + i), 1000);
+    }
+    // IC 0 floods far past its quota.
+    let mut evicted_own = 0;
+    for i in 0..20u64 {
+        let (_, _, ev) = cache.insert(SimTime::ZERO, 0, PageId(i), 1000);
+        evicted_own += ev.len();
+    }
+    assert!(evicted_own >= 16, "IC 0 must recycle its own segment");
+    for i in 0..4u64 {
+        assert!(
+            cache.contains(PageId(100 + i)),
+            "IC 1's page {} was stolen",
+            100 + i
+        );
+    }
+}
