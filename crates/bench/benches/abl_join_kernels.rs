@@ -39,8 +39,8 @@ fn abl_join_kernels(c: &mut Criterion) {
     for n in [200usize, 800, 2000] {
         let outer = make_relation("outer", n, n as i64, 1);
         let inner = make_relation("inner", n, n as i64, 2);
-        let cond = JoinCondition::equi(outer.schema(), "key", inner.schema(), "key")
-            .expect("condition");
+        let cond =
+            JoinCondition::equi(outer.schema(), "key", inner.schema(), "key").expect("condition");
         group.bench_with_input(BenchmarkId::new("nested_loops", n), &n, |b, _| {
             b.iter(|| nested_loops_join_relations(&outer, &inner, &cond))
         });

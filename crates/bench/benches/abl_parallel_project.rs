@@ -39,8 +39,11 @@ fn tail_and_elapsed(m: &df_core::Metrics) -> (f64, f64) {
 
 fn abl_parallel_project(c: &mut Criterion) {
     let db = generate_database(&DatabaseSpec::scaled(0.2));
-    let q = parse_query(&db, "(project-distinct (restrict (scan r00) true) (fk val))")
-        .expect("query");
+    let q = parse_query(
+        &db,
+        "(project-distinct (restrict (scan r00) true) (fk val))",
+    )
+    .expect("query");
     let run = |buckets: usize| {
         let mut params = MachineParams::with_processors(16);
         params.dedup_buckets = buckets;

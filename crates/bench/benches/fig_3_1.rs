@@ -31,11 +31,9 @@ fn fig_3_1(c: &mut Criterion) {
     for procs in [8usize, 32] {
         let params = fig31_params(&s, procs);
         for g in [Granularity::Relation, Granularity::Page] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{g}"), procs),
-                &procs,
-                |b, _| b.iter(|| run_core(&s, &params, g)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{g}"), procs), &procs, |b, _| {
+                b.iter(|| run_core(&s, &params, g))
+            });
         }
     }
     group.finish();

@@ -2,9 +2,16 @@
 //! codec — the per-packet work an instruction processor performs. These are
 //! real CPU benchmarks (no simulation) guarding the hot path from
 //! regressions.
+//!
+//! Each kernel group reports `Throughput::Bytes` over the input page data
+//! so decoded-`Tuple` and zero-copy (`TupleRef`/`TupleBuf`) variants are
+//! directly comparable in MiB/s.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use df_query::ops::{join_pages, project_page, restrict_page};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use df_query::ops::{
+    dedup_pages_raw, dedup_tuples, join_pages, join_pages_raw, project_page, project_page_raw,
+    restrict_page, restrict_page_raw,
+};
 use df_relalg::{
     CmpOp, DataType, JoinCondition, Page, Predicate, Projection, Schema, Tuple, Value,
 };
@@ -35,22 +42,50 @@ fn page() -> Page {
     p
 }
 
+/// Bytes of tuple data a kernel reads from one page.
+fn page_data_bytes(p: &Page) -> u64 {
+    (p.len() * p.schema().tuple_width()) as u64
+}
+
 fn operator_kernels(c: &mut Criterion) {
     let p = page();
     let s = schema();
 
     let pred = Predicate::cmp_const(&s, "val", CmpOp::Lt, Value::Int(500)).expect("pred");
-    c.bench_function("restrict_page_10_tuples", |b| {
-        b.iter(|| restrict_page(&p, &pred))
-    });
+    let mut g = c.benchmark_group("restrict_page_10_tuples");
+    g.throughput(Throughput::Bytes(page_data_bytes(&p)));
+    g.bench_function("decoded", |b| b.iter(|| restrict_page(&p, &pred)));
+    g.bench_function("raw", |b| b.iter(|| restrict_page_raw(&p, &pred)));
+    g.finish();
 
     let proj = Projection::new(&s, &["key", "val"]).expect("proj");
-    c.bench_function("project_page_10_tuples", |b| {
-        b.iter(|| project_page(&p, &proj))
+    let proj_schema = proj.output_schema(&s).expect("schema");
+    let mut g = c.benchmark_group("project_page_10_tuples");
+    g.throughput(Throughput::Bytes(page_data_bytes(&p)));
+    g.bench_function("decoded", |b| b.iter(|| project_page(&p, &proj)));
+    g.bench_function("raw", |b| {
+        b.iter(|| project_page_raw(&p, &proj, &proj_schema))
     });
+    g.finish();
 
     let cond = JoinCondition::equi(&s, "fk", &s, "key").expect("cond");
-    c.bench_function("join_pages_10x10", |b| b.iter(|| join_pages(&p, &p, &cond)));
+    let joined_schema = s.concat(&s);
+    let mut g = c.benchmark_group("join_pages_10x10");
+    g.throughput(Throughput::Bytes(2 * page_data_bytes(&p)));
+    g.bench_function("decoded", |b| b.iter(|| join_pages(&p, &p, &cond)));
+    g.bench_function("raw", |b| {
+        b.iter(|| join_pages_raw(&p, &p, &cond, &joined_schema))
+    });
+    g.finish();
+
+    let pages = [&p, &p, &p, &p];
+    let mut g = c.benchmark_group("dedup_4_pages");
+    g.throughput(Throughput::Bytes(4 * page_data_bytes(&p)));
+    g.bench_function("decoded", |b| {
+        b.iter(|| dedup_tuples(pages.iter().flat_map(|pg| pg.tuples())))
+    });
+    g.bench_function("raw", |b| b.iter(|| dedup_pages_raw(&pages[..], &s)));
+    g.finish();
 
     let tuple = p.get(0).expect("tuple");
     c.bench_function("tuple_encode_100B", |b| {
@@ -67,9 +102,11 @@ fn operator_kernels(c: &mut Criterion) {
         b.iter(|| Tuple::decode(&s, &buf).expect("decode"))
     });
 
-    c.bench_function("page_iterate_10_tuples", |b| {
-        b.iter(|| p.tuples().count())
-    });
+    let mut g = c.benchmark_group("page_iterate_10_tuples");
+    g.throughput(Throughput::Bytes(page_data_bytes(&p)));
+    g.bench_function("decoded", |b| b.iter(|| p.tuples().count()));
+    g.bench_function("refs", |b| b.iter(|| p.tuple_refs().count()));
+    g.finish();
 }
 
 criterion_group!(benches, operator_kernels);

@@ -15,7 +15,10 @@ use df_workload::{chain_query, generate_database, DatabaseSpec, VAL_DOMAIN};
 fn sec_3_3(c: &mut Criterion) {
     // (a) Closed form, exactly the paper's arithmetic.
     eprintln!("\nSEC-3.3 closed form: join of 1000 x 1000 100-byte tuples, 10 tuples/page");
-    eprintln!("  {:>4} {:>16} {:>16} {:>7}", "c", "tuple bytes", "page bytes", "ratio");
+    eprintln!(
+        "  {:>4} {:>16} {:>16} {:>7}",
+        "c", "tuple bytes", "page bytes", "ratio"
+    );
     for c_overhead in [0usize, 32, 50, 100, 200] {
         let t = bandwidth::tuple_level_join_bytes(1000, 1000, 100, c_overhead);
         let p = bandwidth::page_level_join_bytes(1000, 1000, 100, 10, c_overhead);

@@ -10,7 +10,9 @@
 //! `abl_bcast`, `abl_route`, `abl_proj`, `abl_multi`. The output of a full
 //! run is recorded in `EXPERIMENTS.md`.
 
-use df_bench::{fig31_params, fig42_params, run_core, run_ring, setup, setup_with_page_size, BenchSetup};
+use df_bench::{
+    fig31_params, fig42_params, run_core, run_ring, setup, setup_with_page_size, BenchSetup,
+};
 use df_core::{bandwidth, run_queries, AllocationStrategy, Granularity, MachineParams};
 use df_workload::{benchmark_queries, chain_query, generate_database, VAL_DOMAIN};
 
@@ -86,7 +88,10 @@ fn fig3_1(s: &BenchSetup) {
 fn sec3_3() {
     println!("--- SEC-3.3: arbitration network traffic, tuple vs page granularity");
     println!("closed form (n = m = 1000 tuples of 100 B, 10 tuples/page):");
-    println!("{:>6} {:>16} {:>16} {:>7}", "c", "tuple bytes", "page bytes", "ratio");
+    println!(
+        "{:>6} {:>16} {:>16} {:>7}",
+        "c", "tuple bytes", "page bytes", "ratio"
+    );
     for c in [0usize, 32, 50, 100, 200] {
         let t = bandwidth::tuple_level_join_bytes(1000, 1000, 100, c);
         let p = bandwidth::page_level_join_bytes(1000, 1000, 100, 10, c);
@@ -294,7 +299,9 @@ fn abl_proj() {
 /// an open Poisson stream of benchmark queries vs the offered load.
 fn abl_multi() {
     use df_sim::rng::SimRng;
-    println!("--- ABL-MULTI: open multi-user stream on the ring machine (8 ICs x 30 IPs, 16 KB pages)");
+    println!(
+        "--- ABL-MULTI: open multi-user stream on the ring machine (8 ICs x 30 IPs, 16 KB pages)"
+    );
     let s16 = setup_with_page_size(0.3, 16 * 1024);
     println!(
         "{:>14} {:>12} {:>14} {:>10}",
@@ -302,14 +309,13 @@ fn abl_multi() {
     );
     for mean_gap in [4.0f64, 2.0, 1.0, 0.5, 0.25] {
         let mut rng = SimRng::new(0xa11d);
-        let arrivals =
-            df_workload::poisson_arrivals(s16.queries.len(), mean_gap, &mut rng);
+        let arrivals = df_workload::poisson_arrivals(s16.queries.len(), mean_gap, &mut rng);
         let params = fig42_params(&s16, 30);
         let out = df_ring::run_ring_queries_at(&s16.db, &s16.queries, &arrivals, &params)
             .expect("stream runs");
         let responses = out.metrics.response_times();
-        let mean_resp: f64 = responses.iter().map(|d| d.as_secs_f64()).sum::<f64>()
-            / responses.len() as f64;
+        let mean_resp: f64 =
+            responses.iter().map(|d| d.as_secs_f64()).sum::<f64>() / responses.len() as f64;
         println!(
             "{:>12.2} s {:>11.3}s {:>13.3}s {:>10}",
             mean_gap,
@@ -318,14 +324,18 @@ fn abl_multi() {
             out.metrics.queries_delayed_by_cc
         );
     }
-    println!("requirement 1: the machine absorbs an open stream; response degrades as load rises\n");
+    println!(
+        "requirement 1: the machine absorbs an open stream; response degrades as load rises\n"
+    );
 }
 
 /// ABL-ROUTE: §5 direct IP→IP routing on the ring machine (run in the
 /// Figure-4.2 configuration: 16 KB pages, where the store-and-forward
 /// baseline is healthy and the comparison isolates the routing change).
 fn abl_route(_s: &BenchSetup) {
-    println!("--- ABL-ROUTE: direct IP->IP result routing (ring machine, 8 ICs x 30 IPs, 16 KB pages)");
+    println!(
+        "--- ABL-ROUTE: direct IP->IP result routing (ring machine, 8 ICs x 30 IPs, 16 KB pages)"
+    );
     let s16 = setup_with_page_size(1.0, 16 * 1024);
     for direct in [false, true] {
         let mut params = fig42_params(&s16, 30);

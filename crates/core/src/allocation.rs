@@ -47,7 +47,10 @@ impl AllocationStrategy {
     /// # Panics
     /// Panics if `candidates` is empty.
     pub fn choose(self, candidates: &[(usize, usize, usize)], rr_cursor: &mut usize) -> usize {
-        assert!(!candidates.is_empty(), "no ready instructions to choose from");
+        assert!(
+            !candidates.is_empty(),
+            "no ready instructions to choose from"
+        );
         match self {
             AllocationStrategy::InstructionAtATime => {
                 candidates.iter().map(|&(id, _, _)| id).min().unwrap()

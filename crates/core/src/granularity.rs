@@ -19,7 +19,8 @@ pub enum Granularity {
 
 impl Granularity {
     /// All three, for sweeps.
-    pub const ALL: [Granularity; 3] = [Granularity::Relation, Granularity::Page, Granularity::Tuple];
+    pub const ALL: [Granularity; 3] =
+        [Granularity::Relation, Granularity::Page, Granularity::Tuple];
 
     /// Whether instructions may fire before their operands are complete.
     pub fn pipelines(self) -> bool {

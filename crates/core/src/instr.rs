@@ -11,7 +11,9 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 use df_query::{ops, validate, NodeId, Op, QueryTree};
-use df_relalg::{Catalog, JoinCondition, Page, Predicate, Projection, Result, Schema, Tuple};
+use df_relalg::{
+    Catalog, JoinCondition, Page, Predicate, Projection, Result, Schema, Tuple, TupleBuf, TupleRef,
+};
 
 /// Index of an instruction within a [`Program`].
 pub type InstrId = usize;
@@ -87,12 +89,117 @@ impl Kernel {
         }
     }
 
+    /// Execute one page-or-pair work unit on the zero-copy path: predicates
+    /// and join keys are evaluated directly over the encoded tuple images
+    /// and surviving images are memcpy'd into the returned batch — nothing
+    /// is decoded or re-encoded. `out_schema` is the instruction's output
+    /// schema (carried by the compiled [`Instruction`]).
+    ///
+    /// Emits exactly the tuples [`Kernel::run_unit`] emits, in the same
+    /// order, with byte-identical images.
+    ///
+    /// # Panics
+    /// Panics if called on a [`UnitGen::WholeRelation`] kernel (use
+    /// [`Kernel::run_final_raw`]) or with the wrong operand count.
+    pub fn run_unit_raw(&self, pages: &[&Page], out_schema: &Schema) -> TupleBuf {
+        match self {
+            Kernel::Restrict(p) | Kernel::DeleteFilter(p) => ops::restrict_page_raw(pages[0], p),
+            Kernel::Project(proj) => ops::project_page_raw(pages[0], proj, out_schema),
+            Kernel::Identity => {
+                let mut out = TupleBuf::new(out_schema.clone());
+                for t in pages[0].tuple_refs() {
+                    out.push_ref(&t);
+                }
+                out
+            }
+            Kernel::JoinPair(c) => ops::join_pages_raw(pages[0], pages[1], c, out_schema),
+            Kernel::CrossPair => ops::cross_pages_raw(pages[0], pages[1], out_schema),
+            k => panic!("run_unit_raw called on whole-relation kernel {k:?}"),
+        }
+    }
+
     /// Execute a whole-relation finalizer over complete inputs.
     ///
     /// Set semantics match `df-query::ops` exactly so machine results are
     /// oracle-comparable.
     pub fn run_final(&self, inputs: &[Vec<&Page>]) -> Vec<Tuple> {
         self.run_final_bucket(inputs, 0, 1)
+    }
+
+    /// Zero-copy whole-relation finalizer: membership sets hash the raw
+    /// tuple images (the encoding is canonical — images are equal exactly
+    /// when tuples are), so the serial case decodes nothing.
+    pub fn run_final_raw(&self, inputs: &[Vec<&Page>], out_schema: &Schema) -> TupleBuf {
+        self.run_final_bucket_raw(inputs, 0, 1, out_schema)
+    }
+
+    /// One bucket of a whole-relation finalizer on the zero-copy path.
+    ///
+    /// Bucket partitioning (buckets > 1) still decodes each tuple, because
+    /// it must reproduce [`tuple_bucket`] exactly for per-bucket outputs to
+    /// stay byte-identical to the decoded path; dedup membership and output
+    /// construction stay raw regardless.
+    pub fn run_final_bucket_raw(
+        &self,
+        inputs: &[Vec<&Page>],
+        bucket: u64,
+        buckets: u64,
+        out_schema: &Schema,
+    ) -> TupleBuf {
+        assert!(
+            buckets > 0 && bucket < buckets,
+            "invalid bucket {bucket}/{buckets}"
+        );
+        let in_bucket = |t: &TupleRef<'_>| -> bool {
+            buckets == 1 || tuple_bucket(&t.to_tuple(), buckets) == bucket
+        };
+        match self {
+            Kernel::UnionFinal => {
+                let mut seen: HashSet<&[u8]> = HashSet::new();
+                let mut out = TupleBuf::new(out_schema.clone());
+                for t in inputs[0]
+                    .iter()
+                    .flat_map(|p| p.tuple_refs())
+                    .chain(inputs[1].iter().flat_map(|p| p.tuple_refs()))
+                {
+                    if in_bucket(&t) && seen.insert(t.raw()) {
+                        out.push_ref(&t);
+                    }
+                }
+                out
+            }
+            Kernel::DifferenceFinal => {
+                let exclude: HashSet<&[u8]> = inputs[1]
+                    .iter()
+                    .flat_map(|p| p.tuple_refs())
+                    .filter(&in_bucket)
+                    .map(|t| t.raw())
+                    .collect();
+                let mut seen: HashSet<&[u8]> = HashSet::new();
+                let mut out = TupleBuf::new(out_schema.clone());
+                for t in inputs[0].iter().flat_map(|p| p.tuple_refs()) {
+                    if in_bucket(&t) && !exclude.contains(t.raw()) && seen.insert(t.raw()) {
+                        out.push_ref(&t);
+                    }
+                }
+                out
+            }
+            Kernel::ProjectDedupFinal(proj) => {
+                let mut projected = TupleBuf::new(out_schema.clone());
+                for t in inputs[0].iter().flat_map(|p| p.tuple_refs()) {
+                    projected.push_projected(&t, proj.indices());
+                }
+                let mut seen: HashSet<&[u8]> = HashSet::new();
+                let mut out = TupleBuf::new(out_schema.clone());
+                for t in projected.refs() {
+                    if in_bucket(&t) && seen.insert(t.raw()) {
+                        out.push_ref(&t);
+                    }
+                }
+                out
+            }
+            k => panic!("run_final_raw called on streaming kernel {k:?}"),
+        }
     }
 
     /// Execute one *bucket* of a whole-relation finalizer: only tuples whose
@@ -104,16 +211,21 @@ impl Kernel {
     ///
     /// With `buckets == 1` this is the ordinary serial finalizer.
     pub fn run_final_bucket(&self, inputs: &[Vec<&Page>], bucket: u64, buckets: u64) -> Vec<Tuple> {
-        assert!(buckets > 0 && bucket < buckets, "invalid bucket {bucket}/{buckets}");
+        assert!(
+            buckets > 0 && bucket < buckets,
+            "invalid bucket {bucket}/{buckets}"
+        );
         let in_bucket = |t: &Tuple| -> bool { buckets == 1 || tuple_bucket(t, buckets) == bucket };
-        let tuples_of = |pages: &[&Page]| -> Vec<Tuple> {
-            pages.iter().flat_map(|p| p.tuples()).collect()
-        };
+        let tuples_of =
+            |pages: &[&Page]| -> Vec<Tuple> { pages.iter().flat_map(|p| p.tuples()).collect() };
         match self {
             Kernel::UnionFinal => {
                 let mut seen = HashSet::new();
                 let mut out = Vec::new();
-                for t in tuples_of(&inputs[0]).into_iter().chain(tuples_of(&inputs[1])) {
+                for t in tuples_of(&inputs[0])
+                    .into_iter()
+                    .chain(tuples_of(&inputs[1]))
+                {
                     if in_bucket(&t) && seen.insert(t.clone()) {
                         out.push(t);
                     }
@@ -457,17 +569,13 @@ mod tests {
         let prog = compile(&db, &[q]).unwrap();
         assert_eq!(
             prog.updates[0],
-            Some(UpdateSpec::Append {
-                target: "b".into()
-            })
+            Some(UpdateSpec::Append { target: "b".into() })
         );
         let q = parse_query(&db, "(delete a (> k 5))").unwrap();
         let prog = compile(&db, &[q]).unwrap();
         assert_eq!(
             prog.updates[0],
-            Some(UpdateSpec::Delete {
-                target: "a".into()
-            })
+            Some(UpdateSpec::Delete { target: "a".into() })
         );
         assert!(matches!(
             prog.instructions[0].kernel,
@@ -492,12 +600,7 @@ mod tests {
     fn kernel_unit_classes() {
         let db = db();
         let b = TreeBuilder::new(&db);
-        let q = b
-            .scan("a")
-            .unwrap()
-            .project(&["v"], true)
-            .unwrap()
-            .finish();
+        let q = b.scan("a").unwrap().project(&["v"], true).unwrap().finish();
         let prog = compile(&db, &[q]).unwrap();
         assert_eq!(
             prog.instructions[0].kernel.unit_gen(),
@@ -529,13 +632,77 @@ mod tests {
     fn final_kernels_match_set_semantics() {
         let db = db();
         let a = db.get("a").unwrap();
-        let pages: Vec<&Page> = a.pages().iter().collect();
+        let pages: Vec<&Page> = a.pages().iter().map(|p| p.as_ref()).collect();
         // a ∪ a = a (set semantics)
         let u = Kernel::UnionFinal.run_final(&[pages.clone(), pages.clone()]);
         assert_eq!(u.len(), 10);
         // a − a = ∅
         let d = Kernel::DifferenceFinal.run_final(&[pages.clone(), pages.clone()]);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn raw_unit_and_final_kernels_match_decoded() {
+        let db = db();
+        let a = db.get("a").unwrap();
+        let s = a.schema().clone();
+        let page = &a.pages()[0];
+        let other = &a.pages()[1];
+
+        let pred = Predicate::cmp_const(&s, "k", CmpOp::Ge, Value::Int(2)).unwrap();
+        for kernel in [
+            Kernel::Restrict(pred.clone()),
+            Kernel::DeleteFilter(pred),
+            Kernel::Project(Projection::new(&s, &["v", "k"]).unwrap()),
+            Kernel::Identity,
+        ] {
+            let out_schema = match &kernel {
+                Kernel::Project(p) => p.output_schema(&s).unwrap(),
+                _ => s.clone(),
+            };
+            assert_eq!(
+                kernel.run_unit_raw(&[page], &out_schema).to_tuples(),
+                kernel.run_unit(&[page]),
+                "{kernel:?}"
+            );
+        }
+        let c = JoinCondition::equi(&s, "v", &s, "v").unwrap();
+        let joined = s.concat(&s);
+        for kernel in [Kernel::JoinPair(c), Kernel::CrossPair] {
+            assert_eq!(
+                kernel.run_unit_raw(&[page, other], &joined).to_tuples(),
+                kernel.run_unit(&[page, other]),
+                "{kernel:?}"
+            );
+        }
+
+        let pages: Vec<&Page> = a.pages().iter().map(|p| p.as_ref()).collect();
+        let inputs = [pages.clone(), pages];
+        let proj_schema = Projection::new(&s, &["v"])
+            .unwrap()
+            .output_schema(&s)
+            .unwrap();
+        for kernel in [
+            Kernel::UnionFinal,
+            Kernel::DifferenceFinal,
+            Kernel::ProjectDedupFinal(Projection::new(&s, &["v"]).unwrap()),
+        ] {
+            let out_schema = match &kernel {
+                Kernel::ProjectDedupFinal(_) => proj_schema.clone(),
+                _ => s.clone(),
+            };
+            for buckets in [1u64, 3] {
+                for bucket in 0..buckets {
+                    assert_eq!(
+                        kernel
+                            .run_final_bucket_raw(&inputs, bucket, buckets, &out_schema)
+                            .to_tuples(),
+                        kernel.run_final_bucket(&inputs, bucket, buckets),
+                        "{kernel:?} bucket {bucket}/{buckets}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use df_query::QueryTree;
-use df_relalg::{Catalog, Page, Relation, Result, Tuple};
+use df_relalg::{Catalog, Page, Relation, Result, Tuple, TupleBuf};
 use df_sim::stats::ByteCounter;
 use df_sim::{Duration, EventQueue, Resource, SimTime};
 use df_storage::{DiskCache, MassStorage, PageId, PageStore, PageTable};
@@ -48,7 +48,11 @@ enum WorkUnit {
     /// protocol, where an IP keeps its current outer page while inner pages
     /// are broadcast to it, so the outer page is staged once per sweep
     /// instead of once per page pair.
-    Sweep { outer: usize, start: usize, len: usize },
+    Sweep {
+        outer: usize,
+        start: usize,
+        len: usize,
+    },
     /// Run one hash bucket of a whole-relation finalizer over all operand
     /// pages (`bucket < MachineParams::dedup_buckets`; with one bucket this
     /// is the serial blocking operator).
@@ -59,11 +63,12 @@ enum WorkUnit {
 #[derive(Debug)]
 enum Event {
     /// A processor finished a work unit; `results` were computed at dispatch
-    /// (the data path is exact; only the *timing* is simulated).
+    /// (the data path is exact; only the *timing* is simulated). The batch
+    /// holds encoded images — the zero-copy path never decodes them.
     UnitDone {
         instr: InstrId,
         proc: usize,
-        results: Vec<Tuple>,
+        results: TupleBuf,
     },
     /// A produced page has landed in the cache and is registered with its
     /// consumer (or the query result set for roots).
@@ -376,7 +381,9 @@ impl Machine {
             // parallel bucket units (1 bucket = the paper's serial case).
             let buckets = self.params.dedup_buckets.max(1) as u64;
             for bucket in 0..buckets {
-                self.states[iid].pending.push_back(WorkUnit::Final { bucket });
+                self.states[iid]
+                    .pending
+                    .push_back(WorkUnit::Final { bucket });
                 self.states[iid].units_generated += 1;
             }
         }
@@ -389,10 +396,7 @@ impl Machine {
     fn instr_ready(&self, iid: InstrId) -> bool {
         match self.granularity {
             // §3.1: enabled only when every source operand is complete.
-            Granularity::Relation => self.states[iid]
-                .operands
-                .iter()
-                .all(PageTable::is_complete),
+            Granularity::Relation => self.states[iid].operands.iter().all(PageTable::is_complete),
             // §3.2/§3.3: a queued unit means ≥1 page of each operand exists.
             Granularity::Page | Granularity::Tuple => true,
         }
@@ -606,7 +610,9 @@ impl Machine {
             done
         };
 
-        // 4. Execute the kernel now (exact data path), schedule the timing.
+        // 4. Execute the kernel now (exact data path, zero-copy: images are
+        // compared and memcpy'd, never decoded), schedule the timing.
+        let out_schema = self.program.instructions[iid].output_schema.clone();
         let pages: Vec<&Page> = operand_pages.iter().map(|&p| self.store.get(p)).collect();
         let results = match unit {
             WorkUnit::Final { bucket } => {
@@ -618,17 +624,17 @@ impl Machine {
                     .map(|t| t.pages().iter().map(|&p| self.store.get(p)).collect())
                     .collect();
                 let buckets = self.params.dedup_buckets.max(1) as u64;
-                kernel.run_final_bucket(&inputs, bucket, buckets)
+                kernel.run_final_bucket_raw(&inputs, bucket, buckets, &out_schema)
             }
             WorkUnit::Sweep { .. } => {
                 let outer = pages[0];
-                let mut out = Vec::new();
+                let mut out = TupleBuf::new(out_schema.clone());
                 for inner in &pages[1..] {
-                    out.extend(kernel.run_unit(&[outer, inner]));
+                    out.append(&kernel.run_unit_raw(&[outer, inner], &out_schema));
                 }
                 out
             }
-            WorkUnit::Single(_) => kernel.run_unit(&pages),
+            WorkUnit::Single(_) => kernel.run_unit_raw(&pages, &out_schema),
         };
 
         let tuple_ops = kernel.tuple_ops(&tuple_counts);
@@ -679,7 +685,10 @@ impl Machine {
     /// Base-relation pages are left alone: they are clean, stay on disk,
     /// and evicting them costs nothing.
     fn retire_if_intermediate(&mut self, iid: InstrId, slot: usize, page: PageId) {
-        if self.program.instructions[iid].operands[slot].source.is_none() {
+        if self.program.instructions[iid].operands[slot]
+            .source
+            .is_none()
+        {
             self.cache.discard(page);
             self.disk.discard(page);
             self.page_avail.remove(&page);
@@ -699,7 +708,7 @@ impl Machine {
 
     // ---------------------------------------------------------- completion
 
-    fn on_unit_done(&mut self, now: SimTime, iid: InstrId, pid: usize, results: Vec<Tuple>) {
+    fn on_unit_done(&mut self, now: SimTime, iid: InstrId, pid: usize, mut results: TupleBuf) {
         self.procs[pid].free_cells += 1;
         {
             let st = &mut self.states[iid];
@@ -708,14 +717,15 @@ impl Machine {
             st.stats.units += 1;
             st.stats.tuples_out += results.len() as u64;
         }
-        // Buffer result tuples; emit full pages.
-        for t in results {
+        // Drain result images into the output buffer; emit full pages.
+        // Each drain is one memcpy of whole images — no tuple is decoded.
+        while !results.is_empty() {
             let page_size = self.params.page_size;
             let schema = self.program.instructions[iid].output_schema.clone();
             let buf = self.states[iid].out_buffer.get_or_insert_with(|| {
                 Page::new(schema, page_size).expect("output page size validated")
             });
-            buf.push(&t).expect("buffer page has room by construction");
+            results.drain_into(buf);
             if buf.is_full() {
                 let full = self.states[iid].out_buffer.take().expect("just filled");
                 self.emit_page(now, iid, full);
@@ -784,8 +794,7 @@ impl Machine {
             && pairs_done
             && st.in_flight == 0
             && st.units_done == st.units_generated;
-        let final_ok = self.program.instructions[iid].kernel.unit_gen()
-            != UnitGen::WholeRelation
+        let final_ok = self.program.instructions[iid].kernel.unit_gen() != UnitGen::WholeRelation
             || st.final_issued;
         if !(operands_done && units_done && final_ok) {
             return;
@@ -828,7 +837,8 @@ impl Machine {
             }
             None => {
                 let q = self.program.instructions[iid].query;
-                self.queue.schedule(after_delivery, Event::QueryDone { query: q });
+                self.queue
+                    .schedule(after_delivery, Event::QueryDone { query: q });
             }
         }
     }
@@ -904,11 +914,11 @@ impl Machine {
             match update {
                 None => {}
                 Some(UpdateSpec::Append { target }) => {
-                    let rel = db.get_mut(target).ok_or_else(|| {
-                        df_relalg::Error::UnknownRelation {
-                            name: target.clone(),
-                        }
-                    })?;
+                    let rel =
+                        db.get_mut(target)
+                            .ok_or_else(|| df_relalg::Error::UnknownRelation {
+                                name: target.clone(),
+                            })?;
                     for t in result.tuples() {
                         rel.append(t)?;
                     }
@@ -928,12 +938,8 @@ impl Machine {
                             }
                         })
                         .collect();
-                    let rebuilt = Relation::from_tuples(
-                        target,
-                        rel.schema().clone(),
-                        rel.page_size(),
-                        kept,
-                    )?;
+                    let rebuilt =
+                        Relation::from_tuples(target, rel.schema().clone(), rel.page_size(), kept)?;
                     db.insert_or_replace(rebuilt);
                 }
             }
@@ -995,8 +1001,8 @@ mod tests {
     fn restrict_matches_oracle_at_all_granularities() {
         let db = db();
         let q = "(restrict (scan a) (> k 10))";
-        let oracle = execute_readonly(&db, &parse_query(&db, q).unwrap(), &ExecParams::default())
-            .unwrap();
+        let oracle =
+            execute_readonly(&db, &parse_query(&db, q).unwrap(), &ExecParams::default()).unwrap();
         for g in Granularity::ALL {
             let (out, m) = run_one(&db, q, g);
             assert!(out.same_contents(&oracle), "granularity {g}");
@@ -1009,8 +1015,8 @@ mod tests {
     fn join_matches_oracle_at_all_granularities() {
         let db = db();
         let q = "(join (restrict (scan a) (< k 20)) (scan b) (= v k))";
-        let oracle = execute_readonly(&db, &parse_query(&db, q).unwrap(), &ExecParams::default())
-            .unwrap();
+        let oracle =
+            execute_readonly(&db, &parse_query(&db, q).unwrap(), &ExecParams::default()).unwrap();
         assert!(oracle.num_tuples() > 0);
         for g in Granularity::ALL {
             let (out, _) = run_one(&db, q, g);
@@ -1144,8 +1150,7 @@ mod tests {
             "(difference (scan a) (restrict (scan a) (< k 25)))",
         ] {
             let tree = parse_query(&db, q).unwrap();
-            let oracle =
-                execute_readonly(&db, &tree, &ExecParams::default()).unwrap();
+            let oracle = execute_readonly(&db, &tree, &ExecParams::default()).unwrap();
             for buckets in [1usize, 2, 3, 8] {
                 let mut p = small_params();
                 p.dedup_buckets = buckets;
@@ -1158,10 +1163,7 @@ mod tests {
                 )
                 .unwrap();
                 let (rels, metrics) = m.run();
-                assert!(
-                    rels[0].same_contents(&oracle),
-                    "{q} with {buckets} buckets"
-                );
+                assert!(rels[0].same_contents(&oracle), "{q} with {buckets} buckets");
                 // One finalizer unit per bucket was dispatched.
                 assert!(metrics.units_dispatched >= buckets as u64);
             }

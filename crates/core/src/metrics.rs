@@ -126,11 +126,7 @@ impl Metrics {
         if self.query_completions.is_empty() {
             return Duration::ZERO;
         }
-        let total: u64 = self
-            .query_completions
-            .iter()
-            .map(|t| t.as_nanos())
-            .sum();
+        let total: u64 = self.query_completions.iter().map(|t| t.as_nanos()).sum();
         Duration::from_nanos(total / self.query_completions.len() as u64)
     }
 }

@@ -46,9 +46,7 @@ impl CostModel {
     pub fn compute_time(&self, operand_bytes: usize, tuple_ops: usize) -> Duration {
         self.per_unit_overhead
             + Duration::from_secs_f64(operand_bytes as f64 / self.proc_bytes_per_sec)
-            + self
-                .per_tuple_cpu
-                .saturating_mul(tuple_ops as u64)
+            + self.per_tuple_cpu.saturating_mul(tuple_ops as u64)
     }
 
     /// Network service time for transferring `bytes` split into `packets`.

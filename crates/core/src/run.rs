@@ -102,8 +102,13 @@ mod tests {
     fn run_query_smoke() {
         let db = db();
         let q = parse_query(&db, "(restrict (scan t) (= v 0))").unwrap();
-        let (rel, metrics) =
-            run_query(&db, &q, &MachineParams::with_processors(2), Granularity::Page).unwrap();
+        let (rel, metrics) = run_query(
+            &db,
+            &q,
+            &MachineParams::with_processors(2),
+            Granularity::Page,
+        )
+        .unwrap();
         assert_eq!(rel.num_tuples(), 6);
         assert!(metrics.elapsed.as_nanos() > 0);
         assert_eq!(metrics.query_completions.len(), 1);

@@ -45,10 +45,7 @@ fn arb_query_shape() -> impl Strategy<Value = (u8, i64, i64)> {
     (0u8..5, -8i64..8, -8i64..8)
 }
 
-fn build_query(
-    db: &Catalog,
-    shape: (u8, i64, i64),
-) -> df_query::QueryTree {
+fn build_query(db: &Catalog, shape: (u8, i64, i64)) -> df_query::QueryTree {
     let (kind, c1, c2) = shape;
     let b = TreeBuilder::new(db);
     match kind {

@@ -61,7 +61,11 @@ pub fn estimate(db: &Catalog, tree: &QueryTree, stats: &CatalogStats) -> Result<
                 let n = stats
                     .get(relation)
                     .map(|s| s.tuples as f64)
-                    .unwrap_or_else(|| db.get(relation).map(|r| r.num_tuples() as f64).unwrap_or(0.0));
+                    .unwrap_or_else(|| {
+                        db.get(relation)
+                            .map(|r| r.num_tuples() as f64)
+                            .unwrap_or(0.0)
+                    });
                 (n, Some(relation.clone()))
             }
             Op::Restrict { predicate } => {
@@ -164,14 +168,14 @@ mod tests {
         let (db, stats) = setup();
         let q = parse_query(&db, "(union (scan r13) (scan r14))").unwrap();
         let est = estimate(&db, &q, &stats).unwrap();
-        let expect = (db.get("r13").unwrap().num_tuples()
-            + db.get("r14").unwrap().num_tuples()) as f64;
+        let expect =
+            (db.get("r13").unwrap().num_tuples() + db.get("r14").unwrap().num_tuples()) as f64;
         assert_eq!(est.output_rows(&q), expect);
 
         let q = parse_query(&db, "(cross (scan r13) (scan r14))").unwrap();
         let est = estimate(&db, &q, &stats).unwrap();
-        let expect = (db.get("r13").unwrap().num_tuples()
-            * db.get("r14").unwrap().num_tuples()) as f64;
+        let expect =
+            (db.get("r13").unwrap().num_tuples() * db.get("r14").unwrap().num_tuples()) as f64;
         assert_eq!(est.output_rows(&q), expect);
     }
 }

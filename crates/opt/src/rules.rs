@@ -226,12 +226,8 @@ fn est_rows(node: &RNode, db: &Catalog, stats: &CatalogStats) -> f64 {
                 l * r / 3.0
             }
         }
-        RNode::Cross { left, right } => {
-            est_rows(left, db, stats) * est_rows(right, db, stats)
-        }
-        RNode::Union { left, right } => {
-            est_rows(left, db, stats) + est_rows(right, db, stats)
-        }
+        RNode::Cross { left, right } => est_rows(left, db, stats) * est_rows(right, db, stats),
+        RNode::Union { left, right } => est_rows(left, db, stats) + est_rows(right, db, stats),
         RNode::Difference { left, right } => {
             (est_rows(left, db, stats) - est_rows(right, db, stats)).max(0.0)
         }
@@ -496,13 +492,7 @@ impl<'a> Rewriter<'a> {
                 if let Some(rewritten) = self.push_restrict(predicate.clone(), *input.clone())? {
                     return Ok((rewritten, true));
                 }
-                Ok((
-                    RNode::Restrict {
-                        predicate,
-                        input,
-                    },
-                    simplified,
-                ))
+                Ok((RNode::Restrict { predicate, input }, simplified))
             }
             // Rule: projection collapse (inner must be duplicate-preserving).
             RNode::Project {
@@ -574,14 +564,10 @@ impl<'a> Rewriter<'a> {
                         .map(|i| r_arity + i)
                         .chain(0..r_arity)
                         .collect();
-                    let names: Vec<String> = original
-                        .attrs()
-                        .iter()
-                        .map(|a| a.name.clone())
-                        .collect();
+                    let names: Vec<String> =
+                        original.attrs().iter().map(|a| a.name.clone()).collect();
                     let swapped_schema = schema_of(&swapped, self.db)?;
-                    let projection =
-                        Projection::with_renames(&swapped_schema, perm, names)?;
+                    let projection = Projection::with_renames(&swapped_schema, perm, names)?;
                     self.applied.push("swap-join-inputs".into());
                     return Ok((
                         RNode::Project {

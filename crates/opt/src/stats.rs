@@ -110,9 +110,7 @@ impl RelationStats {
                     _ => 1.0 / 3.0,
                 }
             }
-            Predicate::And(a, b) => {
-                self.predicate_selectivity(a) * self.predicate_selectivity(b)
-            }
+            Predicate::And(a, b) => self.predicate_selectivity(a) * self.predicate_selectivity(b),
             Predicate::Or(a, b) => {
                 let (sa, sb) = (self.predicate_selectivity(a), self.predicate_selectivity(b));
                 (sa + sb - sa * sb).min(1.0)

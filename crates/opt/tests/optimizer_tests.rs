@@ -88,11 +88,7 @@ fn drops_trivial_restricts_and_double_negation() {
     assert!(after.applied.iter().any(|r| r == "drop-trivial-restrict"));
     assert_eq!(after.tree.count_op("restrict"), 0);
 
-    let (_, after) = opt(
-        &db,
-        &stats,
-        "(restrict (scan r00) (not (not (< val 500))))",
-    );
+    let (_, after) = opt(&db, &stats, "(restrict (scan r00) (not (not (< val 500))))");
     assert!(after.applied.iter().any(|r| r == "simplify-predicate"));
 }
 
@@ -153,11 +149,7 @@ fn swaps_join_inputs_when_left_is_smaller() {
     let (db, stats) = setup();
     // r14 (weight 1) is much smaller than r00 (weight 10): putting it on
     // the outer side starves parallelism, so the optimizer swaps.
-    let (_, after) = opt(
-        &db,
-        &stats,
-        "(join (scan r14) (scan r00) (= fk key))",
-    );
+    let (_, after) = opt(&db, &stats, "(join (scan r14) (scan r00) (= fk key))");
     assert!(after.applied.iter().any(|r| r == "swap-join-inputs"));
     // A compensating projection keeps the schema identical.
     assert_eq!(after.tree.node(after.tree.root()).op.name(), "project");

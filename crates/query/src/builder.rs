@@ -4,7 +4,9 @@
 //! predicates, projections and join conditions can be specified by attribute
 //! *name* and are resolved to indices immediately — exactly once.
 
-use df_relalg::{Catalog, CmpOp, Error, JoinCondition, Predicate, Projection, Result, Schema, Value};
+use df_relalg::{
+    Catalog, CmpOp, Error, JoinCondition, Predicate, Projection, Result, Schema, Value,
+};
 
 use crate::tree::{NodeId, Op, QueryNode, QueryTree};
 
@@ -150,7 +152,12 @@ impl<'a> SubTree<'a> {
     }
 
     /// Equi-join shorthand.
-    pub fn equi_join(self, right: SubTree<'a>, left_attr: &str, right_attr: &str) -> Result<SubTree<'a>> {
+    pub fn equi_join(
+        self,
+        right: SubTree<'a>,
+        left_attr: &str,
+        right_attr: &str,
+    ) -> Result<SubTree<'a>> {
         self.join_on(right, left_attr, CmpOp::Eq, right_attr)
     }
 
@@ -233,7 +240,9 @@ mod tests {
                 "emp",
                 emp,
                 1024,
-                (0..6).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 2), Value::Int(i * 100)])),
+                (0..6).map(|i| {
+                    Tuple::new(vec![Value::Int(i), Value::Int(i % 2), Value::Int(i * 100)])
+                }),
             )
             .unwrap(),
         )
@@ -295,9 +304,7 @@ mod tests {
             .project(&["id", "salary"], false)
             .unwrap();
         assert_eq!(t.schema().arity(), 2);
-        let joined = t
-            .equi_join(b.scan("dept").unwrap(), "id", "dno")
-            .unwrap();
+        let joined = t.equi_join(b.scan("dept").unwrap(), "id", "dno").unwrap();
         assert_eq!(joined.schema().arity(), 4);
     }
 

@@ -158,9 +158,7 @@ pub fn execute(db: &mut Catalog, tree: &QueryTree, params: &ExecParams) -> Resul
         results.push(rel);
     }
 
-    let mut out = results
-        .pop()
-        .expect("validated tree has at least one node");
+    let mut out = results.pop().expect("validated tree has at least one node");
     // The loop pushes in topo order; the root is last.
     debug_assert_eq!(tree.root().0, results.len());
     out.set_name("result");

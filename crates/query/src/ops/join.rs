@@ -11,13 +11,16 @@
 
 use std::cmp::Ordering;
 
-use df_relalg::{CmpOp, Error, JoinCondition, Page, Relation, Result, Tuple};
+use df_relalg::{CmpOp, Error, JoinCondition, Page, Relation, Result, Schema, Tuple, TupleBuf};
 
 /// Join one outer page against one inner page: the IP work unit for a join
 /// instruction packet (Fig 4.3 carries exactly these two data pages).
 ///
 /// Emits `outer ++ inner` concatenated tuples for every pair satisfying the
 /// condition, in (outer slot, inner slot) order.
+///
+/// Decoded-tuple variant, kept for the oracle executor and as the baseline
+/// the kernel benches compare against; the machines run [`join_pages_raw`].
 pub fn join_pages(outer: &Page, inner: &Page, condition: &JoinCondition) -> Vec<Tuple> {
     let inner_tuples: Vec<Tuple> = inner.tuples().collect();
     let mut out = Vec::new();
@@ -25,6 +28,28 @@ pub fn join_pages(outer: &Page, inner: &Page, condition: &JoinCondition) -> Vec<
         for i in &inner_tuples {
             if condition.matches(&o, i) {
                 out.push(o.concat(i));
+            }
+        }
+    }
+    out
+}
+
+/// Zero-copy page×page nested-loops join: compares the raw key bytes of
+/// each (outer, inner) image pair (a `memcmp` for equi-joins over
+/// equal-width keys) and builds output rows by concatenating the two
+/// surviving images — nothing is decoded or re-encoded. `out_schema` is the
+/// concatenated output schema carried by the instruction packet.
+pub fn join_pages_raw(
+    outer: &Page,
+    inner: &Page,
+    condition: &JoinCondition,
+    out_schema: &Schema,
+) -> TupleBuf {
+    let mut out = TupleBuf::new(out_schema.clone());
+    for o in outer.tuple_refs() {
+        for i in inner.tuple_refs() {
+            if condition.matches_ref(&o, &i) {
+                out.push_concat(o.raw(), i.raw());
             }
         }
     }
@@ -147,6 +172,28 @@ mod tests {
                 Value::Int(200)
             ]
         );
+    }
+
+    #[test]
+    fn raw_join_matches_decoded_for_all_ops() {
+        let a = kv_page(&[(1, 10), (2, 20), (3, 30)]);
+        let b = kv_page(&[(2, 200), (3, 300), (2, 201), (5, 500)]);
+        let out_schema = kv_schema().concat(&kv_schema());
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            let c = JoinCondition::new(&kv_schema(), "k", op, &kv_schema(), "k").unwrap();
+            assert_eq!(
+                join_pages_raw(&a, &b, &c, &out_schema).to_tuples(),
+                join_pages(&a, &b, &c),
+                "op {op}"
+            );
+        }
     }
 
     #[test]

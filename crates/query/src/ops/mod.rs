@@ -10,10 +10,13 @@ mod project;
 mod restrict;
 mod set_ops;
 
-pub use join::{join_pages, merge_join_relations, nested_loops_join_relations};
-pub use project::{dedup_tuples, project_page};
-pub use restrict::restrict_page;
-pub use set_ops::{cross_pages, difference_relations, union_relations};
+pub use join::{join_pages, join_pages_raw, merge_join_relations, nested_loops_join_relations};
+pub use project::{dedup_tuples, project_page, project_page_raw};
+pub use restrict::{restrict_page, restrict_page_raw};
+pub use set_ops::{
+    cross_pages, cross_pages_raw, dedup_pages_raw, difference_pages_raw, difference_relations,
+    union_pages_raw, union_relations,
+};
 
 use df_relalg::{Page, Relation, Result, Schema, Tuple};
 
@@ -40,10 +43,7 @@ pub fn pack_pages(
         if pages.last().map_or(true, Page::is_full) {
             pages.push(Page::new(schema.clone(), page_size)?);
         }
-        pages
-            .last_mut()
-            .expect("just pushed a page")
-            .push(&t)?;
+        pages.last_mut().expect("just pushed a page").push(&t)?;
     }
     Ok(pages)
 }

@@ -13,9 +13,13 @@
 
 use std::collections::HashSet;
 
-use df_relalg::{Page, Projection, Tuple};
+use df_relalg::{Page, Projection, Schema, Tuple, TupleBuf};
 
 /// Project every tuple of `page` onto the given attribute list.
+///
+/// Decoded-tuple variant, kept for the oracle executor and as the baseline
+/// the kernel benches compare against; the machines run
+/// [`project_page_raw`].
 pub fn project_page(page: &Page, projection: &Projection) -> Vec<Tuple> {
     page.tuples()
         .map(|t| {
@@ -24,6 +28,18 @@ pub fn project_page(page: &Page, projection: &Projection) -> Vec<Tuple> {
                 .expect("projection validated against page schema")
         })
         .collect()
+}
+
+/// Zero-copy projection: builds each output image by copying the selected
+/// attributes' byte ranges out of the input image — no value is decoded.
+/// `out_schema` is the projection's output schema (derived once by the
+/// caller, typically carried by the instruction packet).
+pub fn project_page_raw(page: &Page, projection: &Projection, out_schema: &Schema) -> TupleBuf {
+    let mut out = TupleBuf::new(out_schema.clone());
+    for t in page.tuple_refs() {
+        out.push_projected(&t, projection.indices());
+    }
+    out
 }
 
 /// Eliminate duplicates from a tuple stream, preserving first occurrence
@@ -61,6 +77,20 @@ mod tests {
         let proj = Projection::new(&kv_schema(), &["v", "k"]).unwrap();
         let out = project_page(&page, &proj);
         assert_eq!(out[0].values(), &[Value::Int(10), Value::Int(1)]);
+    }
+
+    #[test]
+    fn raw_project_matches_decoded_including_reorder() {
+        let page = kv_page(&[(1, 10), (2, 20), (3, 30)]);
+        for names in [&["v"][..], &["v", "k"][..], &["k", "v"][..]] {
+            let proj = Projection::new(&kv_schema(), names).unwrap();
+            let out_schema = proj.output_schema(&kv_schema()).unwrap();
+            assert_eq!(
+                project_page_raw(&page, &proj, &out_schema).to_tuples(),
+                project_page(&page, &proj),
+                "projection {names:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,13 +1,30 @@
 //! The restrict (σ) kernel.
 
-use df_relalg::{Page, Predicate, Tuple};
+use df_relalg::{Page, Predicate, Tuple, TupleBuf};
 
 /// Apply `predicate` to every tuple of `page`, returning the survivors.
 ///
 /// This is the unit of work an IP performs for one restrict instruction
 /// packet: one source page in, up to one page worth of result tuples out.
+///
+/// Decoded-tuple variant, kept for the oracle executor and as the
+/// baseline the kernel benches compare against; the machines run
+/// [`restrict_page_raw`].
 pub fn restrict_page(page: &Page, predicate: &Predicate) -> Vec<Tuple> {
     page.tuples().filter(|t| predicate.eval(t)).collect()
+}
+
+/// Zero-copy restrict: evaluates the predicate directly over each tuple's
+/// encoded image and memcpy's surviving images into the output batch —
+/// no tuple is decoded or re-encoded.
+pub fn restrict_page_raw(page: &Page, predicate: &Predicate) -> TupleBuf {
+    let mut out = TupleBuf::new(page.schema().clone());
+    for t in page.tuple_refs() {
+        if predicate.eval_ref(&t) {
+            out.push_ref(&t);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -35,6 +52,18 @@ mod tests {
     fn empty_page_yields_nothing() {
         let page = kv_page(&[]);
         assert!(restrict_page(&page, &Predicate::True).is_empty());
+    }
+
+    #[test]
+    fn raw_restrict_is_byte_identical_to_decoded() {
+        let page = kv_page(&[(1, 10), (2, 20), (3, 30), (4, 40)]);
+        let p = Predicate::cmp_const(&kv_schema(), "k", CmpOp::Ge, Value::Int(2))
+            .unwrap()
+            .and(Predicate::cmp_const(&kv_schema(), "v", CmpOp::Ne, Value::Int(30)).unwrap());
+        assert_eq!(
+            restrict_page_raw(&page, &p).to_tuples(),
+            restrict_page(&page, &p)
+        );
     }
 
     #[test]

@@ -2,16 +2,81 @@
 
 use std::collections::HashSet;
 
-use df_relalg::{Error, Page, Relation, Result, Tuple};
+use df_relalg::{Error, Page, Relation, Result, Schema, Tuple, TupleBuf};
 
 /// Cross product of one page pair (the join kernel with θ ≡ true, kept
 /// separate so metrics can distinguish the operators).
+///
+/// Decoded-tuple variant, kept for the oracle executor; the machines run
+/// [`cross_pages_raw`].
 pub fn cross_pages(outer: &Page, inner: &Page) -> Vec<Tuple> {
     let inner_tuples: Vec<Tuple> = inner.tuples().collect();
     let mut out = Vec::new();
     for o in outer.tuples() {
         for i in &inner_tuples {
             out.push(o.concat(i));
+        }
+    }
+    out
+}
+
+/// Zero-copy cross product: every output row is the concatenation of two
+/// borrowed images.
+pub fn cross_pages_raw(outer: &Page, inner: &Page, out_schema: &Schema) -> TupleBuf {
+    let mut out = TupleBuf::new(out_schema.clone());
+    for o in outer.tuple_refs() {
+        for i in inner.tuple_refs() {
+            out.push_concat(o.raw(), i.raw());
+        }
+    }
+    out
+}
+
+/// Zero-copy set union over complete page lists: membership hashes the raw
+/// tuple images (the encoding is canonical — images are equal exactly when
+/// tuples are), so nothing is decoded. First-occurrence order, like
+/// [`union_relations`].
+pub fn union_pages_raw(left: &[&Page], right: &[&Page], schema: &Schema) -> TupleBuf {
+    let mut seen: HashSet<&[u8]> = HashSet::new();
+    let mut out = TupleBuf::new(schema.clone());
+    for t in left
+        .iter()
+        .flat_map(|p| p.tuple_refs())
+        .chain(right.iter().flat_map(|p| p.tuple_refs()))
+    {
+        if seen.insert(t.raw()) {
+            out.push_ref(&t);
+        }
+    }
+    out
+}
+
+/// Zero-copy set difference `left − right` over complete page lists, with
+/// raw-image hashing like [`union_pages_raw`].
+pub fn difference_pages_raw(left: &[&Page], right: &[&Page], schema: &Schema) -> TupleBuf {
+    let exclude: HashSet<&[u8]> = right
+        .iter()
+        .flat_map(|p| p.tuple_refs())
+        .map(|t| t.raw())
+        .collect();
+    let mut seen: HashSet<&[u8]> = HashSet::new();
+    let mut out = TupleBuf::new(schema.clone());
+    for t in left.iter().flat_map(|p| p.tuple_refs()) {
+        if !exclude.contains(t.raw()) && seen.insert(t.raw()) {
+            out.push_ref(&t);
+        }
+    }
+    out
+}
+
+/// Zero-copy duplicate elimination over complete page lists (raw-image
+/// hashing, first-occurrence order) — the π-dedup finalizer's hot path.
+pub fn dedup_pages_raw(pages: &[&Page], schema: &Schema) -> TupleBuf {
+    let mut seen: HashSet<&[u8]> = HashSet::new();
+    let mut out = TupleBuf::new(schema.clone());
+    for t in pages.iter().flat_map(|p| p.tuple_refs()) {
+        if seen.insert(t.raw()) {
+            out.push_ref(&t);
         }
     }
     out
@@ -77,8 +142,13 @@ mod tests {
     use crate::ops::test_support::*;
 
     fn rel(pairs: &[(i64, i64)]) -> Relation {
-        Relation::from_tuples("t", kv_schema(), 16 + 32, pairs.iter().map(|&(k, v)| kv(k, v)))
-            .unwrap()
+        Relation::from_tuples(
+            "t",
+            kv_schema(),
+            16 + 32,
+            pairs.iter().map(|&(k, v)| kv(k, v)),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -95,6 +165,33 @@ mod tests {
         let b = rel(&[(2, 2), (3, 3)]);
         let out = union_relations(&a, &b).unwrap();
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn raw_set_ops_match_decoded_kernels() {
+        let a = rel(&[(1, 1), (2, 2), (2, 2), (3, 3), (1, 1)]);
+        let b = rel(&[(2, 2), (4, 4), (4, 4)]);
+        let s = kv_schema();
+        let ap: Vec<&df_relalg::Page> = a.pages().iter().map(|p| p.as_ref()).collect();
+        let bp: Vec<&df_relalg::Page> = b.pages().iter().map(|p| p.as_ref()).collect();
+        assert_eq!(
+            union_pages_raw(&ap, &bp, &s).to_tuples(),
+            union_relations(&a, &b).unwrap()
+        );
+        assert_eq!(
+            difference_pages_raw(&ap, &bp, &s).to_tuples(),
+            difference_relations(&a, &b).unwrap()
+        );
+        assert_eq!(
+            dedup_pages_raw(&ap, &s).to_tuples(),
+            crate::ops::dedup_tuples(a.tuples())
+        );
+        // Cross product, raw vs decoded.
+        let out_schema = s.concat(&s);
+        assert_eq!(
+            cross_pages_raw(ap[0], bp[0], &out_schema).to_tuples(),
+            cross_pages(ap[0], bp[0])
+        );
     }
 
     #[test]

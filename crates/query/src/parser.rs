@@ -189,10 +189,7 @@ fn compile_query(db: &Catalog, sexpr: &SExpr) -> Result<QueryTree> {
 
 fn expect_len(items: &[SExpr], n: usize, form: &str) -> Result<()> {
     if items.len() != n {
-        return Err(syntax(format!(
-            "form takes {} arguments: {form}",
-            n - 1
-        )));
+        return Err(syntax(format!("form takes {} arguments: {form}", n - 1)));
     }
     Ok(())
 }
@@ -443,13 +440,13 @@ mod tests {
     fn syntax_errors_are_reported() {
         let db = db();
         for bad in [
-            "(scan emp",                 // unbalanced
-            "(scan emp))",               // trailing
-            "(frobnicate (scan emp))",   // unknown op
-            "(restrict (scan emp) (?? id 3))", // bad cmp
-            "(scan missing)",            // unknown relation
+            "(scan emp",                        // unbalanced
+            "(scan emp))",                      // trailing
+            "(frobnicate (scan emp))",          // unknown op
+            "(restrict (scan emp) (?? id 3))",  // bad cmp
+            "(scan missing)",                   // unknown relation
             "(restrict (scan emp) (> nope 3))", // unknown attr
-            "()",                        // empty form
+            "()",                               // empty form
             "(restrict (scan emp) (= name 3))", // type mismatch
         ] {
             assert!(parse_query(&db, bad).is_err(), "should reject: {bad}");

@@ -24,9 +24,7 @@ pub fn render_tree(tree: &QueryTree) -> String {
 fn label(op: &Op) -> String {
     match op {
         Op::Scan { relation } => format!("scan {relation}"),
-        Op::Restrict { predicate } => {
-            format!("R restrict {predicate}").chars().take(72).collect()
-        }
+        Op::Restrict { predicate } => format!("R restrict {predicate}").chars().take(72).collect(),
         Op::Project { projection, dedup } => format!(
             "P project{} {:?}",
             if *dedup { "-distinct" } else { "" },

@@ -270,10 +270,7 @@ mod tests {
         assert_eq!(t.count_op("join"), 1);
         assert_eq!(t.referenced_relations(), vec!["a", "b"]);
         assert!(t.written_relations().is_empty());
-        assert_eq!(
-            t.parents(),
-            vec![Some(NodeId(2)), Some(NodeId(2)), None]
-        );
+        assert_eq!(t.parents(), vec![Some(NodeId(2)), Some(NodeId(2)), None]);
     }
 
     #[test]
@@ -286,13 +283,7 @@ mod tests {
             0
         );
         assert_eq!(Op::Union.arity(), 2);
-        assert_eq!(
-            Op::Append {
-                target: "x".into()
-            }
-            .arity(),
-            1
-        );
+        assert_eq!(Op::Append { target: "x".into() }.arity(), 1);
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //! that must hold for arbitrary data, plus kernel/oracle agreement.
 
 use df_query::ops::{
-    cross_pages, dedup_tuples, difference_relations, join_pages, merge_join_relations,
-    nested_loops_join_relations, project_page, restrict_page, union_relations,
+    cross_pages, cross_pages_raw, dedup_pages_raw, dedup_tuples, difference_pages_raw,
+    difference_relations, join_pages, join_pages_raw, merge_join_relations,
+    nested_loops_join_relations, project_page, project_page_raw, restrict_page, restrict_page_raw,
+    union_pages_raw, union_relations,
 };
 use df_relalg::{
-    CmpOp, DataType, JoinCondition, Predicate, Projection, Relation, Schema, Tuple, Value,
+    CmpOp, DataType, JoinCondition, Page, Predicate, Projection, Relation, Schema, Tuple, Value,
 };
 use proptest::prelude::*;
 
@@ -35,6 +37,60 @@ fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
 
 fn count_matches(rows: &[(i64, i64)], pred: impl Fn(&(i64, i64)) -> bool) -> usize {
     rows.iter().filter(|r| pred(r)).count()
+}
+
+// ---- mixed-schema fixtures for the zero-copy/decoded equivalence tests ----
+
+fn mixed_schema() -> Schema {
+    Schema::build()
+        .attr("id", DataType::Int)
+        .attr("flag", DataType::Bool)
+        .attr("tag", DataType::Str(6))
+        .finish()
+        .expect("schema")
+}
+
+/// (id, flag, tag) rows; tags draw from a tiny alphabet at varying lengths
+/// so padding, prefixes, and duplicates all occur.
+fn arb_mixed_rows(max: usize) -> impl Strategy<Value = Vec<(i64, i64, Vec<char>)>> {
+    prop::collection::vec(
+        (
+            -30i64..30,
+            0i64..2,
+            prop::collection::vec(prop::char::range('a', 'c'), 0..6),
+        ),
+        0..max,
+    )
+}
+
+fn mixed_relation(rows: &[(i64, i64, Vec<char>)]) -> Relation {
+    Relation::from_tuples(
+        "m",
+        mixed_schema(),
+        16 + mixed_schema().tuple_width() * 3,
+        rows.iter().map(|(id, flag, tag)| {
+            Tuple::new(vec![
+                Value::Int(*id),
+                Value::Bool(*flag % 2 == 1),
+                Value::str(&tag.iter().collect::<String>()),
+            ])
+        }),
+    )
+    .expect("relation")
+}
+
+/// Canonical encoding of a decoded tuple stream (the byte-identity oracle).
+fn encode_all(schema: &Schema, tuples: &[Tuple]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tuples {
+        t.encode(schema, &mut out).expect("conforming tuple");
+    }
+    out
+}
+
+/// The raw images a zero-copy kernel produced, concatenated.
+fn raw_bytes(buf: &df_relalg::TupleBuf) -> Vec<u8> {
+    buf.refs().flat_map(|r| r.raw().to_vec()).collect()
 }
 
 proptest! {
@@ -160,6 +216,88 @@ proptest! {
         page_wise.sort_by_key(key);
         whole.sort_by_key(key);
         prop_assert_eq!(page_wise, whole);
+    }
+
+    /// Zero-copy restrict emits byte-identical images to the decoded
+    /// kernel on a mixed Int/Bool/Str schema (string predicates exercise
+    /// the NUL-padding-aware encoded comparison).
+    #[test]
+    fn raw_restrict_byte_identical(rows in arb_mixed_rows(50), cut in -30i64..30) {
+        let rel = mixed_relation(&rows);
+        let s = rel.schema().clone();
+        let p = Predicate::cmp_const(&s, "id", CmpOp::Ge, Value::Int(cut))
+            .unwrap()
+            .or(Predicate::cmp_const(&s, "tag", CmpOp::Lt, Value::str("bb")).unwrap())
+            .and(Predicate::cmp_const(&s, "flag", CmpOp::Eq, Value::Bool(true)).unwrap());
+        for pg in rel.pages() {
+            let raw = restrict_page_raw(pg, &p);
+            let decoded = restrict_page(pg, &p);
+            prop_assert_eq!(raw.len(), decoded.len());
+            prop_assert_eq!(encode_all(&s, &decoded), raw_bytes(&raw));
+        }
+    }
+
+    /// Zero-copy projection (attribute byte-range copies) matches the
+    /// decoded kernel, including reordering, byte for byte.
+    #[test]
+    fn raw_project_byte_identical(rows in arb_mixed_rows(50)) {
+        let rel = mixed_relation(&rows);
+        let s = rel.schema().clone();
+        for names in [&["tag"][..], &["tag", "id"][..], &["flag", "id", "tag"][..]] {
+            let proj = Projection::new(&s, names).unwrap();
+            let out_schema = proj.output_schema(&s).unwrap();
+            for pg in rel.pages() {
+                let raw = project_page_raw(pg, &proj, &out_schema);
+                let decoded = project_page(pg, &proj);
+                prop_assert_eq!(encode_all(&out_schema, &decoded), raw_bytes(&raw));
+            }
+        }
+    }
+
+    /// Zero-copy join (raw key-byte comparison) agrees with the decoded
+    /// kernel for every comparison operator, on Int and Str keys.
+    #[test]
+    fn raw_join_matches_decoded(left in arb_mixed_rows(25), right in arb_mixed_rows(25)) {
+        let l = mixed_relation(&left);
+        let r = mixed_relation(&right);
+        let out_schema = l.schema().concat(r.schema());
+        for key in ["id", "tag"] {
+            for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+                let c = JoinCondition::new(l.schema(), key, op, r.schema(), key).unwrap();
+                for lp in l.pages() {
+                    for rp in r.pages() {
+                        let raw = join_pages_raw(lp, rp, &c, &out_schema);
+                        prop_assert_eq!(raw.to_tuples(), join_pages(lp, rp, &c));
+                    }
+                }
+            }
+        }
+        for lp in l.pages() {
+            for rp in r.pages() {
+                let raw = cross_pages_raw(lp, rp, &out_schema);
+                prop_assert_eq!(raw.to_tuples(), cross_pages(lp, rp));
+            }
+        }
+    }
+
+    /// Zero-copy set operators (raw-image hashing) agree with the decoded
+    /// relation kernels tuple for tuple, in order.
+    #[test]
+    fn raw_set_ops_match_decoded(left in arb_mixed_rows(40), right in arb_mixed_rows(40)) {
+        let l = mixed_relation(&left);
+        let r = mixed_relation(&right);
+        let s = l.schema().clone();
+        let lp: Vec<&Page> = l.pages().iter().map(|p| p.as_ref()).collect();
+        let rp: Vec<&Page> = r.pages().iter().map(|p| p.as_ref()).collect();
+        prop_assert_eq!(
+            union_pages_raw(&lp, &rp, &s).to_tuples(),
+            union_relations(&l, &r).unwrap()
+        );
+        prop_assert_eq!(
+            difference_pages_raw(&lp, &rp, &s).to_tuples(),
+            difference_relations(&l, &r).unwrap()
+        );
+        prop_assert_eq!(dedup_pages_raw(&lp, &s).to_tuples(), dedup_tuples(l.tuples()));
     }
 
     /// dedup is idempotent and order-preserving on first occurrences.

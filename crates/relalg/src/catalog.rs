@@ -33,8 +33,7 @@ impl Catalog {
 
     /// Insert, replacing any existing relation of the same name.
     pub fn insert_or_replace(&mut self, relation: Relation) {
-        self.relations
-            .insert(relation.name().to_owned(), relation);
+        self.relations.insert(relation.name().to_owned(), relation);
     }
 
     /// Look up a relation.

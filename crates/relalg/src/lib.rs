@@ -14,6 +14,10 @@
 //!   bit-precise,
 //! * [`Page`] — a fixed-size slotted page of encoded tuples (the paper's unit
 //!   of scheduling for page-level granularity),
+//! * [`TupleRef`] / [`TupleBuf`] — borrowed zero-copy views over encoded
+//!   tuple images and owned batches of them: the hot path operator kernels
+//!   evaluate on, so surviving tuples are memcpy'd rather than
+//!   decoded→validated→re-encoded,
 //! * [`Relation`] — a named schema plus a sequence of pages,
 //! * [`Predicate`] / [`CmpOp`] — boolean restriction expressions,
 //! * [`JoinCondition`] — the θ of a θ-join (attribute-vs-attribute compare),
@@ -52,6 +56,7 @@ mod projection;
 mod relation;
 mod schema;
 mod tuple;
+mod tuple_ref;
 mod value;
 
 pub use catalog::Catalog;
@@ -62,4 +67,5 @@ pub use projection::Projection;
 pub use relation::Relation;
 pub use schema::{Attribute, Schema, SchemaBuilder};
 pub use tuple::Tuple;
-pub use value::{DataType, Value};
+pub use tuple_ref::{TupleBuf, TupleRef};
+pub use value::{cmp_encoded, cmp_encoded_value, DataType, Value};

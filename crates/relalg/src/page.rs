@@ -12,6 +12,7 @@ use std::fmt;
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
+use crate::tuple_ref::TupleRef;
 
 /// Modeled page-header size in bytes: relation id (4) + page length (4) +
 /// tuple count (4) + tuple width (4). All byte accounting includes it.
@@ -109,6 +110,11 @@ impl Page {
 
     /// Append a tuple.
     ///
+    /// This is the hot path: it skips the separate up-front schema sweep
+    /// ([`Tuple::conforms_to`]) that [`Page::try_push`] performs — per-value
+    /// encoding already rejects misfit values and a single length comparison
+    /// catches arity mismatches, so nonconforming tuples still error.
+    ///
     /// # Errors
     /// [`Error::PageFull`] if at capacity; schema errors if the tuple does
     /// not conform.
@@ -116,9 +122,84 @@ impl Page {
         if self.is_full() {
             return Err(Error::PageFull);
         }
-        tuple.encode(&self.schema, &mut self.data)?;
+        tuple.encode_unchecked(&self.schema, &mut self.data)?;
         self.ntuples += 1;
         Ok(())
+    }
+
+    /// Append a tuple with the full up-front [`Tuple::conforms_to`]
+    /// validation pass (arity *and* every value re-checked before any byte
+    /// is written). Use at trust boundaries; [`Page::push`] is the hot path.
+    ///
+    /// # Errors
+    /// [`Error::PageFull`] if at capacity; schema errors if the tuple does
+    /// not conform.
+    pub fn try_push(&mut self, tuple: &Tuple) -> Result<()> {
+        tuple.conforms_to(&self.schema)?;
+        self.push(tuple)
+    }
+
+    /// Append one raw tuple image (exactly [`Schema::tuple_width`] bytes)
+    /// without decode→validate→re-encode — the zero-copy append for images
+    /// lifted out of validated pages.
+    ///
+    /// # Errors
+    /// [`Error::PageFull`] if at capacity; [`Error::Corrupt`] if the image
+    /// length is not one tuple width.
+    pub fn push_raw(&mut self, image: &[u8]) -> Result<()> {
+        if self.is_full() {
+            return Err(Error::PageFull);
+        }
+        if image.len() != self.schema.tuple_width() {
+            return Err(Error::Corrupt {
+                detail: format!(
+                    "raw image of {} bytes for schema of width {}",
+                    image.len(),
+                    self.schema.tuple_width()
+                ),
+            });
+        }
+        self.data.extend_from_slice(image);
+        self.ntuples += 1;
+        Ok(())
+    }
+
+    /// Append a borrowed tuple view, memcpy'ing its image. Layout
+    /// compatibility is one [`Schema::layout_eq`] check — a pointer
+    /// comparison when both pages share a schema handle, which is the case
+    /// for every kernel output (the instruction carries one schema).
+    ///
+    /// # Errors
+    /// [`Error::PageFull`] if at capacity; [`Error::SchemaMismatch`] if the
+    /// view's schema layout differs.
+    pub fn push_ref(&mut self, tuple: &TupleRef<'_>) -> Result<()> {
+        if self.is_full() {
+            return Err(Error::PageFull);
+        }
+        if !self.schema.layout_eq(tuple.schema()) {
+            return Err(Error::SchemaMismatch {
+                detail: format!(
+                    "pushing tuple of schema {} into page of schema {}",
+                    tuple.schema(),
+                    self.schema
+                ),
+            });
+        }
+        debug_assert_eq!(tuple.raw().len(), self.schema.tuple_width());
+        self.data.extend_from_slice(tuple.raw());
+        self.ntuples += 1;
+        Ok(())
+    }
+
+    /// Bulk-append `count` whole images from `bytes` (callers — the
+    /// [`crate::TupleBuf`] drain — have already checked capacity and layout;
+    /// this only debug-asserts).
+    #[inline]
+    pub(crate) fn extend_raw(&mut self, bytes: &[u8], count: usize) {
+        debug_assert_eq!(bytes.len(), count * self.schema.tuple_width());
+        debug_assert!(self.ntuples + count <= self.capacity());
+        self.data.extend_from_slice(bytes);
+        self.ntuples += count;
     }
 
     /// Decode the tuple in slot `i`.
@@ -139,6 +220,32 @@ impl Page {
         self.data
             .chunks_exact(w)
             .map(move |chunk| Tuple::decode(&self.schema, chunk).expect("page data is valid"))
+    }
+
+    /// Iterate over all tuples as borrowed zero-copy views (no decoding).
+    pub fn tuple_refs(&self) -> impl Iterator<Item = TupleRef<'_>> {
+        let w = self.schema.tuple_width();
+        self.data
+            .chunks_exact(w)
+            .map(move |chunk| TupleRef::new_unchecked(&self.schema, chunk))
+    }
+
+    /// Borrow the tuple image in slot `i` without decoding.
+    ///
+    /// # Errors
+    /// Fails if `i` is out of bounds.
+    pub fn tuple_ref(&self, i: usize) -> Result<TupleRef<'_>> {
+        if i >= self.ntuples {
+            return Err(Error::AttrIndexOutOfBounds {
+                index: i,
+                arity: self.ntuples,
+            });
+        }
+        let w = self.schema.tuple_width();
+        Ok(TupleRef::new_unchecked(
+            &self.schema,
+            &self.data[i * w..(i + 1) * w],
+        ))
     }
 
     /// Move as many tuples as fit from `other` into `self` (page compaction,
@@ -252,10 +359,7 @@ mod tests {
     #[test]
     fn too_small_page_rejected() {
         let s = schema();
-        assert!(matches!(
-            Page::new(s, 50),
-            Err(Error::PageTooSmall { .. })
-        ));
+        assert!(matches!(Page::new(s, 50), Err(Error::PageTooSmall { .. })));
     }
 
     #[test]
@@ -296,5 +400,61 @@ mod tests {
         let mut p = Page::new(schema(), 1016).unwrap();
         assert!(p.push(&Tuple::new(vec![Value::Int(1)])).is_err());
         assert_eq!(p.len(), 0);
+        assert!(p.try_push(&Tuple::new(vec![Value::Int(1)])).is_err());
+        assert_eq!(p.len(), 0);
+        p.try_push(&tup(5)).unwrap();
+        assert_eq!(p.get(0).unwrap(), tup(5));
+    }
+
+    #[test]
+    fn tuple_refs_view_without_decoding() {
+        let mut p = Page::new(schema(), 1016).unwrap();
+        for k in 0..4 {
+            p.push(&tup(k)).unwrap();
+        }
+        let decoded: Vec<Tuple> = p.tuples().collect();
+        let viewed: Vec<Tuple> = p.tuple_refs().map(|r| r.to_tuple()).collect();
+        assert_eq!(decoded, viewed);
+        let r = p.tuple_ref(2).unwrap();
+        assert_eq!(r.value(0).unwrap(), Value::Int(2));
+        assert_eq!(r.raw(), &p.raw_data()[200..300]);
+        assert!(p.tuple_ref(4).is_err());
+    }
+
+    #[test]
+    fn raw_and_ref_pushes_are_byte_identical_to_push() {
+        let mut a = Page::new(schema(), 1016).unwrap();
+        let mut b = Page::new(schema(), 1016).unwrap();
+        for k in 0..3 {
+            a.push(&tup(k)).unwrap();
+        }
+        for r in a.tuple_refs() {
+            b.push_ref(&r).unwrap();
+        }
+        assert_eq!(a, b);
+        let mut c = Page::new(schema(), 1016).unwrap();
+        let w = a.schema().tuple_width();
+        for img in a.raw_data().chunks_exact(w) {
+            c.push_raw(img).unwrap();
+        }
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn raw_pushes_validate_length_layout_and_capacity() {
+        let mut p = Page::new(schema(), 116).unwrap(); // 1 tuple
+        assert!(matches!(p.push_raw(&[0u8; 7]), Err(Error::Corrupt { .. })));
+        p.push_raw(&[0u8; 100]).unwrap();
+        assert!(matches!(p.push_raw(&[0u8; 100]), Err(Error::PageFull)));
+        // push_ref rejects layout-incompatible sources.
+        let other = Schema::build().attr("z", DataType::Int).finish().unwrap();
+        let mut q = Page::new(other, 100).unwrap();
+        q.push(&Tuple::new(vec![Value::Int(1)])).unwrap();
+        let r = q.tuple_ref(0).unwrap();
+        let mut full_schema_page = Page::new(schema(), 1016).unwrap();
+        assert!(matches!(
+            full_schema_page.push_ref(&r),
+            Err(Error::SchemaMismatch { .. })
+        ));
     }
 }

@@ -10,7 +10,8 @@ use std::fmt;
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
-use crate::value::Value;
+use crate::tuple_ref::TupleRef;
+use crate::value::{cmp_encoded, cmp_encoded_value, Value};
 
 /// A comparison operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,7 +130,12 @@ impl Predicate {
     }
 
     /// Build `left_name op right_name` over one schema, with type checking.
-    pub fn cmp_attrs(schema: &Schema, left_name: &str, op: CmpOp, right_name: &str) -> Result<Predicate> {
+    pub fn cmp_attrs(
+        schema: &Schema,
+        left_name: &str,
+        op: CmpOp,
+        right_name: &str,
+    ) -> Result<Predicate> {
         let left = schema.index_of(left_name)?;
         let right = schema.index_of(right_name)?;
         let lt = schema.attr(left)?.dtype;
@@ -168,7 +174,9 @@ impl Predicate {
         match self {
             Predicate::True => true,
             Predicate::CmpConst { index, op, value } => {
-                let v = tuple.get(*index).expect("predicate resolved against schema");
+                let v = tuple
+                    .get(*index)
+                    .expect("predicate resolved against schema");
                 let ord = v
                     .partial_cmp_typed(value)
                     .expect("predicate type-checked against schema");
@@ -176,7 +184,9 @@ impl Predicate {
             }
             Predicate::CmpAttrs { left, op, right } => {
                 let l = tuple.get(*left).expect("predicate resolved against schema");
-                let r = tuple.get(*right).expect("predicate resolved against schema");
+                let r = tuple
+                    .get(*right)
+                    .expect("predicate resolved against schema");
                 let ord = l
                     .partial_cmp_typed(r)
                     .expect("predicate type-checked against schema");
@@ -188,13 +198,45 @@ impl Predicate {
         }
     }
 
+    /// Evaluate against a borrowed tuple image without decoding it:
+    /// integers are read straight out of their 8 bytes, strings compare as
+    /// NUL-trimmed byte slices, booleans as their bytes. Semantically
+    /// identical to [`Predicate::eval`] over the decoded tuple.
+    ///
+    /// # Panics
+    /// Panics if the predicate references attribute indices or types the
+    /// image's schema does not have — predicates must be built against the
+    /// tuple's schema, which the query validator enforces.
+    pub fn eval_ref(&self, tuple: &TupleRef<'_>) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::CmpConst { index, op, value } => {
+                let ord =
+                    cmp_encoded_value(tuple.attr_dtype(*index), tuple.attr_bytes(*index), value)
+                        .expect("predicate type-checked against schema");
+                op.test(ord)
+            }
+            Predicate::CmpAttrs { left, op, right } => {
+                let ord = cmp_encoded(
+                    tuple.attr_dtype(*left),
+                    tuple.attr_bytes(*left),
+                    tuple.attr_dtype(*right),
+                    tuple.attr_bytes(*right),
+                )
+                .expect("predicate type-checked against schema");
+                op.test(ord)
+            }
+            Predicate::And(a, b) => a.eval_ref(tuple) && b.eval_ref(tuple),
+            Predicate::Or(a, b) => a.eval_ref(tuple) || b.eval_ref(tuple),
+            Predicate::Not(a) => !a.eval_ref(tuple),
+        }
+    }
+
     /// Check that every attribute index referenced is within `schema`'s
     /// arity. (Used by the query validator when a predicate is attached to a
     /// node whose input schema is derived.)
     pub fn validate_against(&self, schema: &Schema) -> Result<()> {
-        let check = |i: usize| -> Result<()> {
-            schema.attr(i).map(|_| ())
-        };
+        let check = |i: usize| -> Result<()> { schema.attr(i).map(|_| ()) };
         match self {
             Predicate::True => Ok(()),
             Predicate::CmpConst { index, value, .. } => {
@@ -299,18 +341,51 @@ impl JoinCondition {
     }
 
     /// Equi-join shorthand.
-    pub fn equi(outer: &Schema, left_name: &str, inner: &Schema, right_name: &str) -> Result<JoinCondition> {
+    pub fn equi(
+        outer: &Schema,
+        left_name: &str,
+        inner: &Schema,
+        right_name: &str,
+    ) -> Result<JoinCondition> {
         JoinCondition::new(outer, left_name, CmpOp::Eq, inner, right_name)
     }
 
     /// Test one tuple pair.
     pub fn matches(&self, outer: &Tuple, inner: &Tuple) -> bool {
-        let l = outer.get(self.left).expect("join condition resolved against schema");
-        let r = inner.get(self.right).expect("join condition resolved against schema");
+        let l = outer
+            .get(self.left)
+            .expect("join condition resolved against schema");
+        let r = inner
+            .get(self.right)
+            .expect("join condition resolved against schema");
         let ord = l
             .partial_cmp_typed(r)
             .expect("join condition type-checked against schemas");
         self.op.test(ord)
+    }
+
+    /// Test one borrowed tuple-image pair without decoding.
+    ///
+    /// An equi (or not-equal) comparison over equal-width keys is a straight
+    /// `memcmp` of the raw key bytes — the encoding is canonical, so images
+    /// are equal exactly when the values are. Ordering comparisons (and
+    /// mixed-width string keys) fall back to the typed encoded comparison.
+    pub fn matches_ref(&self, outer: &TupleRef<'_>, inner: &TupleRef<'_>) -> bool {
+        let (lb, rb) = (outer.attr_bytes(self.left), inner.attr_bytes(self.right));
+        match self.op {
+            CmpOp::Eq if lb.len() == rb.len() => lb == rb,
+            CmpOp::Ne if lb.len() == rb.len() => lb != rb,
+            op => {
+                let ord = cmp_encoded(
+                    outer.attr_dtype(self.left),
+                    lb,
+                    inner.attr_dtype(self.right),
+                    rb,
+                )
+                .expect("join condition type-checked against schemas");
+                op.test(ord)
+            }
+        }
     }
 
     /// Validate indices against the two input schemas.
@@ -352,7 +427,14 @@ mod tests {
 
     #[test]
     fn cmp_op_flip_round_trips() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
         }
         assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
@@ -420,6 +502,87 @@ mod tests {
         assert!(!j.matches(&tup(7, 0, "x"), &tup(0, 8, "y")));
         assert!(JoinCondition::equi(&s, "a", &s, "s").is_err());
         assert!(j.validate_against(&s, &s).is_ok());
+    }
+
+    /// Every predicate shape must agree between the decoded and zero-copy
+    /// evaluators on every tuple.
+    #[test]
+    fn eval_ref_matches_eval() {
+        let s = schema();
+        let preds = vec![
+            Predicate::True,
+            Predicate::cmp_const(&s, "a", CmpOp::Gt, Value::Int(0)).unwrap(),
+            Predicate::cmp_const(&s, "s", CmpOp::Le, Value::str("m")).unwrap(),
+            Predicate::cmp_attrs(&s, "a", CmpOp::Lt, "b").unwrap(),
+            Predicate::cmp_const(&s, "a", CmpOp::Ne, Value::Int(-1))
+                .unwrap()
+                .and(Predicate::cmp_const(&s, "b", CmpOp::Ge, Value::Int(0)).unwrap())
+                .or(Predicate::cmp_const(&s, "s", CmpOp::Eq, Value::str("zz"))
+                    .unwrap()
+                    .not()),
+        ];
+        let tuples = vec![
+            tup(-1, 0, ""),
+            tup(0, 0, "m"),
+            tup(1, -5, "zz"),
+            tup(i64::MAX, i64::MIN, "abcdefgh"),
+        ];
+        for p in &preds {
+            for t in &tuples {
+                let mut img = Vec::new();
+                t.encode(&s, &mut img).unwrap();
+                let r = crate::TupleRef::new(&s, &img).unwrap();
+                assert_eq!(p.eval_ref(&r), p.eval(t), "pred {p} tuple {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_ref_agrees_with_matches() {
+        let s = schema();
+        let wide = Schema::build()
+            .attr("a", DataType::Int)
+            .attr("b", DataType::Int)
+            .attr("s", DataType::Str(16)) // different string width than `s`
+            .finish()
+            .unwrap();
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        let pairs = [
+            (tup(1, 0, "x"), tup(1, 0, "x")),
+            (tup(1, 0, "ab"), tup(2, 0, "abc")),
+            (tup(-5, 0, "zz"), tup(-5, 1, "a")),
+        ];
+        for op in ops {
+            for (l, r) in &pairs {
+                let mut li = Vec::new();
+                let mut ri = Vec::new();
+                l.encode(&s, &mut li).unwrap();
+                r.encode(&wide, &mut ri).unwrap();
+                let lr = crate::TupleRef::new(&s, &li).unwrap();
+                let rr = crate::TupleRef::new(&wide, &ri).unwrap();
+                // Int keys (same width -> memcmp fast path for Eq/Ne).
+                let ji = JoinCondition {
+                    left: 0,
+                    op,
+                    right: 0,
+                };
+                assert_eq!(ji.matches_ref(&lr, &rr), ji.matches(l, r), "{op} int");
+                // Str keys of different declared widths (typed fallback).
+                let js = JoinCondition {
+                    left: 2,
+                    op,
+                    right: 2,
+                };
+                assert_eq!(js.matches_ref(&lr, &rr), js.matches(l, r), "{op} str");
+            }
+        }
     }
 
     #[test]

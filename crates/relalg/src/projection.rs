@@ -162,12 +162,8 @@ mod tests {
     #[test]
     fn renames_override_output_names() {
         let s = schema();
-        let p = Projection::with_renames(
-            &s,
-            vec![2, 0],
-            vec!["third".into(), "first".into()],
-        )
-        .unwrap();
+        let p =
+            Projection::with_renames(&s, vec![2, 0], vec!["third".into(), "first".into()]).unwrap();
         let out = p.output_schema(&s).unwrap();
         assert_eq!(out.attrs()[0].name, "third");
         assert_eq!(out.attrs()[1].name, "first");

@@ -1,20 +1,27 @@
 //! Relations: a named schema plus a sequence of pages.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::page::Page;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
+use crate::tuple_ref::TupleRef;
 
 /// A materialized relation. Tuples live in fixed-size [`Page`]s; the last
 /// page may be partially full.
+///
+/// Pages are held behind [`Arc`] so that loading a relation into a
+/// simulated machine's page store (or materializing a result back out)
+/// shares the underlying buffers instead of deep-copying them; mutation
+/// goes through copy-on-write ([`Arc::make_mut`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     name: String,
     schema: Schema,
     page_size: usize,
-    pages: Vec<Page>,
+    pages: Vec<Arc<Page>>,
 }
 
 impl Relation {
@@ -34,7 +41,12 @@ impl Relation {
     }
 
     /// Build a relation from an iterator of tuples.
-    pub fn from_tuples<I>(name: &str, schema: Schema, page_size: usize, tuples: I) -> Result<Relation>
+    pub fn from_tuples<I>(
+        name: &str,
+        schema: Schema,
+        page_size: usize,
+        tuples: I,
+    ) -> Result<Relation>
     where
         I: IntoIterator<Item = Tuple>,
     {
@@ -68,9 +80,10 @@ impl Relation {
         self.page_size
     }
 
-    /// The pages, in order.
+    /// The pages, in order (shared handles — cheap to clone into a page
+    /// store or another relation).
     #[inline]
-    pub fn pages(&self) -> &[Page] {
+    pub fn pages(&self) -> &[Arc<Page>] {
         &self.pages
     }
 
@@ -82,7 +95,7 @@ impl Relation {
 
     /// Total number of tuples.
     pub fn num_tuples(&self) -> usize {
-        self.pages.iter().map(Page::len).sum()
+        self.pages.iter().map(|p| p.len()).sum()
     }
 
     /// True if the relation holds no tuples.
@@ -92,7 +105,7 @@ impl Relation {
 
     /// Total wire/disk bytes across all pages (headers included).
     pub fn total_bytes(&self) -> usize {
-        self.pages.iter().map(Page::wire_bytes).sum()
+        self.pages.iter().map(|p| p.wire_bytes()).sum()
     }
 
     /// Append one tuple, opening a new page when the last one is full.
@@ -100,20 +113,24 @@ impl Relation {
         tuple.conforms_to(&self.schema)?;
         if self.pages.last().is_none_or_full() {
             self.pages
-                .push(Page::new(self.schema.clone(), self.page_size)?);
+                .push(Arc::new(Page::new(self.schema.clone(), self.page_size)?));
         }
-        self.pages
-            .last_mut()
-            .expect("just ensured a non-full page exists")
-            .push(&tuple)
+        Arc::make_mut(
+            self.pages
+                .last_mut()
+                .expect("just ensured a non-full page exists"),
+        )
+        .push(&tuple)
     }
 
-    /// Append a whole page.
+    /// Append a whole page, taking shared ownership (an `Arc<Page>` handed
+    /// in is not copied; a bare `Page` is wrapped).
     ///
     /// # Errors
     /// Fails if the page's schema differs or its size differs from the
     /// relation's configured page size.
-    pub fn append_page(&mut self, page: Page) -> Result<()> {
+    pub fn append_page(&mut self, page: impl Into<Arc<Page>>) -> Result<()> {
+        let page: Arc<Page> = page.into();
         if page.schema() != &self.schema {
             return Err(Error::SchemaMismatch {
                 detail: format!(
@@ -138,20 +155,25 @@ impl Relation {
 
     /// Iterate over all tuples across all pages.
     pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
-        self.pages.iter().flat_map(Page::tuples)
+        self.pages.iter().flat_map(|p| p.tuples())
+    }
+
+    /// Iterate over all tuples as borrowed zero-copy views.
+    pub fn tuple_refs(&self) -> impl Iterator<Item = TupleRef<'_>> {
+        self.pages.iter().flat_map(|p| p.tuple_refs())
     }
 
     /// Compact all pages so that every page except possibly the last is full
     /// (the IC-side "compression" of §4.2, applied relation-wide).
     pub fn compact(&mut self) {
-        let mut compacted: Vec<Page> = Vec::with_capacity(self.pages.len());
+        let mut compacted: Vec<Arc<Page>> = Vec::with_capacity(self.pages.len());
         for mut page in std::mem::take(&mut self.pages) {
             if page.is_empty() {
                 continue;
             }
             if let Some(open) = compacted.last_mut() {
-                let _ = open
-                    .compact_from(&mut page)
+                let _ = Arc::make_mut(open)
+                    .compact_from(Arc::make_mut(&mut page))
                     .expect("pages of one relation share a schema");
             }
             if !page.is_empty() {
@@ -174,7 +196,8 @@ impl Relation {
             .tuples()
             .map(|t| {
                 let mut buf = Vec::new();
-                t.encode(&self.schema, &mut buf).expect("stored tuple conforms");
+                t.encode(&self.schema, &mut buf)
+                    .expect("stored tuple conforms");
                 buf
             })
             .collect();
@@ -182,7 +205,8 @@ impl Relation {
             .tuples()
             .map(|t| {
                 let mut buf = Vec::new();
-                t.encode(&other.schema, &mut buf).expect("stored tuple conforms");
+                t.encode(&other.schema, &mut buf)
+                    .expect("stored tuple conforms");
                 buf
             })
             .collect();
@@ -197,7 +221,7 @@ trait LastPage {
     fn is_none_or_full(&self) -> bool;
 }
 
-impl LastPage for Option<&Page> {
+impl LastPage for Option<&Arc<Page>> {
     fn is_none_or_full(&self) -> bool {
         match self {
             None => true,
@@ -311,6 +335,34 @@ mod tests {
     fn total_bytes_counts_headers() {
         let r = rel(5); // exactly one full page
         assert_eq!(r.total_bytes(), 16 + 5 * 100);
+    }
+
+    #[test]
+    fn append_page_shares_arcs() {
+        let r = rel(7);
+        let mut copy = Relation::new("copy", schema(), 516).unwrap();
+        for p in r.pages() {
+            copy.append_page(std::sync::Arc::clone(p)).unwrap();
+        }
+        assert!(r
+            .pages()
+            .iter()
+            .zip(copy.pages())
+            .all(|(a, b)| std::sync::Arc::ptr_eq(a, b)));
+        assert!(r.same_contents(&copy));
+        // CoW: appending to the copy must not disturb the original.
+        let mut copy2 = copy.clone();
+        copy2.append(tup(99)).unwrap();
+        assert_eq!(r.num_tuples(), 7);
+        assert_eq!(copy2.num_tuples(), 8);
+        let refs: Vec<i64> = r
+            .tuple_refs()
+            .map(|t| match t.value(0).unwrap() {
+                Value::Int(k) => k,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(refs, (0..7).collect::<Vec<_>>());
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub struct Schema {
     attrs: Arc<[Attribute]>,
     /// Cached fixed tuple width (sum of attribute widths).
     width: usize,
+    /// Cached byte offset of each attribute within a tuple image.
+    offsets: Arc<[usize]>,
 }
 
 impl Schema {
@@ -40,10 +42,16 @@ impl Schema {
                 });
             }
         }
-        let width = attrs.iter().map(|a| a.dtype.width()).sum();
+        let mut offsets = Vec::with_capacity(attrs.len());
+        let mut width = 0usize;
+        for a in &attrs {
+            offsets.push(width);
+            width += a.dtype.width();
+        }
         Ok(Schema {
             attrs: attrs.into(),
             width,
+            offsets: offsets.into(),
         })
     }
 
@@ -68,6 +76,39 @@ impl Schema {
     #[inline]
     pub fn tuple_width(&self) -> usize {
         self.width
+    }
+
+    /// Byte offset of each attribute within a tuple image, in order.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Byte range attribute `index` occupies within a tuple image.
+    ///
+    /// # Panics
+    /// Panics on an out-of-bounds index: this is the hot-path accessor used
+    /// by kernels whose predicates/projections were already validated against
+    /// the schema.
+    #[inline]
+    pub fn attr_range(&self, index: usize) -> std::ops::Range<usize> {
+        let start = self.offsets[index];
+        start..start + self.attrs[index].dtype.width()
+    }
+
+    /// Whether two schemas produce byte-identical tuple images (same ordered
+    /// attribute types; names may differ). The common case — both handles
+    /// cloned from one schema — is a pointer comparison.
+    #[inline]
+    pub fn layout_eq(&self, other: &Schema) -> bool {
+        Arc::ptr_eq(&self.attrs, &other.attrs)
+            || (self.width == other.width
+                && self.attrs.len() == other.attrs.len()
+                && self
+                    .attrs
+                    .iter()
+                    .zip(other.attrs.iter())
+                    .all(|(a, b)| a.dtype == b.dtype))
     }
 
     /// Index of the attribute named `name`.
@@ -219,5 +260,39 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(format!("{}", two_col()), "(id: int, name: str(10))");
+    }
+
+    #[test]
+    fn offsets_are_cumulative_widths() {
+        let s = Schema::build()
+            .attr("i", DataType::Int)
+            .attr("b", DataType::Bool)
+            .attr("s", DataType::Str(5))
+            .finish()
+            .unwrap();
+        assert_eq!(s.offsets(), &[0, 8, 9]);
+        assert_eq!(s.attr_range(0), 0..8);
+        assert_eq!(s.attr_range(1), 8..9);
+        assert_eq!(s.attr_range(2), 9..14);
+        assert_eq!(s.tuple_width(), 14);
+    }
+
+    #[test]
+    fn layout_eq_ignores_names() {
+        let a = two_col();
+        let b = a.clone(); // shared Arc -> pointer fast path
+        assert!(a.layout_eq(&b));
+        let renamed = Schema::build()
+            .attr("x", DataType::Int)
+            .attr("y", DataType::Str(10))
+            .finish()
+            .unwrap();
+        assert!(a.layout_eq(&renamed));
+        let other = Schema::build()
+            .attr("x", DataType::Int)
+            .attr("y", DataType::Str(11))
+            .finish()
+            .unwrap();
+        assert!(!a.layout_eq(&other));
     }
 }

@@ -77,6 +77,35 @@ impl Tuple {
         Ok(())
     }
 
+    /// Append this tuple's fixed-width image to `out` without the separate
+    /// up-front [`Tuple::conforms_to`] pass — the hot-path variant used by
+    /// [`crate::Page::push`]. Per-value encoding still rejects values that do
+    /// not inhabit their attribute type, and arity mismatches are caught by a
+    /// single length comparison, so nonconforming tuples are still errors;
+    /// the work saved is the second full `admits` sweep over every value.
+    ///
+    /// On error, `out` is restored to its original length.
+    pub fn encode_unchecked(&self, schema: &Schema, out: &mut Vec<u8>) -> Result<()> {
+        if self.values.len() != schema.arity() {
+            return Err(Error::SchemaMismatch {
+                detail: format!(
+                    "tuple arity {} vs schema arity {}",
+                    self.values.len(),
+                    schema.arity()
+                ),
+            });
+        }
+        let start = out.len();
+        for (v, a) in self.values.iter().zip(schema.attrs()) {
+            if let Err(e) = v.encode(a.dtype, out) {
+                out.truncate(start);
+                return Err(e);
+            }
+        }
+        debug_assert_eq!(out.len() - start, schema.tuple_width());
+        Ok(())
+    }
+
     /// Decode one tuple image from the front of `bytes`.
     pub fn decode(schema: &Schema, bytes: &[u8]) -> Result<Tuple> {
         if bytes.len() < schema.tuple_width() {
@@ -165,6 +194,24 @@ mod tests {
         let wrong_type = Tuple::new(vec![Value::Bool(true), Value::Bool(true), Value::str("x")]);
         assert!(wrong_type.conforms_to(&s).is_err());
         assert!(tup().conforms_to(&s).is_ok());
+    }
+
+    #[test]
+    fn encode_unchecked_matches_encode_and_rejects_misfits() {
+        let s = schema();
+        let t = tup();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        t.encode(&s, &mut a).unwrap();
+        t.encode_unchecked(&s, &mut b).unwrap();
+        assert_eq!(a, b);
+        // Wrong arity and wrong types still error, and leave `out` untouched.
+        let mut buf = vec![0xAA];
+        assert!(Tuple::new(vec![Value::Int(1)])
+            .encode_unchecked(&s, &mut buf)
+            .is_err());
+        let wrong = Tuple::new(vec![Value::Bool(true), Value::Bool(true), Value::str("x")]);
+        assert!(wrong.encode_unchecked(&s, &mut buf).is_err());
+        assert_eq!(buf, vec![0xAA]);
     }
 
     #[test]

@@ -46,6 +46,50 @@ impl DataType {
     }
 }
 
+/// Strip the NUL padding from an encoded string field. Content NULs are
+/// forbidden by [`DataType::admits`], so the first NUL marks the end.
+#[inline]
+pub(crate) fn trim_str_padding(raw: &[u8]) -> &[u8] {
+    let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+    &raw[..end]
+}
+
+/// Compare two *encoded* attribute images without decoding (no allocation).
+///
+/// Returns `None` on cross-type comparison, mirroring
+/// [`Value::partial_cmp_typed`]. The encoding is canonical, so:
+/// ints decode to 8 bytes (big-endian two's complement does not memcmp for
+/// ordering, hence the decode), bools compare as their bytes, and strings
+/// compare as their NUL-trimmed bytes (UTF-8 byte order equals `str` order).
+#[inline]
+pub fn cmp_encoded(lt: DataType, a: &[u8], rt: DataType, b: &[u8]) -> Option<Ordering> {
+    match (lt, rt) {
+        (DataType::Int, DataType::Int) => {
+            let x = i64::from_be_bytes(a[..8].try_into().expect("int image is 8 bytes"));
+            let y = i64::from_be_bytes(b[..8].try_into().expect("int image is 8 bytes"));
+            Some(x.cmp(&y))
+        }
+        (DataType::Bool, DataType::Bool) => Some(a[0].cmp(&b[0])),
+        (DataType::Str(_), DataType::Str(_)) => Some(trim_str_padding(a).cmp(trim_str_padding(b))),
+        _ => None,
+    }
+}
+
+/// Compare an *encoded* attribute image against a decoded constant without
+/// decoding or allocating. Returns `None` on cross-type comparison.
+#[inline]
+pub fn cmp_encoded_value(dtype: DataType, image: &[u8], value: &Value) -> Option<Ordering> {
+    match (dtype, value) {
+        (DataType::Int, Value::Int(y)) => {
+            let x = i64::from_be_bytes(image[..8].try_into().expect("int image is 8 bytes"));
+            Some(x.cmp(y))
+        }
+        (DataType::Bool, Value::Bool(y)) => Some((image[0] != 0).cmp(y)),
+        (DataType::Str(_), Value::Str(s)) => Some(trim_str_padding(image).cmp(s.as_bytes())),
+        _ => None,
+    }
+}
+
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -98,9 +142,10 @@ impl Value {
 
     /// Compare, returning an error on cross-type comparison.
     pub fn try_cmp(&self, other: &Value) -> Result<Ordering> {
-        self.partial_cmp_typed(other).ok_or_else(|| Error::TypeMismatch {
-            detail: format!("cannot compare {self} with {other}"),
-        })
+        self.partial_cmp_typed(other)
+            .ok_or_else(|| Error::TypeMismatch {
+                detail: format!("cannot compare {self} with {other}"),
+            })
     }
 
     /// Encode into `out` using exactly `dtype.width()` bytes.
@@ -236,8 +281,62 @@ mod tests {
     #[test]
     fn encode_rejects_misfit() {
         let mut buf = Vec::new();
-        assert!(Value::str("toolong").encode(DataType::Str(3), &mut buf).is_err());
+        assert!(Value::str("toolong")
+            .encode(DataType::Str(3), &mut buf)
+            .is_err());
         assert!(Value::Int(1).encode(DataType::Bool, &mut buf).is_err());
+    }
+
+    /// Encoded comparison must agree with decoded comparison on every pair.
+    #[test]
+    fn encoded_cmp_matches_decoded_cmp() {
+        let ints = [i64::MIN, -2, -1, 0, 1, 2, i64::MAX];
+        for &x in &ints {
+            for &y in &ints {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                Value::Int(x).encode(DataType::Int, &mut a).unwrap();
+                Value::Int(y).encode(DataType::Int, &mut b).unwrap();
+                let want = Value::Int(x).partial_cmp_typed(&Value::Int(y));
+                assert_eq!(cmp_encoded(DataType::Int, &a, DataType::Int, &b), want);
+                assert_eq!(cmp_encoded_value(DataType::Int, &a, &Value::Int(y)), want);
+            }
+        }
+        let strs = ["", "a", "ab", "abc", "b", "zz"];
+        for x in strs {
+            for y in strs {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                Value::str(x).encode(DataType::Str(4), &mut a).unwrap();
+                Value::str(y).encode(DataType::Str(6), &mut b).unwrap();
+                let want = Value::str(x).partial_cmp_typed(&Value::str(y));
+                assert_eq!(
+                    cmp_encoded(DataType::Str(4), &a, DataType::Str(6), &b),
+                    want
+                );
+                assert_eq!(
+                    cmp_encoded_value(DataType::Str(4), &a, &Value::str(y)),
+                    want
+                );
+            }
+        }
+        for x in [false, true] {
+            for y in [false, true] {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                Value::Bool(x).encode(DataType::Bool, &mut a).unwrap();
+                Value::Bool(y).encode(DataType::Bool, &mut b).unwrap();
+                let want = Value::Bool(x).partial_cmp_typed(&Value::Bool(y));
+                assert_eq!(cmp_encoded(DataType::Bool, &a, DataType::Bool, &b), want);
+                assert_eq!(cmp_encoded_value(DataType::Bool, &a, &Value::Bool(y)), want);
+            }
+        }
+        // Cross-type comparisons stay undefined, encoded or not.
+        assert_eq!(
+            cmp_encoded(DataType::Int, &[0; 8], DataType::Bool, &[0]),
+            None
+        );
+        assert_eq!(
+            cmp_encoded_value(DataType::Bool, &[0], &Value::Int(0)),
+            None
+        );
     }
 
     #[test]

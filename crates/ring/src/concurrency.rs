@@ -95,7 +95,10 @@ impl LockTable {
             "granting conflicting lock request for query {query}"
         );
         for r in &request.reads {
-            match self.locks.entry(r.clone()).or_insert_with(|| LockState::Shared(BTreeSet::new()))
+            match self
+                .locks
+                .entry(r.clone())
+                .or_insert_with(|| LockState::Shared(BTreeSet::new()))
             {
                 LockState::Shared(holders) => {
                     holders.insert(query);
@@ -178,10 +181,7 @@ mod tests {
 
     #[test]
     fn write_implies_read() {
-        let r = LockRequest::new(
-            vec!["a".into(), "b".into(), "a".into()],
-            vec!["a".into()],
-        );
+        let r = LockRequest::new(vec!["a".into(), "b".into(), "a".into()], vec!["a".into()]);
         assert_eq!(r.reads, vec!["b".to_string()]);
         assert_eq!(r.writes, vec!["a".to_string()]);
     }

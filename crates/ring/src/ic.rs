@@ -8,7 +8,7 @@
 //! the MC.
 
 use df_core::instr::{InstrId, UnitGen};
-use df_relalg::Page;
+use df_relalg::{Page, TupleBuf};
 use df_sim::SimTime;
 use df_storage::{PageId, PageTable};
 
@@ -39,7 +39,11 @@ impl RingMachine {
                 self.ips[ip].instr = Some(instr);
                 self.ic_give_work(now, instr, ip);
             }
-            Msg::Result { from_ip, producer, page } => {
+            Msg::Result {
+                from_ip,
+                producer,
+                page,
+            } => {
                 debug_assert!(from_ip < self.params.ips, "result from unknown IP");
                 self.ic_receive_result(now, ic, producer, page);
             }
@@ -93,7 +97,8 @@ impl RingMachine {
             }
             Some((parent, slot)) => {
                 debug_assert_eq!(self.ic_instrs[parent].ic, ic);
-                let incoming = self.store.get(page).clone();
+                // Shared handle — the page body is never deep-copied here.
+                let incoming = self.store.get_arc(page);
                 let full = incoming.is_full();
                 let direct = matches!(self.loc.get(&page), Some(Loc::AtIp(_)));
                 if full {
@@ -103,21 +108,25 @@ impl RingMachine {
                     }
                     self.ic_register_operand_page(now, parent, slot, page);
                 } else {
-                    // Compact partial pages into full pages.
+                    // Compact partial pages into full pages: whole encoded
+                    // images are memcpy'd, never decoded.
                     let mut produced: Vec<PageId> = Vec::new();
                     {
                         let page_size = self.params.page_size;
                         let st = &mut self.ic_instrs[parent];
                         let schema = st.operands[slot].schema().clone();
-                        for tuple in incoming.tuples() {
+                        let mut batch = TupleBuf::new(schema.clone());
+                        for t in incoming.tuple_refs() {
+                            batch.push_ref(&t);
+                        }
+                        while !batch.is_empty() {
                             let buf = st.compaction[slot].get_or_insert_with(|| {
                                 Page::new(schema.clone(), page_size)
                                     .expect("operand page size validated")
                             });
-                            buf.push(&tuple).expect("buffer has room by construction");
+                            batch.drain_into(buf);
                             if buf.is_full() {
-                                let full_page =
-                                    st.compaction[slot].take().expect("just filled");
+                                let full_page = st.compaction[slot].take().expect("just filled");
                                 produced.push(self.store.put(full_page));
                             }
                         }
@@ -150,7 +159,13 @@ impl RingMachine {
     /// Register a (full or final-partial) page in an operand table and
     /// react: hand work to parked IPs, serve deferred join requests, and
     /// re-evaluate the IP demand.
-    fn ic_register_operand_page(&mut self, now: SimTime, instr: InstrId, slot: usize, page: PageId) {
+    fn ic_register_operand_page(
+        &mut self,
+        now: SimTime,
+        instr: InstrId,
+        slot: usize,
+        page: PageId,
+    ) {
         self.ic_instrs[instr].operands[slot].push(page);
         match self.program.instructions[instr].kernel.unit_gen() {
             UnitGen::PerPage => {
@@ -204,25 +219,20 @@ impl RingMachine {
     fn ic_on_operand_complete(&mut self, now: SimTime, instr: InstrId, slot: usize) {
         let class = self.program.instructions[instr].kernel.unit_gen();
         match class {
-            UnitGen::PerPair if slot == 1
-                && !self.ic_instrs[instr].inner_complete_sent => {
-                    self.ic_instrs[instr].inner_complete_sent = true;
-                    let total = self.ic_instrs[instr].operands[1].len();
-                    let targets = self.ic_instrs[instr].granted.clone();
-                    let ic = self.ic_instrs[instr].ic;
-                    self.ic_instrs[instr]
-                        .deferred_requests
-                        .retain(|&(_, i)| i < total);
-                    if !targets.is_empty() {
-                        self.broadcast_outer(
-                            now,
-                            Node::Ic(ic),
-                            CONTROL_PACKET_SIZE,
-                            &targets,
-                            || Msg::InnerComplete { instr, total },
-                        );
-                    }
+            UnitGen::PerPair if slot == 1 && !self.ic_instrs[instr].inner_complete_sent => {
+                self.ic_instrs[instr].inner_complete_sent = true;
+                let total = self.ic_instrs[instr].operands[1].len();
+                let targets = self.ic_instrs[instr].granted.clone();
+                let ic = self.ic_instrs[instr].ic;
+                self.ic_instrs[instr]
+                    .deferred_requests
+                    .retain(|&(_, i)| i < total);
+                if !targets.is_empty() {
+                    self.broadcast_outer(now, Node::Ic(ic), CONTROL_PACKET_SIZE, &targets, || {
+                        Msg::InnerComplete { instr, total }
+                    });
                 }
+            }
             UnitGen::PerPage if slot == 0 => {
                 // Parked IPs with nothing left to do must be flushed.
                 while self.ic_instrs[instr].operands[0].available() == 0
@@ -281,7 +291,10 @@ impl RingMachine {
                         );
                         // Single-use intermediate pages are dead at the IC
                         // once shipped.
-                        if self.program.instructions[instr].operands[0].source.is_none() {
+                        if self.program.instructions[instr].operands[0]
+                            .source
+                            .is_none()
+                        {
                             self.reclaim_page(page);
                         }
                     }
@@ -373,13 +386,7 @@ impl RingMachine {
             .map(|t| t.pages().to_vec())
             .collect();
         let flat: Vec<PageId> = pages.iter().flatten().copied().collect();
-        self.ic_send_instruction(
-            now,
-            instr,
-            ip,
-            &flat,
-            PacketKind::WholeRelation { pages },
-        );
+        self.ic_send_instruction(now, instr, ip, &flat, PacketKind::WholeRelation { pages });
     }
 
     /// Tell `ip` to flush its output buffer and report done.
@@ -406,9 +413,9 @@ impl RingMachine {
             if let Some(Loc::AtIp(home)) = self.loc.get(&p).copied() {
                 // Direct IP→IP transfer of the page body.
                 let bytes = self.store.wire_bytes(p);
-                let t = self
-                    .outer_ring
-                    .send(now, self.params.ics + home, self.params.ics + ip, bytes);
+                let t =
+                    self.outer_ring
+                        .send(now, self.params.ics + home, self.params.ics + ip, bytes);
                 ready = ready.max(t);
                 self.loc.insert(p, Loc::AtIp(ip));
             } else {
@@ -423,10 +430,20 @@ impl RingMachine {
             self.ic_instrs[instr].first_packet = Some(now);
         }
         if std::env::var_os("DF_TRACE").is_some() {
-            eprintln!("{:9.3}s SEND instr={instr} ({}) ip={ip} ready={:9.3}s kind={kind:?}",
-                now.as_secs_f64(), self.program.instructions[instr].op_name, ready.as_secs_f64());
+            eprintln!(
+                "{:9.3}s SEND instr={instr} ({}) ip={ip} ready={:9.3}s kind={kind:?}",
+                now.as_secs_f64(),
+                self.program.instructions[instr].op_name,
+                ready.as_secs_f64()
+            );
         }
-        self.send_outer(ready, Node::Ic(ic), Node::Ip(ip), bytes, Msg::Packet { instr, kind });
+        self.send_outer(
+            ready,
+            Node::Ic(ic),
+            Node::Ip(ip),
+            bytes,
+            Msg::Packet { instr, kind },
+        );
     }
 
     /// Serve an inner-page request (join protocol): broadcast with the
@@ -496,10 +513,8 @@ impl RingMachine {
         let ready = self.ic_fetch_page(now, ic, page);
         let bytes = instruction_packet_size(&[self.store.wire_bytes(page)]);
         let targets = self.ic_instrs[instr].granted.clone();
-        self.broadcast_outer(ready, Node::Ic(ic), bytes, &targets, || Msg::BroadcastInner {
-            instr,
-            idx,
-            page,
+        self.broadcast_outer(ready, Node::Ic(ic), bytes, &targets, || {
+            Msg::BroadcastInner { instr, idx, page }
         });
     }
 
@@ -558,7 +573,10 @@ impl RingMachine {
         ipst.catchup_in_flight = None;
         ipst.advance_in_flight = false;
         ipst.flush_pending = false;
-        debug_assert!(ipst.out_buffer.is_none(), "released IP still buffers output");
+        debug_assert!(
+            ipst.out_buffer.is_none(),
+            "released IP still buffers output"
+        );
         let ic = self.ic_instrs[instr].ic;
         self.send_inner(now, Node::Ic(ic), Node::Mc, Msg::IpRelease { ip });
         self.ic_check_done(now, instr);

@@ -83,7 +83,14 @@ impl RingMachine {
     }
 
     /// A broadcast inner page arrived (the IP filters by query id, §4.2).
-    fn ip_on_broadcast(&mut self, now: SimTime, ip: usize, instr: InstrId, idx: usize, page: PageId) {
+    fn ip_on_broadcast(
+        &mut self,
+        now: SimTime,
+        ip: usize,
+        instr: InstrId,
+        idx: usize,
+        page: PageId,
+    ) {
         let st = &mut self.ips[ip];
         if st.instr != Some(instr) || st.outer.is_none() {
             return; // not participating (query-id filter)
@@ -147,10 +154,11 @@ impl RingMachine {
                     self.ips[ip].flush_pending |= flush;
                     let instr = self.ips[ip].instr.expect("working IP has an instruction");
                     let kernel = self.program.instructions[instr].kernel.clone();
-                    let results = kernel.run_unit(&[self.store.get(page)]);
+                    let out_schema = self.program.instructions[instr].output_schema.clone();
+                    let results = kernel.run_unit_raw(&[self.store.get(page)], &out_schema);
                     let ops = self.store.get(page).len();
                     let dur = self.compute_time_for(&[page], ops);
-                    self.ips[ip].current_results = results;
+                    self.ips[ip].current_results = Some(results);
                     self.ips[ip].busy = true;
                     self.note_busy();
                     self.metrics.ip_busy += dur;
@@ -159,15 +167,16 @@ impl RingMachine {
                 PendingWork::Whole { pages } => {
                     let instr = self.ips[ip].instr.expect("working IP has an instruction");
                     let kernel = self.program.instructions[instr].kernel.clone();
+                    let out_schema = self.program.instructions[instr].output_schema.clone();
                     let inputs: Vec<Vec<&Page>> = pages
                         .iter()
                         .map(|slot| slot.iter().map(|&p| self.store.get(p)).collect())
                         .collect();
-                    let results = kernel.run_final(&inputs);
+                    let results = kernel.run_final_raw(&inputs, &out_schema);
                     let flat: Vec<PageId> = pages.iter().flatten().copied().collect();
                     let ops: usize = flat.iter().map(|&p| self.store.get(p).len()).sum();
                     let dur = self.compute_time_for(&flat, ops);
-                    self.ips[ip].current_results = results;
+                    self.ips[ip].current_results = Some(results);
                     self.ips[ip].busy = true;
                     self.note_busy();
                     self.metrics.ip_busy += dur;
@@ -182,15 +191,14 @@ impl RingMachine {
                 let (_, opage) = self.ips[ip].outer.expect("checked");
                 let instr = self.ips[ip].instr.expect("working IP has an instruction");
                 let kernel = self.program.instructions[instr].kernel.clone();
-                debug_assert!(matches!(
-                    kernel,
-                    Kernel::JoinPair(_) | Kernel::CrossPair
-                ));
-                let results = kernel.run_unit(&[self.store.get(opage), self.store.get(ipage)]);
+                debug_assert!(matches!(kernel, Kernel::JoinPair(_) | Kernel::CrossPair));
+                let out_schema = self.program.instructions[instr].output_schema.clone();
+                let results = kernel
+                    .run_unit_raw(&[self.store.get(opage), self.store.get(ipage)], &out_schema);
                 let ops = self.store.get(opage).len() * self.store.get(ipage).len();
                 let dur = self.compute_time_for(&[opage, ipage], ops);
                 self.ips[ip].current_inner = Some(idx);
-                self.ips[ip].current_results = results;
+                self.ips[ip].current_results = Some(results);
                 self.ips[ip].busy = true;
                 self.note_busy();
                 self.metrics.ip_busy += dur;
@@ -211,15 +219,20 @@ impl RingMachine {
     pub(crate) fn ip_compute_done(&mut self, now: SimTime, ip: usize) {
         self.ips[ip].busy = false;
         self.busy_ips -= 1;
-        let results = std::mem::take(&mut self.ips[ip].current_results);
+        let mut results = self.ips[ip]
+            .current_results
+            .take()
+            .expect("computing IP has a result batch");
         let instr = self.ips[ip].instr.expect("computing IP has an instruction");
         let schema = self.program.instructions[instr].output_schema.clone();
         let page_size = self.params.page_size;
-        for t in results {
+        // Drain result images into the output buffer page; emit full pages.
+        // Pure byte copies — nothing is decoded on the way out.
+        while !results.is_empty() {
             let buf = self.ips[ip].out_buffer.get_or_insert_with(|| {
                 Page::new(schema.clone(), page_size).expect("output page size validated")
             });
-            buf.push(&t).expect("buffer page has room by construction");
+            results.drain_into(buf);
             if buf.is_full() {
                 let full = self.ips[ip].out_buffer.take().expect("just filled");
                 self.ip_emit_page(now, ip, full);
@@ -288,10 +301,7 @@ impl RingMachine {
                 return;
             }
             // Catch-up phase: request the first missed, unjoined page.
-            let missed = self.ips[ip]
-                .irc
-                .iter()
-                .position(|e| e.missed && !e.joined);
+            let missed = self.ips[ip].irc.iter().position(|e| e.missed && !e.joined);
             if let Some(idx) = missed {
                 self.ips[ip].catchup_in_flight = Some(idx);
                 self.ip_send_control(
@@ -385,7 +395,13 @@ impl RingMachine {
     }
 
     /// Send a Fig-4.5 control packet to the controlling IC.
-    fn ip_send_control(&mut self, now: SimTime, ip: usize, instr: InstrId, message: ControlMessage) {
+    fn ip_send_control(
+        &mut self,
+        now: SimTime,
+        ip: usize,
+        instr: InstrId,
+        message: ControlMessage,
+    ) {
         let ic = self.ic_instrs[instr].ic;
         self.metrics.control_packets += 1;
         self.send_outer(

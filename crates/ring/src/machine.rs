@@ -25,7 +25,7 @@ use std::collections::{HashMap, VecDeque};
 use df_core::instr::{compile, InstrId, Program, UpdateSpec};
 use df_core::CostModel;
 use df_query::QueryTree;
-use df_relalg::{Catalog, Page, Relation, Result, Tuple};
+use df_relalg::{Catalog, Page, Relation, Result, TupleBuf};
 use df_sim::{Duration, EventQueue, SimTime};
 use df_storage::{DiskCache, LocalMemory, MassStorage, PageId, PageStore, PageTable};
 
@@ -60,7 +60,11 @@ pub(crate) enum Msg {
     /// MC → IC: take control of this instruction.
     AssignInstr { instr: InstrId },
     /// IC → MC: request `want` more IPs for `instr`.
-    IpRequest { ic: usize, instr: InstrId, want: usize },
+    IpRequest {
+        ic: usize,
+        instr: InstrId,
+        want: usize,
+    },
     /// MC → IC: one IP granted to `instr`.
     IpGrant { instr: InstrId, ip: usize },
     /// IC → MC: `ip` is free again.
@@ -71,13 +75,21 @@ pub(crate) enum Msg {
     /// IC → IP: an instruction packet (Fig 4.3).
     Packet { instr: InstrId, kind: PacketKind },
     /// IC → all IPs: broadcast of inner page `idx` (join protocol).
-    BroadcastInner { instr: InstrId, idx: usize, page: PageId },
+    BroadcastInner {
+        instr: InstrId,
+        idx: usize,
+        page: PageId,
+    },
     /// IC → all IPs of `instr`: the inner operand is complete with `total`
     /// pages ("a packet … which indicates that this is the last page of the
     /// inner relation", §4.2).
     InnerComplete { instr: InstrId, total: usize },
     /// IP → IC: a result packet (Fig 4.4) carrying one output page.
-    Result { from_ip: usize, producer: InstrId, page: PageId },
+    Result {
+        from_ip: usize,
+        producer: InstrId,
+        page: PageId,
+    },
     /// IP → IC: a control packet (Fig 4.5).
     Control {
         from_ip: usize,
@@ -221,8 +233,8 @@ pub(crate) struct IpState {
     pub pending_input: VecDeque<PendingWork>,
     /// True while a computation is scheduled.
     pub busy: bool,
-    /// Result tuples computed by the in-flight computation.
-    pub current_results: Vec<Tuple>,
+    /// Result batch (encoded images) computed by the in-flight computation.
+    pub current_results: Option<TupleBuf>,
     /// Join bookkeeping for the in-flight computation: inner idx joined.
     pub current_inner: Option<usize>,
     /// Output buffer page.
@@ -327,11 +339,7 @@ pub fn run_ring_queries_at(
     arrivals: &[SimTime],
     params: &RingParams,
 ) -> Result<RingRunOutput> {
-    assert_eq!(
-        arrivals.len(),
-        queries.len(),
-        "one arrival time per query"
-    );
+    assert_eq!(arrivals.len(), queries.len(), "one arrival time per query");
     let mut machine = RingMachine::new(db, queries, params.clone())?;
     machine.arrivals = arrivals.to_vec();
     let updates = machine.program.updates.clone();
@@ -448,7 +456,7 @@ impl RingMachine {
                 catchup_in_flight: None,
                 pending_input: VecDeque::new(),
                 busy: false,
-                current_results: Vec::new(),
+                current_results: None,
                 current_inner: None,
                 out_buffer: None,
                 flush_pending: false,
@@ -532,7 +540,14 @@ impl RingMachine {
     }
 
     /// Send a message of `bytes` on the outer ring.
-    pub(crate) fn send_outer(&mut self, now: SimTime, from: Node, to: Node, bytes: usize, msg: Msg) {
+    pub(crate) fn send_outer(
+        &mut self,
+        now: SimTime,
+        from: Node,
+        to: Node,
+        bytes: usize,
+        msg: Msg,
+    ) {
         let t = self
             .outer_ring
             .send(now, self.outer_station(from), self.outer_station(to), bytes);

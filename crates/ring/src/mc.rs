@@ -24,7 +24,8 @@ impl RingMachine {
             if at == SimTime::ZERO {
                 self.mc.waiting.push_back(query);
             } else {
-                self.queue.schedule(at, crate::machine::Event::QueryArrival { query });
+                self.queue
+                    .schedule(at, crate::machine::Event::QueryArrival { query });
             }
         }
         let blocked = self.mc_try_admit(SimTime::ZERO);
@@ -35,9 +36,8 @@ impl RingMachine {
     pub(crate) fn mc_query_arrival(&mut self, now: SimTime, query: usize) {
         self.mc.waiting.push_back(query);
         let blocked = self.mc_try_admit(now);
-        self.metrics.queries_delayed_by_cc += u64::from(
-            blocked > 0 && self.mc.waiting.contains(&query),
-        );
+        self.metrics.queries_delayed_by_cc +=
+            u64::from(blocked > 0 && self.mc.waiting.contains(&query));
     }
 
     /// Handle an inner-ring message addressed to the MC.
@@ -46,12 +46,7 @@ impl RingMachine {
             Msg::IpRequest { ic, instr, want } => {
                 // Merge into an existing entry for this instruction if one
                 // is still queued; otherwise append a new one.
-                if let Some(entry) = self
-                    .mc
-                    .requests
-                    .iter_mut()
-                    .find(|(_, i, _)| *i == instr)
-                {
+                if let Some(entry) = self.mc.requests.iter_mut().find(|(_, i, _)| *i == instr) {
                     entry.2 += want;
                 } else {
                     self.mc.requests.push_back((ic, instr, want));
@@ -113,8 +108,7 @@ impl RingMachine {
     /// ("insuring that processors are distributed across all nodes").
     fn mc_grant_loop(&mut self, now: SimTime) {
         while !self.mc.free_ips.is_empty() && !self.mc.requests.is_empty() {
-            let (ic, instr, remaining) =
-                self.mc.requests.pop_front().expect("checked non-empty");
+            let (ic, instr, remaining) = self.mc.requests.pop_front().expect("checked non-empty");
             // Skip requests for instructions that have since completed.
             if self.ic_instrs[instr].done {
                 continue;

@@ -149,7 +149,11 @@ impl fmt::Display for RingMetrics {
             self.broadcasts, self.requests_ignored, self.pages_missed
         )?;
         if self.direct_routed_pages > 0 {
-            writeln!(f, "direct routing : {} pages IP->IP", self.direct_routed_pages)?;
+            writeln!(
+                f,
+                "direct routing : {} pages IP->IP",
+                self.direct_routed_pages
+            )?;
         }
         Ok(())
     }

@@ -267,9 +267,11 @@ impl InstructionPacket {
         out.push(self.opcode as u8);
         put_name(&mut out, &self.result_relation)?;
         out.extend_from_slice(&self.result_tuple_length.to_be_bytes());
-        out.push(u8::try_from(self.operands.len()).map_err(|_| Error::ValueOutOfRange {
-            detail: "more than 255 operands".into(),
-        })?);
+        out.push(
+            u8::try_from(self.operands.len()).map_err(|_| Error::ValueOutOfRange {
+                detail: "more than 255 operands".into(),
+            })?,
+        );
         for op in &self.operands {
             put_name(&mut out, &op.relation_name)?;
             out.extend_from_slice(&op.tuple_length.to_be_bytes());

@@ -101,7 +101,10 @@ impl RingParams {
     pub fn validate(&self) {
         assert!(self.ics > 0, "machine needs at least one IC");
         assert!(self.ips > 0, "machine needs at least one IP");
-        assert!(self.ip_memory_pages >= 2, "an IP holds an outer page plus at least one inner page");
+        assert!(
+            self.ip_memory_pages >= 2,
+            "an IP holds an outer page plus at least one inner page"
+        );
         let transit = self.outer_transit(self.page_size + 64);
         assert!(
             self.rebroadcast_window >= transit,

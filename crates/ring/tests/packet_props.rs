@@ -2,9 +2,9 @@
 //! identity, size formulas, and corruption rejection on arbitrary inputs.
 
 use df_ring::packet::{
-    instruction_packet_size, result_packet_size, ControlMessage, ControlPacket,
-    InstructionPacket, Opcode, OperandSection, ResultPacket, CONTROL_PACKET_SIZE,
-    INSTRUCTION_HEADER_BYTES, OPERAND_HEADER_BYTES,
+    instruction_packet_size, result_packet_size, ControlMessage, ControlPacket, InstructionPacket,
+    Opcode, OperandSection, ResultPacket, CONTROL_PACKET_SIZE, INSTRUCTION_HEADER_BYTES,
+    OPERAND_HEADER_BYTES,
 };
 use proptest::prelude::*;
 
@@ -28,13 +28,16 @@ fn arb_opcode() -> impl Strategy<Value = Opcode> {
 }
 
 fn arb_operand() -> impl Strategy<Value = OperandSection> {
-    (arb_name(), any::<u16>(), prop::collection::vec(any::<u8>(), 0..600)).prop_map(
-        |(relation_name, tuple_length, data_page)| OperandSection {
+    (
+        arb_name(),
+        any::<u16>(),
+        prop::collection::vec(any::<u8>(), 0..600),
+    )
+        .prop_map(|(relation_name, tuple_length, data_page)| OperandSection {
             relation_name,
             tuple_length,
             data_page,
-        },
-    )
+        })
 }
 
 fn arb_instruction() -> impl Strategy<Value = InstructionPacket> {
@@ -50,7 +53,17 @@ fn arb_instruction() -> impl Strategy<Value = InstructionPacket> {
         prop::collection::vec(arb_operand(), 0..3),
     )
         .prop_map(
-            |(ipid, query_id, icid_sender, icid_destination, flush, opcode, result_relation, result_tuple_length, operands)| {
+            |(
+                ipid,
+                query_id,
+                icid_sender,
+                icid_destination,
+                flush,
+                opcode,
+                result_relation,
+                result_tuple_length,
+                operands,
+            )| {
                 InstructionPacket {
                     ipid,
                     query_id,

@@ -113,7 +113,10 @@ fn multi_query_batch_matches_oracle() {
         "(join (scan b) (scan c) (= v k))",
         "(restrict (scan c) (< k 9))",
     ];
-    let trees: Vec<_> = queries.iter().map(|q| parse_query(&db, q).unwrap()).collect();
+    let trees: Vec<_> = queries
+        .iter()
+        .map(|q| parse_query(&db, q).unwrap())
+        .collect();
     let oracles: Vec<_> = trees
         .iter()
         .map(|t| execute_readonly(&db, t, &ExecParams::default()).unwrap())
@@ -210,7 +213,10 @@ fn staggered_arrivals_run_and_measure_response_times() {
         "(join (scan b) (scan c) (= v k))",
         "(restrict (scan c) (< k 9))",
     ];
-    let trees: Vec<_> = queries.iter().map(|q| parse_query(&db, q).unwrap()).collect();
+    let trees: Vec<_> = queries
+        .iter()
+        .map(|q| parse_query(&db, q).unwrap())
+        .collect();
     let oracles: Vec<_> = trees
         .iter()
         .map(|t| execute_readonly(&db, t, &ExecParams::default()).unwrap())
@@ -250,13 +256,8 @@ fn writer_arriving_mid_read_waits_for_lock_release() {
     let reader = parse_query(&db, "(join (scan a) (scan a) (= v k))").unwrap();
     let deleter = parse_query(&db, "(delete a (< k 10))").unwrap();
     let arrivals = [SimTime::ZERO, SimTime::from_nanos(1_000_000)];
-    let out = run_ring_queries_at(
-        &db,
-        &[reader.clone(), deleter],
-        &arrivals,
-        &small_params(),
-    )
-    .unwrap();
+    let out =
+        run_ring_queries_at(&db, &[reader.clone(), deleter], &arrivals, &small_params()).unwrap();
     assert!(
         out.metrics.query_completions[1] >= out.metrics.query_completions[0],
         "the writer must be serialized after the conflicting reader"

@@ -62,7 +62,10 @@ impl Resource {
     /// # Panics
     /// Panics if `servers == 0`.
     pub fn new(name: &'static str, servers: usize) -> Self {
-        assert!(servers > 0, "Resource {name:?} must have at least one server");
+        assert!(
+            servers > 0,
+            "Resource {name:?} must have at least one server"
+        );
         Resource {
             free_at: vec![SimTime::ZERO; servers],
             stats: ResourceStats::default(),

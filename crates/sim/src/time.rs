@@ -298,10 +298,7 @@ mod tests {
 
     #[test]
     fn sum_and_mul() {
-        let total: Duration = [1u64, 2, 3]
-            .iter()
-            .map(|&n| Duration::from_nanos(n))
-            .sum();
+        let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_nanos(n)).sum();
         assert_eq!(total, Duration::from_nanos(6));
         assert_eq!(
             Duration::from_nanos(6).checked_mul(2),

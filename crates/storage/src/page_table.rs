@@ -155,7 +155,10 @@ mod tests {
         assert!(!t.ready_relation_level());
         assert!(!t.ready_page_level());
         t.push(pid(1));
-        assert!(!t.ready_relation_level(), "relation-level waits for completion");
+        assert!(
+            !t.ready_relation_level(),
+            "relation-level waits for completion"
+        );
         assert!(t.ready_page_level(), "page-level fires on first page");
         t.mark_complete();
         assert!(t.ready_relation_level());

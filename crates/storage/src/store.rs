@@ -1,6 +1,7 @@
 //! The page store: ground-truth page contents keyed by [`PageId`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use df_relalg::{Page, Relation, Result, Schema};
 
@@ -19,9 +20,14 @@ impl std::fmt::Display for PageId {
 }
 
 /// Ground-truth storage of page contents.
+///
+/// Pages are held behind [`Arc`]: loading a relation, staging an in-flight
+/// operand, or materializing a result shares one buffer instead of deep-
+/// copying page contents. Byte accounting is unaffected — costs are charged
+/// per simulated page movement, not per host-memory copy.
 #[derive(Debug, Clone, Default)]
 pub struct PageStore {
-    pages: HashMap<PageId, Page>,
+    pages: HashMap<PageId, Arc<Page>>,
     next_id: u64,
 }
 
@@ -31,11 +37,12 @@ impl PageStore {
         PageStore::default()
     }
 
-    /// Store a page, returning its fresh id.
-    pub fn put(&mut self, page: Page) -> PageId {
+    /// Store a page, returning its fresh id. Accepts either an owned
+    /// [`Page`] or a shared `Arc<Page>` handle (no copy in either case).
+    pub fn put(&mut self, page: impl Into<Arc<Page>>) -> PageId {
         let id = PageId(self.next_id);
         self.next_id += 1;
-        self.pages.insert(id, page);
+        self.pages.insert(id, page.into());
         id
     }
 
@@ -50,14 +57,28 @@ impl PageStore {
             .unwrap_or_else(|| panic!("PageStore: unknown page id {id}"))
     }
 
+    /// A shared handle to a page's contents (cheap clone of the `Arc`, not
+    /// of the page) — the zero-copy route for handing a page to another
+    /// relation, store slot, or compaction buffer.
+    ///
+    /// # Panics
+    /// Panics on an unknown id, like [`PageStore::get`].
+    pub fn get_arc(&self, id: PageId) -> Arc<Page> {
+        Arc::clone(
+            self.pages
+                .get(&id)
+                .unwrap_or_else(|| panic!("PageStore: unknown page id {id}")),
+        )
+    }
+
     /// Look up a page, returning `None` on unknown ids (for assertions).
     pub fn try_get(&self, id: PageId) -> Option<&Page> {
-        self.pages.get(&id)
+        self.pages.get(&id).map(|p| p.as_ref())
     }
 
     /// Remove a page (e.g. an intermediate page that has been fully consumed
     /// and will never be referenced again), returning its contents.
-    pub fn remove(&mut self, id: PageId) -> Option<Page> {
+    pub fn remove(&mut self, id: PageId) -> Option<Arc<Page>> {
         self.pages.remove(&id)
     }
 
@@ -77,16 +98,17 @@ impl PageStore {
     }
 
     /// Load every page of `relation` into the store, returning their ids in
-    /// relation order.
+    /// relation order. Shares the relation's page buffers (no deep copy).
     pub fn load_relation(&mut self, relation: &Relation) -> Vec<PageId> {
         relation
             .pages()
             .iter()
-            .map(|p| self.put(p.clone()))
+            .map(|p| self.put(Arc::clone(p)))
             .collect()
     }
 
-    /// Materialize a relation back out of a list of page ids.
+    /// Materialize a relation back out of a list of page ids, sharing the
+    /// stored page buffers.
     ///
     /// # Errors
     /// Fails if pages disagree with the given schema/page size.
@@ -99,7 +121,7 @@ impl PageStore {
     ) -> Result<Relation> {
         let mut rel = Relation::new(name, schema, page_size)?;
         for &id in ids {
-            rel.append_page(self.get(id).clone())?;
+            rel.append_page(self.get_arc(id))?;
         }
         Ok(rel)
     }
@@ -161,6 +183,30 @@ mod tests {
         assert_eq!(ids.len(), rel.num_pages());
         let back = s.materialize("t2", schema(), 40, &ids).unwrap();
         assert!(rel.same_contents(&back));
+        // Load and materialize share buffers with the source relation.
+        for (i, (&id, src)) in ids.iter().zip(rel.pages()).enumerate() {
+            assert!(
+                Arc::ptr_eq(&s.get_arc(id), src),
+                "page {i} was deep-copied on load"
+            );
+        }
+        for (src, out) in rel.pages().iter().zip(back.pages()) {
+            assert!(Arc::ptr_eq(src, out));
+        }
+    }
+
+    #[test]
+    fn get_arc_shares_and_remove_returns_handle() {
+        let mut s = PageStore::new();
+        let id = s.put(Arc::new(page_with(3)));
+        let h1 = s.get_arc(id);
+        let h2 = s.get_arc(id);
+        assert!(Arc::ptr_eq(&h1, &h2));
+        let removed = s.remove(id).unwrap();
+        assert!(Arc::ptr_eq(&h1, &removed));
+        assert!(s.is_empty());
+        // The handle keeps the page alive after removal.
+        assert_eq!(h1.len(), 1);
     }
 
     #[test]

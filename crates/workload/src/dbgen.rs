@@ -82,9 +82,7 @@ impl DatabaseSpec {
     /// realistic choice and exercises the cache harder than equal sizes).
     fn weights(&self) -> Vec<usize> {
         const BASE: [usize; 15] = [10, 8, 6, 5, 4, 4, 3, 3, 2, 2, 2, 2, 2, 1, 1];
-        (0..self.relations)
-            .map(|i| BASE[i % BASE.len()])
-            .collect()
+        (0..self.relations).map(|i| BASE[i % BASE.len()]).collect()
     }
 
     /// Number of tuples for each relation.

@@ -25,5 +25,10 @@
 mod dbgen;
 mod queries;
 
-pub use dbgen::{generate_database, parent_of, DatabaseSpec, KEY_ATTR, FK_ATTR, VAL_ATTR, VAL_DOMAIN};
-pub use queries::{benchmark_queries, chain_query, chain_query_naive, poisson_arrivals, random_query, BenchmarkSpec};
+pub use dbgen::{
+    generate_database, parent_of, DatabaseSpec, FK_ATTR, KEY_ATTR, VAL_ATTR, VAL_DOMAIN,
+};
+pub use queries::{
+    benchmark_queries, chain_query, chain_query_naive, poisson_arrivals, random_query,
+    BenchmarkSpec,
+};

@@ -140,16 +140,16 @@ pub fn benchmark_queries(db: &Catalog, spec: &BenchmarkSpec) -> Result<Vec<Query
     let cutoff = spec.cutoff();
     // (start relation, joins, restricts) per query.
     let shapes: [(usize, usize, usize); 10] = [
-        (0, 0, 1),  // Q1: 1 restrict on the largest relation
-        (2, 0, 1),  // Q2: 1 restrict
-        (1, 1, 2),  // Q3: 1 join + 2 restricts
-        (3, 1, 2),  // Q4
-        (5, 1, 2),  // Q5
-        (2, 2, 3),  // Q6: 2 joins + 3 restricts
-        (6, 2, 3),  // Q7
-        (4, 3, 4),  // Q8: 3 joins + 4 restricts
-        (7, 4, 4),  // Q9: 4 joins + 4 restricts (one raw scan leaf)
-        (8, 5, 6),  // Q10: 5 joins + 6 restricts
+        (0, 0, 1), // Q1: 1 restrict on the largest relation
+        (2, 0, 1), // Q2: 1 restrict
+        (1, 1, 2), // Q3: 1 join + 2 restricts
+        (3, 1, 2), // Q4
+        (5, 1, 2), // Q5
+        (2, 2, 3), // Q6: 2 joins + 3 restricts
+        (6, 2, 3), // Q7
+        (4, 3, 4), // Q8: 3 joins + 4 restricts
+        (7, 4, 4), // Q9: 4 joins + 4 restricts (one raw scan leaf)
+        (8, 5, 6), // Q10: 5 joins + 6 restricts
     ];
     shapes
         .iter()
@@ -163,11 +163,7 @@ pub fn benchmark_queries(db: &Catalog, spec: &BenchmarkSpec) -> Result<Vec<Query
 /// `df_ring::run_ring_queries_at` to measure response time vs offered load
 /// (requirement 1's "simultaneous execution of multiple queries from
 /// several users").
-pub fn poisson_arrivals(
-    n: usize,
-    mean_gap_secs: f64,
-    rng: &mut SimRng,
-) -> Vec<df_sim::SimTime> {
+pub fn poisson_arrivals(n: usize, mean_gap_secs: f64, rng: &mut SimRng) -> Vec<df_sim::SimTime> {
     assert!(mean_gap_secs >= 0.0, "mean gap must be non-negative");
     let mut t = 0.0f64;
     let mut out = Vec::with_capacity(n);
@@ -246,11 +242,7 @@ mod tests {
             // the deepest chains (Q9, Q10) may legitimately drain to zero;
             // shallow queries must not.
             if q.count_op("join") <= 3 {
-                assert!(
-                    out.num_tuples() > 0,
-                    "Q{} produced an empty result",
-                    i + 1
-                );
+                assert!(out.num_tuples() > 0, "Q{} produced an empty result", i + 1);
             }
         }
     }

@@ -22,11 +22,11 @@ fn main() {
     // Five users: two writers on r05/r07, three readers (one of which
     // conflicts with the delete on r05).
     let texts = [
-        "(delete r05 (< val 300))",                               // writer on r05
-        "(restrict (scan r05) (>= val 300))",                     // reader on r05 (conflicts!)
-        "(join (scan r01) (scan r02) (= fk key))",                // independent reader
-        "(append (restrict (scan r07) (< val 100)) r07)",         // writer on r07
-        "(restrict (scan r09) (> val 800))",                      // independent reader
+        "(delete r05 (< val 300))",                       // writer on r05
+        "(restrict (scan r05) (>= val 300))",             // reader on r05 (conflicts!)
+        "(join (scan r01) (scan r02) (= fk key))",        // independent reader
+        "(append (restrict (scan r07) (< val 100)) r07)", // writer on r07
+        "(restrict (scan r09) (> val 800))",              // independent reader
     ];
     let queries: Vec<_> = texts
         .iter()
@@ -59,7 +59,11 @@ fn main() {
     println!(
         "\nconcurrency control delayed {} conflicting quer{} at admission",
         out.metrics.queries_delayed_by_cc,
-        if out.metrics.queries_delayed_by_cc == 1 { "y" } else { "ies" }
+        if out.metrics.queries_delayed_by_cc == 1 {
+            "y"
+        } else {
+            "ies"
+        }
     );
 
     out.apply_updates(&mut db).expect("updates apply");

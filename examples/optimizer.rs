@@ -17,7 +17,10 @@ fn main() {
 
     // Two joins, three restricts — all sitting uselessly above the joins.
     let naive = chain_query_naive(&db, 15, 2, 2, 3, 400).expect("query builds");
-    println!("naive tree (restricts above the joins):\n{}", render_tree(&naive));
+    println!(
+        "naive tree (restricts above the joins):\n{}",
+        render_tree(&naive)
+    );
 
     let optimized = optimize(&db, &naive, &stats).expect("optimizes");
     println!("rules applied: {:?}\n", optimized.applied);

@@ -88,8 +88,14 @@ fn main() {
             AllocationStrategy::default(),
         )
         .expect("machine");
-        assert!(machine.results[0].same_contents(&oracle), "mismatch: {text}");
-        println!("--- {label}\n{text}\n=> {} tuples (oracle == machine)\n", oracle.num_tuples());
+        assert!(
+            machine.results[0].same_contents(&oracle),
+            "mismatch: {text}"
+        );
+        println!(
+            "--- {label}\n{text}\n=> {} tuples (oracle == machine)\n",
+            oracle.num_tuples()
+        );
     }
 
     // Updates mutate the catalog.
@@ -99,11 +105,8 @@ fn main() {
     let deleted = execute(&mut db, &del, &ExecParams::default()).expect("delete runs");
     println!("deleted {} out-of-stock items", deleted.num_tuples());
 
-    let app = parse_query(
-        &db,
-        "(append (restrict (scan items) (> price 500)) items)",
-    )
-    .expect("parses");
+    let app =
+        parse_query(&db, "(append (restrict (scan items) (> price 500)) items)").expect("parses");
     let appended = execute(&mut db, &app, &ExecParams::default()).expect("append runs");
     println!(
         "re-appended {} premium items; items now has {} tuples",

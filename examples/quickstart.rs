@@ -64,7 +64,10 @@ fn main() {
                          (= dept dno))
                    (name floor))";
     let query = parse_query(&db, text).expect("query parses");
-    println!("query tree (cf. paper Figure 2.1):\n{}", render_tree(&query));
+    println!(
+        "query tree (cf. paper Figure 2.1):\n{}",
+        render_tree(&query)
+    );
 
     // 3. The uniprocessor oracle.
     let oracle = execute_readonly(&db, &query, &ExecParams::default()).expect("oracle run");
@@ -81,7 +84,10 @@ fn main() {
         metrics.units_dispatched,
         metrics.processor_utilization() * 100.0
     );
-    assert!(df_result.same_contents(&oracle), "data-flow result mismatch");
+    assert!(
+        df_result.same_contents(&oracle),
+        "data-flow result mismatch"
+    );
 
     // 5. The §4 ring machine with distributed control.
     let ring = run_ring_queries(
@@ -97,7 +103,10 @@ fn main() {
         ring.metrics.broadcasts,
         ring.metrics.outer_ring_mbps()
     );
-    assert!(ring.results[0].same_contents(&oracle), "ring result mismatch");
+    assert!(
+        ring.results[0].same_contents(&oracle),
+        "ring result mismatch"
+    );
 
     println!("\nall three engines agree");
     for t in oracle.tuples().take(5) {

@@ -19,7 +19,10 @@ fn main() {
                             (= fk key))";
     let query = parse_query(&db, query_text).expect("query parses");
     let oracle = execute_readonly(&db, &query, &ExecParams::default()).expect("oracle");
-    println!("query: {query_text}\noracle: {} tuples\n", oracle.num_tuples());
+    println!(
+        "query: {query_text}\noracle: {} tuples\n",
+        oracle.num_tuples()
+    );
 
     // Baseline configuration.
     let base = RingParams::with_pools(4, 10);

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the subset of the criterion 0.5 API its benches use:
+//! [`Criterion`], [`criterion_group!`]/[`criterion_main!`], benchmark
+//! groups with [`BenchmarkId`], `bench_function` / `bench_with_input`,
+//! `sample_size`, and [`Throughput`] reporting. Measurement is a simple
+//! calibrated wall-clock loop (median of samples); there is no statistical
+//! regression analysis, plotting, or saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Throughput basis for a benchmark: bytes or logical elements processed
+/// per iteration. Enables MB/s (or Melem/s) reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Identify a bench as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// The timing loop driver handed to bench closures.
+pub struct Bencher {
+    /// Measured median per-iteration time, filled by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, calibrate an iteration count, then take
+    /// timed samples and record the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find how many iterations fill ~5 ms.
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let t = start.elapsed();
+            if t >= Duration::from_millis(5) || n >= 1 << 30 {
+                break t / (n as u32);
+            }
+            n *= 2;
+        };
+        let iters_per_sample = (Duration::from_millis(10).as_nanos() as u64)
+            .checked_div(per_iter.as_nanos().max(1) as u64)
+            .unwrap_or(1)
+            .clamp(1, 1 << 30);
+        const SAMPLES: usize = 11;
+        let mut samples = [Duration::ZERO; SAMPLES];
+        for s in &mut samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            *s = start.elapsed() / (iters_per_sample as u32);
+        }
+        samples.sort_unstable();
+        self.elapsed_per_iter = samples[SAMPLES / 2];
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn format_throughput(t: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64();
+    match t {
+        Throughput::Bytes(b) => {
+            let mib = b as f64 / (1024.0 * 1024.0) / secs;
+            format!("{mib:.2} MiB/s")
+        }
+        Throughput::Elements(e) => {
+            let melem = e as f64 / 1e6 / secs;
+            format!("{melem:.2} Melem/s")
+        }
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    match throughput {
+        Some(t) => println!(
+            "{label:<50} time: {:>12}   thrpt: {:>14}",
+            format_time(b.elapsed_per_iter),
+            format_throughput(t, b.elapsed_per_iter)
+        ),
+        None => println!("{label:<50} time: {:>12}", format_time(b.elapsed_per_iter)),
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Criterion {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("— group {name} —");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput basis.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed in this shim.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the per-iteration throughput basis for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a named benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.throughput, f);
+        self
+    }
+
+    /// Run a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b, input);
+        match self.throughput {
+            Some(t) => println!(
+                "{label:<50} time: {:>12}   thrpt: {:>14}",
+                format_time(b.elapsed_per_iter),
+                format_throughput(t, b.elapsed_per_iter)
+            ),
+            None => println!("{label:<50} time: {:>12}", format_time(b.elapsed_per_iter)),
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect bench functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10)
+            .throughput(Throughput::Bytes(1024))
+            .bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_time(Duration::from_nanos(5)), "5 ns");
+        assert!(format_time(Duration::from_micros(5)).ends_with("µs"));
+        assert!(
+            format_throughput(Throughput::Bytes(1 << 20), Duration::from_secs(1))
+                .starts_with("1.00")
+        );
+        assert_eq!(BenchmarkId::new("a", 7).to_string(), "a/7");
+    }
+}

@@ -1,0 +1,531 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the subset of the proptest 1.x API its test suites use:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map` / `boxed`, tuple and `Vec` composition,
+//! [`collection::vec`], [`char::range`], [`arbitrary::any`], `prop_oneof!`,
+//! and the `prop_assert*` macros. Inputs are drawn from a deterministic
+//! seeded RNG. **No shrinking**: a failing case panics with the standard
+//! assertion message (the generated inputs are printed by the failing
+//! assertion itself where the test includes them).
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic source of random test inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        pub(crate) fn new(seed: u64) -> TestRng {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Upstream defaults to 256; 64 keeps the offline suite quick
+            // while still exercising a meaningful input distribution.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives a property: samples inputs and applies the test closure.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        rng: TestRng,
+        cases: u32,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed (deterministic across runs).
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner {
+                rng: TestRng::new(0x0bad_5eed_cafe_f00d),
+                cases: config.cases,
+            }
+        }
+
+        /// Run `test` against `cases` sampled inputs. Failures panic.
+        pub fn run<S, T, R>(&mut self, strategy: &S, mut test: T)
+        where
+            S: crate::strategy::Strategy,
+            T: FnMut(S::Value) -> R,
+        {
+            for _ in 0..self.cases {
+                let input = strategy.sample(&mut self.rng);
+                test(input);
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use std::sync::Arc;
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// `prop_flat_map` adapter.
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Build from the alternative strategies.
+        ///
+        /// # Panics
+        /// Panics on an empty alternative list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.0.gen_range(0..self.0.len());
+            self.0[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Fixed-shape composition: a `Vec` of strategies generates a `Vec` of
+    /// one value per element, in order.
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.sample(rng)).collect()
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+        (A, B, C, D, E, F, G);
+        (A, B, C, D, E, F, G, H);
+        (A, B, C, D, E, F, G, H, I);
+        (A, B, C, D, E, F, G, H, I, J);
+        (A, B, C, D, E, F, G, H, I, J, K);
+        (A, B, C, D, E, F, G, H, I, J, K, L);
+    }
+}
+
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_via_gen {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.0.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    arbitrary_via_gen!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    /// The canonical strategy for `T` (`any::<T>()`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Accepted size specifications for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange {
+                lo,
+                hi_inclusive: hi,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Variable-length `Vec` strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `element`-generated values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod char {
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform `char` in an inclusive code-point range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn sample(&self, rng: &mut TestRng) -> char {
+            // Resample on surrogate gaps; callers use small ASCII ranges
+            // where the first draw always succeeds.
+            loop {
+                if let Some(c) = char::from_u32(rng.0.gen_range(self.lo..=self.hi)) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// Chars in `[start, end]` inclusive.
+    pub fn range(start: char, end: char) -> CharRange {
+        assert!(start <= end, "empty char range");
+        CharRange {
+            lo: start as u32,
+            hi: end as u32,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::char;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests: each function runs its body against `cases`
+/// random samples of its `in` strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ [$crate::test_runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let strategy = ($($strat,)+);
+            runner.run(&strategy, |($($pat,)+)| $body);
+        }
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies generating the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Property assertion (panics on failure; no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_draws_the_configured_case_count() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(17));
+        let mut n = 0;
+        runner.run(&(0i64..10, any::<bool>()), |(x, _b)| {
+            assert!((0..10).contains(&x));
+            n += 1;
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn strategies_compose() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(50));
+        let strat = prop::collection::vec(
+            prop_oneof![Just(0u8), 1u8..4, any::<u8>().prop_map(|b| b | 0x80)],
+            1..=5,
+        )
+        .prop_flat_map(|v| (Just(v.len()), Just(v)));
+        runner.run(&(strat,), |((len, v),)| {
+            assert_eq!(len, v.len());
+            assert!((1..=5).contains(&v.len()));
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro form compiles and runs with tuple patterns.
+        #[test]
+        fn macro_form_works((a, mut b) in (0u32..5, 0u32..5), c in prop::char::range('a', 'c')) {
+            b += 1;
+            prop_assert!(a < 5 && b <= 5);
+            prop_assert!(('a'..='c').contains(&c));
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the *subset* of the rand 0.8 API it actually uses:
+//! [`rngs::StdRng`] (seedable, clonable), the [`Rng`]/[`RngCore`]/
+//! [`SeedableRng`] traits, and uniform range sampling over the integer and
+//! float types the simulators draw. The generator is xoshiro256++ seeded via
+//! splitmix64 — deterministic and high-quality, but *not* stream-compatible
+//! with upstream rand. Nothing in this workspace depends on the exact
+//! stream, only on seeded determinism (same seed ⇒ same stream).
+
+/// Core random-number generation: the raw output interface.
+pub trait RngCore {
+    /// The next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a generator state from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience draws layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        // Compare against a 53-bit uniform in [0, 1). p = 1.0 always wins;
+        // p = 0.0 never does.
+        if p >= 1.0 {
+            return true;
+        }
+        distributions::uniform01(self.next_u64()) < p
+    }
+
+    /// A uniform value of a [`distributions::Standard`]-style type
+    /// (`f64` in `[0, 1)`, full-range integers, fair `bool`).
+    fn gen<T: distributions::Generable>(&mut self) -> T {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut st = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// Map 64 uniform bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+    #[inline]
+    pub(crate) fn uniform01(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Types drawable by [`super::Rng::gen`] (upstream's `Standard`).
+    pub trait Generable {
+        fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Generable for f64 {
+        fn generate<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            uniform01(rng.next_u64())
+        }
+    }
+
+    impl Generable for f32 {
+        fn generate<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+            ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl Generable for bool {
+        fn generate<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! generable_int {
+        ($($t:ty),*) => {$(
+            impl Generable for $t {
+                fn generate<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    generable_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub mod uniform {
+        use super::super::RngCore;
+        use super::uniform01;
+
+        /// Types uniformly sampleable over a range.
+        pub trait SampleUniform: Sized {
+            /// Uniform draw in `[low, high]` (both inclusive).
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+            /// Uniform draw in `[low, high)` — per type, because "one below
+            /// the end" differs between integers and floats.
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        }
+
+        /// Range forms accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! sample_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    #[inline]
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: $t,
+                        high: $t,
+                    ) -> $t {
+                        debug_assert!(low <= high);
+                        // Span as u64 handles the full signed domain via
+                        // wrapping arithmetic; `span == 0` encodes the full
+                        // 64-bit (or narrower) domain.
+                        let span = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                        if span == 0 {
+                            return rng.next_u64() as $t;
+                        }
+                        // Multiply-shift bounded draw (Lemire); the modulo
+                        // bias at these span sizes is irrelevant here — only
+                        // seeded determinism matters.
+                        let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                        (low as u64).wrapping_add(hi) as $t
+                    }
+
+                    #[inline]
+                    fn sample_exclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: $t,
+                        high: $t,
+                    ) -> $t {
+                        Self::sample_inclusive(rng, low, high - 1)
+                    }
+                }
+            )*};
+        }
+        sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+                low + uniform01(rng.next_u64()) * (high - low)
+            }
+
+            #[inline]
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+                Self::sample_inclusive(rng, low, high)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                T::sample_exclusive(rng, self.start, self.end)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "gen_range: empty range");
+                T::sample_inclusive(rng, low, high)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-20i64..20);
+            assert!((-20..20).contains(&x));
+            let y = rng.gen_range(0usize..=5);
+            assert!(y <= 5);
+            let z = rng.gen_range(3u64..4);
+            assert_eq!(z, 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        for _ in 0..1000 {
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -7,9 +7,7 @@ use df_core::{run_queries, run_query, AllocationStrategy, Granularity, MachinePa
 use df_query::{execute_readonly, parse_query, ExecParams, JoinAlgorithm};
 use df_relalg::Catalog;
 use df_sim::rng::SimRng;
-use df_workload::{
-    benchmark_queries, chain_query, generate_database, random_query, BenchmarkSpec,
-};
+use df_workload::{benchmark_queries, chain_query, generate_database, random_query, BenchmarkSpec};
 
 fn setup() -> (Catalog, BenchmarkSpec) {
     let spec = BenchmarkSpec::scaled(0.01); // ~55 KB, fast enough for CI

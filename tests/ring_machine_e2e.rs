@@ -115,7 +115,10 @@ fn pool_size_sweep_is_deterministic_and_correct() {
         let a = run_ring_queries(&db, std::slice::from_ref(&q), &p).unwrap();
         let b = run_ring_queries(&db, std::slice::from_ref(&q), &p).unwrap();
         assert!(a.results[0].same_contents(&oracle), "{ics} ICs / {ips} IPs");
-        assert_eq!(a.metrics.elapsed, b.metrics.elapsed, "{ics}/{ips} not deterministic");
+        assert_eq!(
+            a.metrics.elapsed, b.metrics.elapsed,
+            "{ics}/{ips} not deterministic"
+        );
         assert_eq!(a.metrics.outer_ring.bytes, b.metrics.outer_ring.bytes);
     }
 }

@@ -16,19 +16,34 @@ fn tiny_cache_forces_spills_big_cache_avoids_them() {
     tiny.cache.frames = 16;
     let mut big = MachineParams::with_processors(8);
     big.cache.frames = 4096;
-    let m_tiny = run_queries(&db, &queries, &tiny, Granularity::Relation, AllocationStrategy::default())
-        .unwrap()
-        .metrics;
-    let m_big = run_queries(&db, &queries, &big, Granularity::Relation, AllocationStrategy::default())
-        .unwrap()
-        .metrics;
+    let m_tiny = run_queries(
+        &db,
+        &queries,
+        &tiny,
+        Granularity::Relation,
+        AllocationStrategy::default(),
+    )
+    .unwrap()
+    .metrics;
+    let m_big = run_queries(
+        &db,
+        &queries,
+        &big,
+        Granularity::Relation,
+        AllocationStrategy::default(),
+    )
+    .unwrap()
+    .metrics;
     assert!(
         m_tiny.disk_write.bytes > m_big.disk_write.bytes,
         "tiny cache must spill more ({} vs {})",
         m_tiny.disk_write.bytes,
         m_big.disk_write.bytes
     );
-    assert_eq!(m_big.disk_write.bytes, 0, "4096 frames should absorb everything");
+    assert_eq!(
+        m_big.disk_write.bytes, 0,
+        "4096 frames should absorb everything"
+    );
     assert!(m_tiny.elapsed > m_big.elapsed);
 }
 
@@ -43,11 +58,20 @@ fn source_reads_are_bounded_by_database_size_with_broadcast_joins() {
     let queries = benchmark_queries(&db, &spec).unwrap();
     let mut p = MachineParams::with_processors(8);
     p.cache.frames = 4096;
-    let m = run_queries(&db, &queries, &p, Granularity::Page, AllocationStrategy::default())
-        .unwrap()
-        .metrics;
+    let m = run_queries(
+        &db,
+        &queries,
+        &p,
+        Granularity::Page,
+        AllocationStrategy::default(),
+    )
+    .unwrap()
+    .metrics;
     let db_bytes = db.total_bytes() as u64;
-    assert!(m.disk_read.bytes >= db_bytes / 4, "benchmark must actually read the database");
+    assert!(
+        m.disk_read.bytes >= db_bytes / 4,
+        "benchmark must actually read the database"
+    );
     assert!(
         m.disk_read.bytes <= 4 * db_bytes,
         "disk reads {} exceed 4x the database ({}); caching is broken",
