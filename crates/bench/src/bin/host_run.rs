@@ -1,0 +1,121 @@
+//! Run the ten-query benchmark on the real-threads executor (`df-host`).
+//!
+//! ```sh
+//! cargo run --release -p df-bench --bin host_run -- \
+//!     --workers 8 --alloc balanced --scale 0.5 --page-size 4096 --verify
+//! ```
+//!
+//! Flags (all optional):
+//! - `--workers N`     worker threads (default: all cores)
+//! - `--alloc S`       allocation strategy: `instruction-at-a-time`,
+//!   `round-robin`, `balanced`, `root-first`
+//! - `--scale F`       database scale factor (1.0 = the paper's 5.5 MB)
+//! - `--page-size B`   page size in bytes for source and intermediate pages
+//! - `--deterministic` canonicalize results (byte-stable across runs)
+//! - `--verify`        check every result against the sequential oracle
+
+use df_bench::setup_with_page_size;
+use df_host::{run_host_queries, HostParams};
+use df_query::{execute_readonly, ExecParams};
+
+fn main() {
+    let mut params = HostParams::default();
+    let mut scale = 0.5f64;
+    let mut verify = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--workers" => params.workers = parse(&value("--workers"), "--workers"),
+            "--alloc" => {
+                params.strategy = value("--alloc").parse().unwrap_or_else(|e: String| die(&e));
+            }
+            "--scale" => scale = parse(&value("--scale"), "--scale"),
+            "--page-size" => params.page_size = parse(&value("--page-size"), "--page-size"),
+            "--deterministic" => params.deterministic = true,
+            "--verify" => verify = true,
+            other => die(&format!(
+                "unknown flag `{other}` (see --help in the source)"
+            )),
+        }
+    }
+
+    println!(
+        "host_run: scale {scale}, page size {}, {} workers, {} strategy",
+        params.page_size, params.workers, params.strategy
+    );
+    let s = setup_with_page_size(scale, params.page_size);
+    println!(
+        "database: {} relations, {} bytes, {} tuples",
+        s.db.len(),
+        s.db.total_bytes(),
+        s.db.total_tuples()
+    );
+
+    let out = run_host_queries(&s.db, &s.queries, &params).expect("host run");
+    println!(
+        "\n{:>5} {:>10} {:>8} {:>12} {:>12}",
+        "query", "tuples", "units", "pages moved", "elapsed"
+    );
+    for (i, q) in out.metrics.per_query.iter().enumerate() {
+        println!(
+            "{:>5} {:>10} {:>8} {:>12} {:>10.2?}",
+            format!("Q{}", i + 1),
+            q.result_tuples,
+            q.units_fired,
+            q.pages_moved,
+            q.elapsed
+        );
+    }
+    println!(
+        "\nbatch: {:.2?} wall, {} units, {:.1} MB moved, {:.1}% mean worker utilization",
+        out.metrics.elapsed,
+        out.metrics.total_units(),
+        out.metrics.total_bytes() as f64 / 1e6,
+        out.metrics.worker_utilization() * 100.0
+    );
+    for (i, w) in out.metrics.per_worker.iter().enumerate() {
+        println!(
+            "  worker {i:>2}: {:>6} units, busy {:>10.2?} of {:>10.2?} ({:>4.1}%)",
+            w.units,
+            w.busy,
+            w.wall,
+            w.utilization() * 100.0
+        );
+    }
+
+    if verify {
+        let oracle = ExecParams {
+            page_size: params.page_size,
+            ..ExecParams::default()
+        };
+        for (i, (query, got)) in s.queries.iter().zip(&out.results).enumerate() {
+            let want = execute_readonly(&s.db, query, &oracle).expect("oracle run");
+            assert!(
+                got.same_contents(&want),
+                "Q{} diverged from the oracle: {} tuples vs {}",
+                i + 1,
+                got.num_tuples(),
+                want.num_tuples()
+            );
+        }
+        println!(
+            "verify: all {} results match the sequential oracle",
+            s.queries.len()
+        );
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad value `{s}` for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("host_run: {msg}");
+    std::process::exit(2);
+}

@@ -1,8 +1,12 @@
-//! The MC's concurrency control (requirement 1, §4.0).
+//! Admission-time concurrency control (requirement 1, §4.0).
 //!
 //! *"a database machine … must be able to support the simultaneous
 //! execution of multiple queries from several users … This requires careful
 //! control of which queries are permitted to execute concurrently."*
+//!
+//! Shared by every controller that admits queries: the ring machine's MC
+//! (`df-ring` re-exports these types) and the real-threads host executor's
+//! scheduler (`df-host`).
 //!
 //! The mechanism is relation-granularity shared/exclusive locking: a query
 //! takes shared locks on every relation it reads and exclusive locks on
@@ -49,7 +53,7 @@ enum LockState {
 /// The MC's lock table.
 ///
 /// ```
-/// use df_ring::{LockRequest, LockTable};
+/// use df_core::{LockRequest, LockTable};
 /// let mut locks = LockTable::new();
 /// let reader = LockRequest::new(vec!["emp".into()], vec![]);
 /// let writer = LockRequest::new(vec![], vec!["emp".into()]);

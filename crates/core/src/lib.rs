@@ -39,13 +39,15 @@ pub mod bandwidth;
 pub mod instr;
 
 mod allocation;
+mod concurrency;
 mod granularity;
 mod machine;
 mod metrics;
 mod params;
 mod run;
 
-pub use allocation::AllocationStrategy;
+pub use allocation::{AllocationStrategy, StrategyPicker, WorkCandidate, WorkPicker};
+pub use concurrency::{LockRequest, LockTable};
 pub use granularity::Granularity;
 pub use machine::Machine;
 pub use metrics::{InstructionStats, Metrics};

@@ -1,0 +1,725 @@
+//! The real-threads data-flow executor.
+//!
+//! One scheduler (the calling thread) plays the paper's MC/IC layer: it
+//! admits queries under the shared relation-granularity lock manager
+//! ([`df_core::LockTable`]), tracks each instruction cell's operand page
+//! tables, applies the §2 firing rule as pages arrive, and picks which
+//! ready instruction a freed worker serves next via a
+//! [`df_core::WorkPicker`]. A pool of worker threads plays the IPs: each
+//! receives work units over a bounded channel (the distribution network),
+//! runs the zero-copy `df_query::ops::*_raw` kernels, drains the resulting
+//! [`TupleBuf`] into output pages, and sends them back over a bounded MPSC
+//! channel (the arbitration network). Pages flow cell → parent cell → query
+//! result with `Arc` sharing — never copied.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use df_core::{LockRequest, LockTable, StrategyPicker, WorkCandidate, WorkPicker};
+use df_query::ops::{
+    cross_pages_raw, dedup_pages_raw, difference_pages_raw, join_pages_raw, project_page_raw,
+    restrict_page_raw, union_pages_raw,
+};
+use df_query::{Op, QueryTree};
+use df_relalg::{Catalog, Page, Relation, Result, Schema, TupleBuf};
+
+use crate::metrics::{HostMetrics, QueryStats, WorkerStats};
+use crate::params::HostParams;
+use crate::plan::{Firing, QueryPlan};
+
+/// The operand payload of one work unit.
+#[derive(Debug)]
+enum WorkKind {
+    /// One operand page (restrict, non-dedup project).
+    Page(Arc<Page>),
+    /// A nested-loops sweep: the newly arrived page against every page of
+    /// the opposite operand received so far (join, cross product).
+    Sweep {
+        new_page: Arc<Page>,
+        opposite: Vec<Arc<Page>>,
+        new_is_outer: bool,
+    },
+    /// Complete operands of a blocking operator (union, difference,
+    /// dedup project — `right` is empty for unary operators).
+    Complete {
+        left: Vec<Arc<Page>>,
+        right: Vec<Arc<Page>>,
+    },
+}
+
+/// One instruction firing, dispatched to a worker.
+#[derive(Debug)]
+struct WorkUnit {
+    plan: Arc<QueryPlan>,
+    query: usize,
+    cell: usize,
+    kind: WorkKind,
+}
+
+/// What a worker sends back when a unit finishes.
+#[derive(Debug)]
+struct Completion {
+    worker: usize,
+    query: usize,
+    cell: usize,
+    pages: Vec<Arc<Page>>,
+    pages_in: usize,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+/// Output of [`run_host_queries`].
+#[derive(Debug)]
+pub struct HostRunOutput {
+    /// One result relation per query (named `"result"`), in input order.
+    pub results: Vec<Relation>,
+    /// Wall-clock metrics.
+    pub metrics: HostMetrics,
+}
+
+/// Execute a batch of read-only queries on real threads, admitting them
+/// concurrently under relation-granularity locking.
+///
+/// Results are multiset-identical to [`df_query::execute_readonly`] for
+/// every worker count and allocation strategy (asserted by the
+/// `host_vs_oracle` differential tests).
+///
+/// # Errors
+/// Fails on validation errors or update operators (the host executor runs
+/// read-only queries; updates stay on the oracle and simulated machines).
+///
+/// # Panics
+/// Panics if `params.workers == 0` or a worker thread panics.
+pub fn run_host_queries(
+    db: &Catalog,
+    queries: &[QueryTree],
+    params: &HostParams,
+) -> Result<HostRunOutput> {
+    assert!(params.workers >= 1, "need at least one worker thread");
+    let plans: Vec<Arc<QueryPlan>> = queries
+        .iter()
+        .map(|q| QueryPlan::build(db, q, params.page_size).map(Arc::new))
+        .collect::<Result<_>>()?;
+
+    let started = Instant::now();
+    let poisoned = Arc::new(AtomicBool::new(false));
+
+    // The networks: one bounded SPSC channel per worker for dispatch, one
+    // shared bounded MPSC channel for completions.
+    let (done_tx, done_rx) = sync_channel::<Completion>(params.completion_capacity.max(1));
+    let mut work_txs = Vec::with_capacity(params.workers);
+    let mut handles = Vec::with_capacity(params.workers);
+    for id in 0..params.workers {
+        let (tx, rx) = sync_channel::<WorkUnit>(1);
+        work_txs.push(tx);
+        let done = done_tx.clone();
+        let poisoned = Arc::clone(&poisoned);
+        handles.push(
+            thread::Builder::new()
+                .name(format!("df-host-worker-{id}"))
+                .spawn(move || worker_loop(id, rx, done, poisoned))
+                .expect("spawning worker thread"),
+        );
+    }
+    drop(done_tx);
+
+    let scheduler = Scheduler::new(db, queries, plans, params, work_txs, done_rx);
+    let outcome = scheduler.run();
+
+    // Workers exit when their dispatch channel closes (`Scheduler::run`
+    // drops the senders); collect their stats.
+    let mut per_worker = Vec::with_capacity(params.workers);
+    for h in handles {
+        match h.join() {
+            Ok(stats) => per_worker.push(stats),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    let (results, per_query) = outcome?;
+
+    Ok(HostRunOutput {
+        results,
+        metrics: HostMetrics {
+            elapsed: started.elapsed(),
+            per_query,
+            per_worker,
+        },
+    })
+}
+
+/// Single-query convenience wrapper around [`run_host_queries`].
+///
+/// # Errors
+/// See [`run_host_queries`].
+pub fn run_host_query(
+    db: &Catalog,
+    query: &QueryTree,
+    params: &HostParams,
+) -> Result<(Relation, HostMetrics)> {
+    let mut out = run_host_queries(db, std::slice::from_ref(query), params)?;
+    Ok((out.results.remove(0), out.metrics))
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler (the MC/IC layer)
+// ---------------------------------------------------------------------------
+
+/// Scheduler-side state of one instruction cell.
+#[derive(Debug, Default)]
+struct CellState {
+    /// Operand page table, one list per port.
+    received: Vec<Vec<Arc<Page>>>,
+    /// Which operand streams are complete.
+    port_done: Vec<bool>,
+    /// Work units created but not yet dispatched.
+    pending: VecDeque<WorkKind>,
+    /// Work units dispatched but not yet completed.
+    in_flight: usize,
+    /// A blocking cell's single unit has been created.
+    fired_blocking: bool,
+    /// All operands done and no work outstanding.
+    complete: bool,
+}
+
+/// Scheduler-side state of one admitted query.
+struct QueryState {
+    plan: Arc<QueryPlan>,
+    cells: Vec<CellState>,
+    /// Base for globally unique instruction ids (`base + cell index`).
+    base: usize,
+    admitted_at: Instant,
+    result_pages: Vec<Arc<Page>>,
+    stats: QueryStats,
+}
+
+struct Scheduler<'a> {
+    db: &'a Catalog,
+    queries: &'a [QueryTree],
+    plans: Vec<Arc<QueryPlan>>,
+    params: &'a HostParams,
+    work_txs: Vec<SyncSender<WorkUnit>>,
+    done_rx: Receiver<Completion>,
+    picker: StrategyPicker,
+    locks: LockTable,
+    waiting: VecDeque<usize>,
+    active: Vec<Option<QueryState>>,
+    results: Vec<Option<Relation>>,
+    per_query: Vec<QueryStats>,
+    idle: Vec<usize>,
+    next_base: usize,
+    finished: usize,
+    dispatched: usize,
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(
+        db: &'a Catalog,
+        queries: &'a [QueryTree],
+        plans: Vec<Arc<QueryPlan>>,
+        params: &'a HostParams,
+        work_txs: Vec<SyncSender<WorkUnit>>,
+        done_rx: Receiver<Completion>,
+    ) -> Scheduler<'a> {
+        let n = queries.len();
+        Scheduler {
+            db,
+            queries,
+            plans,
+            params,
+            work_txs,
+            done_rx,
+            picker: StrategyPicker::new(params.strategy),
+            locks: LockTable::new(),
+            waiting: (0..n).collect(),
+            active: (0..n).map(|_| None).collect(),
+            results: (0..n).map(|_| None).collect(),
+            per_query: vec![QueryStats::default(); n],
+            idle: (0..params.workers).collect(),
+            next_base: 0,
+            finished: 0,
+            dispatched: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<(Vec<Relation>, Vec<QueryStats>)> {
+        self.admit_compatible()?;
+        while self.finished < self.queries.len() {
+            self.dispatch_ready();
+            if self.finished == self.queries.len() {
+                break;
+            }
+            let completion = self
+                .done_rx
+                .recv()
+                .expect("queries unfinished but no worker active: scheduler stuck");
+            self.on_completion(completion)?;
+        }
+        // Closing the dispatch channels shuts the workers down.
+        self.work_txs.clear();
+        let results = self
+            .results
+            .into_iter()
+            .map(|r| r.expect("every query finished"))
+            .collect();
+        Ok((results, self.per_query))
+    }
+
+    /// Admit every waiting query whose lock request is compatible, in
+    /// arrival order (a non-conflicting younger query may overtake a
+    /// blocked older one, like the ring MC).
+    fn admit_compatible(&mut self) -> Result<()> {
+        let mut still_waiting = VecDeque::new();
+        while let Some(q) = self.waiting.pop_front() {
+            let tree = &self.queries[q];
+            let request = LockRequest::new(tree.referenced_relations(), tree.written_relations());
+            if !self.locks.compatible(&request) {
+                still_waiting.push_back(q);
+                continue;
+            }
+            self.locks.grant(q, &request);
+            self.admit(q)?;
+        }
+        self.waiting = still_waiting;
+        Ok(())
+    }
+
+    /// Turn query `q` active: instantiate cell state and feed every scan
+    /// cell's pages from the page store (the "disk" of the host machine —
+    /// base relations are memory-resident `Arc` pages, shared not copied).
+    fn admit(&mut self, q: usize) -> Result<()> {
+        let plan = Arc::clone(&self.plans[q]);
+        let cells = plan
+            .cells
+            .iter()
+            .map(|spec| CellState {
+                received: vec![Vec::new(); spec.arity],
+                port_done: vec![false; spec.arity],
+                ..CellState::default()
+            })
+            .collect();
+        self.active[q] = Some(QueryState {
+            plan: Arc::clone(&plan),
+            cells,
+            base: self.next_base,
+            admitted_at: Instant::now(),
+            result_pages: Vec::new(),
+            stats: QueryStats::default(),
+        });
+        self.next_base += plan.cells.len();
+
+        for (idx, spec) in plan.cells.iter().enumerate() {
+            if spec.firing != Firing::Source {
+                continue;
+            }
+            let Op::Scan { relation } = &spec.op else {
+                unreachable!("source cells are scans");
+            };
+            let pages: Vec<Arc<Page>> = self.db.require(relation)?.pages().to_vec();
+            self.route_output(q, idx, pages)?;
+            self.complete_cell(q, idx)?;
+        }
+        Ok(())
+    }
+
+    /// Deliver `pages` produced by cell `from` to its parent (or the query
+    /// result if `from` is the root).
+    fn route_output(&mut self, q: usize, from: usize, pages: Vec<Arc<Page>>) -> Result<()> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        let state = self.active[q].as_mut().expect("query is active");
+        match state.plan.cells[from].parent {
+            None => state.result_pages.extend(pages),
+            Some((parent, port)) => self.on_pages(q, parent, port, pages),
+        }
+        Ok(())
+    }
+
+    /// The §2 firing rule: operand pages arrived at `cell`'s `port`.
+    fn on_pages(&mut self, q: usize, cell: usize, port: usize, pages: Vec<Arc<Page>>) {
+        let state = self.active[q].as_mut().expect("query is active");
+        let firing = state.plan.cells[cell].firing;
+        let cs = &mut state.cells[cell];
+        match firing {
+            Firing::Source => unreachable!("scan cells have no operands"),
+            Firing::PerPage => {
+                for p in pages {
+                    cs.pending.push_back(WorkKind::Page(p));
+                }
+            }
+            Firing::PairSweep => {
+                // Pair each new page with every opposite page received so
+                // far; later opposite arrivals will pick this page up, so
+                // each page pair is swept exactly once.
+                for p in pages {
+                    let opposite = cs.received[1 - port].clone();
+                    if !opposite.is_empty() {
+                        cs.pending.push_back(WorkKind::Sweep {
+                            new_page: Arc::clone(&p),
+                            opposite,
+                            new_is_outer: port == 0,
+                        });
+                    }
+                    cs.received[port].push(p);
+                }
+            }
+            Firing::Complete => cs.received[port].extend(pages),
+        }
+    }
+
+    /// Cell `cell` finished all its work: propagate completion upward.
+    fn complete_cell(&mut self, q: usize, cell: usize) -> Result<()> {
+        let state = self.active[q].as_mut().expect("query is active");
+        debug_assert!(!state.cells[cell].complete);
+        state.cells[cell].complete = true;
+        let parent = state.plan.cells[cell].parent;
+        match parent {
+            None => self.finish_query(q)?,
+            Some((parent, port)) => {
+                let state = self.active[q].as_mut().expect("query is active");
+                state.cells[parent].port_done[port] = true;
+                self.try_fire_blocking(q, parent);
+                self.try_complete(q, parent)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// A blocking cell with all operands complete fires its single unit.
+    fn try_fire_blocking(&mut self, q: usize, cell: usize) {
+        let state = self.active[q].as_mut().expect("query is active");
+        let spec = &state.plan.cells[cell];
+        let cs = &mut state.cells[cell];
+        if spec.firing != Firing::Complete || cs.fired_blocking || !cs.port_done.iter().all(|&d| d)
+        {
+            return;
+        }
+        cs.fired_blocking = true;
+        let left = std::mem::take(&mut cs.received[0]);
+        let right = if spec.arity > 1 {
+            std::mem::take(&mut cs.received[1])
+        } else {
+            Vec::new()
+        };
+        cs.pending.push_back(WorkKind::Complete { left, right });
+    }
+
+    /// Complete `cell` if its operands are done and no work is outstanding.
+    fn try_complete(&mut self, q: usize, cell: usize) -> Result<()> {
+        let state = self.active[q].as_mut().expect("query is active");
+        let spec = &state.plan.cells[cell];
+        let cs = &state.cells[cell];
+        let blocked_on_fire = spec.firing == Firing::Complete && !cs.fired_blocking;
+        if cs.complete
+            || blocked_on_fire
+            || !cs.port_done.iter().all(|&d| d)
+            || !cs.pending.is_empty()
+            || cs.in_flight > 0
+        {
+            return Ok(());
+        }
+        self.complete_cell(q, cell)
+    }
+
+    /// The root cell completed: assemble the result relation, release the
+    /// query's locks, and admit whatever those locks were blocking.
+    fn finish_query(&mut self, q: usize) -> Result<()> {
+        let state = self.active[q].take().expect("query is active");
+        let spec = &state.plan.cells[state.plan.root];
+        let mut rel = Relation::new("result", spec.out_schema.clone(), spec.out_page_size)?;
+        if self.params.deterministic {
+            for page in canonicalize(&state.result_pages, &spec.out_schema, spec.out_page_size)? {
+                rel.append_page(page)?;
+            }
+        } else {
+            for page in state.result_pages {
+                rel.append_page(page)?;
+            }
+        }
+        let mut stats = state.stats;
+        stats.result_tuples = rel.num_tuples();
+        stats.elapsed = state.admitted_at.elapsed();
+        self.per_query[q] = stats;
+        self.results[q] = Some(rel);
+        self.finished += 1;
+        self.locks.release(q);
+        self.admit_compatible()
+    }
+
+    /// While a worker is idle and ready work exists, let the allocation
+    /// policy pick the instruction to serve and dispatch one of its units.
+    fn dispatch_ready(&mut self) {
+        while !self.idle.is_empty() {
+            let mut candidates: Vec<WorkCandidate> = Vec::new();
+            let mut owners: Vec<(usize, usize)> = Vec::new();
+            for (q, state) in self.active.iter().enumerate() {
+                let Some(state) = state else { continue };
+                for (c, cs) in state.cells.iter().enumerate() {
+                    if !cs.pending.is_empty() {
+                        candidates.push(WorkCandidate {
+                            instr: state.base + c,
+                            in_flight: cs.in_flight,
+                            depth: state.plan.cells[c].depth,
+                        });
+                        owners.push((q, c));
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                return;
+            }
+            let instr = self.picker.pick(&candidates);
+            let (q, c) = owners[candidates
+                .iter()
+                .position(|cand| cand.instr == instr)
+                .expect("picker returns a candidate id")];
+            let state = self.active[q].as_mut().expect("query is active");
+            let kind = state.cells[c]
+                .pending
+                .pop_front()
+                .expect("candidate has pending work");
+            state.cells[c].in_flight += 1;
+            let unit = WorkUnit {
+                plan: Arc::clone(&state.plan),
+                query: q,
+                cell: c,
+                kind,
+            };
+            let worker = self.idle.pop().expect("loop invariant");
+            self.dispatched += 1;
+            self.work_txs[worker]
+                .send(unit)
+                .expect("worker alive while dispatch channel open");
+        }
+    }
+
+    /// A worker finished a unit: account for it, route its output pages,
+    /// and cascade any completions that unblocks.
+    fn on_completion(&mut self, completion: Completion) -> Result<()> {
+        let Completion {
+            worker,
+            query: q,
+            cell,
+            pages,
+            pages_in,
+            bytes_in,
+            bytes_out,
+        } = completion;
+        self.idle.push(worker);
+        self.dispatched -= 1;
+        let state = self.active[q].as_mut().expect("query is active");
+        state.cells[cell].in_flight -= 1;
+        state.stats.units_fired += 1;
+        state.stats.pages_moved += pages_in + pages.len();
+        state.stats.bytes_moved += bytes_in + bytes_out;
+        self.route_output(q, cell, pages)?;
+        self.try_complete(q, cell)
+    }
+}
+
+/// Sort result tuple images lexicographically and repack them into full
+/// pages — the deterministic-mode canonical form. The tuple encoding is
+/// canonical (equal tuples ⟺ equal images), so byte order is a total,
+/// run-independent order.
+fn canonicalize(pages: &[Arc<Page>], schema: &Schema, page_size: usize) -> Result<Vec<Page>> {
+    let mut images: Vec<&[u8]> = pages
+        .iter()
+        .flat_map(|p| p.tuple_refs().map(|t| t.raw()).collect::<Vec<_>>())
+        .collect();
+    images.sort_unstable();
+    let mut out: Vec<Page> = Vec::new();
+    for img in images {
+        if out.last().map_or(true, Page::is_full) {
+            out.push(Page::new(schema.clone(), page_size)?);
+        }
+        out.last_mut().expect("just pushed").push_raw(img)?;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Workers (the IPs)
+// ---------------------------------------------------------------------------
+
+/// Accumulates kernel output batches into output pages, draining each
+/// [`TupleBuf`] page-at-a-time (the IP output buffer of §4.2).
+struct OutputPager {
+    schema: Schema,
+    page_size: usize,
+    pages: Vec<Page>,
+}
+
+impl OutputPager {
+    fn new(schema: Schema, page_size: usize) -> OutputPager {
+        OutputPager {
+            schema,
+            page_size,
+            pages: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, buf: &mut TupleBuf) {
+        while !buf.is_empty() {
+            if self.pages.last().map_or(true, Page::is_full) {
+                self.pages.push(
+                    Page::new(self.schema.clone(), self.page_size)
+                        .expect("cell page size fits one tuple"),
+                );
+            }
+            buf.drain_into(self.pages.last_mut().expect("just pushed"));
+        }
+    }
+
+    fn finish(self) -> Vec<Arc<Page>> {
+        self.pages
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .map(Arc::new)
+            .collect()
+    }
+}
+
+/// One worker thread: receive, execute a `*_raw` kernel, send pages back.
+fn worker_loop(
+    id: usize,
+    rx: Receiver<WorkUnit>,
+    done: SyncSender<Completion>,
+    poisoned: Arc<AtomicBool>,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut first_recv: Option<Instant> = None;
+    while let Ok(unit) = rx.recv() {
+        if poisoned.load(Ordering::Relaxed) {
+            break;
+        }
+        let t0 = Instant::now();
+        first_recv.get_or_insert(t0);
+        let (pages, pages_in, bytes_in) = execute_unit(&unit);
+        let bytes_out: u64 = pages.iter().map(|p| p.wire_bytes() as u64).sum();
+        stats.units += 1;
+        stats.bytes_in += bytes_in;
+        stats.bytes_out += bytes_out;
+        stats.busy += t0.elapsed();
+        let sent = done.send(Completion {
+            worker: id,
+            query: unit.query,
+            cell: unit.cell,
+            pages,
+            pages_in,
+            bytes_in,
+            bytes_out,
+        });
+        if sent.is_err() {
+            // Scheduler gone (error path): stop quietly.
+            poisoned.store(true, Ordering::Relaxed);
+            break;
+        }
+    }
+    stats.wall = first_recv.map(|t| t.elapsed()).unwrap_or_default();
+    stats
+}
+
+/// Run the kernel for one work unit. Returns (output pages, operand page
+/// count, operand bytes).
+fn execute_unit(unit: &WorkUnit) -> (Vec<Arc<Page>>, usize, u64) {
+    let spec = &unit.plan.cells[unit.cell];
+    let mut pager = OutputPager::new(spec.out_schema.clone(), spec.out_page_size);
+    let count = |pages: &[Arc<Page>]| {
+        (
+            pages.len(),
+            pages.iter().map(|p| p.wire_bytes() as u64).sum::<u64>(),
+        )
+    };
+
+    let (pages_in, bytes_in) = match (&spec.op, &unit.kind) {
+        (Op::Restrict { predicate }, WorkKind::Page(page)) => {
+            pager.absorb(&mut restrict_page_raw(page, predicate));
+            (1, page.wire_bytes() as u64)
+        }
+        (Op::Project { projection, dedup }, WorkKind::Page(page)) => {
+            debug_assert!(!dedup, "dedup project fires on complete operands");
+            pager.absorb(&mut project_page_raw(page, projection, &spec.out_schema));
+            (1, page.wire_bytes() as u64)
+        }
+        (
+            Op::Join { condition },
+            WorkKind::Sweep {
+                new_page,
+                opposite,
+                new_is_outer,
+            },
+        ) => {
+            for opp in opposite {
+                let (outer, inner) = if *new_is_outer {
+                    (new_page.as_ref(), opp.as_ref())
+                } else {
+                    (opp.as_ref(), new_page.as_ref())
+                };
+                pager.absorb(&mut join_pages_raw(
+                    outer,
+                    inner,
+                    condition,
+                    &spec.out_schema,
+                ));
+            }
+            let (n, b) = count(opposite);
+            (n + 1, b + new_page.wire_bytes() as u64)
+        }
+        (
+            Op::CrossProduct,
+            WorkKind::Sweep {
+                new_page,
+                opposite,
+                new_is_outer,
+            },
+        ) => {
+            for opp in opposite {
+                let (outer, inner) = if *new_is_outer {
+                    (new_page.as_ref(), opp.as_ref())
+                } else {
+                    (opp.as_ref(), new_page.as_ref())
+                };
+                pager.absorb(&mut cross_pages_raw(outer, inner, &spec.out_schema));
+            }
+            let (n, b) = count(opposite);
+            (n + 1, b + new_page.wire_bytes() as u64)
+        }
+        (Op::Union, WorkKind::Complete { left, right }) => {
+            let l: Vec<&Page> = left.iter().map(Arc::as_ref).collect();
+            let r: Vec<&Page> = right.iter().map(Arc::as_ref).collect();
+            pager.absorb(&mut union_pages_raw(&l, &r, &spec.out_schema));
+            let ((ln, lb), (rn, rb)) = (count(left), count(right));
+            (ln + rn, lb + rb)
+        }
+        (Op::Difference, WorkKind::Complete { left, right }) => {
+            let l: Vec<&Page> = left.iter().map(Arc::as_ref).collect();
+            let r: Vec<&Page> = right.iter().map(Arc::as_ref).collect();
+            pager.absorb(&mut difference_pages_raw(&l, &r, &spec.out_schema));
+            let ((ln, lb), (rn, rb)) = (count(left), count(right));
+            (ln + rn, lb + rb)
+        }
+        (Op::Project { projection, dedup }, WorkKind::Complete { left, .. }) => {
+            debug_assert!(*dedup, "plain project fires per page");
+            // Two phases on one worker: attribute elimination (the
+            // parallelizable part), then global duplicate elimination over
+            // the projected pages (the paper's §5 blocking tail).
+            let mut projected = OutputPager::new(spec.out_schema.clone(), spec.out_page_size);
+            for page in left {
+                projected.absorb(&mut project_page_raw(page, projection, &spec.out_schema));
+            }
+            let projected_pages = projected.pages;
+            let refs: Vec<&Page> = projected_pages.iter().collect();
+            pager.absorb(&mut dedup_pages_raw(&refs, &spec.out_schema));
+            count(left)
+        }
+        (op, kind) => unreachable!(
+            "operator `{}` never receives work of kind {kind:?}",
+            op.name()
+        ),
+    };
+    (pager.finish(), pages_in, bytes_in)
+}

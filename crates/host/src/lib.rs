@@ -1,0 +1,55 @@
+//! # df-host — the data-flow machine on real threads
+//!
+//! The simulated machines (`df-sim`, `df-ring`) measure the paper's design
+//! in virtual time; this crate *runs* it, mapping the hardware of Boral &
+//! DeWitt's data-flow database machine onto one OS process:
+//!
+//! | paper component                  | host construct                        |
+//! |----------------------------------|---------------------------------------|
+//! | master controller + ICs          | scheduler (the calling thread)        |
+//! | instruction memory cells         | per-cell operand page tables          |
+//! | instruction processors (IPs)     | worker threads                        |
+//! | distribution network             | bounded per-worker dispatch channels  |
+//! | arbitration network              | bounded shared completion channel     |
+//! | disk cache / mass storage        | `Catalog` page store (`Arc<Page>`s)   |
+//!
+//! Queries fire at **page granularity** (§3.2): a cell becomes eligible the
+//! moment an operand page lands, so restriction of page *k* overlaps the
+//! join of page *k − 1* on another core. Which eligible instruction a freed
+//! worker serves is decided by the same [`df_core::AllocationStrategy`]
+//! policies the simulators sweep. Concurrent queries are admitted under the
+//! relation-granularity [`df_core::LockTable`] shared with the ring
+//! machine's MC.
+//!
+//! ```
+//! use df_host::{run_host_query, HostParams};
+//! use df_query::TreeBuilder;
+//! use df_relalg::{Catalog, DataType, Relation, Schema, Tuple, Value};
+//!
+//! let mut db = Catalog::new();
+//! let schema = Schema::build().attr("id", DataType::Int).finish().unwrap();
+//! db.insert(Relation::from_tuples(
+//!     "r", schema, 256,
+//!     (0..100).map(|i| Tuple::new(vec![Value::Int(i)])),
+//! ).unwrap()).unwrap();
+//!
+//! let query = TreeBuilder::new(&db)
+//!     .scan("r").unwrap()
+//!     .restrict_where("id", df_relalg::CmpOp::Lt, Value::Int(10)).unwrap()
+//!     .finish();
+//! let (result, metrics) = run_host_query(&db, &query, &HostParams::with_workers(2)).unwrap();
+//! assert_eq!(result.num_tuples(), 10);
+//! assert!(metrics.total_units() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod exec;
+mod metrics;
+mod params;
+mod plan;
+
+pub use exec::{run_host_queries, run_host_query, HostRunOutput};
+pub use metrics::{HostMetrics, QueryStats, WorkerStats};
+pub use params::HostParams;

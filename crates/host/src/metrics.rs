@@ -1,0 +1,114 @@
+//! Host-executor metrics: real (wall-clock) time, not simulated time.
+
+use std::time::Duration;
+
+/// What one worker thread did over the run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Work units executed.
+    pub units: usize,
+    /// Bytes of operand pages received (wire bytes, header included).
+    pub bytes_in: u64,
+    /// Bytes of result pages produced.
+    pub bytes_out: u64,
+    /// Time spent inside operator kernels (building output pages included).
+    pub busy: Duration,
+    /// Thread lifetime, first recv to shutdown; `wall - busy` is idle +
+    /// channel time.
+    pub wall: Duration,
+}
+
+impl WorkerStats {
+    /// Fraction of the thread's lifetime spent executing kernels.
+    pub fn utilization(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// What one query cost.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Work units fired across all of the query's instruction cells.
+    pub units_fired: usize,
+    /// Pages that crossed the distribution network for this query
+    /// (operand pages dispatched to workers plus result pages returned).
+    pub pages_moved: usize,
+    /// Bytes those pages carried.
+    pub bytes_moved: u64,
+    /// Tuples in the query's result relation.
+    pub result_tuples: usize,
+    /// Admission-to-completion wall time.
+    pub elapsed: Duration,
+}
+
+/// Metrics of one [`crate::run_host_queries`] call.
+#[derive(Debug, Clone, Default)]
+pub struct HostMetrics {
+    /// Wall time of the whole batch (admission of the first query to
+    /// completion of the last).
+    pub elapsed: Duration,
+    /// Per-query costs, in input order.
+    pub per_query: Vec<QueryStats>,
+    /// Per-worker activity, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl HostMetrics {
+    /// Total work units executed by all workers.
+    pub fn total_units(&self) -> usize {
+        self.per_worker.iter().map(|w| w.units).sum()
+    }
+
+    /// Total bytes moved through workers (in + out).
+    pub fn total_bytes(&self) -> u64 {
+        self.per_worker
+            .iter()
+            .map(|w| w.bytes_in + w.bytes_out)
+            .sum()
+    }
+
+    /// Mean worker utilization (busy / wall), 0.0 with no workers.
+    pub fn worker_utilization(&self) -> f64 {
+        if self.per_worker.is_empty() {
+            0.0
+        } else {
+            self.per_worker
+                .iter()
+                .map(WorkerStats::utilization)
+                .sum::<f64>()
+                / self.per_worker.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let w = WorkerStats {
+            units: 4,
+            bytes_in: 100,
+            bytes_out: 50,
+            busy: Duration::from_millis(25),
+            wall: Duration::from_millis(100),
+        };
+        assert!((w.utilization() - 0.25).abs() < 1e-9);
+        assert_eq!(WorkerStats::default().utilization(), 0.0);
+
+        let m = HostMetrics {
+            elapsed: Duration::from_millis(100),
+            per_query: vec![],
+            per_worker: vec![w.clone(), WorkerStats::default()],
+        };
+        assert_eq!(m.total_units(), 4);
+        assert_eq!(m.total_bytes(), 150);
+        assert!((m.worker_utilization() - 0.125).abs() < 1e-9);
+        assert_eq!(HostMetrics::default().worker_utilization(), 0.0);
+    }
+}

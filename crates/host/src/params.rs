@@ -1,0 +1,65 @@
+//! Host-executor configuration.
+
+use df_core::AllocationStrategy;
+
+/// Configuration of the real-threads executor.
+#[derive(Debug, Clone)]
+pub struct HostParams {
+    /// Number of worker threads playing the IPs (≥ 1).
+    pub workers: usize,
+    /// Page size (bytes, header included) for intermediate and result
+    /// pages. Cells whose output tuples do not fit (deep join chains widen
+    /// tuples) grow their own page size to hold at least one tuple.
+    pub page_size: usize,
+    /// Which instruction's ready work a freed worker picks up — the same
+    /// four policies the simulated machines use.
+    pub strategy: AllocationStrategy,
+    /// Capacity of the result channel (the "arbitration network" carrying
+    /// completions back to the scheduler). Workers block producing past it,
+    /// which bounds memory for pathological fan-outs.
+    pub completion_capacity: usize,
+    /// When set, every query's result relation is canonicalized (tuple
+    /// images sorted lexicographically, pages repacked full) so repeated
+    /// runs are byte-identical regardless of thread interleaving. The
+    /// executor has no RNG: interleaving is its only nondeterminism, and it
+    /// only affects result *order*, never the result multiset.
+    pub deterministic: bool,
+}
+
+impl Default for HostParams {
+    fn default() -> HostParams {
+        HostParams {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            page_size: 1016,
+            strategy: AllocationStrategy::default(),
+            completion_capacity: 256,
+            deterministic: false,
+        }
+    }
+}
+
+impl HostParams {
+    /// Default parameters with an explicit worker count.
+    pub fn with_workers(workers: usize) -> HostParams {
+        HostParams {
+            workers,
+            ..HostParams::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = HostParams::default();
+        assert!(p.workers >= 1);
+        assert!(p.page_size >= 116); // header + one 100-byte tuple
+        assert!(p.completion_capacity >= 1);
+        assert_eq!(HostParams::with_workers(3).workers, 3);
+    }
+}

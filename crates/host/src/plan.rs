@@ -1,0 +1,219 @@
+//! Query compilation: a validated [`QueryTree`] becomes a vector of
+//! *instruction cells*, the host executor's counterpart of the paper's
+//! instructions held by memory cells / ICs. Each cell knows its operator,
+//! its derived output schema, its parent (and which operand port of the
+//! parent it feeds), and its depth from the root (the `RootFirst` policy's
+//! input).
+
+use df_query::{validate, Op, QueryTree};
+use df_relalg::{Catalog, Error, Result, Schema, PAGE_HEADER_BYTES};
+
+/// How the scheduler treats a cell's arriving operand pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Firing {
+    /// Leaf: pages come from the page store at admission, no work units.
+    Source,
+    /// One work unit per arriving operand page (restrict, non-dedup
+    /// project) — the §3.2 page-granularity firing rule.
+    PerPage,
+    /// One work unit per (new page × opposite pages so far) sweep (join,
+    /// cross product) — the paper's independent nested-loops work units.
+    PairSweep,
+    /// One work unit once every operand is complete (union, difference,
+    /// dedup project) — the operators the paper calls out as blocking.
+    Complete,
+}
+
+/// One compiled instruction cell.
+#[derive(Debug, Clone)]
+pub(crate) struct CellSpec {
+    /// The relational operation (predicates/projections pre-resolved by the
+    /// tree builder, re-checked by `validate`).
+    pub op: Op,
+    /// Derived output schema.
+    pub out_schema: Schema,
+    /// `(parent cell, operand port)` — `None` for the root.
+    pub parent: Option<(usize, usize)>,
+    /// Distance from the root (root = 0).
+    pub depth: usize,
+    /// Number of operand ports (= the operator's arity).
+    pub arity: usize,
+    /// Firing discipline.
+    pub firing: Firing,
+    /// Page size for this cell's output pages: the configured size, grown
+    /// if necessary so at least one (possibly very wide) tuple fits.
+    pub out_page_size: usize,
+}
+
+/// A compiled query: cells in topological (leaf-before-parent) order, the
+/// root last by construction of [`QueryTree`].
+#[derive(Debug, Clone)]
+pub(crate) struct QueryPlan {
+    pub cells: Vec<CellSpec>,
+    pub root: usize,
+}
+
+impl QueryPlan {
+    /// Compile `tree` against `db`.
+    ///
+    /// # Errors
+    /// Fails on validation errors, and on update operators: the host
+    /// executor runs read-only queries (updates stay on the oracle and the
+    /// simulated machines, which own catalog mutation).
+    pub fn build(db: &Catalog, tree: &QueryTree, page_size: usize) -> Result<QueryPlan> {
+        let schemas = validate(db, tree)?;
+        let parents = tree.parents();
+
+        // Depth from the root: walk parents (children have smaller ids, so
+        // a reverse sweep sees every parent before its children).
+        let mut depth = vec![0usize; tree.len()];
+        for id in tree.topo_order().collect::<Vec<_>>().into_iter().rev() {
+            if let Some(p) = parents[id.0] {
+                depth[id.0] = depth[p.0] + 1;
+            }
+        }
+
+        let mut cells = Vec::with_capacity(tree.len());
+        for id in tree.topo_order() {
+            let node = tree.node(id);
+            let firing = match &node.op {
+                Op::Scan { .. } => Firing::Source,
+                Op::Restrict { .. } => Firing::PerPage,
+                Op::Project { dedup, .. } => {
+                    if *dedup {
+                        Firing::Complete
+                    } else {
+                        Firing::PerPage
+                    }
+                }
+                Op::Join { .. } | Op::CrossProduct => Firing::PairSweep,
+                Op::Union | Op::Difference => Firing::Complete,
+                Op::Append { .. } | Op::Delete { .. } => {
+                    return Err(Error::SchemaMismatch {
+                        detail: format!(
+                            "df-host executes read-only queries; `{}` is an update operator",
+                            node.op.name()
+                        ),
+                    });
+                }
+            };
+            let out_schema = schemas.schema(id).clone();
+            let out_page_size = page_size.max(PAGE_HEADER_BYTES + out_schema.tuple_width());
+            let parent = parents[id.0].map(|p| {
+                let port = tree
+                    .node(p)
+                    .children
+                    .iter()
+                    .position(|c| *c == id)
+                    .expect("parents() is consistent with children");
+                (p.0, port)
+            });
+            cells.push(CellSpec {
+                op: node.op.clone(),
+                out_schema,
+                parent,
+                depth: depth[id.0],
+                arity: node.op.arity(),
+                firing,
+                out_page_size,
+            });
+        }
+        Ok(QueryPlan {
+            cells,
+            root: tree.root().0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_query::TreeBuilder;
+    use df_relalg::{CmpOp, DataType, Relation, Schema, Tuple, Value};
+
+    fn db() -> Catalog {
+        let mut db = Catalog::new();
+        let s = Schema::build()
+            .attr("id", DataType::Int)
+            .attr("dept", DataType::Int)
+            .finish()
+            .unwrap();
+        db.insert(
+            Relation::from_tuples(
+                "emp",
+                s,
+                1024,
+                (0..8).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 2)])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn compiles_shapes_and_depths() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let q = b
+            .scan("emp")
+            .unwrap()
+            .restrict_where("id", CmpOp::Gt, Value::Int(2))
+            .unwrap()
+            .equi_join(b.scan("emp").unwrap(), "dept", "dept")
+            .unwrap()
+            .finish();
+        let plan = QueryPlan::build(&db, &q, 1024).unwrap();
+        assert_eq!(plan.cells.len(), 4);
+        assert_eq!(plan.root, 3);
+        assert_eq!(plan.cells[plan.root].depth, 0);
+        assert_eq!(plan.cells[plan.root].firing, Firing::PairSweep);
+        assert_eq!(plan.cells[0].firing, Firing::Source);
+        // scan -> restrict (port 0 of the join's outer side).
+        assert_eq!(plan.cells[0].parent, Some((1, 0)));
+        assert_eq!(plan.cells[1].parent, Some((3, 0)));
+        assert_eq!(plan.cells[2].parent, Some((3, 1)));
+        assert_eq!(plan.cells[0].depth, 2);
+        // Join output is wider than either input.
+        assert_eq!(plan.cells[3].out_schema.arity(), 4);
+    }
+
+    #[test]
+    fn dedup_project_is_blocking_and_plain_is_not() {
+        let db = db();
+        let q = TreeBuilder::new(&db)
+            .scan("emp")
+            .unwrap()
+            .project(&["dept"], true)
+            .unwrap()
+            .finish();
+        let plan = QueryPlan::build(&db, &q, 1024).unwrap();
+        assert_eq!(plan.cells[1].firing, Firing::Complete);
+        let q = TreeBuilder::new(&db)
+            .scan("emp")
+            .unwrap()
+            .project(&["dept"], false)
+            .unwrap()
+            .finish();
+        let plan = QueryPlan::build(&db, &q, 1024).unwrap();
+        assert_eq!(plan.cells[1].firing, Firing::PerPage);
+    }
+
+    #[test]
+    fn tiny_page_size_grows_to_fit_one_tuple() {
+        let db = db();
+        let q = TreeBuilder::new(&db).scan("emp").unwrap().finish();
+        let plan = QueryPlan::build(&db, &q, 8).unwrap();
+        assert!(plan.cells[0].out_page_size >= PAGE_HEADER_BYTES + 16);
+    }
+
+    #[test]
+    fn rejects_updates() {
+        let db = db();
+        let q = TreeBuilder::new(&db)
+            .delete_where("emp", "id", CmpOp::Eq, Value::Int(0))
+            .unwrap();
+        let err = QueryPlan::build(&db, &q, 1024).unwrap_err();
+        assert!(err.to_string().contains("read-only"));
+    }
+}

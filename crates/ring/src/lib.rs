@@ -32,7 +32,6 @@
 
 pub mod packet;
 
-mod concurrency;
 mod ic;
 mod ip;
 mod machine;
@@ -41,7 +40,10 @@ mod metrics;
 mod params;
 mod ring;
 
-pub use concurrency::{LockRequest, LockTable};
+// The lock manager moved to `df-core` so the `df-host` real-threads
+// executor can share it; re-exported here so `df_ring::LockTable` keeps
+// working (and the MC docs above stay accurate).
+pub use df_core::{LockRequest, LockTable};
 pub use machine::{run_ring_queries, run_ring_queries_at, RingMachine, RingRunOutput};
 pub use metrics::RingMetrics;
 pub use params::RingParams;

@@ -29,10 +29,10 @@ use df_relalg::{Catalog, Page, Relation, Result, TupleBuf};
 use df_sim::{Duration, EventQueue, SimTime};
 use df_storage::{DiskCache, LocalMemory, MassStorage, PageId, PageStore, PageTable};
 
-use crate::concurrency::{LockRequest, LockTable};
 use crate::metrics::RingMetrics;
 use crate::params::RingParams;
 use crate::ring::Ring;
+use df_core::{LockRequest, LockTable};
 
 /// Approximate wire size of inner-ring control messages (assignment,
 /// request, grant, release, done). The paper: "the messages required for

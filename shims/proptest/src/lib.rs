@@ -314,7 +314,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Accepted size specifications for [`vec`].
+    /// Accepted size specifications for [`vec()`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

@@ -60,7 +60,7 @@ pub trait Rng: RngCore {
         distributions::uniform01(self.next_u64()) < p
     }
 
-    /// A uniform value of a [`distributions::Standard`]-style type
+    /// A uniform value of an upstream-`Standard`-distribution-style type
     /// (`f64` in `[0, 1)`, full-range integers, fair `bool`).
     fn gen<T: distributions::Generable>(&mut self) -> T {
         T::generate(self)
