@@ -1,17 +1,22 @@
-//! ABL-JOIN — nested loops vs sort-merge (Blasgen & Eswaran [5]).
+//! ABL-JOIN — nested loops vs sort-merge (Blasgen & Eswaran [5]) vs the
+//! hash-accelerated path (PR 3's deviation, DESIGN.md §5).
 //!
 //! §2.1: sort-merge is the faster *uniprocessor* algorithm (O(n log n) vs
 //! O(n·m)), but nested loops parallelizes perfectly, which is why the paper
-//! builds its machines around it. This is a genuine CPU microbenchmark of
-//! the two kernel implementations (no simulation): Criterion measures real
-//! host time, demonstrating the uniprocessor crossover the paper cites.
+//! builds its machines around it. The hash path keeps nested loops' perfect
+//! page-pair parallelism and its output order while shrinking each pair to
+//! O(n + m). This is a genuine CPU microbenchmark of the kernel
+//! implementations (no simulation): Criterion measures real host time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use df_query::ops::{merge_join_relations, nested_loops_join_relations};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use df_query::ops::{
+    hash_join_pages_raw, hash_join_relations, join_pages_raw, merge_join_relations,
+    nested_loops_join_relations,
+};
 use df_relalg::{DataType, JoinCondition, Relation, Schema, Tuple, Value};
 use df_sim::rng::SimRng;
 
-fn make_relation(name: &str, n: usize, key_domain: i64, seed: u64) -> Relation {
+fn make_relation(name: &str, n: usize, key_domain: i64, seed: u64, page_size: usize) -> Relation {
     let schema = Schema::build()
         .attr("key", DataType::Int)
         .attr("pad", DataType::Str(92))
@@ -21,7 +26,7 @@ fn make_relation(name: &str, n: usize, key_domain: i64, seed: u64) -> Relation {
     Relation::from_tuples(
         name,
         schema,
-        1016,
+        page_size,
         (0..n).map(|_| {
             Tuple::new(vec![
                 Value::Int(rng.gen_range(0..key_domain)),
@@ -37,17 +42,61 @@ fn abl_join_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("abl_join_kernels");
     group.sample_size(10);
     for n in [200usize, 800, 2000] {
-        let outer = make_relation("outer", n, n as i64, 1);
-        let inner = make_relation("inner", n, n as i64, 2);
+        let outer = make_relation("outer", n, n as i64, 1, 1016);
+        let inner = make_relation("inner", n, n as i64, 2, 1016);
         let cond =
             JoinCondition::equi(outer.schema(), "key", inner.schema(), "key").expect("condition");
+        group.throughput(Throughput::Bytes(
+            (outer.total_bytes() + inner.total_bytes()) as u64,
+        ));
         group.bench_with_input(BenchmarkId::new("nested_loops", n), &n, |b, _| {
             b.iter(|| nested_loops_join_relations(&outer, &inner, &cond))
         });
         group.bench_with_input(BenchmarkId::new("sort_merge", n), &n, |b, _| {
             b.iter(|| merge_join_relations(&outer, &inner, &cond).expect("equi-join"))
         });
+        group.bench_with_input(BenchmarkId::new("hash", n), &n, |b, _| {
+            b.iter(|| hash_join_relations(&outer, &inner, &cond).expect("equi-join"))
+        });
     }
+    group.finish();
+
+    // The page-pair kernels the machines actually fire (§3.2 work units),
+    // at the PERF-HJ page size: one nested sweep vs one index-build+probe
+    // per pair, summed over every pair of a low-selectivity equi-join.
+    eprintln!("\nABL-JOIN: page-pair kernels at 4096 B pages (PERF-HJ setting)");
+    let mut group = c.benchmark_group("abl_join_page_pairs");
+    group.sample_size(10);
+    let outer = make_relation("outer", 4000, 4000, 3, 4096);
+    let inner = make_relation("inner", 4000, 4000, 4, 4096);
+    let cond =
+        JoinCondition::equi(outer.schema(), "key", inner.schema(), "key").expect("condition");
+    let out_schema = outer.schema().concat(inner.schema());
+    group.throughput(Throughput::Bytes(
+        (outer.total_bytes() + inner.total_bytes()) as u64,
+    ));
+    group.bench_function("nested_sweep", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for op in outer.pages() {
+                for ip in inner.pages() {
+                    n += join_pages_raw(op, ip, &cond, &out_schema).len();
+                }
+            }
+            n
+        })
+    });
+    group.bench_function("hash_probe", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for op in outer.pages() {
+                for ip in inner.pages() {
+                    n += hash_join_pages_raw(op, ip, &cond, &out_schema).len();
+                }
+            }
+            n
+        })
+    });
     group.finish();
 }
 

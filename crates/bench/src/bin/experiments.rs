@@ -4,24 +4,45 @@
 //! ```sh
 //! cargo run --release -p df-bench --bin experiments            # everything
 //! cargo run --release -p df-bench --bin experiments -- fig3_1  # one table
+//! cargo run --release -p df-bench --bin experiments -- --join hash fig3_1
 //! ```
 //!
 //! Available tables: `fig3_1`, `sec3_3`, `fig4_2`, `abl_pgsz`, `abl_alloc`,
-//! `abl_bcast`, `abl_route`, `abl_proj`, `abl_multi`. The output of a full
-//! run is recorded in `EXPERIMENTS.md`.
+//! `abl_bcast`, `abl_route`, `abl_proj`, `abl_multi`, `perf_hj`. The flag
+//! `--join {nested,hash}` switches the join algorithm of the machine
+//! configurations built in `main` (default `nested`, the paper's choice).
+//! The output of a full run is recorded in `EXPERIMENTS.md`.
 
 use df_bench::{
     fig31_params, fig42_params, run_core, run_ring, setup, setup_with_page_size, BenchSetup,
 };
-use df_core::{bandwidth, run_queries, AllocationStrategy, Granularity, MachineParams};
+use df_core::{bandwidth, run_queries, AllocationStrategy, Granularity, JoinAlgo, MachineParams};
 use df_workload::{benchmark_queries, chain_query, generate_database, VAL_DOMAIN};
 
 fn main() {
-    let which: Vec<String> = std::env::args().skip(1).collect();
+    let mut join = JoinAlgo::default();
+    let mut which: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--join" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("experiments: --join needs a value");
+                std::process::exit(2);
+            });
+            join = v.parse().unwrap_or_else(|e: String| {
+                eprintln!("experiments: {e}");
+                std::process::exit(2);
+            });
+        } else {
+            which.push(a);
+        }
+    }
     let want = |name: &str| which.is_empty() || which.iter().any(|w| w == name);
 
     println!("=== dataflow-dbm experiment harness (full scale: 5.5 MB, 10 queries) ===");
-    let s = setup(1.0);
+    let mut s = setup(1.0);
+    s.join = join;
+    let s = s;
     println!(
         "database: {} relations, {} bytes, {} tuples\n",
         s.db.len(),
@@ -37,7 +58,8 @@ fn main() {
     }
     if want("fig4_2") {
         // Figure 4.2's stated assumption: 16 KB operand pages.
-        let s16 = setup_with_page_size(1.0, 16 * 1024);
+        let mut s16 = setup_with_page_size(1.0, 16 * 1024);
+        s16.join = join;
         fig4_2(&s16);
     }
     if want("abl_pgsz") {
@@ -58,6 +80,109 @@ fn main() {
     if want("abl_multi") {
         abl_multi();
     }
+    if want("perf_hj") {
+        perf_hj();
+    }
+}
+
+/// PERF-HJ: the hash-accelerated equi-join path vs the paper's nested
+/// loops — first at the kernel level (every page pair of one
+/// low-selectivity fk = key join, timed on this host), then end to end on
+/// the real-threads executor with the probe/sweep unit split.
+fn perf_hj() {
+    use df_host::{run_host_queries, HostParams};
+    use df_query::ops::{hash_join_pages_raw, hash_join_probe, join_pages_raw};
+    use df_relalg::{JoinCondition, PageKeyIndex};
+    use df_workload::{FK_ATTR, KEY_ATTR};
+    use std::time::Instant;
+
+    println!("--- PERF-HJ: hash equi-join vs nested loops (scale 0.2, 4096 B pages)");
+    let s = setup_with_page_size(0.2, 4096);
+    let outer = s.db.get("r01").expect("workload relation");
+    let inner = s.db.get("r00").expect("workload relation");
+    let cond =
+        JoinCondition::equi(outer.schema(), FK_ATTR, inner.schema(), KEY_ATTR).expect("condition");
+    let out_schema = outer.schema().concat(inner.schema());
+    let pairs = outer.pages().len() * inner.pages().len();
+
+    // Best of three sweeps over every page pair (the §3.2 work units of
+    // one join instruction), timed without the executor around them.
+    let time = |kernel: &dyn Fn() -> usize| -> (f64, usize) {
+        let mut best = f64::MAX;
+        let mut tuples = 0;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            tuples = kernel();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (best, tuples)
+    };
+    let (nested_s, nested_n) = time(&|| {
+        let mut n = 0;
+        for op in outer.pages() {
+            for ip in inner.pages() {
+                n += join_pages_raw(op, ip, &cond, &out_schema).len();
+            }
+        }
+        n
+    });
+    let (hash_s, hash_n) = time(&|| {
+        let mut n = 0;
+        for op in outer.pages() {
+            for ip in inner.pages() {
+                n += hash_join_pages_raw(op, ip, &cond, &out_schema).len();
+            }
+        }
+        n
+    });
+    // The executor's actual firing: each inner page's index is built once
+    // (by the first worker that probes it) and cached on the cell's
+    // operand table, so later pairs pay probes only.
+    let (cached_s, cached_n) = time(&|| {
+        let mut n = 0;
+        for ip in inner.pages() {
+            let idx = PageKeyIndex::build(ip, cond.right);
+            for op in outer.pages() {
+                n += hash_join_probe(op, ip, &idx, &cond, &out_schema).len();
+            }
+        }
+        n
+    });
+    assert_eq!(nested_n, hash_n, "kernels disagree on the join result");
+    assert_eq!(nested_n, cached_n, "cached path disagrees on the result");
+    println!(
+        "kernel ({} page pairs, {} result tuples):\n  \
+         nested sweep      {:.4}s\n  \
+         hash, per-pair    {:.4}s  (index rebuilt each pair)   speedup {:.2}x\n  \
+         hash, cached idx  {:.4}s  (one build per inner page)  speedup {:.2}x",
+        pairs,
+        nested_n,
+        nested_s,
+        hash_s,
+        nested_s / hash_s,
+        cached_s,
+        nested_s / cached_s
+    );
+
+    println!(
+        "host (ten-query benchmark, {} workers):",
+        HostParams::default().workers
+    );
+    for join in JoinAlgo::ALL {
+        let params = HostParams {
+            page_size: 4096,
+            join,
+            ..HostParams::default()
+        };
+        let out = run_host_queries(&s.db, &s.queries, &params).expect("host run");
+        let probes: usize = out.metrics.per_query.iter().map(|q| q.probe_units).sum();
+        let sweeps: usize = out.metrics.per_query.iter().map(|q| q.sweep_units).sum();
+        println!(
+            "  {join:<6}  elapsed {:>8.2?}  probe units {probes:>6}  sweep units {sweeps:>6}",
+            out.metrics.elapsed
+        );
+    }
+    println!("deviation from the paper (DESIGN.md §5): the IPs' join kernel is a knob\n");
 }
 
 /// FIG-3.1: page vs relation granularity over a processor sweep.

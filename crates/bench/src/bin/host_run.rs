@@ -11,6 +11,8 @@
 //!   `round-robin`, `balanced`, `root-first`
 //! - `--scale F`       database scale factor (1.0 = the paper's 5.5 MB)
 //! - `--page-size B`   page size in bytes for source and intermediate pages
+//! - `--join A`        join algorithm: `nested` (the paper's nested loops,
+//!   default) or `hash` (per-page raw-byte key indexes)
 //! - `--deterministic` canonicalize results (byte-stable across runs)
 //! - `--verify`        check every result against the sequential oracle
 
@@ -36,6 +38,9 @@ fn main() {
             }
             "--scale" => scale = parse(&value("--scale"), "--scale"),
             "--page-size" => params.page_size = parse(&value("--page-size"), "--page-size"),
+            "--join" => {
+                params.join = value("--join").parse().unwrap_or_else(|e: String| die(&e));
+            }
             "--deterministic" => params.deterministic = true,
             "--verify" => verify = true,
             other => die(&format!(
@@ -45,8 +50,8 @@ fn main() {
     }
 
     println!(
-        "host_run: scale {scale}, page size {}, {} workers, {} strategy",
-        params.page_size, params.workers, params.strategy
+        "host_run: scale {scale}, page size {}, {} workers, {} strategy, {} join",
+        params.page_size, params.workers, params.strategy, params.join
     );
     let s = setup_with_page_size(scale, params.page_size);
     println!(
@@ -58,15 +63,17 @@ fn main() {
 
     let out = run_host_queries(&s.db, &s.queries, &params).expect("host run");
     println!(
-        "\n{:>5} {:>10} {:>8} {:>12} {:>12}",
-        "query", "tuples", "units", "pages moved", "elapsed"
+        "\n{:>5} {:>10} {:>8} {:>7} {:>7} {:>12} {:>12}",
+        "query", "tuples", "units", "probes", "sweeps", "pages moved", "elapsed"
     );
     for (i, q) in out.metrics.per_query.iter().enumerate() {
         println!(
-            "{:>5} {:>10} {:>8} {:>12} {:>10.2?}",
+            "{:>5} {:>10} {:>8} {:>7} {:>7} {:>12} {:>10.2?}",
             format!("Q{}", i + 1),
             q.result_tuples,
             q.units_fired,
+            q.probe_units,
+            q.sweep_units,
             q.pages_moved,
             q.elapsed
         );

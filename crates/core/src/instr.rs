@@ -12,8 +12,11 @@ use std::hash::{Hash, Hasher};
 
 use df_query::{ops, validate, NodeId, Op, QueryTree};
 use df_relalg::{
-    Catalog, JoinCondition, Page, Predicate, Projection, Result, Schema, Tuple, TupleBuf, TupleRef,
+    Catalog, CmpOp, JoinCondition, Page, Predicate, Projection, Result, Schema, Tuple, TupleBuf,
+    TupleRef,
 };
+
+use crate::params::JoinAlgo;
 
 /// Index of an instruction within a [`Program`].
 pub type InstrId = usize;
@@ -45,8 +48,10 @@ pub enum Kernel {
     /// Emit tuples *matching* the predicate (the tuples a delete removes —
     /// the query's result; the catalog update happens after the run).
     DeleteFilter(Predicate),
-    /// Nested-loops join of one page pair.
-    JoinPair(JoinCondition),
+    /// Join of one page pair, by the configured [`JoinAlgo`]: a nested-loops
+    /// sweep, or (for equi-joins under [`JoinAlgo::Hash`]) a probe of the
+    /// inner page's raw-byte key index. Non-equi θs always sweep.
+    JoinPair(JoinCondition, JoinAlgo),
     /// Cross product of one page pair.
     CrossPair,
     /// Set union of two complete inputs.
@@ -65,7 +70,7 @@ impl Kernel {
             | Kernel::Project(_)
             | Kernel::Identity
             | Kernel::DeleteFilter(_) => UnitGen::PerPage,
-            Kernel::JoinPair(_) | Kernel::CrossPair => UnitGen::PerPair,
+            Kernel::JoinPair(..) | Kernel::CrossPair => UnitGen::PerPair,
             Kernel::UnionFinal | Kernel::DifferenceFinal | Kernel::ProjectDedupFinal(_) => {
                 UnitGen::WholeRelation
             }
@@ -83,7 +88,7 @@ impl Kernel {
             Kernel::Project(proj) => ops::project_page(pages[0], proj),
             Kernel::Identity => pages[0].tuples().collect(),
             Kernel::DeleteFilter(p) => pages[0].tuples().filter(|t| p.eval(t)).collect(),
-            Kernel::JoinPair(c) => ops::join_pages(pages[0], pages[1], c),
+            Kernel::JoinPair(c, _) => ops::join_pages(pages[0], pages[1], c),
             Kernel::CrossPair => ops::cross_pages(pages[0], pages[1]),
             k => panic!("run_unit called on whole-relation kernel {k:?}"),
         }
@@ -112,7 +117,14 @@ impl Kernel {
                 }
                 out
             }
-            Kernel::JoinPair(c) => ops::join_pages_raw(pages[0], pages[1], c, out_schema),
+            Kernel::JoinPair(c, JoinAlgo::Nested) => {
+                ops::join_pages_raw(pages[0], pages[1], c, out_schema)
+            }
+            // The hash kernel falls back to nested loops internally when
+            // the condition is not an equal-width equi-join.
+            Kernel::JoinPair(c, JoinAlgo::Hash) => {
+                ops::hash_join_pages_raw(pages[0], pages[1], c, out_schema)
+            }
             Kernel::CrossPair => ops::cross_pages_raw(pages[0], pages[1], out_schema),
             k => panic!("run_unit_raw called on whole-relation kernel {k:?}"),
         }
@@ -260,8 +272,19 @@ impl Kernel {
     }
 
     /// Per-tuple operation count for the cost model: how many tuple-level
-    /// steps the unit performs.
+    /// steps the unit performs. A hash-path equi-join builds the inner
+    /// index (m inserts) and probes once per outer tuple (n probes), so it
+    /// charges n + m instead of the nested-loops n·m — this is what lets
+    /// the simulated machines account the reduced IP service time.
     pub fn tuple_ops(&self, tuple_counts: &[usize]) -> usize {
+        if let Kernel::JoinPair(c, JoinAlgo::Hash) = self {
+            // Equi-joins probe; other θs sweep. (A mixed-width string key
+            // also sweeps but is charged probe cost here — the cost model
+            // keys on the condition, not the schemas it joins.)
+            if c.op == CmpOp::Eq {
+                return tuple_counts[0] + tuple_counts[1];
+            }
+        }
         match self.unit_gen() {
             UnitGen::PerPage => tuple_counts[0],
             UnitGen::PerPair => tuple_counts[0] * tuple_counts[1],
@@ -339,11 +362,21 @@ pub struct Program {
     pub base_relations: Vec<String>,
 }
 
-/// Compile a batch of validated query trees into a [`Program`].
+/// Compile a batch of validated query trees into a [`Program`] with the
+/// default (nested-loops) join algorithm.
 ///
 /// # Errors
 /// Propagates validation errors (unknown relations, type mismatches…).
 pub fn compile(db: &Catalog, queries: &[QueryTree]) -> Result<Program> {
+    compile_with(db, queries, JoinAlgo::default())
+}
+
+/// Compile with an explicit [`JoinAlgo`] for every join instruction — the
+/// machines pass their params' knob through here.
+///
+/// # Errors
+/// Propagates validation errors (unknown relations, type mismatches…).
+pub fn compile_with(db: &Catalog, queries: &[QueryTree], join_algo: JoinAlgo) -> Result<Program> {
     let mut instructions: Vec<Instruction> = Vec::new();
     let mut roots = Vec::new();
     let mut updates = Vec::new();
@@ -402,7 +435,7 @@ pub fn compile(db: &Catalog, queries: &[QueryTree]) -> Result<Program> {
                     (k, vec![operand_of(node.children[0])])
                 }
                 Op::Join { condition } => (
-                    Kernel::JoinPair(*condition),
+                    Kernel::JoinPair(*condition, join_algo),
                     vec![operand_of(node.children[0]), operand_of(node.children[1])],
                 ),
                 Op::CrossProduct => (
@@ -539,7 +572,7 @@ mod tests {
         assert_eq!(prog.instructions.len(), 3); // 2 restricts + 1 join
         assert_eq!(prog.roots, vec![2]);
         let join = &prog.instructions[2];
-        assert!(matches!(join.kernel, Kernel::JoinPair(_)));
+        assert!(matches!(join.kernel, Kernel::JoinPair(_, JoinAlgo::Nested)));
         assert_eq!(join.node, NodeId(4)); // scans 0/2, restricts 1/3, join 4
         assert_eq!(join.operands.len(), 2);
         assert!(join.operands[0].source.is_none()); // fed by restrict
@@ -668,7 +701,11 @@ mod tests {
         }
         let c = JoinCondition::equi(&s, "v", &s, "v").unwrap();
         let joined = s.concat(&s);
-        for kernel in [Kernel::JoinPair(c), Kernel::CrossPair] {
+        for kernel in [
+            Kernel::JoinPair(c, JoinAlgo::Nested),
+            Kernel::JoinPair(c, JoinAlgo::Hash),
+            Kernel::CrossPair,
+        ] {
             assert_eq!(
                 kernel.run_unit_raw(&[page, other], &joined).to_tuples(),
                 kernel.run_unit(&[page, other]),
@@ -714,7 +751,63 @@ mod tests {
             op: CmpOp::Eq,
             right: 0,
         };
-        assert_eq!(Kernel::JoinPair(c).tuple_ops(&[3, 5]), 15);
+        assert_eq!(Kernel::JoinPair(c, JoinAlgo::Nested).tuple_ops(&[3, 5]), 15);
+        // Hash equi-join: build (5 inserts) + probe (3 lookups), not 3×5.
+        assert_eq!(Kernel::JoinPair(c, JoinAlgo::Hash).tuple_ops(&[3, 5]), 8);
+        // A non-equi θ under Hash degrades to the nested sweep — so does
+        // its cost.
+        let lt = JoinCondition {
+            left: 0,
+            op: CmpOp::Lt,
+            right: 0,
+        };
+        assert_eq!(Kernel::JoinPair(lt, JoinAlgo::Hash).tuple_ops(&[3, 5]), 15);
         assert_eq!(Kernel::UnionFinal.tuple_ops(&[3, 5]), 8);
+    }
+
+    #[test]
+    fn compile_with_sets_join_algo_on_every_join() {
+        let db = db();
+        let q = parse_query(
+            &db,
+            "(join (join (scan a) (scan b) (= k k)) (scan c) (= k k))",
+        )
+        .unwrap();
+        let prog = compile_with(&db, std::slice::from_ref(&q), JoinAlgo::Hash).unwrap();
+        let algos: Vec<JoinAlgo> = prog
+            .instructions
+            .iter()
+            .filter_map(|i| match i.kernel {
+                Kernel::JoinPair(_, algo) => Some(algo),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(algos, vec![JoinAlgo::Hash, JoinAlgo::Hash]);
+        // The plain entry point keeps the paper's default.
+        let prog = compile(&db, &[q]).unwrap();
+        assert!(prog
+            .instructions
+            .iter()
+            .all(|i| !matches!(i.kernel, Kernel::JoinPair(_, JoinAlgo::Hash))));
+    }
+
+    #[test]
+    fn hash_join_pair_falls_back_on_non_equi() {
+        let db = db();
+        let a = db.get("a").unwrap();
+        let s = a.schema().clone();
+        let page = &a.pages()[0];
+        let other = &a.pages()[1];
+        let joined = s.concat(&s);
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Ne, CmpOp::Gt, CmpOp::Ge] {
+            let c = JoinCondition::new(&s, "k", op, &s, "k").unwrap();
+            let nested = Kernel::JoinPair(c, JoinAlgo::Nested)
+                .run_unit_raw(&[page, other], &joined)
+                .to_tuples();
+            let hashed = Kernel::JoinPair(c, JoinAlgo::Hash)
+                .run_unit_raw(&[page, other], &joined)
+                .to_tuples();
+            assert_eq!(hashed, nested, "op {op} must degrade to nested loops");
+        }
     }
 }

@@ -1,7 +1,59 @@
 //! Machine configuration and the cost model.
 
+use std::fmt;
+use std::str::FromStr;
+
 use df_sim::Duration;
 use df_storage::{CacheParams, DiskParams};
+
+/// Which algorithm a `JoinPair` kernel runs on each page pair.
+///
+/// The paper (§2.1) commits to nested loops because every page of the outer
+/// joins the inner independently — but that independence is a property of
+/// the *unit decomposition*, not of the per-unit algorithm. `Hash` keeps
+/// the page-pair units (and so the §3.2 firing rule and §4.2 broadcast
+/// protocol) and replaces the inner scan of each unit with a raw-byte
+/// key-index probe. Non-equi θs degrade to nested loops silently, so the
+/// knob is always safe to turn on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JoinAlgo {
+    /// §2.1 nested loops: every (outer tuple, inner tuple) pair compared.
+    #[default]
+    Nested,
+    /// Hash-accelerated equi-join: index the inner page's raw key bytes
+    /// once, probe with each outer tuple (`df_query::ops::hash_join_pages_raw`).
+    Hash,
+}
+
+impl JoinAlgo {
+    /// Both algorithms, for sweeps.
+    pub const ALL: [JoinAlgo; 2] = [JoinAlgo::Nested, JoinAlgo::Hash];
+}
+
+impl fmt::Display for JoinAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinAlgo::Nested => "nested",
+            JoinAlgo::Hash => "hash",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl FromStr for JoinAlgo {
+    type Err = String;
+
+    /// Parse the [`fmt::Display`] form back (round-trip guaranteed).
+    fn from_str(s: &str) -> Result<JoinAlgo, String> {
+        match s {
+            "nested" => Ok(JoinAlgo::Nested),
+            "hash" => Ok(JoinAlgo::Hash),
+            other => Err(format!(
+                "unknown join algorithm `{other}` (expected one of: nested, hash)"
+            )),
+        }
+    }
+}
 
 /// Per-operation timing constants — the "speed" of an instruction processor
 /// and the interconnection networks.
@@ -94,6 +146,11 @@ pub struct MachineParams {
     /// which predates the broadcast design. Tuple-level granularity never
     /// broadcasts — §3.3 charges every tuple pair its own packet.
     pub broadcast_join: bool,
+    /// Join algorithm for `JoinPair` kernels. `Nested` (the default) is the
+    /// paper's choice; `Hash` probes a per-page raw-byte key index on
+    /// equi-joins, cutting per-unit work from O(n·m) to O(n + m) without
+    /// changing the page-granularity unit decomposition or the results.
+    pub join_algo: JoinAlgo,
     /// Processor/network speeds.
     pub cost: CostModel,
     /// Disk cache configuration.
@@ -112,6 +169,7 @@ impl Default for MachineParams {
             max_inner_batch: 8,
             dedup_buckets: 1,
             broadcast_join: true,
+            join_algo: JoinAlgo::default(),
             cost: CostModel::default(),
             cache: CacheParams {
                 frames: 1024, // 1024 × ~1 KB pages ≈ 1 MB cache vs 5.5 MB DB
@@ -203,5 +261,17 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_rejected() {
         MachineParams::with_processors(0).validate();
+    }
+
+    #[test]
+    fn join_algo_display_from_str_round_trips() {
+        for algo in JoinAlgo::ALL {
+            let parsed: JoinAlgo = algo.to_string().parse().unwrap();
+            assert_eq!(parsed, algo);
+        }
+        assert_eq!("hash".parse::<JoinAlgo>().unwrap(), JoinAlgo::Hash);
+        assert!("grace".parse::<JoinAlgo>().is_err());
+        assert_eq!(JoinAlgo::default(), JoinAlgo::Nested);
+        assert_eq!(MachineParams::default().join_algo, JoinAlgo::Nested);
     }
 }

@@ -15,32 +15,67 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Instant;
 
-use df_core::{LockRequest, LockTable, StrategyPicker, WorkCandidate, WorkPicker};
+use df_core::{JoinAlgo, LockRequest, LockTable, StrategyPicker, WorkCandidate, WorkPicker};
 use df_query::ops::{
-    cross_pages_raw, dedup_pages_raw, difference_pages_raw, join_pages_raw, project_page_raw,
-    restrict_page_raw, union_pages_raw,
+    cross_pages_raw, dedup_pages_raw, difference_pages_raw, hash_join_applicable, hash_join_probe,
+    join_pages_raw, project_page_raw, restrict_page_raw, union_pages_raw,
 };
 use df_query::{Op, QueryTree};
-use df_relalg::{Catalog, Page, Relation, Result, Schema, TupleBuf};
+use df_relalg::{Catalog, Page, PageKeyIndex, Relation, Result, Schema, TupleBuf};
 
 use crate::metrics::{HostMetrics, QueryStats, WorkerStats};
 use crate::params::HostParams;
 use crate::plan::{Firing, QueryPlan};
+
+/// One page in a pair-sweep cell's operand page table, bundled with its
+/// lazily built raw-byte key index (the hash-accelerated equi-join path).
+///
+/// The index is per *cell*, not per base page: the same `Arc<Page>` of a
+/// base relation can feed several join cells keyed on different
+/// attributes, so each cell's table wraps the page in its own
+/// `OperandPage`. The first worker whose probe needs the index builds it
+/// (`OnceLock`); every later pair unit touching this page — on any worker
+/// — reuses it through the shared `Arc`.
+#[derive(Debug)]
+struct OperandPage {
+    page: Arc<Page>,
+    index: OnceLock<PageKeyIndex>,
+}
+
+impl OperandPage {
+    fn new(page: Arc<Page>) -> OperandPage {
+        OperandPage {
+            page,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The page's key index over attribute `key`, built on first use.
+    fn index_for(&self, key: usize) -> &PageKeyIndex {
+        let idx = self
+            .index
+            .get_or_init(|| PageKeyIndex::build(&self.page, key));
+        // A pair-sweep cell has exactly one join condition, so every probe
+        // of this page asks for the same key attribute.
+        debug_assert_eq!(idx.key(), key, "one cell, one join key");
+        idx
+    }
+}
 
 /// The operand payload of one work unit.
 #[derive(Debug)]
 enum WorkKind {
     /// One operand page (restrict, non-dedup project).
     Page(Arc<Page>),
-    /// A nested-loops sweep: the newly arrived page against every page of
-    /// the opposite operand received so far (join, cross product).
+    /// A pair sweep: the newly arrived page against every page of the
+    /// opposite operand received so far (join, cross product).
     Sweep {
-        new_page: Arc<Page>,
-        opposite: Vec<Arc<Page>>,
+        new_page: Arc<OperandPage>,
+        opposite: Vec<Arc<OperandPage>>,
         new_is_outer: bool,
     },
     /// Complete operands of a blocking operator (union, difference,
@@ -60,6 +95,17 @@ struct WorkUnit {
     kind: WorkKind,
 }
 
+/// How a pair-sweep unit was served, for the probe/sweep metrics split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitClass {
+    /// Every page pair of the unit went through the hash-index probe.
+    Probe,
+    /// Nested-loops or cross-product sweep (incl. θ-join fallback).
+    Sweep,
+    /// Not a pair unit (restrict, project, union, …).
+    Other,
+}
+
 /// What a worker sends back when a unit finishes.
 #[derive(Debug)]
 struct Completion {
@@ -70,6 +116,7 @@ struct Completion {
     pages_in: usize,
     bytes_in: u64,
     bytes_out: u64,
+    class: UnitClass,
 }
 
 /// Output of [`run_host_queries`].
@@ -102,7 +149,7 @@ pub fn run_host_queries(
     assert!(params.workers >= 1, "need at least one worker thread");
     let plans: Vec<Arc<QueryPlan>> = queries
         .iter()
-        .map(|q| QueryPlan::build(db, q, params.page_size).map(Arc::new))
+        .map(|q| QueryPlan::build(db, q, params.page_size, params.join).map(Arc::new))
         .collect::<Result<_>>()?;
 
     let started = Instant::now();
@@ -171,8 +218,10 @@ pub fn run_host_query(
 /// Scheduler-side state of one instruction cell.
 #[derive(Debug, Default)]
 struct CellState {
-    /// Operand page table, one list per port.
-    received: Vec<Vec<Arc<Page>>>,
+    /// Operand page table, one list per port. Pair-sweep cells read the
+    /// cached per-page key index off these entries; other firings only
+    /// use the wrapped page.
+    received: Vec<Vec<Arc<OperandPage>>>,
     /// Which operand streams are complete.
     port_done: Vec<bool>,
     /// Work units created but not yet dispatched.
@@ -354,20 +403,25 @@ impl<'a> Scheduler<'a> {
             Firing::PairSweep => {
                 // Pair each new page with every opposite page received so
                 // far; later opposite arrivals will pick this page up, so
-                // each page pair is swept exactly once.
+                // each page pair is swept exactly once. The `OperandPage`
+                // wrapper gives each page a per-cell key-index slot shared
+                // by every pair unit that touches it.
                 for p in pages {
+                    let new_page = Arc::new(OperandPage::new(p));
                     let opposite = cs.received[1 - port].clone();
                     if !opposite.is_empty() {
                         cs.pending.push_back(WorkKind::Sweep {
-                            new_page: Arc::clone(&p),
+                            new_page: Arc::clone(&new_page),
                             opposite,
                             new_is_outer: port == 0,
                         });
                     }
-                    cs.received[port].push(p);
+                    cs.received[port].push(new_page);
                 }
             }
-            Firing::Complete => cs.received[port].extend(pages),
+            Firing::Complete => {
+                cs.received[port].extend(pages.into_iter().map(|p| Arc::new(OperandPage::new(p))))
+            }
         }
     }
 
@@ -399,9 +453,16 @@ impl<'a> Scheduler<'a> {
             return;
         }
         cs.fired_blocking = true;
-        let left = std::mem::take(&mut cs.received[0]);
+        // Blocking kernels take plain pages; unwrap the operand wrappers
+        // (their index slots are never populated for non-join cells).
+        let unwrap = |ops: Vec<Arc<OperandPage>>| {
+            ops.into_iter()
+                .map(|op| Arc::clone(&op.page))
+                .collect::<Vec<_>>()
+        };
+        let left = unwrap(std::mem::take(&mut cs.received[0]));
         let right = if spec.arity > 1 {
-            std::mem::take(&mut cs.received[1])
+            unwrap(std::mem::take(&mut cs.received[1]))
         } else {
             Vec::new()
         };
@@ -508,12 +569,18 @@ impl<'a> Scheduler<'a> {
             pages_in,
             bytes_in,
             bytes_out,
+            class,
         } = completion;
         self.idle.push(worker);
         self.dispatched -= 1;
         let state = self.active[q].as_mut().expect("query is active");
         state.cells[cell].in_flight -= 1;
         state.stats.units_fired += 1;
+        match class {
+            UnitClass::Probe => state.stats.probe_units += 1,
+            UnitClass::Sweep => state.stats.sweep_units += 1,
+            UnitClass::Other => {}
+        }
         state.stats.pages_moved += pages_in + pages.len();
         state.stats.bytes_moved += bytes_in + bytes_out;
         self.route_output(q, cell, pages)?;
@@ -598,7 +665,7 @@ fn worker_loop(
         }
         let t0 = Instant::now();
         first_recv.get_or_insert(t0);
-        let (pages, pages_in, bytes_in) = execute_unit(&unit);
+        let (pages, pages_in, bytes_in, class) = execute_unit(&unit);
         let bytes_out: u64 = pages.iter().map(|p| p.wire_bytes() as u64).sum();
         stats.units += 1;
         stats.bytes_in += bytes_in;
@@ -612,6 +679,7 @@ fn worker_loop(
             pages_in,
             bytes_in,
             bytes_out,
+            class,
         });
         if sent.is_err() {
             // Scheduler gone (error path): stop quietly.
@@ -624,8 +692,8 @@ fn worker_loop(
 }
 
 /// Run the kernel for one work unit. Returns (output pages, operand page
-/// count, operand bytes).
-fn execute_unit(unit: &WorkUnit) -> (Vec<Arc<Page>>, usize, u64) {
+/// count, operand bytes, unit class).
+fn execute_unit(unit: &WorkUnit) -> (Vec<Arc<Page>>, usize, u64, UnitClass) {
     let spec = &unit.plan.cells[unit.cell];
     let mut pager = OutputPager::new(spec.out_schema.clone(), spec.out_page_size);
     let count = |pages: &[Arc<Page>]| {
@@ -634,6 +702,16 @@ fn execute_unit(unit: &WorkUnit) -> (Vec<Arc<Page>>, usize, u64) {
             pages.iter().map(|p| p.wire_bytes() as u64).sum::<u64>(),
         )
     };
+    let count_ops = |pages: &[Arc<OperandPage>]| {
+        (
+            pages.len(),
+            pages
+                .iter()
+                .map(|p| p.page.wire_bytes() as u64)
+                .sum::<u64>(),
+        )
+    };
+    let mut class = UnitClass::Other;
 
     let (pages_in, bytes_in) = match (&spec.op, &unit.kind) {
         (Op::Restrict { predicate }, WorkKind::Page(page)) => {
@@ -653,21 +731,50 @@ fn execute_unit(unit: &WorkUnit) -> (Vec<Arc<Page>>, usize, u64) {
                 new_is_outer,
             },
         ) => {
+            // The hash path applies per cell, not per pair: both operands'
+            // schemas are fixed, so applicability is uniform across the
+            // unit's pairs. The inner page is indexed on the condition's
+            // right attribute (the inner side is always port 1); probing
+            // outer slots in page order reproduces the nested-loops output
+            // byte for byte.
+            let applicable = unit.plan.join == JoinAlgo::Hash && {
+                let (outer, inner) = if *new_is_outer {
+                    (&new_page.page, &opposite[0].page)
+                } else {
+                    (&opposite[0].page, &new_page.page)
+                };
+                hash_join_applicable(outer.schema(), inner.schema(), condition)
+            };
+            class = if applicable {
+                UnitClass::Probe
+            } else {
+                UnitClass::Sweep
+            };
             for opp in opposite {
                 let (outer, inner) = if *new_is_outer {
                     (new_page.as_ref(), opp.as_ref())
                 } else {
                     (opp.as_ref(), new_page.as_ref())
                 };
-                pager.absorb(&mut join_pages_raw(
-                    outer,
-                    inner,
-                    condition,
-                    &spec.out_schema,
-                ));
+                if applicable {
+                    pager.absorb(&mut hash_join_probe(
+                        &outer.page,
+                        &inner.page,
+                        inner.index_for(condition.right),
+                        condition,
+                        &spec.out_schema,
+                    ));
+                } else {
+                    pager.absorb(&mut join_pages_raw(
+                        &outer.page,
+                        &inner.page,
+                        condition,
+                        &spec.out_schema,
+                    ));
+                }
             }
-            let (n, b) = count(opposite);
-            (n + 1, b + new_page.wire_bytes() as u64)
+            let (n, b) = count_ops(opposite);
+            (n + 1, b + new_page.page.wire_bytes() as u64)
         }
         (
             Op::CrossProduct,
@@ -677,16 +784,17 @@ fn execute_unit(unit: &WorkUnit) -> (Vec<Arc<Page>>, usize, u64) {
                 new_is_outer,
             },
         ) => {
+            class = UnitClass::Sweep;
             for opp in opposite {
                 let (outer, inner) = if *new_is_outer {
-                    (new_page.as_ref(), opp.as_ref())
+                    (&new_page.page, &opp.page)
                 } else {
-                    (opp.as_ref(), new_page.as_ref())
+                    (&opp.page, &new_page.page)
                 };
                 pager.absorb(&mut cross_pages_raw(outer, inner, &spec.out_schema));
             }
-            let (n, b) = count(opposite);
-            (n + 1, b + new_page.wire_bytes() as u64)
+            let (n, b) = count_ops(opposite);
+            (n + 1, b + new_page.page.wire_bytes() as u64)
         }
         (Op::Union, WorkKind::Complete { left, right }) => {
             let l: Vec<&Page> = left.iter().map(Arc::as_ref).collect();
@@ -721,5 +829,5 @@ fn execute_unit(unit: &WorkUnit) -> (Vec<Arc<Page>>, usize, u64) {
             op.name()
         ),
     };
-    (pager.finish(), pages_in, bytes_in)
+    (pager.finish(), pages_in, bytes_in, class)
 }

@@ -34,6 +34,13 @@ impl WorkerStats {
 pub struct QueryStats {
     /// Work units fired across all of the query's instruction cells.
     pub units_fired: usize,
+    /// Pair-sweep units whose every page pair went through the hash-index
+    /// probe path (`JoinAlgo::Hash` on an applicable equi-join).
+    pub probe_units: usize,
+    /// Pair-sweep units that ran a nested-loops or cross-product sweep
+    /// (the nested algorithm, a non-equi θ-join fallback, or a cross
+    /// product). `probe_units + sweep_units` is the pair-unit total.
+    pub sweep_units: usize,
     /// Pages that crossed the distribution network for this query
     /// (operand pages dispatched to workers plus result pages returned).
     pub pages_moved: usize,

@@ -1,6 +1,6 @@
 //! Host-executor configuration.
 
-use df_core::AllocationStrategy;
+use df_core::{AllocationStrategy, JoinAlgo};
 
 /// Configuration of the real-threads executor.
 #[derive(Debug, Clone)]
@@ -14,6 +14,14 @@ pub struct HostParams {
     /// Which instruction's ready work a freed worker picks up — the same
     /// four policies the simulated machines use.
     pub strategy: AllocationStrategy,
+    /// Join algorithm for pair-sweep cells. Under [`JoinAlgo::Hash`] each
+    /// operand page carries a lazily built raw-byte key index
+    /// ([`df_relalg::PageKeyIndex`]), so an equi-join pair unit probes in
+    /// O(outer + inner) instead of sweeping outer × inner. The index is
+    /// built once per page by whichever worker first needs it and shared
+    /// via `Arc` thereafter. Non-equi θ-joins silently fall back to the
+    /// nested-loops sweep; results are multiset-identical either way.
+    pub join: JoinAlgo,
     /// Capacity of the result channel (the "arbitration network" carrying
     /// completions back to the scheduler). Workers block producing past it,
     /// which bounds memory for pathological fan-outs.
@@ -34,6 +42,7 @@ impl Default for HostParams {
                 .unwrap_or(4),
             page_size: 1016,
             strategy: AllocationStrategy::default(),
+            join: JoinAlgo::default(),
             completion_capacity: 256,
             deterministic: false,
         }
@@ -60,6 +69,7 @@ mod tests {
         assert!(p.workers >= 1);
         assert!(p.page_size >= 116); // header + one 100-byte tuple
         assert!(p.completion_capacity >= 1);
+        assert_eq!(p.join, JoinAlgo::Nested);
         assert_eq!(HostParams::with_workers(3).workers, 3);
     }
 }

@@ -5,6 +5,7 @@
 //! parent it feeds), and its depth from the root (the `RootFirst` policy's
 //! input).
 
+use df_core::JoinAlgo;
 use df_query::{validate, Op, QueryTree};
 use df_relalg::{Catalog, Error, Result, Schema, PAGE_HEADER_BYTES};
 
@@ -51,6 +52,8 @@ pub(crate) struct CellSpec {
 pub(crate) struct QueryPlan {
     pub cells: Vec<CellSpec>,
     pub root: usize,
+    /// Join algorithm every pair-sweep cell of this plan runs with.
+    pub join: JoinAlgo,
 }
 
 impl QueryPlan {
@@ -60,7 +63,12 @@ impl QueryPlan {
     /// Fails on validation errors, and on update operators: the host
     /// executor runs read-only queries (updates stay on the oracle and the
     /// simulated machines, which own catalog mutation).
-    pub fn build(db: &Catalog, tree: &QueryTree, page_size: usize) -> Result<QueryPlan> {
+    pub fn build(
+        db: &Catalog,
+        tree: &QueryTree,
+        page_size: usize,
+        join: JoinAlgo,
+    ) -> Result<QueryPlan> {
         let schemas = validate(db, tree)?;
         let parents = tree.parents();
 
@@ -121,6 +129,7 @@ impl QueryPlan {
         Ok(QueryPlan {
             cells,
             root: tree.root().0,
+            join,
         })
     }
 }
@@ -163,7 +172,7 @@ mod tests {
             .equi_join(b.scan("emp").unwrap(), "dept", "dept")
             .unwrap()
             .finish();
-        let plan = QueryPlan::build(&db, &q, 1024).unwrap();
+        let plan = QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested).unwrap();
         assert_eq!(plan.cells.len(), 4);
         assert_eq!(plan.root, 3);
         assert_eq!(plan.cells[plan.root].depth, 0);
@@ -187,7 +196,7 @@ mod tests {
             .project(&["dept"], true)
             .unwrap()
             .finish();
-        let plan = QueryPlan::build(&db, &q, 1024).unwrap();
+        let plan = QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested).unwrap();
         assert_eq!(plan.cells[1].firing, Firing::Complete);
         let q = TreeBuilder::new(&db)
             .scan("emp")
@@ -195,7 +204,7 @@ mod tests {
             .project(&["dept"], false)
             .unwrap()
             .finish();
-        let plan = QueryPlan::build(&db, &q, 1024).unwrap();
+        let plan = QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested).unwrap();
         assert_eq!(plan.cells[1].firing, Firing::PerPage);
     }
 
@@ -203,7 +212,7 @@ mod tests {
     fn tiny_page_size_grows_to_fit_one_tuple() {
         let db = db();
         let q = TreeBuilder::new(&db).scan("emp").unwrap().finish();
-        let plan = QueryPlan::build(&db, &q, 8).unwrap();
+        let plan = QueryPlan::build(&db, &q, 8, JoinAlgo::Nested).unwrap();
         assert!(plan.cells[0].out_page_size >= PAGE_HEADER_BYTES + 16);
     }
 
@@ -213,7 +222,7 @@ mod tests {
         let q = TreeBuilder::new(&db)
             .delete_where("emp", "id", CmpOp::Eq, Value::Int(0))
             .unwrap();
-        let err = QueryPlan::build(&db, &q, 1024).unwrap_err();
+        let err = QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested).unwrap_err();
         assert!(err.to_string().contains("read-only"));
     }
 }

@@ -132,3 +132,119 @@ proptest! {
         prop_assert_eq!(metrics.per_worker.len(), workers);
     }
 }
+
+/// Hash-accelerated equi-joins: every benchmark query's result is
+/// byte-identical (deterministic mode) to the nested-loops run, and the
+/// equi-join queries actually take the probe path.
+#[test]
+fn hash_join_matches_nested_byte_for_byte_on_all_ten_queries() {
+    use df_core::JoinAlgo;
+    let (db, queries, _) = setup(0.01);
+    let run = |join: JoinAlgo| {
+        let params = HostParams {
+            deterministic: true,
+            join,
+            ..HostParams::with_workers(4)
+        };
+        run_host_queries(&db, &queries, &params).expect("host executes")
+    };
+    let nested = run(JoinAlgo::Nested);
+    let hashed = run(JoinAlgo::Hash);
+    let images = |out: &df_host::HostRunOutput| -> Vec<Vec<Vec<u8>>> {
+        out.results
+            .iter()
+            .map(|r| r.pages().iter().map(|p| p.raw_data().to_vec()).collect())
+            .collect()
+    };
+    assert_eq!(
+        images(&nested),
+        images(&hashed),
+        "hash join changed some query's result bytes"
+    );
+    let probes: usize = hashed.metrics.per_query.iter().map(|q| q.probe_units).sum();
+    let nested_probes: usize = nested.metrics.per_query.iter().map(|q| q.probe_units).sum();
+    assert!(probes > 0, "no benchmark equi-join took the probe path");
+    assert_eq!(nested_probes, 0, "nested algorithm must never probe");
+    for q in &hashed.metrics.per_query {
+        assert!(
+            q.probe_units + q.sweep_units <= q.units_fired,
+            "pair units exceed total units"
+        );
+    }
+}
+
+/// A non-equi θ-join under `JoinAlgo::Hash` silently degrades to the
+/// nested-loops sweep — right answer, zero probe units.
+#[test]
+fn non_equi_theta_join_under_hash_falls_back_to_sweep() {
+    use df_core::JoinAlgo;
+    use df_query::TreeBuilder;
+    use df_relalg::{CmpOp, DataType, Relation, Schema, Tuple, Value};
+
+    let mut db = Catalog::new();
+    let s = Schema::build()
+        .attr("k", DataType::Int)
+        .attr("v", DataType::Int)
+        .finish()
+        .unwrap();
+    for (name, n) in [("a", 30i64), ("b", 20i64)] {
+        db.insert(
+            Relation::from_tuples(
+                name,
+                s.clone(),
+                16 + 16 * 4,
+                (0..n).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 5)])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    let b = TreeBuilder::new(&db);
+    for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Ne] {
+        let q = b
+            .scan("a")
+            .unwrap()
+            .restrict_where("k", CmpOp::Lt, Value::Int(8))
+            .unwrap()
+            .join_on(b.scan("b").unwrap(), "v", op, "k")
+            .unwrap()
+            .finish();
+        let want = execute_readonly(&db, &q, &ExecParams::default()).expect("oracle");
+        let params = HostParams {
+            join: JoinAlgo::Hash,
+            ..HostParams::with_workers(2)
+        };
+        let (got, metrics) = run_host_query(&db, &q, &params).expect("host");
+        assert!(
+            got.same_contents(&want),
+            "θ-join {op:?} diverged under hash"
+        );
+        let stats = &metrics.per_query[0];
+        assert_eq!(stats.probe_units, 0, "θ-join {op:?} must not probe");
+        assert!(stats.sweep_units > 0, "θ-join {op:?} must sweep");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Hash and nested runs of random join-chain trees are byte-identical
+    /// in deterministic mode.
+    #[test]
+    fn random_chain_queries_hash_equals_nested(seed in 0u64..1_000, workers in 1usize..5) {
+        use df_core::JoinAlgo;
+        let (db, _, cutoff) = setup(0.01);
+        let mut rng = SimRng::new(seed);
+        let query = random_query(&db, 5, 3, cutoff, &mut rng).expect("query builds");
+        let run = |join: JoinAlgo| -> Vec<Vec<u8>> {
+            let params = HostParams {
+                deterministic: true,
+                join,
+                ..HostParams::with_workers(workers)
+            };
+            let (rel, _) = run_host_query(&db, &query, &params).expect("host");
+            rel.pages().iter().map(|p| p.raw_data().to_vec()).collect()
+        };
+        prop_assert_eq!(run(JoinAlgo::Nested), run(JoinAlgo::Hash), "seed {} diverged", seed);
+    }
+}

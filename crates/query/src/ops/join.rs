@@ -11,7 +11,10 @@
 
 use std::cmp::Ordering;
 
-use df_relalg::{CmpOp, Error, JoinCondition, Page, Relation, Result, Schema, Tuple, TupleBuf};
+use df_relalg::{
+    CmpOp, Error, JoinCondition, Page, PageKeyIndex, Relation, Result, Schema, Tuple, TupleBuf,
+    TupleRef,
+};
 
 /// Join one outer page against one inner page: the IP work unit for a join
 /// instruction packet (Fig 4.3 carries exactly these two data pages).
@@ -54,6 +57,102 @@ pub fn join_pages_raw(
         }
     }
     out
+}
+
+/// True when `condition` can run on the hash path: an equi-join whose key
+/// byte widths match on both sides, so raw key images are hashable and
+/// comparable with `memcmp` — the same rule `JoinCondition::matches_ref`
+/// uses for its fast path. Mixed-width string keys (e.g. `Str(4)` vs
+/// `Str(8)`) compare by value, not by image, and stay on nested loops.
+pub fn hash_join_applicable(outer: &Schema, inner: &Schema, condition: &JoinCondition) -> bool {
+    condition.op == CmpOp::Eq
+        && outer.attr_range(condition.left).len() == inner.attr_range(condition.right).len()
+}
+
+/// Hash-accelerated page×page equi-join: builds a [`PageKeyIndex`] over the
+/// inner page's raw key bytes and probes it with each outer tuple, emitting
+/// O(n + m + matches) work instead of the nested-loops O(n·m) sweep.
+///
+/// Output is **byte-identical** to [`join_pages_raw`]: outer tuples probe in
+/// page order and each probe's slot list is in ascending inner-slot order,
+/// exactly the nested iteration order. Conditions the hash path cannot run
+/// ([`hash_join_applicable`] is false: non-equi θs, mixed-width keys)
+/// silently fall back to [`join_pages_raw`].
+pub fn hash_join_pages_raw(
+    outer: &Page,
+    inner: &Page,
+    condition: &JoinCondition,
+    out_schema: &Schema,
+) -> TupleBuf {
+    if !hash_join_applicable(outer.schema(), inner.schema(), condition) {
+        return join_pages_raw(outer, inner, condition, out_schema);
+    }
+    let index = PageKeyIndex::build(inner, condition.right);
+    hash_join_probe(outer, inner, &index, condition, out_schema)
+}
+
+/// The probe half of [`hash_join_pages_raw`], taking a prebuilt inner-page
+/// index so executors that see the same inner page many times (one sweep
+/// per outer page) amortize the build — the df-host cell page tables cache
+/// one index per (cell, page).
+///
+/// Callers must have checked [`hash_join_applicable`]; `index` must be
+/// built over `inner` on `condition.right`.
+///
+/// # Panics
+/// Panics (debug) if `index` was built on a different attribute.
+pub fn hash_join_probe(
+    outer: &Page,
+    inner: &Page,
+    index: &PageKeyIndex,
+    condition: &JoinCondition,
+    out_schema: &Schema,
+) -> TupleBuf {
+    debug_assert_eq!(index.key(), condition.right, "index/condition mismatch");
+    let inner_refs: Vec<TupleRef<'_>> = inner.tuple_refs().collect();
+    let mut out = TupleBuf::new(out_schema.clone());
+    for o in outer.tuple_refs() {
+        for &slot in index.probe(o.attr_bytes(condition.left)) {
+            out.push_concat(o.raw(), inner_refs[slot as usize].raw());
+        }
+    }
+    out
+}
+
+/// Whole-relation hash join: one [`PageKeyIndex`] per inner page, built
+/// once and reused across every outer page. Output order is identical to
+/// [`nested_loops_join_relations`] (outer page → inner page → slot pairs).
+///
+/// # Errors
+/// Like [`merge_join_relations`], refuses conditions outside its domain
+/// (non-equi θs, mixed-width keys) so callers choose nested loops; the
+/// page-level kernel [`hash_join_pages_raw`] falls back silently instead.
+pub fn hash_join_relations(
+    outer: &Relation,
+    inner: &Relation,
+    condition: &JoinCondition,
+) -> Result<Vec<Tuple>> {
+    if !hash_join_applicable(outer.schema(), inner.schema(), condition) {
+        return Err(Error::TypeMismatch {
+            detail: format!(
+                "hash join requires an equi-join over equal-width keys, got `{}`",
+                condition.op
+            ),
+        });
+    }
+    let indexes: Vec<PageKeyIndex> = inner
+        .pages()
+        .iter()
+        .map(|p| PageKeyIndex::build(p, condition.right))
+        .collect();
+    let out_schema = outer.schema().concat(inner.schema());
+    let mut out = Vec::new();
+    for op in outer.pages() {
+        for (ip, index) in inner.pages().iter().zip(&indexes) {
+            out.extend(hash_join_probe(op, ip, index, condition, &out_schema).to_tuples());
+        }
+    }
+    Ok(out)
 }
 
 /// Whole-relation nested-loops join (the uniprocessor form of the paper's
@@ -194,6 +293,102 @@ mod tests {
                 "op {op}"
             );
         }
+    }
+
+    #[test]
+    fn hash_join_pages_byte_identical_with_duplicates() {
+        // Duplicate keys on both sides: the probe must emit the full cross
+        // product of each matching group in nested-loops order.
+        let a = kv_page(&[(2, 10), (1, 11), (2, 12), (2, 13)]);
+        let b = kv_page(&[(2, 200), (1, 201), (2, 202)]);
+        let out_schema = kv_schema().concat(&kv_schema());
+        let c = cond(&kv_schema(), &kv_schema());
+        let nested = join_pages_raw(&a, &b, &c, &out_schema);
+        let hashed = hash_join_pages_raw(&a, &b, &c, &out_schema);
+        assert_eq!(hashed.to_tuples(), nested.to_tuples());
+        assert_eq!(hashed.to_tuples().len(), 3 * 2 + 1);
+        // Byte identity, not just tuple equality.
+        let bytes = |buf: &TupleBuf| buf.refs().map(|t| t.raw().to_vec()).collect::<Vec<_>>();
+        assert_eq!(bytes(&hashed), bytes(&nested));
+    }
+
+    #[test]
+    fn hash_join_pages_falls_back_on_non_equi() {
+        let a = kv_page(&[(1, 10), (2, 20), (3, 30)]);
+        let b = kv_page(&[(2, 200), (3, 300), (2, 201)]);
+        let out_schema = kv_schema().concat(&kv_schema());
+        for op in [CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let c = JoinCondition::new(&kv_schema(), "k", op, &kv_schema(), "k").unwrap();
+            assert!(!hash_join_applicable(&kv_schema(), &kv_schema(), &c));
+            assert_eq!(
+                hash_join_pages_raw(&a, &b, &c, &out_schema).to_tuples(),
+                join_pages_raw(&a, &b, &c, &out_schema).to_tuples(),
+                "op {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_join_falls_back_on_mixed_width_string_keys() {
+        // Str(4) vs Str(8) passes the JoinCondition type check (both
+        // strings) but the key images differ in width, so the raw-byte
+        // index cannot see equality — the hash path must defer to the
+        // typed comparison of nested loops.
+        let s4 = Schema::build()
+            .attr("s", df_relalg::DataType::Str(4))
+            .finish()
+            .unwrap();
+        let s8 = Schema::build()
+            .attr("s", df_relalg::DataType::Str(8))
+            .finish()
+            .unwrap();
+        let mk = |schema: &Schema, vals: &[&str]| {
+            let mut p = Page::new(schema.clone(), 1024).unwrap();
+            for v in vals {
+                p.push(&Tuple::new(vec![Value::str(v)])).unwrap();
+            }
+            p
+        };
+        let a = mk(&s4, &["ab", "cd"]);
+        let b = mk(&s8, &["cd", "zz", "ab"]);
+        let c = JoinCondition::equi(&s4, "s", &s8, "s").unwrap();
+        assert!(!hash_join_applicable(&s4, &s8, &c));
+        let out_schema = s4.concat(&s8);
+        let hashed = hash_join_pages_raw(&a, &b, &c, &out_schema);
+        assert_eq!(
+            hashed.to_tuples(),
+            join_pages_raw(&a, &b, &c, &out_schema).to_tuples()
+        );
+        assert_eq!(hashed.to_tuples().len(), 2); // "ab" and "cd" match
+    }
+
+    #[test]
+    fn hash_join_relations_matches_nested_loops_order() {
+        let outer = rel(&[(1, 1), (2, 2), (2, 3), (4, 4), (7, 7), (2, 8), (4, 9)]);
+        let inner = rel(&[(2, 20), (2, 21), (4, 40), (9, 90), (2, 22)]);
+        let c = cond(outer.schema(), inner.schema());
+        assert_eq!(
+            hash_join_relations(&outer, &inner, &c).unwrap(),
+            nested_loops_join_relations(&outer, &inner, &c),
+            "order-exact, not just multiset-equal"
+        );
+    }
+
+    #[test]
+    fn hash_join_relations_rejects_non_equi() {
+        let outer = rel(&[(1, 1)]);
+        let inner = rel(&[(1, 1)]);
+        let c = JoinCondition::new(outer.schema(), "k", CmpOp::Lt, inner.schema(), "k").unwrap();
+        assert!(hash_join_relations(&outer, &inner, &c).is_err());
+    }
+
+    #[test]
+    fn hash_join_empty_inputs() {
+        let empty = rel(&[]);
+        let full = rel(&[(1, 1)]);
+        let c = cond(empty.schema(), full.schema());
+        assert!(hash_join_relations(&empty, &full, &c).unwrap().is_empty());
+        assert!(hash_join_relations(&full, &empty, &c).unwrap().is_empty());
     }
 
     #[test]

@@ -10,7 +10,10 @@ mod project;
 mod restrict;
 mod set_ops;
 
-pub use join::{join_pages, join_pages_raw, merge_join_relations, nested_loops_join_relations};
+pub use join::{
+    hash_join_applicable, hash_join_pages_raw, hash_join_probe, hash_join_relations, join_pages,
+    join_pages_raw, merge_join_relations, nested_loops_join_relations,
+};
 pub use project::{dedup_tuples, project_page, project_page_raw};
 pub use restrict::{restrict_page, restrict_page_raw};
 pub use set_ops::{

@@ -1,0 +1,154 @@
+//! A per-page hash index over raw key bytes.
+//!
+//! The tuple encoding is canonical — equal values have equal images — so an
+//! equi-join key can be hashed and compared as its raw byte slice without
+//! decoding. [`PageKeyIndex`] maps each distinct key image appearing in a
+//! page to the slots holding it, in slot order, turning a page×page
+//! nested-loops sweep (O(n·m) comparisons) into a per-tuple probe (O(n + m))
+//! with output order preserved.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::page::Page;
+
+/// A multiply-xor hasher for short fixed-width key images. Key bytes come
+/// from the canonical tuple encoding of a single page — a few dozen short
+/// slices, never attacker-chosen in bulk — so DoS resistance (SipHash's
+/// reason to exist) buys nothing here, while per-probe cost is the hash
+/// path's entire inner loop.
+#[derive(Debug, Default)]
+struct RawKeyHasher(u64);
+
+impl Hasher for RawKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let w = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+            self.0 = (self.0.rotate_left(5) ^ w).wrapping_mul(SEED);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rest.len()].copy_from_slice(rest);
+            self.0 = (self.0.rotate_left(5) ^ u64::from_le_bytes(w)).wrapping_mul(SEED);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type RawKeyMap = HashMap<Box<[u8]>, Vec<u32>, BuildHasherDefault<RawKeyHasher>>;
+
+/// A hash index over one page's raw key bytes: distinct key image → the
+/// slots carrying it, in ascending slot order.
+///
+/// Built once per (page, key attribute); the slot lists are
+/// insertion-ordered, so probing outer tuples in page order and emitting
+/// each probe's slot list in order reproduces the nested-loops output
+/// byte-for-byte (both visit inner slots in ascending order per outer
+/// tuple).
+#[derive(Debug, Clone)]
+pub struct PageKeyIndex {
+    key: usize,
+    map: RawKeyMap,
+}
+
+impl PageKeyIndex {
+    /// Index `page` on attribute `key` (an index into the page's schema).
+    ///
+    /// # Panics
+    /// Panics if `key` is out of range for the page's schema.
+    pub fn build(page: &Page, key: usize) -> PageKeyIndex {
+        let mut map =
+            RawKeyMap::with_capacity_and_hasher(page.len(), BuildHasherDefault::default());
+        for (slot, t) in page.tuple_refs().enumerate() {
+            let bytes = t.attr_bytes(key);
+            // get_mut-then-insert instead of the entry API: duplicate keys
+            // (the common case on fk pages) take the hit-path without
+            // allocating an owned key first.
+            if let Some(slots) = map.get_mut(bytes) {
+                slots.push(slot as u32);
+            } else {
+                map.insert(bytes.into(), vec![slot as u32]);
+            }
+        }
+        PageKeyIndex { key, map }
+    }
+
+    /// The indexed attribute.
+    pub fn key(&self) -> usize {
+        self.key
+    }
+
+    /// Slots whose key image equals `key_bytes`, in ascending order; empty
+    /// when the key does not appear in the page.
+    pub fn probe(&self, key_bytes: &[u8]) -> &[u32] {
+        self.map.get(key_bytes).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct key values in the page.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+    use crate::value::{DataType, Value};
+
+    fn enc(v: i64) -> Vec<u8> {
+        let mut out = Vec::new();
+        Value::Int(v).encode(DataType::Int, &mut out).unwrap();
+        out
+    }
+
+    fn page(keys: &[i64]) -> Page {
+        let schema = Schema::build()
+            .attr("k", DataType::Int)
+            .attr("v", DataType::Int)
+            .finish()
+            .unwrap();
+        let mut p = Page::new(schema, 16 + 16 * keys.len().max(1)).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            p.push(&Tuple::new(vec![Value::Int(k), Value::Int(i as i64)]))
+                .unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn probe_returns_slots_in_page_order() {
+        let p = page(&[7, 3, 7, 1, 7]);
+        let idx = PageKeyIndex::build(&p, 0);
+        assert_eq!(idx.key(), 0);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.probe(&enc(7)), &[0, 2, 4]);
+        assert_eq!(idx.probe(&enc(1)), &[3]);
+    }
+
+    #[test]
+    fn probe_misses_are_empty() {
+        let p = page(&[1, 2]);
+        let idx = PageKeyIndex::build(&p, 0);
+        assert!(idx.probe(&enc(99)).is_empty());
+        let empty = PageKeyIndex::build(&page(&[]), 0);
+        assert_eq!(empty.distinct_keys(), 0);
+        assert!(empty.probe(&enc(1)).is_empty());
+    }
+
+    #[test]
+    fn indexes_any_attribute() {
+        let p = page(&[5, 5, 5]);
+        // Attribute 1 (`v`) holds 0, 1, 2 — all distinct.
+        let idx = PageKeyIndex::build(&p, 1);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.probe(&enc(1)), &[1]);
+    }
+}

@@ -191,11 +191,15 @@ impl RingMachine {
                 let (_, opage) = self.ips[ip].outer.expect("checked");
                 let instr = self.ips[ip].instr.expect("working IP has an instruction");
                 let kernel = self.program.instructions[instr].kernel.clone();
-                debug_assert!(matches!(kernel, Kernel::JoinPair(_) | Kernel::CrossPair));
+                debug_assert!(matches!(kernel, Kernel::JoinPair(..) | Kernel::CrossPair));
                 let out_schema = self.program.instructions[instr].output_schema.clone();
                 let results = kernel
                     .run_unit_raw(&[self.store.get(opage), self.store.get(ipage)], &out_schema);
-                let ops = self.store.get(opage).len() * self.store.get(ipage).len();
+                // Kernel-aware service time: a hash-path equi-join charges
+                // n + m (index build + probes), nested loops and cross
+                // products charge the n·m sweep.
+                let ops =
+                    kernel.tuple_ops(&[self.store.get(opage).len(), self.store.get(ipage).len()]);
                 let dur = self.compute_time_for(&[opage, ipage], ops);
                 self.ips[ip].current_inner = Some(idx);
                 self.ips[ip].current_results = Some(results);

@@ -22,7 +22,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use df_core::instr::{compile, InstrId, Program, UpdateSpec};
+use df_core::instr::{compile_with, InstrId, Program, UpdateSpec};
 use df_core::CostModel;
 use df_query::QueryTree;
 use df_relalg::{Catalog, Page, Relation, Result, TupleBuf};
@@ -358,7 +358,7 @@ impl RingMachine {
     /// Propagates validation errors.
     pub fn new(db: &Catalog, queries: &[QueryTree], params: RingParams) -> Result<RingMachine> {
         params.validate();
-        let program = compile(db, queries)?;
+        let program = compile_with(db, queries, params.join_algo)?;
         // Every instruction's output page must hold at least one tuple.
         for instr in &program.instructions {
             Page::new(instr.output_schema.clone(), params.page_size)?;

@@ -1,6 +1,6 @@
 //! Configuration of the ring machine.
 
-use df_core::CostModel;
+use df_core::{CostModel, JoinAlgo};
 use df_sim::Duration;
 use df_storage::{CacheParams, DiskParams};
 
@@ -21,6 +21,12 @@ pub struct RingParams {
     pub hop_latency: Duration,
     /// IP processing speed (defaults to the LSI-11 model of `df-core`).
     pub cost: CostModel,
+    /// Join algorithm for the IPs' page-pair units. `Hash` replaces each
+    /// inner-page scan with a raw-byte key-index probe, shrinking IP
+    /// service time from n·m to n + m tuple operations per pair — the §4.2
+    /// broadcast protocol and IRC bookkeeping are unchanged, so Fig-4.2
+    /// bandwidth curves can be re-derived under both algorithms.
+    pub join_algo: JoinAlgo,
     /// Page size in bytes (header included). Figure 4.2 assumes "16K byte
     /// operands"; the default stays at the §3.3 analysis size of ~1 KB and
     /// the `fig_4_2` bench overrides it.
@@ -59,6 +65,7 @@ impl Default for RingParams {
             outer_ring_bps: 40_000_000.0,
             hop_latency: Duration::from_micros(2),
             cost: CostModel::default(),
+            join_algo: JoinAlgo::default(),
             page_size: 1016,
             ip_memory_pages: 4,
             ic_memory_pages: 64,
