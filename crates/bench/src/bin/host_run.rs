@@ -14,7 +14,17 @@
 //! - `--join A`        join algorithm: `nested` (the paper's nested loops,
 //!   default) or `hash` (per-page raw-byte key indexes)
 //! - `--deterministic` canonicalize results (byte-stable across runs)
-//! - `--verify`        check every result against the sequential oracle
+//! - `--verify`        check every successful result against the oracle
+//!
+//! Fault injection (all deterministic; see `df_host::FaultPlan`):
+//! - `--fault-panic N`        panic the kernel of dispatched unit N
+//! - `--fault-panic-rate P`   panic each unit with probability P (seeded)
+//! - `--fault-seed S`         seed for `--fault-panic-rate` draws
+//! - `--fault-delay-every N`  sleep before every Nth unit's kernel
+//! - `--fault-delay-ms M`     the injected sleep (default 1 ms)
+//! - `--fault-dead-worker I`  worker I dies at start (repeatable)
+
+use std::time::Duration;
 
 use df_bench::setup_with_page_size;
 use df_host::{run_host_queries, HostParams};
@@ -43,15 +53,49 @@ fn main() {
             }
             "--deterministic" => params.deterministic = true,
             "--verify" => verify = true,
+            "--fault-panic" => {
+                params.fault.panic_on_unit = Some(parse(&value("--fault-panic"), "--fault-panic"));
+            }
+            "--fault-panic-rate" => {
+                params.fault.panic_rate = parse(&value("--fault-panic-rate"), "--fault-panic-rate");
+            }
+            "--fault-seed" => params.fault.seed = parse(&value("--fault-seed"), "--fault-seed"),
+            "--fault-delay-every" => {
+                params.fault.delay_every =
+                    Some(parse(&value("--fault-delay-every"), "--fault-delay-every"));
+                if params.fault.delay.is_zero() {
+                    params.fault.delay = Duration::from_millis(1);
+                }
+            }
+            "--fault-delay-ms" => {
+                params.fault.delay =
+                    Duration::from_millis(parse(&value("--fault-delay-ms"), "--fault-delay-ms"));
+            }
+            "--fault-dead-worker" => params
+                .fault
+                .dead_workers
+                .push(parse(&value("--fault-dead-worker"), "--fault-dead-worker")),
             other => die(&format!(
                 "unknown flag `{other}` (see --help in the source)"
             )),
         }
     }
 
+    if params.fault.panic_on_unit.is_some() || params.fault.panic_rate > 0.0 {
+        quiet_worker_panics();
+    }
+
     println!(
-        "host_run: scale {scale}, page size {}, {} workers, {} strategy, {} join",
-        params.page_size, params.workers, params.strategy, params.join
+        "host_run: scale {scale}, page size {}, {} workers, {} strategy, {} join{}",
+        params.page_size,
+        params.workers,
+        params.strategy,
+        params.join,
+        if params.fault.is_active() {
+            " [fault injection active]"
+        } else {
+            ""
+        }
     );
     let s = setup_with_page_size(scale, params.page_size);
     println!(
@@ -61,22 +105,26 @@ fn main() {
         s.db.total_tuples()
     );
 
-    let out = run_host_queries(&s.db, &s.queries, &params).expect("host run");
+    let out = run_host_queries(&s.db, &s.queries, &params)
+        .unwrap_or_else(|e| die(&format!("host run failed: {e}")));
     println!(
         "\n{:>5} {:>10} {:>8} {:>7} {:>7} {:>12} {:>12}",
         "query", "tuples", "units", "probes", "sweeps", "pages moved", "elapsed"
     );
     for (i, q) in out.metrics.per_query.iter().enumerate() {
-        println!(
-            "{:>5} {:>10} {:>8} {:>7} {:>7} {:>12} {:>10.2?}",
-            format!("Q{}", i + 1),
-            q.result_tuples,
-            q.units_fired,
-            q.probe_units,
-            q.sweep_units,
-            q.pages_moved,
-            q.elapsed
-        );
+        match &out.results[i] {
+            Ok(_) => println!(
+                "{:>5} {:>10} {:>8} {:>7} {:>7} {:>12} {:>10.2?}",
+                format!("Q{}", i + 1),
+                q.result_tuples,
+                q.units_fired,
+                q.probe_units,
+                q.sweep_units,
+                q.pages_moved,
+                q.elapsed
+            ),
+            Err(e) => println!("{:>5}     FAILED: {e}", format!("Q{}", i + 1)),
+        }
     }
     println!(
         "\nbatch: {:.2?} wall, {} units, {:.1} MB moved, {:.1}% mean worker utilization",
@@ -87,11 +135,23 @@ fn main() {
     );
     for (i, w) in out.metrics.per_worker.iter().enumerate() {
         println!(
-            "  worker {i:>2}: {:>6} units, busy {:>10.2?} of {:>10.2?} ({:>4.1}%)",
+            "  worker {i:>2}: {:>6} units, busy {:>10.2?} of {:>10.2?} ({:>4.1}%){}",
             w.units,
             w.busy,
             w.wall,
-            w.utilization() * 100.0
+            w.utilization() * 100.0,
+            if w.lost { "  [lost]" } else { "" }
+        );
+    }
+    if params.fault.is_active() {
+        let failed = out.results.iter().filter(|r| r.is_err()).count();
+        let requeued: usize = out.metrics.per_query.iter().map(|q| q.requeued_units).sum();
+        println!(
+            "faults: {} kernel panics contained, {} workers lost, \
+             {requeued} units requeued, {failed}/{} queries failed",
+            out.metrics.total_panics(),
+            out.metrics.workers_lost(),
+            s.queries.len()
         );
     }
 
@@ -100,7 +160,9 @@ fn main() {
             page_size: params.page_size,
             ..ExecParams::default()
         };
+        let mut checked = 0usize;
         for (i, (query, got)) in s.queries.iter().zip(&out.results).enumerate() {
+            let Ok(got) = got else { continue };
             let want = execute_readonly(&s.db, query, &oracle).expect("oracle run");
             assert!(
                 got.same_contents(&want),
@@ -109,12 +171,27 @@ fn main() {
                 got.num_tuples(),
                 want.num_tuples()
             );
+            checked += 1;
         }
         println!(
-            "verify: all {} results match the sequential oracle",
-            s.queries.len()
+            "verify: all {checked} successful results match the sequential oracle ({} failed)",
+            s.queries.len() - checked
         );
     }
+}
+
+/// Injected kernel panics are expected; keep their backtraces out of the
+/// report. Panics on any other thread still print normally.
+fn quiet_worker_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let on_worker = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("df-host-worker"));
+        if !on_worker {
+            default(info);
+        }
+    }));
 }
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {

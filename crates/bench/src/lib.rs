@@ -8,6 +8,7 @@
 //! tables recorded in `EXPERIMENTS.md`.
 
 use df_core::{run_queries, AllocationStrategy, Granularity, JoinAlgo, MachineParams, Metrics};
+use df_host::{run_host_queries, HostParams, HostRunOutput};
 use df_query::QueryTree;
 use df_relalg::Catalog;
 use df_ring::{run_ring_queries, RingMetrics, RingParams};
@@ -76,6 +77,14 @@ pub fn run_core(setup: &BenchSetup, params: &MachineParams, g: Granularity) -> M
     )
     .expect("benchmark batch runs")
     .metrics
+}
+
+/// Run the benchmark batch on the real-threads host executor. Panics if
+/// the *run* fails (bad parameters, stall); per-query faults — possible
+/// when `params.fault` is active — stay in [`HostRunOutput::results`] for
+/// the caller to inspect.
+pub fn run_host(setup: &BenchSetup, params: &HostParams) -> HostRunOutput {
+    run_host_queries(&setup.db, &setup.queries, params).expect("host benchmark runs")
 }
 
 /// Run the benchmark batch on the ring machine.

@@ -11,13 +11,31 @@
 //! [`TupleBuf`] into output pages, and sends them back over a bounded MPSC
 //! channel (the arbitration network). Pages flow cell → parent cell → query
 //! result with `Arc` sharing — never copied.
+//!
+//! # Fault containment
+//!
+//! The paper's §4 case for *distributed* control is that no single
+//! component failure stalls the machine; the executor holds itself to the
+//! same standard. A kernel panic is caught on the worker
+//! (`catch_unwind`), reported as a [`Completion::Failed`], and fails only
+//! the owning query — the worker thread and every other in-flight query
+//! survive. A worker thread that dies outright (simulated by
+//! [`crate::FaultPlan::dead_workers`], or a panic escaping the kernel
+//! guard) announces itself through a drop guard; the scheduler shrinks
+//! the pool, requeues the unit that worker held, and keeps draining with
+//! the survivors. Only when *every* worker is gone do the still-unfinished
+//! queries fail, each with a structured [`HostError::WorkersExhausted`] —
+//! never a hang: the completion wait is bounded by
+//! [`crate::HostParams::stall_timeout`], after which a wedged run returns
+//! [`HostError::Stalled`] with a diagnostic instead of blocking forever.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, OnceLock};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use df_core::{JoinAlgo, LockRequest, LockTable, StrategyPicker, WorkCandidate, WorkPicker};
 use df_query::ops::{
@@ -25,8 +43,10 @@ use df_query::ops::{
     join_pages_raw, project_page_raw, restrict_page_raw, union_pages_raw,
 };
 use df_query::{Op, QueryTree};
-use df_relalg::{Catalog, Page, PageKeyIndex, Relation, Result, Schema, TupleBuf};
+use df_relalg::{Catalog, Page, PageKeyIndex, Relation, Schema, TupleBuf};
 
+use crate::error::{HostError, HostResult};
+use crate::fault::InjectedFault;
 use crate::metrics::{HostMetrics, QueryStats, WorkerStats};
 use crate::params::HostParams;
 use crate::plan::{Firing, QueryPlan};
@@ -66,8 +86,10 @@ impl OperandPage {
     }
 }
 
-/// The operand payload of one work unit.
-#[derive(Debug)]
+/// The operand payload of one work unit. `Clone` is cheap (`Arc`s only)
+/// and lets the scheduler keep a copy of each dispatched unit so it can
+/// requeue the unit if the worker holding it dies.
+#[derive(Debug, Clone)]
 enum WorkKind {
     /// One operand page (restrict, non-dedup project).
     Page(Arc<Page>),
@@ -93,6 +115,10 @@ struct WorkUnit {
     query: usize,
     cell: usize,
     kind: WorkKind,
+    /// Global dispatch sequence number (the fault plan's unit key).
+    seq: u64,
+    /// Fault injected into this unit, if the plan says so.
+    fault: Option<InjectedFault>,
 }
 
 /// How a pair-sweep unit was served, for the probe/sweep metrics split.
@@ -106,24 +132,41 @@ enum UnitClass {
     Other,
 }
 
-/// What a worker sends back when a unit finishes.
+/// What a worker sends back over the arbitration channel.
 #[derive(Debug)]
-struct Completion {
-    worker: usize,
-    query: usize,
-    cell: usize,
-    pages: Vec<Arc<Page>>,
-    pages_in: usize,
-    bytes_in: u64,
-    bytes_out: u64,
-    class: UnitClass,
+enum Completion {
+    /// A unit's kernel ran to completion.
+    Done {
+        worker: usize,
+        query: usize,
+        cell: usize,
+        pages: Vec<Arc<Page>>,
+        pages_in: usize,
+        bytes_in: u64,
+        bytes_out: u64,
+        class: UnitClass,
+    },
+    /// A unit's kernel panicked; the panic was caught and the worker
+    /// survives, but the unit produced nothing.
+    Failed {
+        worker: usize,
+        query: usize,
+        cell: usize,
+        /// The panic payload, stringified.
+        payload: String,
+    },
+    /// The worker thread itself died (sent by its drop guard). Whatever
+    /// unit it held must be requeued and the pool shrunk.
+    WorkerDied { worker: usize },
 }
 
 /// Output of [`run_host_queries`].
 #[derive(Debug)]
 pub struct HostRunOutput {
-    /// One result relation per query (named `"result"`), in input order.
-    pub results: Vec<Relation>,
+    /// One outcome per query, in input order: the result relation (named
+    /// `"result"`), or the structured error that killed that query while
+    /// the rest of the batch kept running.
+    pub results: Vec<Result<Relation, HostError>>,
     /// Wall-clock metrics.
     pub metrics: HostMetrics,
 }
@@ -136,28 +179,29 @@ pub struct HostRunOutput {
 /// `host_vs_oracle` differential tests).
 ///
 /// # Errors
-/// Fails on validation errors or update operators (the host executor runs
-/// read-only queries; updates stay on the oracle and simulated machines).
-///
-/// # Panics
-/// Panics if `params.workers == 0` or a worker thread panics.
+/// A run-level `Err` means nothing useful happened: invalid parameters
+/// ([`HostError::InvalidParams`]), a query that fails validation or uses
+/// an update operator, or a stalled scheduler ([`HostError::Stalled`]).
+/// Worker faults do **not** fail the run: a kernel panic or the loss of
+/// the whole pool is contained to per-query `Err` entries in
+/// [`HostRunOutput::results`] while every other query completes normally.
 pub fn run_host_queries(
     db: &Catalog,
     queries: &[QueryTree],
     params: &HostParams,
-) -> Result<HostRunOutput> {
-    assert!(params.workers >= 1, "need at least one worker thread");
+) -> HostResult<HostRunOutput> {
+    params.validate()?;
     let plans: Vec<Arc<QueryPlan>> = queries
         .iter()
         .map(|q| QueryPlan::build(db, q, params.page_size, params.join).map(Arc::new))
-        .collect::<Result<_>>()?;
+        .collect::<HostResult<_>>()?;
 
     let started = Instant::now();
     let poisoned = Arc::new(AtomicBool::new(false));
 
     // The networks: one bounded SPSC channel per worker for dispatch, one
     // shared bounded MPSC channel for completions.
-    let (done_tx, done_rx) = sync_channel::<Completion>(params.completion_capacity.max(1));
+    let (done_tx, done_rx) = sync_channel::<Completion>(params.completion_capacity);
     let mut work_txs = Vec::with_capacity(params.workers);
     let mut handles = Vec::with_capacity(params.workers);
     for id in 0..params.workers {
@@ -165,34 +209,57 @@ pub fn run_host_queries(
         work_txs.push(tx);
         let done = done_tx.clone();
         let poisoned = Arc::clone(&poisoned);
+        let dead_at_start = params.fault.worker_dead_at_start(id);
         handles.push(
             thread::Builder::new()
                 .name(format!("df-host-worker-{id}"))
-                .spawn(move || worker_loop(id, rx, done, poisoned))
+                .spawn(move || worker_loop(id, rx, done, poisoned, dead_at_start))
                 .expect("spawning worker thread"),
         );
     }
     drop(done_tx);
 
     let scheduler = Scheduler::new(db, queries, plans, params, work_txs, done_rx);
-    let outcome = scheduler.run();
+    let outcome = match scheduler.run() {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            // Run-level failure. The scheduler (and with it every channel
+            // endpoint) is already dropped, so workers wake and exit on
+            // their own; `poisoned` makes them skip any still-buffered
+            // unit. We deliberately do not join: a genuinely wedged kernel
+            // (the `Stalled` case) would block the caller forever.
+            poisoned.store(true, Ordering::Relaxed);
+            drop(handles);
+            return Err(e);
+        }
+    };
 
     // Workers exit when their dispatch channel closes (`Scheduler::run`
-    // drops the senders); collect their stats.
+    // drops the senders); collect their stats. A thread that died is a
+    // contained fault, not a reason to kill the caller.
     let mut per_worker = Vec::with_capacity(params.workers);
-    for h in handles {
+    for (id, h) in handles.into_iter().enumerate() {
         match h.join() {
-            Ok(stats) => per_worker.push(stats),
-            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(mut stats) => {
+                stats.lost = outcome.dead[id];
+                per_worker.push(stats);
+            }
+            Err(_panic) => {
+                // The thread unwound outside the kernel guard; its stats
+                // are gone but the run survived without it.
+                per_worker.push(WorkerStats {
+                    lost: true,
+                    ..WorkerStats::default()
+                });
+            }
         }
     }
-    let (results, per_query) = outcome?;
 
     Ok(HostRunOutput {
-        results,
+        results: outcome.results,
         metrics: HostMetrics {
             elapsed: started.elapsed(),
-            per_query,
+            per_query: outcome.per_query,
             per_worker,
         },
     })
@@ -201,14 +268,16 @@ pub fn run_host_queries(
 /// Single-query convenience wrapper around [`run_host_queries`].
 ///
 /// # Errors
-/// See [`run_host_queries`].
+/// See [`run_host_queries`]; the single query's own fault (e.g.
+/// [`HostError::UnitPanicked`]) is flattened into the returned `Err`.
 pub fn run_host_query(
     db: &Catalog,
     query: &QueryTree,
     params: &HostParams,
-) -> Result<(Relation, HostMetrics)> {
+) -> HostResult<(Relation, HostMetrics)> {
     let mut out = run_host_queries(db, std::slice::from_ref(query), params)?;
-    Ok((out.results.remove(0), out.metrics))
+    let rel = out.results.remove(0)?;
+    Ok((rel, out.metrics))
 }
 
 // ---------------------------------------------------------------------------
@@ -243,6 +312,21 @@ struct QueryState {
     admitted_at: Instant,
     result_pages: Vec<Arc<Page>>,
     stats: QueryStats,
+    /// Units dispatched and not yet accounted for, across all cells.
+    in_flight_total: usize,
+    /// Set when the query is doomed (a unit panicked, or the pool died);
+    /// its pending work is discarded and it concludes once the last
+    /// in-flight unit drains.
+    failed: Option<HostError>,
+}
+
+/// What [`Scheduler::run`] hands back on a (possibly partially failed,
+/// but orderly) run.
+struct SchedulerOutcome {
+    results: Vec<Result<Relation, HostError>>,
+    per_query: Vec<QueryStats>,
+    /// Which workers died mid-run, by id.
+    dead: Vec<bool>,
 }
 
 struct Scheduler<'a> {
@@ -256,10 +340,18 @@ struct Scheduler<'a> {
     locks: LockTable,
     waiting: VecDeque<usize>,
     active: Vec<Option<QueryState>>,
-    results: Vec<Option<Relation>>,
+    results: Vec<Option<Result<Relation, HostError>>>,
     per_query: Vec<QueryStats>,
     idle: Vec<usize>,
+    /// Which workers have died (dispatch channel refused, or their drop
+    /// guard reported in). Dead workers never rejoin the idle pool.
+    dead: Vec<bool>,
+    /// The unit each busy worker currently holds, kept so a dead worker's
+    /// unit can be requeued.
+    assigned: Vec<Option<(usize, usize, WorkKind)>>,
     next_base: usize,
+    /// Global dispatch sequence number (the fault plan's unit key).
+    next_seq: u64,
     finished: usize,
     dispatched: usize,
 }
@@ -288,39 +380,107 @@ impl<'a> Scheduler<'a> {
             results: (0..n).map(|_| None).collect(),
             per_query: vec![QueryStats::default(); n],
             idle: (0..params.workers).collect(),
+            dead: vec![false; params.workers],
+            assigned: (0..params.workers).map(|_| None).collect(),
             next_base: 0,
+            next_seq: 0,
             finished: 0,
             dispatched: 0,
         }
     }
 
-    fn run(mut self) -> Result<(Vec<Relation>, Vec<QueryStats>)> {
+    /// Workers still able to serve units.
+    fn alive(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    fn run(mut self) -> HostResult<SchedulerOutcome> {
         self.admit_compatible()?;
         while self.finished < self.queries.len() {
             self.dispatch_ready();
             if self.finished == self.queries.len() {
                 break;
             }
-            let completion = self
-                .done_rx
-                .recv()
-                .expect("queries unfinished but no worker active: scheduler stuck");
-            self.on_completion(completion)?;
+            if self.alive() == 0 {
+                // The pool is gone. Drain completions that made it out
+                // before the last death, then fail whatever still needs a
+                // worker — a structured per-query error, never a hang.
+                while let Ok(completion) = self.done_rx.try_recv() {
+                    self.on_completion(completion)?;
+                }
+                if self.finished < self.queries.len() {
+                    self.fail_survivorless_queries()?;
+                }
+                continue;
+            }
+            if self.dispatched == 0 {
+                // Workers are alive and idle, yet nothing is in flight and
+                // nothing was dispatchable: the firing bookkeeping broke.
+                // The old scheduler `expect()`ed here; report instead.
+                return Err(HostError::Stalled {
+                    in_flight: 0,
+                    waited: Duration::ZERO,
+                    detail: self.stall_detail(),
+                });
+            }
+            match self.done_rx.recv_timeout(self.params.stall_timeout) {
+                Ok(completion) => self.on_completion(completion)?,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(HostError::Stalled {
+                        in_flight: self.dispatched,
+                        waited: self.params.stall_timeout,
+                        detail: self.stall_detail(),
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every worker (and its death guard) is gone without a
+                    // report — treat them all as dead; the next iteration
+                    // fails the remaining queries.
+                    for worker in 0..self.work_txs.len() {
+                        self.on_worker_died(worker)?;
+                    }
+                }
+            }
         }
         // Closing the dispatch channels shuts the workers down.
         self.work_txs.clear();
         let results = self
             .results
             .into_iter()
-            .map(|r| r.expect("every query finished"))
+            .map(|r| r.expect("every query concluded"))
             .collect();
-        Ok((results, self.per_query))
+        Ok(SchedulerOutcome {
+            results,
+            per_query: self.per_query,
+            dead: self.dead,
+        })
+    }
+
+    /// One-line state dump for [`HostError::Stalled`].
+    fn stall_detail(&self) -> String {
+        let mut active = 0usize;
+        let mut pending = 0usize;
+        let mut in_flight = 0usize;
+        for state in self.active.iter().flatten() {
+            active += 1;
+            in_flight += state.in_flight_total;
+            pending += state.cells.iter().map(|c| c.pending.len()).sum::<usize>();
+        }
+        format!(
+            "{}/{} queries finished, {active} active ({pending} pending units, \
+             {in_flight} in flight), {} waiting on locks, {}/{} workers alive",
+            self.finished,
+            self.queries.len(),
+            self.waiting.len(),
+            self.alive(),
+            self.work_txs.len()
+        )
     }
 
     /// Admit every waiting query whose lock request is compatible, in
     /// arrival order (a non-conflicting younger query may overtake a
     /// blocked older one, like the ring MC).
-    fn admit_compatible(&mut self) -> Result<()> {
+    fn admit_compatible(&mut self) -> HostResult<()> {
         let mut still_waiting = VecDeque::new();
         while let Some(q) = self.waiting.pop_front() {
             let tree = &self.queries[q];
@@ -339,7 +499,7 @@ impl<'a> Scheduler<'a> {
     /// Turn query `q` active: instantiate cell state and feed every scan
     /// cell's pages from the page store (the "disk" of the host machine —
     /// base relations are memory-resident `Arc` pages, shared not copied).
-    fn admit(&mut self, q: usize) -> Result<()> {
+    fn admit(&mut self, q: usize) -> HostResult<()> {
         let plan = Arc::clone(&self.plans[q]);
         let cells = plan
             .cells
@@ -357,6 +517,8 @@ impl<'a> Scheduler<'a> {
             admitted_at: Instant::now(),
             result_pages: Vec::new(),
             stats: QueryStats::default(),
+            in_flight_total: 0,
+            failed: None,
         });
         self.next_base += plan.cells.len();
 
@@ -376,7 +538,7 @@ impl<'a> Scheduler<'a> {
 
     /// Deliver `pages` produced by cell `from` to its parent (or the query
     /// result if `from` is the root).
-    fn route_output(&mut self, q: usize, from: usize, pages: Vec<Arc<Page>>) -> Result<()> {
+    fn route_output(&mut self, q: usize, from: usize, pages: Vec<Arc<Page>>) -> HostResult<()> {
         if pages.is_empty() {
             return Ok(());
         }
@@ -426,7 +588,7 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Cell `cell` finished all its work: propagate completion upward.
-    fn complete_cell(&mut self, q: usize, cell: usize) -> Result<()> {
+    fn complete_cell(&mut self, q: usize, cell: usize) -> HostResult<()> {
         let state = self.active[q].as_mut().expect("query is active");
         debug_assert!(!state.cells[cell].complete);
         state.cells[cell].complete = true;
@@ -470,7 +632,7 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Complete `cell` if its operands are done and no work is outstanding.
-    fn try_complete(&mut self, q: usize, cell: usize) -> Result<()> {
+    fn try_complete(&mut self, q: usize, cell: usize) -> HostResult<()> {
         let state = self.active[q].as_mut().expect("query is active");
         let spec = &state.plan.cells[cell];
         let cs = &state.cells[cell];
@@ -488,7 +650,7 @@ impl<'a> Scheduler<'a> {
 
     /// The root cell completed: assemble the result relation, release the
     /// query's locks, and admit whatever those locks were blocking.
-    fn finish_query(&mut self, q: usize) -> Result<()> {
+    fn finish_query(&mut self, q: usize) -> HostResult<()> {
         let state = self.active[q].take().expect("query is active");
         let spec = &state.plan.cells[state.plan.root];
         let mut rel = Relation::new("result", spec.out_schema.clone(), spec.out_page_size)?;
@@ -505,16 +667,93 @@ impl<'a> Scheduler<'a> {
         stats.result_tuples = rel.num_tuples();
         stats.elapsed = state.admitted_at.elapsed();
         self.per_query[q] = stats;
-        self.results[q] = Some(rel);
+        self.results[q] = Some(Ok(rel));
         self.finished += 1;
         self.locks.release(q);
         self.admit_compatible()
     }
 
+    /// Doom query `q`: record `err` (first fault wins), discard its
+    /// not-yet-dispatched work, and conclude it once nothing of it remains
+    /// in flight. Everything else the scheduler holds keeps running.
+    fn fail_query(&mut self, q: usize, err: HostError) -> HostResult<()> {
+        let Some(state) = self.active[q].as_mut() else {
+            return Ok(());
+        };
+        if state.failed.is_none() {
+            state.failed = Some(err);
+            for cs in &mut state.cells {
+                cs.pending.clear();
+            }
+        }
+        if state.in_flight_total == 0 {
+            self.conclude_failed(q)?;
+        }
+        Ok(())
+    }
+
+    /// The last in-flight unit of a doomed query drained: publish its
+    /// error, release its locks, and admit whatever those locks blocked.
+    fn conclude_failed(&mut self, q: usize) -> HostResult<()> {
+        let state = self.active[q].take().expect("query is active");
+        let err = state.failed.expect("concluding a query that never failed");
+        let mut stats = state.stats;
+        stats.elapsed = state.admitted_at.elapsed();
+        self.per_query[q] = stats;
+        self.results[q] = Some(Err(err));
+        self.finished += 1;
+        self.locks.release(q);
+        self.admit_compatible()
+    }
+
+    /// The whole pool is dead: every query still needing worker service
+    /// fails with a structured error. (Queries admitted by the released
+    /// locks may still *complete* here — a scan-only query needs no
+    /// worker — so this loops via `admit_compatible` until quiescent.)
+    fn fail_survivorless_queries(&mut self) -> HostResult<()> {
+        for q in 0..self.queries.len() {
+            if self.active[q].is_some() {
+                self.fail_query(
+                    q,
+                    HostError::WorkersExhausted {
+                        workers: self.params.workers,
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Worker `worker` died: shrink the pool and requeue whatever unit it
+    /// held so a survivor can serve it. Idempotent — the death may be
+    /// noticed twice (a refused dispatch, then the drop-guard report).
+    fn on_worker_died(&mut self, worker: usize) -> HostResult<()> {
+        if self.dead[worker] {
+            return Ok(());
+        }
+        self.dead[worker] = true;
+        self.idle.retain(|&w| w != worker);
+        if let Some((q, cell, kind)) = self.assigned[worker].take() {
+            self.dispatched -= 1;
+            let state = self.active[q].as_mut().expect("query is active");
+            state.cells[cell].in_flight -= 1;
+            state.in_flight_total -= 1;
+            if state.failed.is_some() {
+                if state.in_flight_total == 0 {
+                    self.conclude_failed(q)?;
+                }
+            } else {
+                state.stats.requeued_units += 1;
+                state.cells[cell].pending.push_front(kind);
+            }
+        }
+        Ok(())
+    }
+
     /// While a worker is idle and ready work exists, let the allocation
     /// policy pick the instruction to serve and dispatch one of its units.
     fn dispatch_ready(&mut self) {
-        while !self.idle.is_empty() {
+        while let Some(&worker) = self.idle.last() {
             let mut candidates: Vec<WorkCandidate> = Vec::new();
             let mut owners: Vec<(usize, usize)> = Vec::new();
             for (q, state) in self.active.iter().enumerate() {
@@ -543,48 +782,112 @@ impl<'a> Scheduler<'a> {
                 .pending
                 .pop_front()
                 .expect("candidate has pending work");
-            state.cells[c].in_flight += 1;
+            let seq = self.next_seq;
             let unit = WorkUnit {
                 plan: Arc::clone(&state.plan),
                 query: q,
                 cell: c,
-                kind,
+                kind: kind.clone(),
+                seq,
+                fault: self.params.fault.fault_for(seq),
             };
-            let worker = self.idle.pop().expect("loop invariant");
-            self.dispatched += 1;
-            self.work_txs[worker]
-                .send(unit)
-                .expect("worker alive while dispatch channel open");
+            self.idle.pop();
+            match self.work_txs[worker].send(unit) {
+                Ok(()) => {
+                    self.next_seq += 1;
+                    self.dispatched += 1;
+                    self.assigned[worker] = Some((q, c, kind));
+                    let state = self.active[q].as_mut().expect("query is active");
+                    state.cells[c].in_flight += 1;
+                    state.in_flight_total += 1;
+                }
+                Err(refused) => {
+                    // The worker's receiver is gone: it died before ever
+                    // accepting work. Shrink the pool, requeue the unit,
+                    // and keep dispatching to the survivors.
+                    self.dead[worker] = true;
+                    let state = self.active[q].as_mut().expect("query is active");
+                    state.cells[c].pending.push_front(refused.0.kind);
+                    state.stats.requeued_units += 1;
+                }
+            }
         }
     }
 
-    /// A worker finished a unit: account for it, route its output pages,
-    /// and cascade any completions that unblocks.
-    fn on_completion(&mut self, completion: Completion) -> Result<()> {
-        let Completion {
-            worker,
-            query: q,
-            cell,
-            pages,
-            pages_in,
-            bytes_in,
-            bytes_out,
-            class,
-        } = completion;
-        self.idle.push(worker);
-        self.dispatched -= 1;
-        let state = self.active[q].as_mut().expect("query is active");
-        state.cells[cell].in_flight -= 1;
-        state.stats.units_fired += 1;
-        match class {
-            UnitClass::Probe => state.stats.probe_units += 1,
-            UnitClass::Sweep => state.stats.sweep_units += 1,
-            UnitClass::Other => {}
+    /// A worker reported back: account for the unit, route its output,
+    /// and cascade whatever that unblocks — or contain its failure.
+    fn on_completion(&mut self, completion: Completion) -> HostResult<()> {
+        match completion {
+            Completion::WorkerDied { worker } => self.on_worker_died(worker),
+            Completion::Done {
+                worker,
+                query: q,
+                cell,
+                pages,
+                pages_in,
+                bytes_in,
+                bytes_out,
+                class,
+            } => {
+                self.recycle_worker(worker);
+                self.dispatched -= 1;
+                let state = self.active[q].as_mut().expect("query is active");
+                state.cells[cell].in_flight -= 1;
+                state.in_flight_total -= 1;
+                state.stats.units_fired += 1;
+                match class {
+                    UnitClass::Probe => state.stats.probe_units += 1,
+                    UnitClass::Sweep => state.stats.sweep_units += 1,
+                    UnitClass::Other => {}
+                }
+                state.stats.pages_moved += pages_in + pages.len();
+                state.stats.bytes_moved += bytes_in + bytes_out;
+                if state.failed.is_some() {
+                    // A late completion of an already-doomed query: the
+                    // work is discarded, the worker goes back to the pool.
+                    if state.in_flight_total == 0 {
+                        self.conclude_failed(q)?;
+                    }
+                    return Ok(());
+                }
+                self.route_output(q, cell, pages)?;
+                self.try_complete(q, cell)
+            }
+            Completion::Failed {
+                worker,
+                query: q,
+                cell,
+                payload,
+            } => {
+                // The panic was contained on the worker; it lives on and
+                // rejoins the pool. Only the owning query is doomed.
+                self.recycle_worker(worker);
+                self.dispatched -= 1;
+                let state = self.active[q].as_mut().expect("query is active");
+                state.cells[cell].in_flight -= 1;
+                state.in_flight_total -= 1;
+                state.stats.units_fired += 1;
+                state.stats.failed_units += 1;
+                let op = state.plan.cells[cell].op.name().to_string();
+                self.fail_query(
+                    q,
+                    HostError::UnitPanicked {
+                        query: q,
+                        cell,
+                        op,
+                        payload,
+                    },
+                )
+            }
         }
-        state.stats.pages_moved += pages_in + pages.len();
-        state.stats.bytes_moved += bytes_in + bytes_out;
-        self.route_output(q, cell, pages)?;
-        self.try_complete(q, cell)
+    }
+
+    /// Return `worker` to the idle pool (unless it has since died).
+    fn recycle_worker(&mut self, worker: usize) {
+        self.assigned[worker] = None;
+        if !self.dead[worker] {
+            self.idle.push(worker);
+        }
     }
 }
 
@@ -592,7 +895,11 @@ impl<'a> Scheduler<'a> {
 /// pages — the deterministic-mode canonical form. The tuple encoding is
 /// canonical (equal tuples ⟺ equal images), so byte order is a total,
 /// run-independent order.
-fn canonicalize(pages: &[Arc<Page>], schema: &Schema, page_size: usize) -> Result<Vec<Page>> {
+fn canonicalize(
+    pages: &[Arc<Page>],
+    schema: &Schema,
+    page_size: usize,
+) -> df_relalg::Result<Vec<Page>> {
     let mut images: Vec<&[u8]> = pages
         .iter()
         .flat_map(|p| p.tuple_refs().map(|t| t.raw()).collect::<Vec<_>>())
@@ -650,44 +957,114 @@ impl OutputPager {
     }
 }
 
-/// One worker thread: receive, execute a `*_raw` kernel, send pages back.
+/// Announces a worker's death to the scheduler if its thread exits any way
+/// other than the orderly shutdown paths (which disarm it): an injected
+/// dead-at-start fault, or a panic escaping the kernel guard.
+struct DeathGuard {
+    id: usize,
+    done: SyncSender<Completion>,
+    armed: bool,
+}
+
+impl Drop for DeathGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            // The scheduler may itself be gone (error path) — best effort.
+            let _ = self.done.send(Completion::WorkerDied { worker: self.id });
+        }
+    }
+}
+
+/// Render a caught panic payload for the [`HostError::UnitPanicked`] report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One worker thread: receive, execute a `*_raw` kernel under a panic
+/// guard, send pages (or the contained failure) back.
 fn worker_loop(
     id: usize,
     rx: Receiver<WorkUnit>,
     done: SyncSender<Completion>,
     poisoned: Arc<AtomicBool>,
+    dead_at_start: bool,
 ) -> WorkerStats {
+    let spawned = Instant::now();
     let mut stats = WorkerStats::default();
-    let mut first_recv: Option<Instant> = None;
+    let mut guard = DeathGuard {
+        id,
+        done: done.clone(),
+        armed: true,
+    };
+    if dead_at_start {
+        // Injected fault: this IP never comes up. Returning with the guard
+        // armed reports the death to the scheduler.
+        stats.wall = spawned.elapsed();
+        return stats;
+    }
     while let Ok(unit) = rx.recv() {
         if poisoned.load(Ordering::Relaxed) {
             break;
         }
         let t0 = Instant::now();
-        first_recv.get_or_insert(t0);
-        let (pages, pages_in, bytes_in, class) = execute_unit(&unit);
-        let bytes_out: u64 = pages.iter().map(|p| p.wire_bytes() as u64).sum();
+        let executed = catch_unwind(AssertUnwindSafe(|| {
+            match unit.fault {
+                Some(InjectedFault::Panic) => {
+                    panic!("injected fault: kernel panic on unit {}", unit.seq)
+                }
+                Some(InjectedFault::Delay(d)) => thread::sleep(d),
+                None => {}
+            }
+            execute_unit(&unit)
+        }));
         stats.units += 1;
-        stats.bytes_in += bytes_in;
-        stats.bytes_out += bytes_out;
         stats.busy += t0.elapsed();
-        let sent = done.send(Completion {
-            worker: id,
-            query: unit.query,
-            cell: unit.cell,
-            pages,
-            pages_in,
-            bytes_in,
-            bytes_out,
-            class,
-        });
+        let completion = match executed {
+            Ok((pages, pages_in, bytes_in, class)) => {
+                let bytes_out: u64 = pages.iter().map(|p| p.wire_bytes() as u64).sum();
+                stats.bytes_in += bytes_in;
+                stats.bytes_out += bytes_out;
+                Completion::Done {
+                    worker: id,
+                    query: unit.query,
+                    cell: unit.cell,
+                    pages,
+                    pages_in,
+                    bytes_in,
+                    bytes_out,
+                    class,
+                }
+            }
+            Err(payload) => {
+                // Contained: report the failure and keep serving. The IP
+                // survives its instruction the way the paper's distributed
+                // control survives a node.
+                stats.panics += 1;
+                Completion::Failed {
+                    worker: id,
+                    query: unit.query,
+                    cell: unit.cell,
+                    payload: panic_message(payload.as_ref()),
+                }
+            }
+        };
+        let s0 = Instant::now();
+        let sent = done.send(completion);
+        stats.send_wait += s0.elapsed();
         if sent.is_err() {
             // Scheduler gone (error path): stop quietly.
             poisoned.store(true, Ordering::Relaxed);
             break;
         }
     }
-    stats.wall = first_recv.map(|t| t.elapsed()).unwrap_or_default();
+    guard.armed = false;
+    stats.wall = spawned.elapsed();
     stats
 }
 

@@ -21,6 +21,12 @@
 //! relation-granularity [`df_core::LockTable`] shared with the ring
 //! machine's MC.
 //!
+//! Faults are contained, not fatal (§4's case for distributed control): a
+//! kernel panic is caught on the worker and fails only the owning query; a
+//! worker thread that dies shrinks the pool and its unit is requeued on a
+//! survivor; anomalies surface as a structured [`HostError`], never a hang
+//! — and a deterministic [`FaultPlan`] injects all of these on demand.
+//!
 //! ```
 //! use df_host::{run_host_query, HostParams};
 //! use df_query::TreeBuilder;
@@ -45,11 +51,15 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod error;
 mod exec;
+mod fault;
 mod metrics;
 mod params;
 mod plan;
 
+pub use error::{HostError, HostResult};
 pub use exec::{run_host_queries, run_host_query, HostRunOutput};
+pub use fault::FaultPlan;
 pub use metrics::{HostMetrics, QueryStats, WorkerStats};
 pub use params::HostParams;

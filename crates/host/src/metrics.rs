@@ -5,17 +5,28 @@ use std::time::Duration;
 /// What one worker thread did over the run.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerStats {
-    /// Work units executed.
+    /// Work units executed, panicked ones included.
     pub units: usize,
+    /// Work units whose kernel panicked (caught and reported, never
+    /// propagated — the thread keeps serving).
+    pub panics: usize,
     /// Bytes of operand pages received (wire bytes, header included).
     pub bytes_in: u64,
     /// Bytes of result pages produced.
     pub bytes_out: u64,
-    /// Time spent inside operator kernels (building output pages included).
+    /// Time spent inside operator kernels (building output pages
+    /// included), successful or panicked.
     pub busy: Duration,
-    /// Thread lifetime, first recv to shutdown; `wall - busy` is idle +
-    /// channel time.
+    /// Time spent blocked sending completions into the arbitration
+    /// channel (back-pressure from the scheduler), separate from `busy`.
+    pub send_wait: Duration,
+    /// Thread lifetime, spawn to shutdown — nonzero even for a worker
+    /// that never received a unit. `wall - busy - send_wait` is idle +
+    /// dispatch-channel time.
     pub wall: Duration,
+    /// The worker died mid-run (its thread exited before shutdown); the
+    /// scheduler shrank the pool and requeued its in-flight unit.
+    pub lost: bool,
 }
 
 impl WorkerStats {
@@ -32,8 +43,15 @@ impl WorkerStats {
 /// What one query cost.
 #[derive(Debug, Clone, Default)]
 pub struct QueryStats {
-    /// Work units fired across all of the query's instruction cells.
+    /// Work units fired across all of the query's instruction cells,
+    /// including units that ended in a contained panic.
     pub units_fired: usize,
+    /// Units whose kernel panicked — nonzero only for queries whose
+    /// result is a [`crate::HostError::UnitPanicked`].
+    pub failed_units: usize,
+    /// Units requeued because the worker holding them died; they were
+    /// re-dispatched to a surviving worker.
+    pub requeued_units: usize,
     /// Pair-sweep units whose every page pair went through the hash-index
     /// probe path (`JoinAlgo::Hash` on an applicable equi-join).
     pub probe_units: usize,
@@ -46,9 +64,10 @@ pub struct QueryStats {
     pub pages_moved: usize,
     /// Bytes those pages carried.
     pub bytes_moved: u64,
-    /// Tuples in the query's result relation.
+    /// Tuples in the query's result relation (0 for a failed query).
     pub result_tuples: usize,
-    /// Admission-to-completion wall time.
+    /// Admission-to-completion wall time (admission-to-failure for a
+    /// failed query).
     pub elapsed: Duration,
 }
 
@@ -68,6 +87,16 @@ impl HostMetrics {
     /// Total work units executed by all workers.
     pub fn total_units(&self) -> usize {
         self.per_worker.iter().map(|w| w.units).sum()
+    }
+
+    /// Total kernel panics contained across all workers.
+    pub fn total_panics(&self) -> usize {
+        self.per_worker.iter().map(|w| w.panics).sum()
+    }
+
+    /// Workers that died mid-run (pool shrinkage).
+    pub fn workers_lost(&self) -> usize {
+        self.per_worker.iter().filter(|w| w.lost).count()
     }
 
     /// Total bytes moved through workers (in + out).
@@ -104,6 +133,7 @@ mod tests {
             bytes_out: 50,
             busy: Duration::from_millis(25),
             wall: Duration::from_millis(100),
+            ..WorkerStats::default()
         };
         assert!((w.utilization() - 0.25).abs() < 1e-9);
         assert_eq!(WorkerStats::default().utilization(), 0.0);
@@ -117,5 +147,26 @@ mod tests {
         assert_eq!(m.total_bytes(), 150);
         assert!((m.worker_utilization() - 0.125).abs() < 1e-9);
         assert_eq!(HostMetrics::default().worker_utilization(), 0.0);
+    }
+
+    #[test]
+    fn fault_counters() {
+        let lost = WorkerStats {
+            lost: true,
+            ..WorkerStats::default()
+        };
+        let panicky = WorkerStats {
+            units: 3,
+            panics: 2,
+            ..WorkerStats::default()
+        };
+        let m = HostMetrics {
+            elapsed: Duration::from_millis(1),
+            per_query: vec![],
+            per_worker: vec![lost, panicky, WorkerStats::default()],
+        };
+        assert_eq!(m.total_panics(), 2);
+        assert_eq!(m.workers_lost(), 1);
+        assert_eq!(m.total_units(), 3);
     }
 }

@@ -1,6 +1,11 @@
 //! Host-executor configuration.
 
+use std::time::Duration;
+
 use df_core::{AllocationStrategy, JoinAlgo};
+
+use crate::error::{HostError, HostResult};
+use crate::fault::FaultPlan;
 
 /// Configuration of the real-threads executor.
 #[derive(Debug, Clone)]
@@ -24,7 +29,7 @@ pub struct HostParams {
     pub join: JoinAlgo,
     /// Capacity of the result channel (the "arbitration network" carrying
     /// completions back to the scheduler). Workers block producing past it,
-    /// which bounds memory for pathological fan-outs.
+    /// which bounds memory for pathological fan-outs. Must be ≥ 1.
     pub completion_capacity: usize,
     /// When set, every query's result relation is canonicalized (tuple
     /// images sorted lexicographically, pages repacked full) so repeated
@@ -32,6 +37,15 @@ pub struct HostParams {
     /// executor has no RNG: interleaving is its only nondeterminism, and it
     /// only affects result *order*, never the result multiset.
     pub deterministic: bool,
+    /// How long the scheduler waits for a completion while units are in
+    /// flight before declaring the run stalled ([`HostError::Stalled`])
+    /// instead of hanging on a wedged kernel. Must comfortably exceed the
+    /// worst-case single-unit kernel time; the generous default only
+    /// trips on genuine wedges.
+    pub stall_timeout: Duration,
+    /// Deterministic fault injection (inert by default) — see
+    /// [`FaultPlan`].
+    pub fault: FaultPlan,
 }
 
 impl Default for HostParams {
@@ -45,6 +59,8 @@ impl Default for HostParams {
             join: JoinAlgo::default(),
             completion_capacity: 256,
             deterministic: false,
+            stall_timeout: Duration::from_secs(60),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -56,6 +72,44 @@ impl HostParams {
             workers,
             ..HostParams::default()
         }
+    }
+
+    /// Validate the configuration up front, so misconfiguration surfaces
+    /// as a structured [`HostError::InvalidParams`] before any thread is
+    /// spawned — never as a panic deep inside the scheduler.
+    ///
+    /// # Errors
+    /// Returns [`HostError::InvalidParams`] on zero workers, a zero
+    /// completion-channel capacity, a zero stall timeout, or an
+    /// out-of-range fault plan (`panic_rate` outside `[0, 1]`,
+    /// `delay_every == 0`, a dead-worker id ≥ `workers`).
+    pub fn validate(&self) -> HostResult<()> {
+        let invalid = |detail: String| Err(HostError::InvalidParams { detail });
+        if self.workers == 0 {
+            return invalid("`workers` must be >= 1".into());
+        }
+        if self.completion_capacity == 0 {
+            return invalid("`completion_capacity` must be >= 1".into());
+        }
+        if self.stall_timeout.is_zero() {
+            return invalid("`stall_timeout` must be nonzero".into());
+        }
+        if !(0.0..=1.0).contains(&self.fault.panic_rate) {
+            return invalid(format!(
+                "`fault.panic_rate` must be in [0, 1], got {}",
+                self.fault.panic_rate
+            ));
+        }
+        if self.fault.delay_every == Some(0) {
+            return invalid("`fault.delay_every` must be >= 1".into());
+        }
+        if let Some(&w) = self.fault.dead_workers.iter().find(|&&w| w >= self.workers) {
+            return invalid(format!(
+                "`fault.dead_workers` names worker {w}, but only {} exist",
+                self.workers
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -70,6 +124,47 @@ mod tests {
         assert!(p.page_size >= 116); // header + one 100-byte tuple
         assert!(p.completion_capacity >= 1);
         assert_eq!(p.join, JoinAlgo::Nested);
+        assert!(!p.fault.is_active());
+        assert!(p.validate().is_ok());
         assert_eq!(HostParams::with_workers(3).workers, 3);
+    }
+
+    #[test]
+    fn zero_workers_is_rejected_up_front() {
+        let err = HostParams::with_workers(0).validate().unwrap_err();
+        assert!(matches!(err, HostError::InvalidParams { .. }));
+        assert!(err.to_string().contains("workers"));
+    }
+
+    #[test]
+    fn bad_fault_plans_are_rejected() {
+        let mut p = HostParams::with_workers(2);
+        p.fault.panic_rate = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = HostParams::with_workers(2);
+        p.fault.delay_every = Some(0);
+        assert!(p.validate().is_err());
+
+        let mut p = HostParams::with_workers(2);
+        p.fault.dead_workers = vec![2];
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("worker 2"));
+
+        // Killing every *existing* worker is a legal plan (the all-dead
+        // containment tests rely on it).
+        let mut p = HostParams::with_workers(2);
+        p.fault.dead_workers = vec![0, 1];
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_and_timeout_are_rejected() {
+        let mut p = HostParams::with_workers(1);
+        p.completion_capacity = 0;
+        assert!(p.validate().is_err());
+        let mut p = HostParams::with_workers(1);
+        p.stall_timeout = Duration::ZERO;
+        assert!(p.validate().is_err());
     }
 }

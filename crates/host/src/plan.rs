@@ -7,7 +7,9 @@
 
 use df_core::JoinAlgo;
 use df_query::{validate, Op, QueryTree};
-use df_relalg::{Catalog, Error, Result, Schema, PAGE_HEADER_BYTES};
+use df_relalg::{Catalog, Schema, PAGE_HEADER_BYTES};
+
+use crate::error::{HostError, HostResult};
 
 /// How the scheduler treats a cell's arriving operand pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,15 +62,16 @@ impl QueryPlan {
     /// Compile `tree` against `db`.
     ///
     /// # Errors
-    /// Fails on validation errors, and on update operators: the host
-    /// executor runs read-only queries (updates stay on the oracle and the
-    /// simulated machines, which own catalog mutation).
+    /// Fails on validation errors ([`HostError::Data`]), and on update
+    /// operators ([`HostError::ReadOnlyExecutor`]): the host executor runs
+    /// read-only queries (updates stay on the oracle and the simulated
+    /// machines, which own catalog mutation).
     pub fn build(
         db: &Catalog,
         tree: &QueryTree,
         page_size: usize,
         join: JoinAlgo,
-    ) -> Result<QueryPlan> {
+    ) -> HostResult<QueryPlan> {
         let schemas = validate(db, tree)?;
         let parents = tree.parents();
 
@@ -97,11 +100,8 @@ impl QueryPlan {
                 Op::Join { .. } | Op::CrossProduct => Firing::PairSweep,
                 Op::Union | Op::Difference => Firing::Complete,
                 Op::Append { .. } | Op::Delete { .. } => {
-                    return Err(Error::SchemaMismatch {
-                        detail: format!(
-                            "df-host executes read-only queries; `{}` is an update operator",
-                            node.op.name()
-                        ),
+                    return Err(HostError::ReadOnlyExecutor {
+                        op: node.op.name().to_string(),
                     });
                 }
             };

@@ -1,0 +1,282 @@
+//! Fault containment: injected worker failures must stay contained — the
+//! victim query gets a structured error, every concurrent query's result
+//! stays byte-identical to a fault-free run, and the run always
+//! terminates (structured error, never a hang).
+
+use std::time::Duration;
+
+use df_host::{run_host_queries, run_host_query, FaultPlan, HostError, HostParams};
+use df_query::{execute_readonly, ExecParams, QueryTree};
+use df_relalg::{Catalog, Relation};
+use df_workload::{benchmark_queries, generate_database, BenchmarkSpec};
+
+fn setup() -> (Catalog, Vec<QueryTree>) {
+    let spec = BenchmarkSpec::scaled(0.01);
+    let db = generate_database(&spec.database);
+    let queries = benchmark_queries(&db, &spec).expect("benchmark queries build");
+    (db, queries)
+}
+
+fn oracles(db: &Catalog, queries: &[QueryTree]) -> Vec<Relation> {
+    queries
+        .iter()
+        .map(|q| execute_readonly(db, q, &ExecParams::default()).expect("oracle executes"))
+        .collect()
+}
+
+/// Canonical page images of every successful query (deterministic mode
+/// makes these run-independent).
+fn images(results: &[Result<Relation, HostError>]) -> Vec<Option<Vec<Vec<u8>>>> {
+    results
+        .iter()
+        .map(|r| {
+            r.as_ref()
+                .ok()
+                .map(|rel| rel.pages().iter().map(|p| p.raw_data().to_vec()).collect())
+        })
+        .collect()
+}
+
+/// Injected panics unwind through the default panic hook, which would spam
+/// the test output with expected backtraces; silence panics on the named
+/// worker threads only. (The library itself never touches the hook.)
+fn quiet_worker_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("df-host-worker"));
+            if !on_worker {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// The old executor asserted `workers >= 1` deep inside the scheduler;
+/// misconfiguration must now surface as a structured error up front.
+#[test]
+fn zero_workers_is_a_structured_error_not_a_panic() {
+    let (db, queries) = setup();
+    let err = run_host_queries(&db, &queries, &HostParams::with_workers(0)).unwrap_err();
+    assert!(matches!(err, HostError::InvalidParams { .. }), "{err:?}");
+    assert!(err.to_string().contains("workers"));
+}
+
+/// The tentpole acceptance test: one injected kernel panic mid-run fails
+/// exactly the owning query with [`HostError::UnitPanicked`], while every
+/// other query of the batch stays byte-identical to a fault-free run and
+/// multiset-identical to the sequential oracle.
+#[test]
+fn injected_panic_is_contained_to_the_owning_query() {
+    quiet_worker_panics();
+    let (db, queries) = setup();
+    let want = oracles(&db, &queries);
+
+    let clean = HostParams {
+        deterministic: true,
+        ..HostParams::with_workers(2)
+    };
+    let clean_images = images(
+        &run_host_queries(&db, &queries, &clean)
+            .expect("fault-free run")
+            .results,
+    );
+
+    let mut faulted = clean.clone();
+    faulted.fault = FaultPlan {
+        panic_on_unit: Some(5),
+        ..FaultPlan::default()
+    };
+    let out = run_host_queries(&db, &queries, &faulted).expect("run survives the panic");
+
+    let failed: Vec<usize> = (0..queries.len())
+        .filter(|&i| out.results[i].is_err())
+        .collect();
+    assert_eq!(
+        failed.len(),
+        1,
+        "exactly one query is the victim: {failed:?}"
+    );
+    let victim = failed[0];
+    match out.results[victim].as_ref().unwrap_err() {
+        HostError::UnitPanicked { query, payload, .. } => {
+            assert_eq!(*query, victim);
+            assert!(payload.contains("injected fault"), "payload: {payload}");
+        }
+        other => panic!("expected UnitPanicked, got {other:?}"),
+    }
+    assert_eq!(out.metrics.total_panics(), 1);
+    assert_eq!(out.metrics.per_query[victim].failed_units, 1);
+    assert_eq!(out.metrics.workers_lost(), 0, "the worker itself survives");
+
+    let got_images = images(&out.results);
+    for i in 0..queries.len() {
+        if i == victim {
+            continue;
+        }
+        let got = out.results[i].as_ref().expect("survivor succeeds");
+        assert!(
+            got.same_contents(&want[i]),
+            "survivor query {i} diverged from the oracle"
+        );
+        assert_eq!(
+            got_images[i], clean_images[i],
+            "survivor query {i} is not byte-identical to the fault-free run"
+        );
+    }
+}
+
+/// A worker that dies before accepting any work shrinks the pool; its
+/// queued unit is requeued on the survivor and every query still matches
+/// the oracle.
+#[test]
+fn dead_worker_at_start_shrinks_the_pool_and_requeues() {
+    let (db, queries) = setup();
+    let want = oracles(&db, &queries);
+    let params = HostParams {
+        fault: FaultPlan {
+            dead_workers: vec![1],
+            ..FaultPlan::default()
+        },
+        ..HostParams::with_workers(2)
+    };
+    let out = run_host_queries(&db, &queries, &params).expect("run survives the death");
+    for (i, (got, want)) in out.results.iter().zip(&want).enumerate() {
+        let got = got.as_ref().expect("every query completes on the survivor");
+        assert!(got.same_contents(want), "query {i} diverged");
+    }
+    assert_eq!(out.metrics.workers_lost(), 1);
+    assert!(out.metrics.per_worker[1].lost);
+    assert!(!out.metrics.per_worker[0].lost);
+    assert_eq!(out.metrics.per_worker[1].units, 0);
+}
+
+/// Losing the whole pool yields a clean structured error for every query
+/// that still needed worker service — never a deadlock.
+#[test]
+fn all_workers_dead_fails_cleanly_without_hanging() {
+    let (db, queries) = setup();
+    let params = HostParams {
+        fault: FaultPlan {
+            dead_workers: vec![0, 1],
+            ..FaultPlan::default()
+        },
+        ..HostParams::with_workers(2)
+    };
+    let out = run_host_queries(&db, &queries, &params).expect("the run itself is orderly");
+    for (i, r) in out.results.iter().enumerate() {
+        match r {
+            Err(HostError::WorkersExhausted { workers }) => assert_eq!(*workers, 2),
+            other => panic!("query {i}: expected WorkersExhausted, got {other:?}"),
+        }
+    }
+    assert_eq!(out.metrics.workers_lost(), 2);
+    assert_eq!(out.metrics.total_units(), 0);
+}
+
+/// Injected delays perturb interleavings but never the answer.
+#[test]
+fn injected_delays_leave_results_byte_identical() {
+    let (db, queries) = setup();
+    let clean = HostParams {
+        deterministic: true,
+        ..HostParams::with_workers(4)
+    };
+    let baseline = images(
+        &run_host_queries(&db, &queries, &clean)
+            .expect("fault-free run")
+            .results,
+    );
+    let mut delayed = clean.clone();
+    delayed.fault = FaultPlan {
+        delay_every: Some(3),
+        delay: Duration::from_millis(1),
+        ..FaultPlan::default()
+    };
+    let out = run_host_queries(&db, &queries, &delayed).expect("delays are harmless");
+    assert_eq!(images(&out.results), baseline);
+}
+
+/// A wedged kernel (simulated by a delay far past the stall timeout) makes
+/// the scheduler report [`HostError::Stalled`] instead of blocking forever.
+#[test]
+fn wedged_kernel_trips_the_stall_diagnostic() {
+    let (db, queries) = setup();
+    let params = HostParams {
+        stall_timeout: Duration::from_millis(20),
+        fault: FaultPlan {
+            delay_every: Some(1),
+            delay: Duration::from_secs(2),
+            ..FaultPlan::default()
+        },
+        ..HostParams::with_workers(2)
+    };
+    let err = run_host_queries(&db, &queries, &params).unwrap_err();
+    match err {
+        HostError::Stalled {
+            in_flight, waited, ..
+        } => {
+            assert!(in_flight > 0, "units were in flight when the run stalled");
+            assert_eq!(waited, Duration::from_millis(20));
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+}
+
+/// Seeded random panics at 1 and 2 workers: every query either matches the
+/// oracle or reports the contained panic, and the counters reconcile.
+#[test]
+fn seeded_panic_rate_matrix_contains_every_fault() {
+    quiet_worker_panics();
+    let (db, queries) = setup();
+    let want = oracles(&db, &queries);
+    for workers in [1usize, 2] {
+        let params = HostParams {
+            fault: FaultPlan {
+                panic_rate: 0.05,
+                seed: 0xD0E5,
+                ..FaultPlan::default()
+            },
+            ..HostParams::with_workers(workers)
+        };
+        let out = run_host_queries(&db, &queries, &params).expect("run survives");
+        let mut failed_queries = 0usize;
+        for (i, r) in out.results.iter().enumerate() {
+            match r {
+                Ok(got) => assert!(
+                    got.same_contents(&want[i]),
+                    "query {i} diverged at {workers} workers"
+                ),
+                Err(HostError::UnitPanicked { .. }) => failed_queries += 1,
+                Err(other) => panic!("query {i}: unexpected error {other:?}"),
+            }
+        }
+        let failed_units: usize = out.metrics.per_query.iter().map(|q| q.failed_units).sum();
+        assert_eq!(failed_units, out.metrics.total_panics());
+        assert!(
+            failed_queries <= out.metrics.total_panics(),
+            "each failed query implies at least one contained panic"
+        );
+        assert_eq!(out.metrics.workers_lost(), 0);
+    }
+}
+
+/// Worker wall clocks run from spawn, so even a worker that never receives
+/// a unit reports a nonzero lifetime (the old executor clocked from first
+/// receive and reported zero).
+#[test]
+fn idle_workers_report_nonzero_wall_time() {
+    let (db, queries) = setup();
+    let query = &queries[0];
+    let (_, metrics) =
+        run_host_query(&db, query, &HostParams::with_workers(8)).expect("host executes");
+    assert_eq!(metrics.per_worker.len(), 8);
+    for (id, w) in metrics.per_worker.iter().enumerate() {
+        assert!(!w.wall.is_zero(), "worker {id} reports zero wall time");
+        assert!(w.busy + w.send_wait <= w.wall + Duration::from_millis(5));
+    }
+}

@@ -47,6 +47,7 @@ fn ten_queries_match_oracle_at_all_worker_counts_and_strategies() {
             let out = run_host_queries(&db, &queries, &params).expect("host executes");
             assert_eq!(out.results.len(), queries.len());
             for (i, (got, want)) in out.results.iter().zip(&oracles).enumerate() {
+                let got = got.as_ref().expect("query succeeds");
                 assert!(
                     got.same_contents(want),
                     "query {i} diverged from oracle at {workers} workers, {strategy}: \
@@ -77,6 +78,7 @@ fn batch_metrics_are_consistent() {
         "scheduler and worker unit counts agree"
     );
     for (i, (q, rel)) in out.metrics.per_query.iter().zip(&out.results).enumerate() {
+        let rel = rel.as_ref().expect("query succeeds");
         assert_eq!(
             q.result_tuples,
             rel.num_tuples(),
@@ -101,7 +103,10 @@ fn deterministic_mode_repeated_runs_agree_exactly() {
             .expect("host executes")
             .results
             .iter()
-            .map(|r| r.pages().iter().map(|p| p.raw_data().to_vec()).collect())
+            .map(|r| {
+                let r = r.as_ref().expect("query succeeds");
+                r.pages().iter().map(|p| p.raw_data().to_vec()).collect()
+            })
             .collect()
     };
     let first = images(&queries);
@@ -153,7 +158,10 @@ fn hash_join_matches_nested_byte_for_byte_on_all_ten_queries() {
     let images = |out: &df_host::HostRunOutput| -> Vec<Vec<Vec<u8>>> {
         out.results
             .iter()
-            .map(|r| r.pages().iter().map(|p| p.raw_data().to_vec()).collect())
+            .map(|r| {
+                let r = r.as_ref().expect("query succeeds");
+                r.pages().iter().map(|p| p.raw_data().to_vec()).collect()
+            })
             .collect()
     };
     assert_eq!(

@@ -123,22 +123,20 @@ pub fn hash_join_probe(
 /// once and reused across every outer page. Output order is identical to
 /// [`nested_loops_join_relations`] (outer page → inner page → slot pairs).
 ///
-/// # Errors
-/// Like [`merge_join_relations`], refuses conditions outside its domain
-/// (non-equi θs, mixed-width keys) so callers choose nested loops; the
-/// page-level kernel [`hash_join_pages_raw`] falls back silently instead.
+/// Conditions outside the hash path's domain ([`hash_join_applicable`] is
+/// false: non-equi θs, mixed-width keys) silently fall back to
+/// [`nested_loops_join_relations`] — the same contract as the page-level
+/// kernel [`hash_join_pages_raw`], so every `hash_join_*` entry point
+/// accepts any valid θ-join and accelerates the ones it can. (Contrast
+/// [`merge_join_relations`], a deliberate single-algorithm baseline that
+/// errors instead.)
 pub fn hash_join_relations(
     outer: &Relation,
     inner: &Relation,
     condition: &JoinCondition,
-) -> Result<Vec<Tuple>> {
+) -> Vec<Tuple> {
     if !hash_join_applicable(outer.schema(), inner.schema(), condition) {
-        return Err(Error::TypeMismatch {
-            detail: format!(
-                "hash join requires an equi-join over equal-width keys, got `{}`",
-                condition.op
-            ),
-        });
+        return nested_loops_join_relations(outer, inner, condition);
     }
     let indexes: Vec<PageKeyIndex> = inner
         .pages()
@@ -152,7 +150,7 @@ pub fn hash_join_relations(
             out.extend(hash_join_probe(op, ip, index, condition, &out_schema).to_tuples());
         }
     }
-    Ok(out)
+    out
 }
 
 /// Whole-relation nested-loops join (the uniprocessor form of the paper's
@@ -368,18 +366,28 @@ mod tests {
         let inner = rel(&[(2, 20), (2, 21), (4, 40), (9, 90), (2, 22)]);
         let c = cond(outer.schema(), inner.schema());
         assert_eq!(
-            hash_join_relations(&outer, &inner, &c).unwrap(),
+            hash_join_relations(&outer, &inner, &c),
             nested_loops_join_relations(&outer, &inner, &c),
             "order-exact, not just multiset-equal"
         );
     }
 
     #[test]
-    fn hash_join_relations_rejects_non_equi() {
-        let outer = rel(&[(1, 1)]);
-        let inner = rel(&[(1, 1)]);
-        let c = JoinCondition::new(outer.schema(), "k", CmpOp::Lt, inner.schema(), "k").unwrap();
-        assert!(hash_join_relations(&outer, &inner, &c).is_err());
+    fn hash_join_relations_falls_back_on_non_equi() {
+        // Same silent-fallback contract as the page-level kernel: any θ is
+        // accepted, and the inapplicable ones reproduce nested loops
+        // exactly (order included).
+        let outer = rel(&[(1, 1), (2, 2), (2, 3), (4, 4), (7, 7)]);
+        let inner = rel(&[(2, 20), (2, 21), (4, 40), (9, 90)]);
+        for op in [CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let c = JoinCondition::new(outer.schema(), "k", op, inner.schema(), "k").unwrap();
+            assert!(!hash_join_applicable(outer.schema(), inner.schema(), &c));
+            assert_eq!(
+                hash_join_relations(&outer, &inner, &c),
+                nested_loops_join_relations(&outer, &inner, &c),
+                "op {op}"
+            );
+        }
     }
 
     #[test]
@@ -387,8 +395,8 @@ mod tests {
         let empty = rel(&[]);
         let full = rel(&[(1, 1)]);
         let c = cond(empty.schema(), full.schema());
-        assert!(hash_join_relations(&empty, &full, &c).unwrap().is_empty());
-        assert!(hash_join_relations(&full, &empty, &c).unwrap().is_empty());
+        assert!(hash_join_relations(&empty, &full, &c).is_empty());
+        assert!(hash_join_relations(&full, &empty, &c).is_empty());
     }
 
     #[test]
