@@ -1,0 +1,92 @@
+//! Compare two `BENCH_<name>.json` artifacts and fail on regressions.
+//!
+//! ```sh
+//! # CI gate: candidate vs committed baseline, deterministic counters only
+//! bench_check --counters-only baseline.json candidate.json
+//!
+//! # Local gate: same machine, timings count (default +25% tolerance)
+//! bench_check --max-regression 0.10 base.json cand.json
+//!
+//! # Single-artifact mode: internal metric invariants only
+//! bench_check --check BENCH_host_smoke.json
+//! ```
+//!
+//! Exit status: 0 when every check passes, 1 on any failure, 2 on usage or
+//! I/O errors. Failures are listed one per line on stdout.
+
+use df_obs::{BenchArtifact, CompareOptions};
+
+fn main() {
+    let mut opts = CompareOptions::default();
+    let mut check_only = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-regression" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--max-regression needs a value"));
+                opts.max_regression = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad value `{v}` for --max-regression")));
+            }
+            "--counters-only" => opts.counters_only = true,
+            "--check" => check_only = true,
+            other if other.starts_with("--") => die(&format!("unknown flag `{other}`")),
+            other => files.push(other.to_string()),
+        }
+    }
+
+    let failures = if check_only {
+        if files.len() != 1 {
+            die("--check mode takes exactly one artifact");
+        }
+        let a = load(&files[0]);
+        println!("bench_check: {} ({}, kind {})", files[0], a.name, a.kind);
+        a.check()
+    } else {
+        if files.len() != 2 {
+            die("expected BASELINE and CANDIDATE artifact paths");
+        }
+        let base = load(&files[0]);
+        let cand = load(&files[1]);
+        println!(
+            "bench_check: {} -> {} (kind {}, {})",
+            files[0],
+            files[1],
+            base.kind,
+            if opts.counters_only {
+                "counters only".to_string()
+            } else {
+                format!("max regression {:.0}%", opts.max_regression * 100.0)
+            }
+        );
+        // A candidate that violates its own invariants fails even if it
+        // happens to match the baseline.
+        let mut f = cand.check();
+        f.extend(BenchArtifact::compare(&base, &cand, &opts));
+        f
+    };
+
+    if failures.is_empty() {
+        println!("bench_check: PASS");
+    } else {
+        for f in &failures {
+            println!("bench_check: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn load(path: &str) -> BenchArtifact {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    BenchArtifact::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_check: {msg}");
+    std::process::exit(2);
+}

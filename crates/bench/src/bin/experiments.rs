@@ -5,42 +5,67 @@
 //! cargo run --release -p df-bench --bin experiments            # everything
 //! cargo run --release -p df-bench --bin experiments -- fig3_1  # one table
 //! cargo run --release -p df-bench --bin experiments -- --join hash fig3_1
+//! cargo run --release -p df-bench --bin experiments -- \
+//!     --scale 0.05 --json artifacts fig4_2 perf_hj   # CI perf-smoke mode
 //! ```
 //!
 //! Available tables: `fig3_1`, `sec3_3`, `fig4_2`, `abl_pgsz`, `abl_alloc`,
 //! `abl_bcast`, `abl_route`, `abl_proj`, `abl_multi`, `perf_hj`. The flag
 //! `--join {nested,hash}` switches the join algorithm of the machine
-//! configurations built in `main` (default `nested`, the paper's choice).
+//! configurations built in `main` (default `nested`, the paper's choice);
+//! `--scale F` shrinks the database (default 1.0, the paper's 5.5 MB);
+//! `--json DIR` additionally serializes the `fig3_1`, `fig4_2` and
+//! `perf_hj` tables into `DIR/BENCH_<name>.json` artifacts (DESIGN.md §7).
 //! The output of a full run is recorded in `EXPERIMENTS.md`.
 
+use std::path::{Path, PathBuf};
+
+use df_bench::report::{host_artifact, ring_artifact, sweep_artifact, write_artifact};
 use df_bench::{
     fig31_params, fig42_params, run_core, run_ring, setup, setup_with_page_size, BenchSetup,
 };
 use df_core::{bandwidth, run_queries, AllocationStrategy, Granularity, JoinAlgo, MachineParams};
+use df_obs::SweepRow;
 use df_workload::{benchmark_queries, chain_query, generate_database, VAL_DOMAIN};
 
 fn main() {
     let mut join = JoinAlgo::default();
+    let mut scale = 1.0f64;
+    let mut json_dir: Option<PathBuf> = None;
     let mut which: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("experiments: {flag} needs a value");
+            std::process::exit(2);
+        })
+    };
     while let Some(a) = args.next() {
-        if a == "--join" {
-            let v = args.next().unwrap_or_else(|| {
-                eprintln!("experiments: --join needs a value");
-                std::process::exit(2);
-            });
-            join = v.parse().unwrap_or_else(|e: String| {
-                eprintln!("experiments: {e}");
-                std::process::exit(2);
-            });
-        } else {
-            which.push(a);
+        match a.as_str() {
+            "--join" => {
+                join = value("--join", &mut args)
+                    .parse()
+                    .unwrap_or_else(|e: String| {
+                        eprintln!("experiments: {e}");
+                        std::process::exit(2);
+                    });
+            }
+            "--scale" => {
+                let v = value("--scale", &mut args);
+                scale = v.parse().unwrap_or_else(|_| {
+                    eprintln!("experiments: bad value `{v}` for --scale");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => json_dir = Some(PathBuf::from(value("--json", &mut args))),
+            _ => which.push(a),
         }
     }
     let want = |name: &str| which.is_empty() || which.iter().any(|w| w == name);
+    let json_dir = json_dir.as_deref();
 
-    println!("=== dataflow-dbm experiment harness (full scale: 5.5 MB, 10 queries) ===");
-    let mut s = setup(1.0);
+    println!("=== dataflow-dbm experiment harness (scale {scale}: 10 queries) ===");
+    let mut s = setup(scale);
     s.join = join;
     let s = s;
     println!(
@@ -51,16 +76,16 @@ fn main() {
     );
 
     if want("fig3_1") {
-        fig3_1(&s);
+        fig3_1(&s, json_dir);
     }
     if want("sec3_3") {
         sec3_3();
     }
     if want("fig4_2") {
         // Figure 4.2's stated assumption: 16 KB operand pages.
-        let mut s16 = setup_with_page_size(1.0, 16 * 1024);
+        let mut s16 = setup_with_page_size(scale, 16 * 1024);
         s16.join = join;
-        fig4_2(&s16);
+        fig4_2(&s16, json_dir);
     }
     if want("abl_pgsz") {
         abl_pgsz(&s);
@@ -81,7 +106,22 @@ fn main() {
         abl_multi();
     }
     if want("perf_hj") {
-        perf_hj();
+        perf_hj(scale.min(0.2), json_dir);
+    }
+}
+
+/// Write `artifact` into the `--json` directory, if one was given.
+fn emit(json_dir: Option<&Path>, artifact: &df_obs::BenchArtifact) {
+    let Some(dir) = json_dir else { return };
+    match write_artifact(dir, artifact) {
+        Ok(path) => println!("json: wrote {}", path.display()),
+        Err(e) => {
+            eprintln!(
+                "experiments: cannot write artifact `{}`: {e}",
+                artifact.name
+            );
+            std::process::exit(2);
+        }
     }
 }
 
@@ -89,15 +129,15 @@ fn main() {
 /// loops — first at the kernel level (every page pair of one
 /// low-selectivity fk = key join, timed on this host), then end to end on
 /// the real-threads executor with the probe/sweep unit split.
-fn perf_hj() {
+fn perf_hj(scale: f64, json_dir: Option<&Path>) {
     use df_host::{run_host_queries, HostParams};
     use df_query::ops::{hash_join_pages_raw, hash_join_probe, join_pages_raw};
     use df_relalg::{JoinCondition, PageKeyIndex};
     use df_workload::{FK_ATTR, KEY_ATTR};
     use std::time::Instant;
 
-    println!("--- PERF-HJ: hash equi-join vs nested loops (scale 0.2, 4096 B pages)");
-    let s = setup_with_page_size(0.2, 4096);
+    println!("--- PERF-HJ: hash equi-join vs nested loops (scale {scale}, 4096 B pages)");
+    let s = setup_with_page_size(scale, 4096);
     let outer = s.db.get("r01").expect("workload relation");
     let inner = s.db.get("r00").expect("workload relation");
     let cond =
@@ -181,17 +221,23 @@ fn perf_hj() {
             "  {join:<6}  elapsed {:>8.2?}  probe units {probes:>6}  sweep units {sweeps:>6}",
             out.metrics.elapsed
         );
+        emit(
+            json_dir,
+            &host_artifact(&format!("perf_hj_{join}"), scale, &params, &out),
+        );
     }
     println!("deviation from the paper (DESIGN.md §5): the IPs' join kernel is a knob\n");
 }
 
 /// FIG-3.1: page vs relation granularity over a processor sweep.
-fn fig3_1(s: &BenchSetup) {
+fn fig3_1(s: &BenchSetup, json_dir: Option<&Path>) {
     println!("--- FIG-3.1: benchmark execution time, relation vs page granularity");
     println!(
         "{:>6} {:>12} {:>12} {:>7} {:>14} {:>14}",
         "procs", "relation", "page", "ratio", "rel disk KB", "page disk KB"
     );
+    let mut rows = Vec::new();
+    let mut last_page = None;
     for procs in [4usize, 8, 16, 24, 32, 48, 64] {
         let params = fig31_params(s, procs);
         let rel = run_core(s, &params, Granularity::Relation);
@@ -204,6 +250,30 @@ fn fig3_1(s: &BenchSetup) {
             rel.elapsed.as_secs_f64() / page.elapsed.as_secs_f64(),
             (rel.disk_read.bytes + rel.disk_write.bytes) / 1024,
             (page.disk_read.bytes + page.disk_write.bytes) / 1024,
+        );
+        rows.push(SweepRow {
+            label: format!("procs={procs}"),
+            values: vec![
+                ("relation_secs".into(), rel.elapsed.as_secs_f64()),
+                ("page_secs".into(), page.elapsed.as_secs_f64()),
+                (
+                    "rel_disk_bytes".into(),
+                    (rel.disk_read.bytes + rel.disk_write.bytes) as f64,
+                ),
+                (
+                    "page_disk_bytes".into(),
+                    (page.disk_read.bytes + page.disk_write.bytes) as f64,
+                ),
+            ],
+        });
+        last_page = Some(page);
+    }
+    emit(json_dir, &sweep_artifact("fig3_1", rows));
+    if let Some(m) = last_page {
+        // Bandwidth-demand curves of the widest page-granularity run.
+        emit(
+            json_dir,
+            &df_bench::report::core_artifact("fig3_1_series", &m),
         );
     }
     println!("paper: page-level outperforms relation-level by a factor of about two\n");
@@ -272,12 +342,13 @@ fn sec3_3() {
 }
 
 /// FIG-4.2: ring-machine bandwidth demand vs number of IPs.
-fn fig4_2(s: &BenchSetup) {
+fn fig4_2(s: &BenchSetup, json_dir: Option<&Path>) {
     println!("--- FIG-4.2: average bandwidth vs number of instruction processors");
     println!(
         "{:>5} {:>10} {:>12} {:>12} {:>12} {:>12} {:>7}",
         "IPs", "elapsed", "outer ring", "inner ring", "cache", "disk", "util"
     );
+    let mut rows = Vec::new();
     for ips in [5usize, 10, 20, 30, 50, 75, 100] {
         let params = fig42_params(s, ips);
         let m = run_ring(s, &params);
@@ -291,7 +362,24 @@ fn fig4_2(s: &BenchSetup) {
             m.disk_mbps(),
             m.ip_utilization() * 100.0
         );
+        rows.push(SweepRow {
+            label: format!("ips={ips}"),
+            values: vec![
+                ("elapsed_secs".into(), m.elapsed.as_secs_f64()),
+                ("outer_ring_mbps".into(), m.outer_ring_mbps()),
+                ("inner_ring_mbps".into(), m.inner_ring_mbps()),
+                ("cache_mbps".into(), m.cache_mbps()),
+                ("disk_mbps".into(), m.disk_mbps()),
+                ("ip_utilization".into(), m.ip_utilization()),
+            ],
+        });
+        if ips == 30 {
+            // Demand *curves* (not just the averages above) for the paper's
+            // headline 30-IP configuration.
+            emit(json_dir, &ring_artifact("fig4_2_series", &params, &m));
+        }
     }
+    emit(json_dir, &sweep_artifact("fig4_2", rows));
     println!("paper: 40 Mbps sufficient for up to 50 IPs; ~100 Mbps for larger configurations\n");
 }
 

@@ -16,6 +16,11 @@
 //! - `--deterministic` canonicalize results (byte-stable across runs)
 //! - `--verify`        check every successful result against the oracle
 //!
+//! Observability (DESIGN.md §7):
+//! - `--json FILE`      write a `BENCH_*.json` artifact of the run
+//! - `--name N`         artifact name (default `host`)
+//! - `--trace-out FILE` install a tracer and dump its event snapshot
+//!
 //! Fault injection (all deterministic; see `df_host::FaultPlan`):
 //! - `--fault-panic N`        panic the kernel of dispatched unit N
 //! - `--fault-panic-rate P`   panic each unit with probability P (seeded)
@@ -24,16 +29,22 @@
 //! - `--fault-delay-ms M`     the injected sleep (default 1 ms)
 //! - `--fault-dead-worker I`  worker I dies at start (repeatable)
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use df_bench::report::host_artifact;
 use df_bench::setup_with_page_size;
 use df_host::{run_host_queries, HostParams};
+use df_obs::Tracer;
 use df_query::{execute_readonly, ExecParams};
 
 fn main() {
     let mut params = HostParams::default();
     let mut scale = 0.5f64;
     let mut verify = false;
+    let mut json_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut name = "host".to_string();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -53,6 +64,9 @@ fn main() {
             }
             "--deterministic" => params.deterministic = true,
             "--verify" => verify = true,
+            "--json" => json_out = Some(value("--json")),
+            "--name" => name = value("--name"),
+            "--trace-out" => trace_out = Some(value("--trace-out")),
             "--fault-panic" => {
                 params.fault.panic_on_unit = Some(parse(&value("--fault-panic"), "--fault-panic"));
             }
@@ -83,6 +97,9 @@ fn main() {
 
     if params.fault.panic_on_unit.is_some() || params.fault.panic_rate > 0.0 {
         quiet_worker_panics();
+    }
+    if trace_out.is_some() {
+        params.trace = Some(Arc::new(Tracer::new(Tracer::DEFAULT_CAPACITY)));
     }
 
     println!(
@@ -134,14 +151,7 @@ fn main() {
         out.metrics.worker_utilization() * 100.0
     );
     for (i, w) in out.metrics.per_worker.iter().enumerate() {
-        println!(
-            "  worker {i:>2}: {:>6} units, busy {:>10.2?} of {:>10.2?} ({:>4.1}%){}",
-            w.units,
-            w.busy,
-            w.wall,
-            w.utilization() * 100.0,
-            if w.lost { "  [lost]" } else { "" }
-        );
+        println!("  {}", w.summary_row(i));
     }
     if params.fault.is_active() {
         let failed = out.results.iter().filter(|r| r.is_err()).count();
@@ -177,6 +187,27 @@ fn main() {
             "verify: all {checked} successful results match the sequential oracle ({} failed)",
             s.queries.len() - checked
         );
+    }
+
+    if let Some(path) = &json_out {
+        let artifact = host_artifact(&name, scale, &params, &out);
+        if let problems @ [_, ..] = &artifact.check()[..] {
+            for p in problems {
+                eprintln!("host_run: artifact invariant violated: {p}");
+            }
+            die("refusing to write an unsound artifact");
+        }
+        std::fs::write(path, artifact.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("json: wrote {path} (artifact `{name}`)");
+    }
+    if let (Some(path), Some(tracer)) = (&trace_out, &params.trace) {
+        let snap = tracer.snapshot();
+        let events = snap.events.len();
+        let dropped = snap.dropped;
+        std::fs::write(path, snap.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("trace: wrote {path} ({events} events, {dropped} dropped)");
     }
 }
 

@@ -7,6 +7,8 @@
 //! (`src/bin/experiments.rs`) runs the paper-scale versions and prints the
 //! tables recorded in `EXPERIMENTS.md`.
 
+pub mod report;
+
 use df_core::{run_queries, AllocationStrategy, Granularity, JoinAlgo, MachineParams, Metrics};
 use df_host::{run_host_queries, HostParams, HostRunOutput};
 use df_query::QueryTree;

@@ -25,6 +25,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use df_obs::{IntervalSeries, Path as ObsPath};
 use df_query::QueryTree;
 use df_relalg::{Catalog, Page, Relation, Result, Tuple, TupleBuf};
 use df_sim::stats::ByteCounter;
@@ -140,6 +141,8 @@ pub struct Machine {
 
     arb_traffic: ByteCounter,
     dist_traffic: ByteCounter,
+    arb_series: IntervalSeries,
+    dist_series: IntervalSeries,
     proc_busy: Duration,
     units_dispatched: u64,
     query_completions: Vec<Option<SimTime>>,
@@ -243,6 +246,8 @@ impl Machine {
             rr_cursor: 0,
             arb_traffic: ByteCounter::new(),
             dist_traffic: ByteCounter::new(),
+            arb_series: IntervalSeries::default(),
+            dist_series: IntervalSeries::default(),
             proc_busy: Duration::ZERO,
             units_dispatched: 0,
             query_completions: vec![None; n_queries],
@@ -605,6 +610,7 @@ impl Machine {
             let wire_bytes = pkt_payload + packets * self.params.packet_overhead;
             self.arb_traffic.bytes += wire_bytes as u64;
             self.arb_traffic.transfers += packets as u64;
+            self.observe(data_ready, ObsPath::Arbitration, wire_bytes);
             let net_service = self.params.cost.net_time(wire_bytes, packets);
             let (_, done) = self.net_arb.submit(data_ready, net_service);
             done
@@ -734,6 +740,23 @@ impl Machine {
         self.check_completion(iid);
     }
 
+    /// Record a network transfer into the per-interval demand series and,
+    /// when a tracer is installed, into its per-path counters — both stamped
+    /// with *simulated* time, so traced totals equal the [`ByteCounter`]s
+    /// exactly.
+    fn observe(&mut self, now: SimTime, path: ObsPath, bytes: usize) {
+        let t = now.as_nanos();
+        let series = match path {
+            ObsPath::Arbitration => &mut self.arb_series,
+            ObsPath::Distribution => &mut self.dist_series,
+            _ => return,
+        };
+        series.record(t, bytes as u64);
+        if let Some(tr) = self.params.trace.as_deref() {
+            tr.transfer_at(t, path, u32::MAX, bytes as u64);
+        }
+    }
+
     /// Ship a produced page through the distribution network into the cache
     /// and deliver it to the parent (or the query result set).
     fn emit_page(&mut self, now: SimTime, iid: InstrId, page: Page) {
@@ -750,6 +773,7 @@ impl Machine {
         let wire = payload + packets * self.params.packet_overhead;
         self.dist_traffic.bytes += wire as u64;
         self.dist_traffic.transfers += packets as u64;
+        self.observe(now, ObsPath::Distribution, wire);
         let (_, net_done) = self
             .net_dist
             .submit(now, self.params.cost.net_time(wire, packets));
@@ -897,6 +921,8 @@ impl Machine {
                 .map(|t| t.expect("all queries completed"))
                 .collect(),
             instructions: self.states.iter().map(|s| s.stats.clone()).collect(),
+            arbitration_series: self.arb_series.clone(),
+            distribution_series: self.dist_series.clone(),
         };
         (relations, metrics)
     }

@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use df_obs::IntervalSeries;
 use df_sim::stats::ByteCounter;
 use df_sim::{Duration, SimTime};
 
@@ -52,6 +53,13 @@ pub struct Metrics {
     pub query_completions: Vec<SimTime>,
     /// Per-instruction statistics.
     pub instructions: Vec<InstructionStats>,
+    /// Per-interval arbitration-network demand over simulated time —
+    /// Figure 4.2's curve rather than just its average. Totals equal
+    /// `arbitration.bytes` exactly (both are fed from the same transfers).
+    pub arbitration_series: IntervalSeries,
+    /// Per-interval distribution-network demand. Totals equal
+    /// `distribution.bytes` exactly.
+    pub distribution_series: IntervalSeries,
 }
 
 impl Metrics {
@@ -119,6 +127,15 @@ impl Metrics {
             ));
         }
         out
+    }
+
+    /// The bandwidth-demand curves by stable path name, for the
+    /// `BENCH_*.json` series rows.
+    pub fn bandwidth_series(&self) -> [(&'static str, &IntervalSeries); 2] {
+        [
+            ("arbitration", &self.arbitration_series),
+            ("distribution", &self.distribution_series),
+        ]
     }
 
     /// Mean query response time across the batch.

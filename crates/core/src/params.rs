@@ -2,7 +2,9 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
+use df_obs::Tracer;
 use df_sim::Duration;
 use df_storage::{CacheParams, DiskParams};
 
@@ -157,6 +159,12 @@ pub struct MachineParams {
     pub cache: CacheParams,
     /// Mass-storage configuration.
     pub disk: DiskParams,
+    /// Structured event tracer (see [`df_obs::Tracer`]). `None` — the
+    /// default — costs one branch per would-be event. An installed tracer
+    /// receives every arbitration/distribution transfer stamped with
+    /// *simulated* time, so traced byte totals equal the
+    /// [`crate::Metrics`] counters exactly.
+    pub trace: Option<Arc<Tracer>>,
 }
 
 impl Default for MachineParams {
@@ -176,6 +184,7 @@ impl Default for MachineParams {
                 ..CacheParams::default()
             },
             disk: DiskParams::default(),
+            trace: None,
         }
     }
 }

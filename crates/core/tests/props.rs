@@ -169,3 +169,40 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// Observability conservation: the per-interval demand series and an
+    /// installed tracer are fed from exactly the transfers that feed the
+    /// network `ByteCounter`s, so all three totals agree to the byte — for
+    /// any database, query shape, and granularity.
+    #[test]
+    fn bandwidth_series_and_trace_equal_counters(
+        db in arb_db(),
+        shape in arb_query_shape(),
+        page_level in 0u8..2,
+    ) {
+        use df_obs::{Path, Tracer};
+        use std::sync::Arc;
+
+        let query = build_query(&db, shape);
+        let tracer = Arc::new(Tracer::new(Tracer::DEFAULT_CAPACITY));
+        let mut params = MachineParams::with_processors(3);
+        params.page_size = 16 + 16 * 3;
+        params.trace = Some(Arc::clone(&tracer));
+        let g = if page_level == 1 { Granularity::Page } else { Granularity::Relation };
+        let out = run_queries(
+            &db,
+            std::slice::from_ref(&query),
+            &params,
+            g,
+            AllocationStrategy::default(),
+        )
+        .unwrap();
+        let m = &out.metrics;
+        prop_assert_eq!(m.arbitration_series.total_bytes(), m.arbitration.bytes);
+        prop_assert_eq!(m.distribution_series.total_bytes(), m.distribution.bytes);
+        let snap = tracer.snapshot();
+        prop_assert_eq!(snap.bytes(Path::Arbitration), m.arbitration.bytes);
+        prop_assert_eq!(snap.bytes(Path::Distribution), m.distribution.bytes);
+    }
+}

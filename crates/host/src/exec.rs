@@ -38,6 +38,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use df_core::{JoinAlgo, LockRequest, LockTable, StrategyPicker, WorkCandidate, WorkPicker};
+use df_obs::{EventKind, Path, Tracer};
 use df_query::ops::{
     cross_pages_raw, dedup_pages_raw, difference_pages_raw, hash_join_applicable, hash_join_probe,
     join_pages_raw, project_page_raw, restrict_page_raw, union_pages_raw,
@@ -210,10 +211,11 @@ pub fn run_host_queries(
         let done = done_tx.clone();
         let poisoned = Arc::clone(&poisoned);
         let dead_at_start = params.fault.worker_dead_at_start(id);
+        let trace = params.trace.clone();
         handles.push(
             thread::Builder::new()
                 .name(format!("df-host-worker-{id}"))
-                .spawn(move || worker_loop(id, rx, done, poisoned, dead_at_start))
+                .spawn(move || worker_loop(id, rx, done, poisoned, dead_at_start, trace))
                 .expect("spawning worker thread"),
         );
     }
@@ -394,6 +396,12 @@ impl<'a> Scheduler<'a> {
         self.dead.iter().filter(|&&d| !d).count()
     }
 
+    /// The installed tracer, if any. Borrows only the (shared) params
+    /// reference, so it composes with mutable borrows of scheduler state.
+    fn trace(&self) -> Option<&'a Tracer> {
+        self.params.trace.as_deref()
+    }
+
     fn run(mut self) -> HostResult<SchedulerOutcome> {
         self.admit_compatible()?;
         while self.finished < self.queries.len() {
@@ -521,6 +529,15 @@ impl<'a> Scheduler<'a> {
             failed: None,
         });
         self.next_base += plan.cells.len();
+        if let Some(t) = self.trace() {
+            t.record(
+                EventKind::QueryAdmit,
+                q as u32,
+                u32::MAX,
+                plan.cells.len() as u64,
+                0,
+            );
+        }
 
         for (idx, spec) in plan.cells.iter().enumerate() {
             if spec.firing != Firing::Source {
@@ -552,14 +569,17 @@ impl<'a> Scheduler<'a> {
 
     /// The §2 firing rule: operand pages arrived at `cell`'s `port`.
     fn on_pages(&mut self, q: usize, cell: usize, port: usize, pages: Vec<Arc<Page>>) {
+        let trace = self.params.trace.as_deref();
         let state = self.active[q].as_mut().expect("query is active");
         let firing = state.plan.cells[cell].firing;
         let cs = &mut state.cells[cell];
+        let mut fired = 0u64;
         match firing {
             Firing::Source => unreachable!("scan cells have no operands"),
             Firing::PerPage => {
                 for p in pages {
                     cs.pending.push_back(WorkKind::Page(p));
+                    fired += 1;
                 }
             }
             Firing::PairSweep => {
@@ -577,12 +597,24 @@ impl<'a> Scheduler<'a> {
                             opposite,
                             new_is_outer: port == 0,
                         });
+                        fired += 1;
                     }
                     cs.received[port].push(new_page);
                 }
             }
             Firing::Complete => {
                 cs.received[port].extend(pages.into_iter().map(|p| Arc::new(OperandPage::new(p))))
+            }
+        }
+        if fired > 0 {
+            if let Some(t) = trace {
+                t.record(
+                    EventKind::CellFire,
+                    q as u32,
+                    cell as u32,
+                    cs.pending.len() as u64,
+                    fired,
+                );
             }
         }
     }
@@ -629,6 +661,9 @@ impl<'a> Scheduler<'a> {
             Vec::new()
         };
         cs.pending.push_back(WorkKind::Complete { left, right });
+        if let Some(t) = self.trace() {
+            t.record(EventKind::CellFire, q as u32, cell as u32, 1, 1);
+        }
     }
 
     /// Complete `cell` if its operands are done and no work is outstanding.
@@ -665,7 +700,18 @@ impl<'a> Scheduler<'a> {
         }
         let mut stats = state.stats;
         stats.result_tuples = rel.num_tuples();
+        stats.result_payload_bytes = rel.tuple_refs().map(|t| t.raw().len() as u64).sum();
         stats.elapsed = state.admitted_at.elapsed();
+        if let Some(t) = self.trace() {
+            t.transfer(Path::QueryResult, q as u32, stats.result_payload_bytes);
+            t.record(
+                EventKind::QueryDone,
+                q as u32,
+                u32::MAX,
+                0,
+                stats.result_tuples as u64,
+            );
+        }
         self.per_query[q] = stats;
         self.results[q] = Some(Ok(rel));
         self.finished += 1;
@@ -699,6 +745,9 @@ impl<'a> Scheduler<'a> {
         let err = state.failed.expect("concluding a query that never failed");
         let mut stats = state.stats;
         stats.elapsed = state.admitted_at.elapsed();
+        if let Some(t) = self.trace() {
+            t.record(EventKind::QueryDone, q as u32, u32::MAX, 1, 0);
+        }
         self.per_query[q] = stats;
         self.results[q] = Some(Err(err));
         self.finished += 1;
@@ -733,6 +782,9 @@ impl<'a> Scheduler<'a> {
         }
         self.dead[worker] = true;
         self.idle.retain(|&w| w != worker);
+        if let Some(t) = self.trace() {
+            t.record_global(EventKind::Fault, 1, worker as u64);
+        }
         if let Some((q, cell, kind)) = self.assigned[worker].take() {
             self.dispatched -= 1;
             let state = self.active[q].as_mut().expect("query is active");
@@ -745,6 +797,9 @@ impl<'a> Scheduler<'a> {
             } else {
                 state.stats.requeued_units += 1;
                 state.cells[cell].pending.push_front(kind);
+                if let Some(t) = self.trace() {
+                    t.record(EventKind::Fault, q as u32, cell as u32, 2, worker as u64);
+                }
             }
         }
         Ok(())
@@ -753,6 +808,23 @@ impl<'a> Scheduler<'a> {
     /// While a worker is idle and ready work exists, let the allocation
     /// policy pick the instruction to serve and dispatch one of its units.
     fn dispatch_ready(&mut self) {
+        if let Some(t) = self.trace() {
+            if t.is_enabled() {
+                let pending: usize = self
+                    .active
+                    .iter()
+                    .flatten()
+                    .flat_map(|s| s.cells.iter().map(|c| c.pending.len()))
+                    .sum();
+                t.record(
+                    EventKind::QueueDepth,
+                    u32::MAX,
+                    u32::MAX,
+                    pending as u64,
+                    self.idle.len() as u64,
+                );
+            }
+        }
         while let Some(&worker) = self.idle.last() {
             let mut candidates: Vec<WorkCandidate> = Vec::new();
             let mut owners: Vec<(usize, usize)> = Vec::new();
@@ -800,6 +872,15 @@ impl<'a> Scheduler<'a> {
                     let state = self.active[q].as_mut().expect("query is active");
                     state.cells[c].in_flight += 1;
                     state.in_flight_total += 1;
+                    if let Some(t) = self.trace() {
+                        t.record(
+                            EventKind::UnitDispatch,
+                            q as u32,
+                            c as u32,
+                            seq,
+                            worker as u64,
+                        );
+                    }
                 }
                 Err(refused) => {
                     // The worker's receiver is gone: it died before ever
@@ -809,6 +890,9 @@ impl<'a> Scheduler<'a> {
                     let state = self.active[q].as_mut().expect("query is active");
                     state.cells[c].pending.push_front(refused.0.kind);
                     state.stats.requeued_units += 1;
+                    if let Some(t) = self.trace() {
+                        t.record(EventKind::Fault, q as u32, c as u32, 2, worker as u64);
+                    }
                 }
             }
         }
@@ -869,6 +953,9 @@ impl<'a> Scheduler<'a> {
                 state.stats.units_fired += 1;
                 state.stats.failed_units += 1;
                 let op = state.plan.cells[cell].op.name().to_string();
+                if let Some(t) = self.trace() {
+                    t.record(EventKind::Fault, q as u32, cell as u32, 0, worker as u64);
+                }
                 self.fail_query(
                     q,
                     HostError::UnitPanicked {
@@ -994,6 +1081,7 @@ fn worker_loop(
     done: SyncSender<Completion>,
     poisoned: Arc<AtomicBool>,
     dead_at_start: bool,
+    trace: Option<Arc<Tracer>>,
 ) -> WorkerStats {
     let spawned = Instant::now();
     let mut stats = WorkerStats::default();
@@ -1012,6 +1100,9 @@ fn worker_loop(
         if poisoned.load(Ordering::Relaxed) {
             break;
         }
+        let span = trace
+            .as_deref()
+            .map(|t| t.span(unit.query as u32, unit.cell as u32, unit.seq));
         let t0 = Instant::now();
         let executed = catch_unwind(AssertUnwindSafe(|| {
             match unit.fault {
@@ -1023,13 +1114,28 @@ fn worker_loop(
             }
             execute_unit(&unit)
         }));
+        let busy = t0.elapsed();
         stats.units += 1;
-        stats.busy += t0.elapsed();
+        stats.busy += busy;
+        if let (Some(t), Some(span)) = (trace.as_deref(), span) {
+            let class = match &executed {
+                Ok((_, _, _, UnitClass::Probe)) => 1,
+                Ok((_, _, _, UnitClass::Sweep)) => 2,
+                _ => 0,
+            };
+            span.end_with(t, class, busy.as_nanos() as u64);
+        }
         let completion = match executed {
             Ok((pages, pages_in, bytes_in, class)) => {
                 let bytes_out: u64 = pages.iter().map(|p| p.wire_bytes() as u64).sum();
                 stats.bytes_in += bytes_in;
                 stats.bytes_out += bytes_out;
+                if let Some(t) = trace.as_deref() {
+                    // Operand pages crossed the distribution network to
+                    // this IP; result pages go back over arbitration.
+                    t.transfer(Path::Distribution, unit.query as u32, bytes_in);
+                    t.transfer(Path::Arbitration, unit.query as u32, bytes_out);
+                }
                 Completion::Done {
                     worker: id,
                     query: unit.query,

@@ -38,6 +38,21 @@ impl WorkerStats {
             self.busy.as_secs_f64() / self.wall.as_secs_f64()
         }
     }
+
+    /// One human-readable summary row for worker `id` — the per-worker
+    /// line `host_run` prints. Every accumulated duration is surfaced,
+    /// `send_wait` (arbitration back-pressure) included.
+    pub fn summary_row(&self, id: usize) -> String {
+        format!(
+            "worker {id:>2}: {:>6} units, busy {:>10.2?}, send_wait {:>9.2?}, wall {:>10.2?} ({:>4.1}%){}",
+            self.units,
+            self.busy,
+            self.send_wait,
+            self.wall,
+            self.utilization() * 100.0,
+            if self.lost { "  [lost]" } else { "" }
+        )
+    }
 }
 
 /// What one query cost.
@@ -66,6 +81,12 @@ pub struct QueryStats {
     pub bytes_moved: u64,
     /// Tuples in the query's result relation (0 for a failed query).
     pub result_tuples: usize,
+    /// Sum of the result tuples' image lengths in bytes. Unlike
+    /// `bytes_moved` this is packing-independent (no page headers, no
+    /// partially filled pages), so it is directly comparable to the
+    /// sequential oracle's relation payload — the `trace_invariants`
+    /// differential tests rely on that.
+    pub result_payload_bytes: u64,
     /// Admission-to-completion wall time (admission-to-failure for a
     /// failed query).
     pub elapsed: Duration,
@@ -147,6 +168,28 @@ mod tests {
         assert_eq!(m.total_bytes(), 150);
         assert!((m.worker_utilization() - 0.125).abs() < 1e-9);
         assert_eq!(HostMetrics::default().worker_utilization(), 0.0);
+    }
+
+    #[test]
+    fn summary_row_surfaces_send_wait() {
+        let w = WorkerStats {
+            units: 7,
+            busy: Duration::from_millis(40),
+            send_wait: Duration::from_millis(15),
+            wall: Duration::from_millis(100),
+            ..WorkerStats::default()
+        };
+        let row = w.summary_row(3);
+        assert!(row.contains("worker  3"), "{row}");
+        assert!(row.contains("7 units"), "{row}");
+        assert!(row.contains("send_wait"), "{row}");
+        assert!(row.contains("15.00ms"), "send_wait value rendered: {row}");
+        assert!(!row.contains("[lost]"), "{row}");
+        let lost = WorkerStats {
+            lost: true,
+            ..WorkerStats::default()
+        };
+        assert!(lost.summary_row(0).contains("[lost]"));
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Host-executor configuration.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use df_core::{AllocationStrategy, JoinAlgo};
+use df_obs::Tracer;
 
 use crate::error::{HostError, HostResult};
 use crate::fault::FaultPlan;
@@ -46,6 +48,12 @@ pub struct HostParams {
     /// Deterministic fault injection (inert by default) — see
     /// [`FaultPlan`].
     pub fault: FaultPlan,
+    /// Structured event tracer (see [`df_obs::Tracer`]). `None` — the
+    /// default — costs one branch per would-be event; an installed tracer
+    /// records the packet-level lifecycle (cell fires, dispatches, kernel
+    /// spans, page-transfer bytes, queue depths, faults) shared by the
+    /// scheduler and every worker thread.
+    pub trace: Option<Arc<Tracer>>,
 }
 
 impl Default for HostParams {
@@ -61,6 +69,7 @@ impl Default for HostParams {
             deterministic: false,
             stall_timeout: Duration::from_secs(60),
             fault: FaultPlan::default(),
+            trace: None,
         }
     }
 }

@@ -1,0 +1,466 @@
+//! A minimal JSON tree: enough to write and read the `BENCH_*.json`
+//! artifacts and `--trace-out` dumps. The build environment is offline
+//! (no crates registry — see `shims/README.md`), so this is hand-rolled
+//! rather than a `serde` dependency.
+//!
+//! Numbers are `f64` throughout; every counter the artifacts carry is far
+//! below 2^53, where `f64` is exact.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed or under-construction JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object. Sorted keys (a `BTreeMap`) make serialization
+    /// deterministic, so identical runs produce byte-identical artifacts.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn obj() -> JsonValue {
+        JsonValue::Obj(BTreeMap::new())
+    }
+
+    /// Insert `key` into an object (panics on non-objects — construction
+    /// bugs, not data errors).
+    pub fn set(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut JsonValue {
+        match self {
+            JsonValue::Obj(map) => {
+                map.insert(key.to_string(), value.into());
+            }
+            other => panic!("set() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a u64 (rejects negatives and non-integers beyond
+    /// rounding noise).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        (n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53)).then_some(n as u64)
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialize with two-space indentation — the artifact format (diffs
+    /// of committed baselines stay readable).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => write_number(out, *n),
+            JsonValue::Str(s) => write_string(out, s),
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            JsonValue::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    ///
+    /// # Errors
+    /// Returns a position-annotated message on malformed input (including
+    /// trailing garbage after the document).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> JsonValue {
+        JsonValue::Bool(b)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> JsonValue {
+        JsonValue::Num(n)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> JsonValue {
+        JsonValue::Num(n as f64)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> JsonValue {
+        JsonValue::Num(n as f64)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> JsonValue {
+        JsonValue::Str(s.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> JsonValue {
+        JsonValue::Str(s)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> JsonValue {
+        JsonValue::Arr(v)
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------------ parser
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        // Surrogate pairs are not needed by our own output;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_nested_document() {
+        let mut doc = JsonValue::obj();
+        doc.set("name", "host_smoke")
+            .set("version", 1u64)
+            .set("ok", true)
+            .set("ratio", 2.5)
+            .set("none", JsonValue::Null)
+            .set(
+                "rows",
+                JsonValue::Arr(vec![1u64.into(), 2u64.into(), 3u64.into()]),
+            );
+        for text in [doc.to_compact(), doc.to_pretty()] {
+            let back = JsonValue::parse(&text).expect("parses");
+            assert_eq!(back, doc);
+        }
+    }
+
+    #[test]
+    fn deterministic_serialization() {
+        let mut a = JsonValue::obj();
+        a.set("b", 1u64).set("a", 2u64);
+        let mut b = JsonValue::obj();
+        b.set("a", 2u64).set("b", 1u64);
+        assert_eq!(a.to_pretty(), b.to_pretty(), "key order is canonical");
+    }
+
+    #[test]
+    fn escapes_and_unescapes() {
+        let v = JsonValue::Str("a\"b\\c\nd\te\u{1}".to_string());
+        let text = v.to_compact();
+        assert!(text.contains("\\\"") && text.contains("\\n") && text.contains("\\u0001"));
+        assert_eq!(JsonValue::parse(&text).expect("parses"), v);
+    }
+
+    #[test]
+    fn numbers_render_and_parse() {
+        assert_eq!(JsonValue::Num(42.0).to_compact(), "42");
+        assert_eq!(JsonValue::Num(-1.5).to_compact(), "-1.5");
+        assert_eq!(JsonValue::Num(f64::NAN).to_compact(), "null");
+        let v = JsonValue::parse("1e3").expect("parses");
+        assert_eq!(v.as_f64(), Some(1000.0));
+        assert_eq!(v.as_u64(), Some(1000));
+        assert_eq!(JsonValue::Num(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Num(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = JsonValue::parse(r#"{"s":"x","n":3,"b":false,"a":[1]}"#).expect("parses");
+        assert_eq!(doc.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(doc.get("n").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(doc.get("b").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(
+            doc.get("a").and_then(JsonValue::as_arr).map(<[_]>::len),
+            Some(1)
+        );
+        assert!(doc.get("missing").is_none());
+    }
+}

@@ -24,6 +24,7 @@ use std::collections::{HashMap, VecDeque};
 
 use df_core::instr::{compile_with, InstrId, Program, UpdateSpec};
 use df_core::CostModel;
+use df_obs::Path as ObsPath;
 use df_query::QueryTree;
 use df_relalg::{Catalog, Page, Relation, Result, TupleBuf};
 use df_sim::{Duration, EventQueue, SimTime};
@@ -510,6 +511,26 @@ impl RingMachine {
 
     // --------------------------------------------------------- ring sends
 
+    /// Record `bytes` moving on a byte path at simulated time `now`: feeds
+    /// the matching per-interval series on the metrics and, when a tracer
+    /// is installed, its exact per-path counters. Every ring/cache/disk
+    /// transfer flows through here, so series and `ByteCounter` totals
+    /// agree by construction.
+    fn observe(&mut self, now: SimTime, path: ObsPath, bytes: usize) {
+        let t = now.as_nanos();
+        let series = match path {
+            ObsPath::InnerRing => &mut self.metrics.inner_ring_series,
+            ObsPath::OuterRing => &mut self.metrics.outer_ring_series,
+            ObsPath::DiskRead | ObsPath::DiskWrite => &mut self.metrics.disk_series,
+            ObsPath::CacheIn | ObsPath::CacheOut => &mut self.metrics.cache_series,
+            _ => return,
+        };
+        series.record(t, bytes as u64);
+        if let Some(tr) = self.params.trace.as_deref() {
+            tr.transfer_at(t, path, u32::MAX, bytes as u64);
+        }
+    }
+
     /// Station of a node on the inner ring.
     fn inner_station(node: Node) -> usize {
         match node {
@@ -530,6 +551,7 @@ impl RingMachine {
 
     /// Send a control message on the inner ring.
     pub(crate) fn send_inner(&mut self, now: SimTime, from: Node, to: Node, msg: Msg) {
+        self.observe(now, ObsPath::InnerRing, INNER_MSG_BYTES);
         let t = self.inner_ring.send(
             now,
             Self::inner_station(from),
@@ -548,6 +570,7 @@ impl RingMachine {
         bytes: usize,
         msg: Msg,
     ) {
+        self.observe(now, ObsPath::OuterRing, bytes);
         let t = self
             .outer_ring
             .send(now, self.outer_station(from), self.outer_station(to), bytes);
@@ -564,6 +587,7 @@ impl RingMachine {
         targets: &[usize],
         make_msg: impl Fn() -> Msg,
     ) {
+        self.observe(now, ObsPath::OuterRing, bytes);
         let t = self
             .outer_ring
             .broadcast(now, self.outer_station(from), bytes);
@@ -592,6 +616,7 @@ impl RingMachine {
             let vbytes = self.store.wire_bytes(victim);
             let (_, done, evicted) = self.cache.insert(now, ic, victim, vbytes);
             self.metrics.cache_in.record(vbytes as u64);
+            self.observe(now, ObsPath::CacheIn, vbytes);
             self.loc.insert(victim, Loc::Cached);
             settled = settled.max(done);
             for e in evicted {
@@ -599,6 +624,7 @@ impl RingMachine {
                 if !self.disk.contains(e) {
                     let (_, wdone) = self.disk.write(done, e, ebytes);
                     self.metrics.disk_write.record(ebytes as u64);
+                    self.observe(done, ObsPath::DiskWrite, ebytes);
                     settled = settled.max(wdone);
                 }
                 self.loc.insert(e, Loc::OnDisk);
@@ -618,18 +644,20 @@ impl RingMachine {
             }
             Some(Loc::Cached) => {
                 let (_, done) = self.cache.read(now, page);
-                self.metrics
-                    .cache_out
-                    .record(self.store.wire_bytes(page) as u64);
+                let bytes = self.store.wire_bytes(page);
+                self.metrics.cache_out.record(bytes as u64);
+                self.observe(now, ObsPath::CacheOut, bytes);
                 done
             }
             Some(Loc::OnDisk) | None => {
                 let bytes = self.store.wire_bytes(page);
                 let (_, rdone) = self.disk.read(now, page, bytes);
                 self.metrics.disk_read.record(bytes as u64);
+                self.observe(now, ObsPath::DiskRead, bytes);
                 // Pull through the cache segment on the way up.
                 let (_, cdone, evicted) = self.cache.insert(rdone, ic, page, bytes);
                 self.metrics.cache_in.record(bytes as u64);
+                self.observe(rdone, ObsPath::CacheIn, bytes);
                 self.loc.insert(page, Loc::Cached);
                 let mut settled = cdone;
                 for e in evicted {
@@ -637,6 +665,7 @@ impl RingMachine {
                     if !self.disk.contains(e) {
                         let (_, wdone) = self.disk.write(cdone, e, ebytes);
                         self.metrics.disk_write.record(ebytes as u64);
+                        self.observe(cdone, ObsPath::DiskWrite, ebytes);
                         settled = settled.max(wdone);
                     }
                     self.loc.insert(e, Loc::OnDisk);

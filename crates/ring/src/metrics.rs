@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use df_obs::IntervalSeries;
 use df_sim::stats::ByteCounter;
 use df_sim::{Duration, SimTime};
 
@@ -55,6 +56,16 @@ pub struct RingMetrics {
     /// Per-instruction timeline: (operator, query, first packet sent,
     /// completed).
     pub instruction_timeline: Vec<(String, usize, SimTime, SimTime)>,
+    /// Per-interval inner-ring demand over simulated time. Totals equal
+    /// `inner_ring.bytes` exactly (both are fed from the same sends).
+    pub inner_ring_series: IntervalSeries,
+    /// Per-interval outer-ring demand — Figure 4.2's curve, not just its
+    /// average. Totals equal `outer_ring.bytes` exactly.
+    pub outer_ring_series: IntervalSeries,
+    /// Per-interval mass-storage demand, reads and writes combined.
+    pub disk_series: IntervalSeries,
+    /// Per-interval disk-cache demand, both directions combined.
+    pub cache_series: IntervalSeries,
 }
 
 impl RingMetrics {
@@ -89,6 +100,17 @@ impl RingMetrics {
             .zip(&self.query_arrivals)
             .map(|(&done, &arrived)| done.saturating_since(arrived))
             .collect()
+    }
+
+    /// The bandwidth-demand curves by stable path name, for the
+    /// `BENCH_*.json` series rows.
+    pub fn bandwidth_series(&self) -> [(&'static str, &IntervalSeries); 4] {
+        [
+            ("inner_ring", &self.inner_ring_series),
+            ("outer_ring", &self.outer_ring_series),
+            ("disk", &self.disk_series),
+            ("cache", &self.cache_series),
+        ]
     }
 
     /// Mean IP utilization over the makespan.

@@ -1,6 +1,9 @@
 //! Configuration of the ring machine.
 
+use std::sync::Arc;
+
 use df_core::{CostModel, JoinAlgo};
+use df_obs::Tracer;
 use df_sim::Duration;
 use df_storage::{CacheParams, DiskParams};
 
@@ -54,6 +57,12 @@ pub struct RingParams {
     /// outer-ring transit time for the starvation-freedom argument in
     /// `machine.rs` to hold; [`RingParams::validate`] enforces it.
     pub rebroadcast_window: Duration,
+    /// Structured event tracer (see [`df_obs::Tracer`]). `None` — the
+    /// default — costs one branch per would-be event. An installed tracer
+    /// receives every ring/cache/disk transfer stamped with *simulated*
+    /// time, so traced byte totals equal the [`crate::RingMetrics`]
+    /// counters exactly.
+    pub trace: Option<Arc<Tracer>>,
 }
 
 impl Default for RingParams {
@@ -77,6 +86,7 @@ impl Default for RingParams {
             concurrency_control: true,
             direct_routing: false,
             rebroadcast_window: Duration::from_millis(2),
+            trace: None,
         }
     }
 }

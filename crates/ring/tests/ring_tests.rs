@@ -313,3 +313,48 @@ fn non_equi_join_under_hash_algo_matches_oracle_on_ring() {
         &p,
     );
 }
+
+/// Observability: the per-interval bandwidth series are fed from exactly
+/// the sends that feed the `ByteCounter`s, so their totals must agree to
+/// the byte — and an installed tracer's path counters must agree too.
+#[test]
+fn bandwidth_series_totals_equal_byte_counters_exactly() {
+    use df_obs::{Path, Tracer};
+    use std::sync::Arc;
+
+    let db = db();
+    let tracer = Arc::new(Tracer::new(Tracer::DEFAULT_CAPACITY));
+    let mut params = small_params();
+    params.trace = Some(Arc::clone(&tracer));
+    let q = "(join (restrict (scan a) (< k 30)) (scan b) (= v k))";
+    let tree = parse_query(&db, q).unwrap();
+    let m = run_ring_queries(&db, &[tree], &params).unwrap().metrics;
+
+    assert_eq!(m.inner_ring_series.total_bytes(), m.inner_ring.bytes);
+    assert_eq!(m.outer_ring_series.total_bytes(), m.outer_ring.bytes);
+    assert_eq!(
+        m.disk_series.total_bytes(),
+        m.disk_read.bytes + m.disk_write.bytes
+    );
+    assert_eq!(
+        m.cache_series.total_bytes(),
+        m.cache_in.bytes + m.cache_out.bytes
+    );
+    assert!(m.outer_ring_series.total_bytes() > 0, "join moved pages");
+
+    // The tracer saw the same transfers, stamped with simulated time.
+    let snap = tracer.snapshot();
+    assert_eq!(snap.bytes(Path::InnerRing), m.inner_ring.bytes);
+    assert_eq!(snap.bytes(Path::OuterRing), m.outer_ring.bytes);
+    assert_eq!(
+        snap.bytes(Path::DiskRead) + snap.bytes(Path::DiskWrite),
+        m.disk_read.bytes + m.disk_write.bytes
+    );
+    assert_eq!(
+        snap.bytes(Path::CacheIn) + snap.bytes(Path::CacheOut),
+        m.cache_in.bytes + m.cache_out.bytes
+    );
+    // Simulated timestamps: every event's time is within the makespan.
+    let horizon = m.elapsed.as_nanos();
+    assert!(snap.events.iter().all(|e| e.t_ns <= horizon));
+}
