@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use df_query::ops::{
     dedup_pages_raw, dedup_tuples, join_pages, join_pages_raw, project_page, project_page_raw,
-    restrict_page, restrict_page_raw,
+    restrict_page, restrict_page_raw, span_output_schema, span_page_raw, SpanStep,
 };
 use df_relalg::{
     CmpOp, DataType, JoinCondition, Page, Predicate, Projection, Schema, Tuple, Value,
@@ -65,6 +65,37 @@ fn operator_kernels(c: &mut Criterion) {
     g.bench_function("decoded", |b| b.iter(|| project_page(&p, &proj)));
     g.bench_function("raw", |b| {
         b.iter(|| project_page_raw(&p, &proj, &proj_schema))
+    });
+    g.finish();
+
+    // A fused restrict→project→restrict span vs the materializing baseline
+    // it replaces (each step repacks its survivors into an intermediate
+    // page) — the per-unit work `TransferMode::Pipeline` fuses.
+    let pred2 =
+        Predicate::cmp_const(&proj_schema, "val", CmpOp::Ge, Value::Int(100)).expect("pred");
+    let steps = vec![
+        SpanStep::Restrict(pred.clone()),
+        SpanStep::Project(proj.clone()),
+        SpanStep::Restrict(pred2.clone()),
+    ];
+    let span_schema = span_output_schema(p.schema(), &steps).expect("schema");
+    let mut g = c.benchmark_group("span_restrict_project_10_tuples");
+    g.throughput(Throughput::Bytes(page_data_bytes(&p)));
+    g.bench_function("stepwise", |b| {
+        b.iter(|| {
+            let mut mid = restrict_page_raw(&p, &pred);
+            let cap = 16 + p.schema().tuple_width() * mid.len().max(1);
+            let mut page = Page::new(p.schema().clone(), cap).expect("page");
+            mid.drain_into(&mut page);
+            let mut projected = project_page_raw(&page, &proj, &proj_schema);
+            let cap = 16 + proj_schema.tuple_width() * projected.len().max(1);
+            let mut page = Page::new(proj_schema.clone(), cap).expect("page");
+            projected.drain_into(&mut page);
+            restrict_page_raw(&page, &pred2)
+        })
+    });
+    g.bench_function("fused", |b| {
+        b.iter(|| span_page_raw(&p, &steps, &span_schema))
     });
     g.finish();
 

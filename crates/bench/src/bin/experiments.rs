@@ -10,12 +10,14 @@
 //! ```
 //!
 //! Available tables: `fig3_1`, `sec3_3`, `fig4_2`, `abl_pgsz`, `abl_alloc`,
-//! `abl_bcast`, `abl_route`, `abl_proj`, `abl_multi`, `perf_hj`. The flag
+//! `abl_bcast`, `abl_route`, `abl_proj`, `abl_multi`, `perf_hj`,
+//! `perf_pipe`. The flag
 //! `--join {nested,hash}` switches the join algorithm of the machine
 //! configurations built in `main` (default `nested`, the paper's choice);
 //! `--scale F` shrinks the database (default 1.0, the paper's 5.5 MB);
-//! `--json DIR` additionally serializes the `fig3_1`, `fig4_2` and
-//! `perf_hj` tables into `DIR/BENCH_<name>.json` artifacts (DESIGN.md §7).
+//! `--json DIR` additionally serializes the `fig3_1`, `fig4_2`, `perf_hj`
+//! and `perf_pipe` tables into `DIR/BENCH_<name>.json` artifacts
+//! (DESIGN.md §7).
 //! The output of a full run is recorded in `EXPERIMENTS.md`.
 
 use std::path::{Path, PathBuf};
@@ -107,6 +109,9 @@ fn main() {
     }
     if want("perf_hj") {
         perf_hj(scale.min(0.2), json_dir);
+    }
+    if want("perf_pipe") {
+        perf_pipe(scale.min(0.2), json_dir);
     }
 }
 
@@ -227,6 +232,230 @@ fn perf_hj(scale: f64, json_dir: Option<&Path>) {
         );
     }
     println!("deviation from the paper (DESIGN.md §5): the IPs' join kernel is a knob\n");
+}
+
+/// PERF-PIPE: fused pipelined spans vs the paper's per-cell page
+/// materialization — first at the kernel level (the vectorized raw
+/// restrict/project kernels and the fused span vs its materializing
+/// step-at-a-time baseline, in MiB/s over this host's pages), then end to
+/// end: the ten pipeline-bearing queries in both transfer modes × both
+/// join algorithms on the real-threads executor, and on the ring machine
+/// where the saved intermediate-page traffic shows up as outer-ring bytes.
+fn perf_pipe(scale: f64, json_dir: Option<&Path>) {
+    use df_bench::report::series_row;
+    use df_core::TransferMode;
+    use df_host::{run_host_queries, HostParams};
+    use df_query::ops::{
+        project_page, project_page_raw, restrict_page, restrict_page_raw, span_output_schema,
+        span_page_raw, SpanStep,
+    };
+    use df_relalg::{CmpOp, Page, Predicate, Projection, Value};
+    use df_ring::run_ring_queries;
+    use df_workload::{pipeline_queries, FK_ATTR, KEY_ATTR, VAL_ATTR};
+    use std::time::Instant;
+
+    println!(
+        "--- PERF-PIPE: pipelined spans vs per-cell materialization (scale {scale}, 4096 B pages)"
+    );
+    let s = setup_with_page_size(scale, 4096);
+    let queries = pipeline_queries(&s.db, &s.spec).expect("pipeline suite builds");
+
+    // Kernel level: every page of one workload relation, best of five
+    // sweeps; MiB/s over the tuple bytes each kernel reads.
+    let rel = s.db.get("r00").expect("workload relation");
+    let schema = rel.schema().clone();
+    let pred = Predicate::cmp_const(&schema, VAL_ATTR, CmpOp::Lt, Value::Int(VAL_DOMAIN / 2))
+        .expect("predicate");
+    let proj = Projection::new(&schema, &[KEY_ATTR, FK_ATTR, VAL_ATTR]).expect("projection");
+    let proj_schema = proj.output_schema(&schema).expect("projected schema");
+    // The suite's root pattern: restrict → project → restrict, so the
+    // stepwise baseline materializes two intermediate pages per input page.
+    let pred2 = Predicate::cmp_const(
+        &proj_schema,
+        VAL_ATTR,
+        CmpOp::Ge,
+        Value::Int(VAL_DOMAIN / 8),
+    )
+    .expect("predicate");
+    let steps = vec![
+        SpanStep::Restrict(pred.clone()),
+        SpanStep::Project(proj.clone()),
+        SpanStep::Restrict(pred2.clone()),
+    ];
+    let span_schema = span_output_schema(&schema, &steps).expect("span schema");
+    let in_bytes: u64 = rel
+        .pages()
+        .iter()
+        .map(|p| (p.len() * schema.tuple_width()) as u64)
+        .sum();
+    let mibps = |kernel: &dyn Fn() -> usize| -> f64 {
+        let mut best = f64::MAX;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            std::hint::black_box(kernel());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        in_bytes as f64 / best / (1 << 20) as f64
+    };
+    let sweep = |per_page: &dyn Fn(&Page) -> usize| -> usize {
+        rel.pages().iter().map(|p| per_page(p)).sum()
+    };
+    let restrict_decoded = mibps(&|| sweep(&|p| restrict_page(p, &pred).len()));
+    let restrict_raw = mibps(&|| sweep(&|p| restrict_page_raw(p, &pred).len()));
+    let project_decoded = mibps(&|| sweep(&|p| project_page(p, &proj).len()));
+    let project_raw = mibps(&|| sweep(&|p| project_page_raw(p, &proj, &proj_schema).len()));
+    // The materializing baseline the span replaces: each step repacks its
+    // survivors into an intermediate page the next step reads back.
+    let span_stepwise = mibps(&|| {
+        sweep(&|p| {
+            let mut mid = restrict_page_raw(p, &pred);
+            let cap = 16 + schema.tuple_width() * mid.len().max(1);
+            let mut page = Page::new(schema.clone(), cap).expect("intermediate page");
+            mid.drain_into(&mut page);
+            let mut projected = project_page_raw(&page, &proj, &proj_schema);
+            let cap = 16 + proj_schema.tuple_width() * projected.len().max(1);
+            let mut page = Page::new(proj_schema.clone(), cap).expect("intermediate page");
+            projected.drain_into(&mut page);
+            restrict_page_raw(&page, &pred2).len()
+        })
+    });
+    let span_fused = mibps(&|| sweep(&|p| span_page_raw(p, &steps, &span_schema).len()));
+    println!(
+        "kernel ({} pages, {} KiB tuple data):\n  \
+         restrict  decoded {:>8.1} MiB/s   raw   {:>8.1} MiB/s   speedup {:.2}x\n  \
+         project   decoded {:>8.1} MiB/s   raw   {:>8.1} MiB/s   speedup {:.2}x\n  \
+         span      stepwise {:>7.1} MiB/s   fused {:>8.1} MiB/s   speedup {:.2}x",
+        rel.pages().len(),
+        in_bytes / 1024,
+        restrict_decoded,
+        restrict_raw,
+        restrict_raw / restrict_decoded,
+        project_decoded,
+        project_raw,
+        project_raw / project_decoded,
+        span_stepwise,
+        span_fused,
+        span_fused / span_stepwise,
+    );
+
+    // End to end on the real-threads executor: both modes must agree on
+    // every answer (deterministic canonical pages) while pipeline mode
+    // moves strictly fewer bytes on this chain-bearing suite.
+    let mut rows = Vec::new();
+    let mut counters: Vec<(String, f64)> = Vec::new();
+    println!(
+        "host (ten pipeline-bearing queries, {} workers):",
+        HostParams::default().workers
+    );
+    for join in JoinAlgo::ALL {
+        let mut bytes_by_mode = Vec::new();
+        for transfer in TransferMode::ALL {
+            let params = HostParams {
+                page_size: 4096,
+                join,
+                transfer,
+                deterministic: true,
+                ..HostParams::default()
+            };
+            let out = run_host_queries(&s.db, &queries, &params).expect("host run");
+            let m = &out.metrics;
+            println!(
+                "  {join:<6} {transfer:<11}  elapsed {:>8.2?}  units {:>6} (spans {:>6})  \
+                 moved {:>9.1} KB",
+                m.elapsed,
+                m.total_units(),
+                m.total_kernel_spans(),
+                m.total_bytes() as f64 / 1024.0
+            );
+            rows.push(SweepRow {
+                label: format!("host_{join}_{transfer}"),
+                values: vec![
+                    ("elapsed_secs".into(), m.elapsed.as_secs_f64()),
+                    ("units".into(), m.total_units() as f64),
+                    ("kernel_spans".into(), m.total_kernel_spans() as f64),
+                    ("bytes_moved".into(), m.total_bytes() as f64),
+                ],
+            });
+            counters.push((
+                format!("host_bytes_{join}_{transfer}"),
+                m.total_bytes() as f64,
+            ));
+            bytes_by_mode.push(m.total_bytes());
+        }
+        assert!(
+            bytes_by_mode[1] < bytes_by_mode[0],
+            "pipeline mode must move strictly fewer bytes than materialize \
+             ({} vs {}, {join} join)",
+            bytes_by_mode[1],
+            bytes_by_mode[0],
+        );
+        println!(
+            "  {join:<6} saved: {:.1} KB of intermediate-page traffic ({:.1}%)",
+            (bytes_by_mode[0] - bytes_by_mode[1]) as f64 / 1024.0,
+            100.0 * (bytes_by_mode[0] - bytes_by_mode[1]) as f64 / bytes_by_mode[0] as f64,
+        );
+    }
+
+    // Ring machine: the eliminated intermediate pages are outer-ring
+    // traffic; keep the per-path bandwidth-demand curves of both modes.
+    println!("ring (8 ICs x 30 IPs):");
+    let mut series = Vec::new();
+    let mut ring_bytes = Vec::new();
+    for transfer in TransferMode::ALL {
+        let mut params = fig42_params(&s, 30);
+        params.transfer = transfer;
+        let m = run_ring_queries(&s.db, &queries, &params)
+            .expect("ring run")
+            .metrics;
+        println!(
+            "  {transfer:<11}  elapsed {:>8.3}s  outer ring {:>8} KB ({:>6.2} Mbps)",
+            m.elapsed.as_secs_f64(),
+            m.outer_ring.bytes / 1024,
+            m.outer_ring_mbps(),
+        );
+        rows.push(SweepRow {
+            label: format!("ring_{transfer}"),
+            values: vec![
+                ("elapsed_secs".into(), m.elapsed.as_secs_f64()),
+                ("outer_ring_bytes".into(), m.outer_ring.bytes as f64),
+                ("outer_ring_mbps".into(), m.outer_ring_mbps()),
+            ],
+        });
+        for (path, curve) in m.bandwidth_series() {
+            if let Some(mut r) = series_row(path, curve) {
+                r.path = format!("{transfer}/{path}");
+                series.push(r);
+            }
+        }
+        ring_bytes.push(m.outer_ring.bytes);
+    }
+    assert!(
+        ring_bytes[1] < ring_bytes[0],
+        "pipeline mode must shrink outer-ring traffic ({} vs {})",
+        ring_bytes[1],
+        ring_bytes[0],
+    );
+
+    let mut a = sweep_artifact("pipeline", rows);
+    a.param("scale", scale)
+        .param("page_size", 4096)
+        .param("queries", queries.len());
+    a.series = series;
+    for (key, v) in counters {
+        a.counter(&key, v);
+    }
+    a.counter("ring_outer_bytes_materialize", ring_bytes[0] as f64)
+        .counter("ring_outer_bytes_pipeline", ring_bytes[1] as f64)
+        .counter(
+            "ring_outer_bytes_saved",
+            (ring_bytes[0] - ring_bytes[1]) as f64,
+        )
+        .counter("restrict_raw_mibps", restrict_raw)
+        .counter("project_raw_mibps", project_raw)
+        .counter("span_stepwise_mibps", span_stepwise)
+        .counter("span_fused_mibps", span_fused);
+    emit(json_dir, &a);
+    println!("deviation from the paper (DESIGN.md §5, §7): spans skip per-cell materialization\n");
 }
 
 /// FIG-3.1: page vs relation granularity over a processor sweep.

@@ -13,6 +13,9 @@
 //! - `--page-size B`   page size in bytes for source and intermediate pages
 //! - `--join A`        join algorithm: `nested` (the paper's nested loops,
 //!   default) or `hash` (per-page raw-byte key indexes)
+//! - `--transfer T`    transfer mode: `materialize` (every cell pages its
+//!   own output, default) or `pipeline` (restrict→project chains fused
+//!   into spans — intermediate pages never cross the network)
 //! - `--deterministic` canonicalize results (byte-stable across runs)
 //! - `--verify`        check every successful result against the oracle
 //!
@@ -62,6 +65,11 @@ fn main() {
             "--join" => {
                 params.join = value("--join").parse().unwrap_or_else(|e: String| die(&e));
             }
+            "--transfer" => {
+                params.transfer = value("--transfer")
+                    .parse()
+                    .unwrap_or_else(|e: String| die(&e));
+            }
             "--deterministic" => params.deterministic = true,
             "--verify" => verify = true,
             "--json" => json_out = Some(value("--json")),
@@ -103,11 +111,12 @@ fn main() {
     }
 
     println!(
-        "host_run: scale {scale}, page size {}, {} workers, {} strategy, {} join{}",
+        "host_run: scale {scale}, page size {}, {} workers, {} strategy, {} join, {} transfer{}",
         params.page_size,
         params.workers,
         params.strategy,
         params.join,
+        params.transfer,
         if params.fault.is_active() {
             " [fault injection active]"
         } else {

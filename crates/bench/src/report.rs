@@ -38,7 +38,8 @@ pub fn host_artifact(
         .param("workers", params.workers)
         .param("page_size", params.page_size)
         .param("alloc", params.strategy)
-        .param("join", params.join);
+        .param("join", params.join)
+        .param("transfer", params.transfer);
     a.elapsed_secs = m.elapsed.as_secs_f64();
     a.faults_active = params.fault.is_active();
     a.counter("queries", m.per_query.len() as f64)
@@ -54,6 +55,7 @@ pub fn host_artifact(
                 .sum(),
         )
         .counter("units", m.total_units() as f64)
+        .counter("kernel_spans", m.total_kernel_spans() as f64)
         .counter("bytes_moved", m.total_bytes() as f64)
         .counter("worker_utilization", m.worker_utilization())
         .counter(

@@ -1,0 +1,358 @@
+//! Materialize-vs-pipeline differential tests: span fusion must never
+//! change an answer, on any of the three executors.
+//!
+//! The correctness argument being exercised: restricts only filter and
+//! projects are 1:1 byte rearrangements, so a tuple survives a fused chain
+//! iff it passes the conjunction of the remapped predicates — fused and
+//! unfused plans are answer-equivalent, and in the host's deterministic
+//! mode (canonicalized pages) byte-identical.
+
+use df_bench::setup;
+use df_core::{
+    run_queries, AllocationStrategy, Granularity, JoinAlgo, MachineParams, TransferMode,
+};
+use df_host::{HostParams, HostRunOutput};
+use df_query::{execute_readonly, ExecParams, QueryTree, TreeBuilder};
+use df_relalg::{Catalog, CmpOp, DataType, Relation, Schema, Tuple, Value};
+use df_ring::RingParams;
+use df_sim::rng::SimRng;
+use df_workload::pipeline_queries;
+use proptest::prelude::*;
+
+fn worker_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1, 2, cores];
+    counts.dedup();
+    counts
+}
+
+fn host_images(out: &HostRunOutput) -> Vec<Vec<Vec<u8>>> {
+    out.results
+        .iter()
+        .map(|r| {
+            let r = r.as_ref().expect("query succeeds");
+            r.pages().iter().map(|p| p.raw_data().to_vec()).collect()
+        })
+        .collect()
+}
+
+/// The tentpole acceptance matrix: all ten benchmark queries under
+/// {materialize, pipeline} × {nested, hash} × {1, 2, cores} workers.
+/// Pipeline is byte-identical to materialize (deterministic mode), both
+/// match the sequential oracle, and the fused runs move strictly fewer
+/// bytes through the workers (the intermediate pages never exist).
+#[test]
+fn ten_queries_pipeline_matches_materialize_host() {
+    let s = setup(0.01);
+    let queries = pipeline_queries(&s.db, &s.spec).expect("pipeline suite builds");
+    let oracles: Vec<Relation> = queries
+        .iter()
+        .map(|q| execute_readonly(&s.db, q, &ExecParams::default()).expect("oracle"))
+        .collect();
+
+    for workers in worker_counts() {
+        for join in JoinAlgo::ALL {
+            let run = |transfer: TransferMode| {
+                let params = HostParams {
+                    join,
+                    transfer,
+                    deterministic: true,
+                    ..HostParams::with_workers(workers)
+                };
+                df_host::run_host_queries(&s.db, &queries, &params).expect("host runs")
+            };
+            let mat = run(TransferMode::Materialize);
+            let pipe = run(TransferMode::Pipeline);
+            assert_eq!(
+                host_images(&mat),
+                host_images(&pipe),
+                "pipeline changed result bytes at {workers} workers, {join}"
+            );
+            for (i, (got, want)) in pipe.results.iter().zip(&oracles).enumerate() {
+                let got = got.as_ref().expect("query succeeds");
+                assert!(
+                    got.same_contents(want),
+                    "query {i} diverged from oracle at {workers} workers, {join}"
+                );
+            }
+            let moved = |out: &HostRunOutput| -> u64 {
+                out.metrics.per_query.iter().map(|q| q.bytes_moved).sum()
+            };
+            assert!(
+                moved(&pipe) < moved(&mat),
+                "pipeline must move strictly fewer bytes: {} vs {} \
+                 ({workers} workers, {join})",
+                moved(&pipe),
+                moved(&mat)
+            );
+            // Fused chains mean fewer units, while per-operator span
+            // accounting keeps counting every logical operator (a chain
+            // step even sees pages a materialize run would have dropped
+            // as empty, so spans can exceed the materialize unit count).
+            assert!(pipe.metrics.total_units() < mat.metrics.total_units());
+            assert!(
+                pipe.metrics.total_kernel_spans() > pipe.metrics.total_units(),
+                "fused units must carry more logical spans than units"
+            );
+            assert!(pipe.metrics.total_kernel_spans() >= mat.metrics.total_units());
+        }
+    }
+}
+
+/// The ten queries through both simulated machines in both modes: answers
+/// match the oracle, and the pipeline run transfers strictly fewer bytes.
+#[test]
+fn ten_queries_pipeline_matches_materialize_core_and_ring() {
+    let s = setup(0.01);
+    let queries = pipeline_queries(&s.db, &s.spec).expect("pipeline suite builds");
+    let oracles: Vec<Relation> = queries
+        .iter()
+        .map(|q| execute_readonly(&s.db, q, &ExecParams::default()).expect("oracle"))
+        .collect();
+
+    // df-core machine.
+    let run_core = |transfer: TransferMode| {
+        let mut p = MachineParams::with_processors(4);
+        p.cache.frames = 4096;
+        p.transfer = transfer;
+        run_queries(
+            &s.db,
+            &queries,
+            &p,
+            Granularity::Page,
+            AllocationStrategy::default(),
+        )
+        .expect("core batch runs")
+    };
+    let mat = run_core(TransferMode::Materialize);
+    let pipe = run_core(TransferMode::Pipeline);
+    for (i, (got, want)) in pipe.results.iter().zip(&oracles).enumerate() {
+        assert!(
+            got.same_contents(want),
+            "core query {i} diverged in pipeline"
+        );
+    }
+    for (i, (a, b)) in pipe.results.iter().zip(&mat.results).enumerate() {
+        assert!(a.same_contents(b), "core query {i}: modes disagree");
+    }
+
+    // Ring machine.
+    let run_ring_mode = |transfer: TransferMode| {
+        let mut p = RingParams::with_pools(2, 4);
+        p.cache.frames = 4096;
+        p.transfer = transfer;
+        df_ring::run_ring_queries(&s.db, &queries, &p)
+            .expect("ring runs")
+            .metrics
+    };
+    let ring_mat = run_ring_mode(TransferMode::Materialize);
+    let ring_pipe = run_ring_mode(TransferMode::Pipeline);
+    assert!(
+        ring_pipe.outer_ring.bytes < ring_mat.outer_ring.bytes,
+        "ring pipeline must put strictly fewer bytes on the outer ring: {} vs {}",
+        ring_pipe.outer_ring.bytes,
+        ring_mat.outer_ring.bytes
+    );
+}
+
+/// Ring-machine results in both modes (separate from the metrics check
+/// above so a bandwidth regression and an answer regression report apart).
+#[test]
+fn ten_queries_ring_pipeline_answers_match_oracle() {
+    let s = setup(0.01);
+    let queries = pipeline_queries(&s.db, &s.spec).expect("pipeline suite builds");
+    let mut p = RingParams::with_pools(2, 4);
+    p.cache.frames = 4096;
+    p.transfer = TransferMode::Pipeline;
+    let out = df_ring::run_ring_queries(&s.db, &queries, &p).expect("ring runs");
+    for (i, (got, q)) in out.results.iter().zip(&queries).enumerate() {
+        let want = execute_readonly(&s.db, q, &ExecParams::default()).expect("oracle");
+        assert!(
+            got.same_contents(&want),
+            "ring query {i} diverged in pipeline"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random restrict/project chains on all three executors
+// ---------------------------------------------------------------------------
+
+fn chain_db() -> Catalog {
+    let schema = Schema::build()
+        .attr("a", DataType::Int)
+        .attr("b", DataType::Int)
+        .attr("c", DataType::Int)
+        .attr("d", DataType::Str(8))
+        .finish()
+        .unwrap();
+    let mut db = Catalog::new();
+    db.insert(
+        Relation::from_tuples(
+            "t",
+            schema,
+            256,
+            (0..200i64).map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::Int(i % 7),
+                    Value::Int((i * 3) % 11),
+                    Value::Str(format!("s{}", i % 5)),
+                ])
+            }),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+/// A random chain of `depth` restricts/projects over `scan t`, driven by
+/// `rng`. Projects shrink and reorder the schema; restricts hit Int
+/// attributes (the vectorized fast path) and occasionally the Str column
+/// (the general `eval_ref` fallback inside a span).
+fn random_chain(db: &Catalog, depth: usize, rng: &mut SimRng) -> QueryTree {
+    const OPS: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+    let b = TreeBuilder::new(db);
+    let mut t = b.scan("t").unwrap();
+    for _ in 0..depth {
+        let schema = t.schema().clone();
+        let ints: Vec<String> = schema
+            .attrs()
+            .iter()
+            .filter(|a| a.dtype == DataType::Int)
+            .map(|a| a.name.clone())
+            .collect();
+        let strs: Vec<String> = schema
+            .attrs()
+            .iter()
+            .filter(|a| matches!(a.dtype, DataType::Str(_)))
+            .map(|a| a.name.clone())
+            .collect();
+        let restrict = rng.gen_bool(0.5) && !ints.is_empty();
+        if restrict {
+            if !strs.is_empty() && rng.gen_bool(0.25) {
+                let attr = rng.choose(&strs).unwrap().clone();
+                let v = Value::Str(format!("s{}", rng.gen_range(0..5i64)));
+                t = t.restrict_where(&attr, CmpOp::Eq, v).unwrap();
+            } else {
+                let attr = rng.choose(&ints).unwrap().clone();
+                let op = *rng.choose(&OPS).unwrap();
+                let v = Value::Int(rng.gen_range(-2..15i64));
+                t = t.restrict_where(&attr, op, v).unwrap();
+            }
+        } else {
+            let mut names: Vec<String> = schema.attrs().iter().map(|a| a.name.clone()).collect();
+            rng.shuffle(&mut names);
+            let keep = rng.gen_range(1..=names.len());
+            names.truncate(keep);
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            t = t.project(&refs, false).unwrap();
+        }
+    }
+    t.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random restrict/project chains of depth 1–6: fused (pipeline) and
+    /// unfused (materialize) runs agree with the oracle — and with each
+    /// other — on df-core, df-ring, and df-host.
+    #[test]
+    fn random_chains_fused_equals_unfused_on_all_executors(
+        seed in 0u64..10_000,
+        depth in 1usize..=6,
+    ) {
+        let db = chain_db();
+        let mut rng = SimRng::new(seed);
+        let query = random_chain(&db, depth, &mut rng);
+        let want = execute_readonly(&db, &query, &ExecParams::default()).expect("oracle");
+        let queries = std::slice::from_ref(&query);
+
+        for transfer in TransferMode::ALL {
+            // df-core.
+            let mut p = MachineParams::with_processors(2);
+            p.cache.frames = 1024;
+            p.transfer = transfer;
+            let core = run_queries(
+                &db, queries, &p, Granularity::Page, AllocationStrategy::default(),
+            ).expect("core runs");
+            prop_assert!(
+                core.results[0].same_contents(&want),
+                "seed {} depth {} {transfer}: core diverged", seed, depth
+            );
+
+            // df-ring.
+            let mut p = RingParams::with_pools(1, 2);
+            p.cache.frames = 1024;
+            p.transfer = transfer;
+            let ring = df_ring::run_ring_queries(&db, queries, &p).expect("ring runs");
+            prop_assert!(
+                ring.results[0].same_contents(&want),
+                "seed {} depth {} {transfer}: ring diverged", seed, depth
+            );
+
+            // df-host.
+            let params = HostParams {
+                transfer,
+                deterministic: true,
+                ..HostParams::with_workers(2)
+            };
+            let (host, _) = df_host::run_host_query(&db, &query, &params).expect("host runs");
+            prop_assert!(
+                host.same_contents(&want),
+                "seed {} depth {} {transfer}: host diverged", seed, depth
+            );
+        }
+    }
+}
+
+/// Byte-level sanity pin for one concrete deep chain on the host: the
+/// fused plan's canonical pages equal the unfused plan's exactly.
+#[test]
+fn deep_chain_is_byte_identical_across_modes() {
+    let db = chain_db();
+    let b = TreeBuilder::new(&db);
+    let q = b
+        .scan("t")
+        .unwrap()
+        .restrict_where("a", CmpOp::Lt, Value::Int(150))
+        .unwrap()
+        .project(&["b", "c", "d"], false)
+        .unwrap()
+        .restrict_where("c", CmpOp::Ge, Value::Int(3))
+        .unwrap()
+        .project(&["d", "b"], false)
+        .unwrap()
+        .restrict_where("b", CmpOp::Ne, Value::Int(4))
+        .unwrap()
+        .finish();
+    let run = |transfer: TransferMode| {
+        let params = HostParams {
+            transfer,
+            deterministic: true,
+            ..HostParams::with_workers(3)
+        };
+        let (rel, metrics) = df_host::run_host_query(&db, &q, &params).expect("host runs");
+        let images: Vec<Vec<u8>> = rel.pages().iter().map(|p| p.raw_data().to_vec()).collect();
+        (images, metrics)
+    };
+    let (mat, mat_metrics) = run(TransferMode::Materialize);
+    let (pipe, pipe_metrics) = run(TransferMode::Pipeline);
+    assert_eq!(mat, pipe, "deep chain bytes diverged");
+    assert!(!mat.is_empty(), "chain must survive some tuples");
+    assert!(
+        pipe_metrics.total_units() < mat_metrics.total_units(),
+        "the five-step chain must fuse into fewer units"
+    );
+}

@@ -16,7 +16,7 @@ use df_relalg::{
     TupleRef,
 };
 
-use crate::params::JoinAlgo;
+use crate::params::{JoinAlgo, TransferMode};
 
 /// Index of an instruction within a [`Program`].
 pub type InstrId = usize;
@@ -60,6 +60,13 @@ pub enum Kernel {
     DifferenceFinal,
     /// π with duplicate elimination over a complete input.
     ProjectDedupFinal(Projection),
+    /// A fused restrict→project→… chain compiled under
+    /// [`TransferMode::Pipeline`]: every step runs per tuple over the input
+    /// page's raw bytes and only final survivors are written — the
+    /// intermediate pages the paper's cells would materialize never exist.
+    /// Cost: the sum of the step costs ([`Kernel::tuple_ops`]), but a
+    /// single page transfer.
+    Span(Vec<ops::SpanStep>),
 }
 
 impl Kernel {
@@ -69,7 +76,8 @@ impl Kernel {
             Kernel::Restrict(_)
             | Kernel::Project(_)
             | Kernel::Identity
-            | Kernel::DeleteFilter(_) => UnitGen::PerPage,
+            | Kernel::DeleteFilter(_)
+            | Kernel::Span(_) => UnitGen::PerPage,
             Kernel::JoinPair(..) | Kernel::CrossPair => UnitGen::PerPair,
             Kernel::UnionFinal | Kernel::DifferenceFinal | Kernel::ProjectDedupFinal(_) => {
                 UnitGen::WholeRelation
@@ -90,6 +98,7 @@ impl Kernel {
             Kernel::DeleteFilter(p) => pages[0].tuples().filter(|t| p.eval(t)).collect(),
             Kernel::JoinPair(c, _) => ops::join_pages(pages[0], pages[1], c),
             Kernel::CrossPair => ops::cross_pages(pages[0], pages[1]),
+            Kernel::Span(steps) => ops::span_page(pages[0], steps),
             k => panic!("run_unit called on whole-relation kernel {k:?}"),
         }
     }
@@ -126,6 +135,7 @@ impl Kernel {
                 ops::hash_join_pages_raw(pages[0], pages[1], c, out_schema)
             }
             Kernel::CrossPair => ops::cross_pages_raw(pages[0], pages[1], out_schema),
+            Kernel::Span(steps) => ops::span_page_raw(pages[0], steps, out_schema),
             k => panic!("run_unit_raw called on whole-relation kernel {k:?}"),
         }
     }
@@ -285,6 +295,13 @@ impl Kernel {
                 return tuple_counts[0] + tuple_counts[1];
             }
         }
+        // A fused span charges the *sum* of its step costs — each logical
+        // operator still touches every input tuple — while transferring a
+        // single page. The transfer saving, not a compute saving, is what
+        // the pipeline mode buys.
+        if let Kernel::Span(steps) = self {
+            return tuple_counts[0] * steps.len().max(1);
+        }
         match self.unit_gen() {
             UnitGen::PerPage => tuple_counts[0],
             UnitGen::PerPair => tuple_counts[0] * tuple_counts[1],
@@ -363,20 +380,28 @@ pub struct Program {
 }
 
 /// Compile a batch of validated query trees into a [`Program`] with the
-/// default (nested-loops) join algorithm.
+/// default (nested-loops) join algorithm and materializing transfers.
 ///
 /// # Errors
 /// Propagates validation errors (unknown relations, type mismatches…).
 pub fn compile(db: &Catalog, queries: &[QueryTree]) -> Result<Program> {
-    compile_with(db, queries, JoinAlgo::default())
+    compile_with(db, queries, JoinAlgo::default(), TransferMode::default())
 }
 
-/// Compile with an explicit [`JoinAlgo`] for every join instruction — the
-/// machines pass their params' knob through here.
+/// Compile with an explicit [`JoinAlgo`] for every join instruction and an
+/// explicit [`TransferMode`] — the machines pass their params' knobs
+/// through here. Under [`TransferMode::Pipeline`], maximal
+/// restrict→project→… chains are fused into single [`Kernel::Span`]
+/// instructions after the per-query walk.
 ///
 /// # Errors
 /// Propagates validation errors (unknown relations, type mismatches…).
-pub fn compile_with(db: &Catalog, queries: &[QueryTree], join_algo: JoinAlgo) -> Result<Program> {
+pub fn compile_with(
+    db: &Catalog,
+    queries: &[QueryTree],
+    join_algo: JoinAlgo,
+    transfer: TransferMode,
+) -> Result<Program> {
     let mut instructions: Vec<Instruction> = Vec::new();
     let mut roots = Vec::new();
     let mut updates = Vec::new();
@@ -522,6 +547,10 @@ pub fn compile_with(db: &Catalog, queries: &[QueryTree], join_algo: JoinAlgo) ->
         updates.push(update);
     }
 
+    if transfer == TransferMode::Pipeline {
+        fuse_spans(&mut instructions, &mut roots);
+    }
+
     base.sort();
     base.dedup();
     Ok(Program {
@@ -530,6 +559,110 @@ pub fn compile_with(db: &Catalog, queries: &[QueryTree], join_algo: JoinAlgo) ->
         updates,
         base_relations: base,
     })
+}
+
+/// Collapse every maximal restrict→project→… chain (length ≥ 2) into one
+/// [`Kernel::Span`] instruction sitting at the chain bottom's position:
+/// same operand, the top's output schema and parent, one step per absorbed
+/// operator in chain order. Ids are then renumbered densely and parent
+/// pointers and roots remapped.
+///
+/// Only `Restrict` and `Project` fuse — `DeleteFilter` feeds a database
+/// update and `ProjectDedupFinal` blocks, so both stay materialized, as do
+/// chains of length 1 (nothing to fuse).
+fn fuse_spans(instructions: &mut Vec<Instruction>, roots: &mut [InstrId]) {
+    let n = instructions.len();
+    let fusible = |i: &Instruction| matches!(i.kernel, Kernel::Restrict(_) | Kernel::Project(_));
+    // Which instructions are fed by a fusible child (chain continuation).
+    let mut fed_by_fusible = vec![false; n];
+    for i in 0..n {
+        if fusible(&instructions[i]) {
+            if let Some((p, _)) = instructions[i].parent {
+                if fusible(&instructions[p]) && instructions[p].query == instructions[i].query {
+                    fed_by_fusible[p] = true;
+                }
+            }
+        }
+    }
+
+    let mut absorbed = vec![false; n];
+    // Maps an absorbed chain top that was a query root to its chain bottom.
+    let mut root_redirect: HashMap<InstrId, InstrId> = HashMap::new();
+    for bottom in 0..n {
+        // A chain bottom is fusible, not itself fed by a fusible child, and
+        // feeds a fusible parent in the same query.
+        if !fusible(&instructions[bottom]) || fed_by_fusible[bottom] {
+            continue;
+        }
+        let mut chain = vec![bottom];
+        loop {
+            let cur = *chain.last().expect("chain is non-empty");
+            match instructions[cur].parent {
+                Some((p, _))
+                    if fusible(&instructions[p])
+                        && instructions[p].query == instructions[cur].query =>
+                {
+                    chain.push(p);
+                }
+                _ => break,
+            }
+        }
+        if chain.len() < 2 {
+            continue;
+        }
+        let steps: Vec<ops::SpanStep> = chain
+            .iter()
+            .map(|&i| match &instructions[i].kernel {
+                Kernel::Restrict(p) => ops::SpanStep::Restrict(p.clone()),
+                Kernel::Project(proj) => ops::SpanStep::Project(proj.clone()),
+                k => unreachable!("non-fusible kernel {k:?} in a span chain"),
+            })
+            .collect();
+        let top = *chain.last().expect("chain has at least two members");
+        instructions[bottom].kernel = Kernel::Span(steps);
+        instructions[bottom].op_name = "span";
+        instructions[bottom].output_schema = instructions[top].output_schema.clone();
+        instructions[bottom].parent = instructions[top].parent;
+        if instructions[top].parent.is_none() {
+            root_redirect.insert(top, bottom);
+        }
+        for &i in &chain[1..] {
+            absorbed[i] = true;
+        }
+    }
+
+    if root_redirect.is_empty() && absorbed.iter().all(|&a| !a) {
+        return;
+    }
+    for r in roots.iter_mut() {
+        if let Some(&b) = root_redirect.get(r) {
+            *r = b;
+        }
+    }
+    // Renumber densely, dropping absorbed instructions.
+    let mut remap: Vec<Option<InstrId>> = vec![None; n];
+    let mut next = 0;
+    for (i, gone) in absorbed.iter().enumerate() {
+        if !gone {
+            remap[i] = Some(next);
+            next += 1;
+        }
+    }
+    let mut i = 0;
+    instructions.retain(|_| {
+        let keep = !absorbed[i];
+        i += 1;
+        keep
+    });
+    for instr in instructions.iter_mut() {
+        instr.id = remap[instr.id].expect("kept instruction has a new id");
+        instr.parent = instr
+            .parent
+            .map(|(p, slot)| (remap[p].expect("parent survives fusion"), slot));
+    }
+    for r in roots.iter_mut() {
+        *r = remap[*r].expect("root survives fusion");
+    }
 }
 
 #[cfg(test)]
@@ -773,7 +906,13 @@ mod tests {
             "(join (join (scan a) (scan b) (= k k)) (scan c) (= k k))",
         )
         .unwrap();
-        let prog = compile_with(&db, std::slice::from_ref(&q), JoinAlgo::Hash).unwrap();
+        let prog = compile_with(
+            &db,
+            std::slice::from_ref(&q),
+            JoinAlgo::Hash,
+            TransferMode::default(),
+        )
+        .unwrap();
         let algos: Vec<JoinAlgo> = prog
             .instructions
             .iter()
@@ -789,6 +928,140 @@ mod tests {
             .instructions
             .iter()
             .all(|i| !matches!(i.kernel, Kernel::JoinPair(_, JoinAlgo::Hash))));
+    }
+
+    #[test]
+    fn pipeline_fuses_restrict_project_chains() {
+        let db = db();
+        // restrict -> project -> restrict over a scan: one span of 3 steps.
+        let q = parse_query(
+            &db,
+            "(restrict (project (restrict (scan a) (> k 2)) (v)) (< v 16))",
+        )
+        .unwrap();
+        let prog = compile_with(
+            &db,
+            std::slice::from_ref(&q),
+            JoinAlgo::default(),
+            TransferMode::Pipeline,
+        )
+        .unwrap();
+        assert_eq!(prog.instructions.len(), 1);
+        let span = &prog.instructions[0];
+        assert!(matches!(&span.kernel, Kernel::Span(steps) if steps.len() == 3));
+        assert_eq!(span.op_name, "span");
+        assert_eq!(span.parent, None);
+        assert_eq!(span.id, 0);
+        assert_eq!(prog.roots, vec![0]);
+        assert_eq!(span.operands[0].source.as_deref(), Some("a"));
+        // Output schema is the chain top's (just `v`).
+        assert_eq!(span.output_schema.arity(), 1);
+        assert_eq!(span.output_schema.attrs()[0].name, "v");
+        // Span cost = sum of step costs.
+        assert_eq!(span.kernel.tuple_ops(&[10]), 30);
+
+        // Materialize mode leaves the chain alone.
+        let prog = compile_with(
+            &db,
+            std::slice::from_ref(&q),
+            JoinAlgo::default(),
+            TransferMode::Materialize,
+        )
+        .unwrap();
+        assert_eq!(prog.instructions.len(), 3);
+    }
+
+    #[test]
+    fn pipeline_fuses_below_and_above_joins() {
+        let db = db();
+        // Two restrict->project legs feeding a join, whose output is then
+        // restricted and projected: three chains fuse, the join stays.
+        let q = parse_query(
+            &db,
+            "(project (restrict \
+               (join (project (restrict (scan a) (> k 1)) (k v)) \
+                     (project (restrict (scan b) (< k 9)) (k v)) \
+                     (= k k)) \
+               (> v 0)) (v))",
+        )
+        .unwrap();
+        let prog = compile_with(
+            &db,
+            std::slice::from_ref(&q),
+            JoinAlgo::Hash,
+            TransferMode::Pipeline,
+        )
+        .unwrap();
+        // 2 leg spans + join + output span.
+        assert_eq!(prog.instructions.len(), 4);
+        let spans: Vec<_> = prog
+            .instructions
+            .iter()
+            .filter(|i| matches!(i.kernel, Kernel::Span(_)))
+            .collect();
+        assert_eq!(spans.len(), 3);
+        let join = prog
+            .instructions
+            .iter()
+            .find(|i| matches!(i.kernel, Kernel::JoinPair(..)))
+            .expect("join survives fusion");
+        // The leg spans feed the join's two operand slots.
+        let leg_parents: Vec<_> = spans
+            .iter()
+            .filter_map(|s| s.parent)
+            .filter(|(p, _)| *p == join.id)
+            .collect();
+        assert_eq!(leg_parents.len(), 2);
+        assert_ne!(leg_parents[0].1, leg_parents[1].1);
+        // The output span is the root.
+        let root = &prog.instructions[prog.roots[0]];
+        assert!(matches!(&root.kernel, Kernel::Span(steps) if steps.len() == 2));
+        // Ids stay dense and children precede parents.
+        for (i, instr) in prog.instructions.iter().enumerate() {
+            assert_eq!(instr.id, i);
+            if let Some((p, _)) = instr.parent {
+                assert!(p > i, "child {i} precedes parent {p}");
+            }
+        }
+    }
+
+    /// Fused and unfused programs over the same tree produce identical
+    /// results when executed kernel-by-kernel.
+    #[test]
+    fn span_kernel_matches_unfused_execution() {
+        let db = db();
+        let q = parse_query(
+            &db,
+            "(restrict (project (restrict (scan a) (> k 2)) (v)) (< v 16))",
+        )
+        .unwrap();
+        let fused = compile_with(
+            &db,
+            std::slice::from_ref(&q),
+            JoinAlgo::default(),
+            TransferMode::Pipeline,
+        )
+        .unwrap();
+        let Kernel::Span(steps) = &fused.instructions[0].kernel else {
+            panic!("expected a span");
+        };
+        let a = db.get("a").unwrap();
+        for page in a.pages() {
+            let raw = ops::span_page_raw(page, steps, &fused.instructions[0].output_schema);
+            assert_eq!(raw.to_tuples(), ops::span_page(page, steps));
+            // Unfused reference: restrict, project, restrict by hand.
+            let s = a.schema();
+            let p1 = Predicate::cmp_const(s, "k", CmpOp::Gt, Value::Int(2)).unwrap();
+            let proj = Projection::new(s, &["v"]).unwrap();
+            let mid: Vec<Tuple> = ops::restrict_page(page, &p1)
+                .iter()
+                .map(|t| proj.apply(t).unwrap())
+                .collect();
+            let out_schema = proj.output_schema(s).unwrap();
+            let p2 = Predicate::cmp_const(&out_schema, "v", CmpOp::Lt, Value::Int(16)).unwrap();
+            let unfused: Vec<Tuple> = mid.into_iter().filter(|t| p2.eval(t)).collect();
+            assert_eq!(raw.to_tuples(), unfused);
+        }
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub use concurrency::{LockRequest, LockTable};
 pub use granularity::Granularity;
 pub use machine::Machine;
 pub use metrics::{InstructionStats, Metrics};
-pub use params::{CostModel, JoinAlgo, MachineParams};
+pub use params::{CostModel, JoinAlgo, MachineParams, TransferMode};
 pub use run::{run_queries, run_query, RunOutput};

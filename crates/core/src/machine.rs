@@ -162,7 +162,7 @@ impl Machine {
         strategy: AllocationStrategy,
     ) -> Result<Machine> {
         params.validate();
-        let program = compile_with(db, queries, params.join_algo)?;
+        let program = compile_with(db, queries, params.join_algo, params.transfer)?;
         // Every instruction's output page must hold at least one tuple.
         for instr in &program.instructions {
             Page::new(instr.output_schema.clone(), params.page_size)?;

@@ -57,6 +57,54 @@ impl FromStr for JoinAlgo {
     }
 }
 
+/// How results move between chained unary operators.
+///
+/// The paper's instruction cells materialize a whole result page between
+/// every operator (§3.2 fires a cell only when an operand page is
+/// complete). `Pipeline` keeps the firing rule but fuses maximal
+/// restrict→project→… chains into one `Kernel::Span` at compile time: the
+/// chain's predicates and projections run per tuple over the *input* page
+/// and only final survivors are written, so the intermediate pages — and
+/// their transfer cost — never exist. Output is byte-identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransferMode {
+    /// One materialized result page per operator (the paper's design).
+    #[default]
+    Materialize,
+    /// Fused restrict/project spans: one transfer per chain.
+    Pipeline,
+}
+
+impl TransferMode {
+    /// Both modes, for sweeps.
+    pub const ALL: [TransferMode; 2] = [TransferMode::Materialize, TransferMode::Pipeline];
+}
+
+impl fmt::Display for TransferMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransferMode::Materialize => "materialize",
+            TransferMode::Pipeline => "pipeline",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl FromStr for TransferMode {
+    type Err = String;
+
+    /// Parse the [`fmt::Display`] form back (round-trip guaranteed).
+    fn from_str(s: &str) -> Result<TransferMode, String> {
+        match s {
+            "materialize" => Ok(TransferMode::Materialize),
+            "pipeline" => Ok(TransferMode::Pipeline),
+            other => Err(format!(
+                "unknown transfer mode `{other}` (expected one of: materialize, pipeline)"
+            )),
+        }
+    }
+}
+
 /// Per-operation timing constants — the "speed" of an instruction processor
 /// and the interconnection networks.
 #[derive(Debug, Clone)]
@@ -153,6 +201,10 @@ pub struct MachineParams {
     /// equi-joins, cutting per-unit work from O(n·m) to O(n + m) without
     /// changing the page-granularity unit decomposition or the results.
     pub join_algo: JoinAlgo,
+    /// How results move between chained unary operators: `Materialize`
+    /// (the paper's page-per-operator design, the default) or `Pipeline`
+    /// (compile-time span fusion; see [`TransferMode`]).
+    pub transfer: TransferMode,
     /// Processor/network speeds.
     pub cost: CostModel,
     /// Disk cache configuration.
@@ -178,6 +230,7 @@ impl Default for MachineParams {
             dedup_buckets: 1,
             broadcast_join: true,
             join_algo: JoinAlgo::default(),
+            transfer: TransferMode::default(),
             cost: CostModel::default(),
             cache: CacheParams {
                 frames: 1024, // 1024 × ~1 KB pages ≈ 1 MB cache vs 5.5 MB DB
@@ -282,5 +335,20 @@ mod tests {
         assert!("grace".parse::<JoinAlgo>().is_err());
         assert_eq!(JoinAlgo::default(), JoinAlgo::Nested);
         assert_eq!(MachineParams::default().join_algo, JoinAlgo::Nested);
+    }
+
+    #[test]
+    fn transfer_mode_display_from_str_round_trips() {
+        for mode in TransferMode::ALL {
+            let parsed: TransferMode = mode.to_string().parse().unwrap();
+            assert_eq!(parsed, mode);
+        }
+        assert_eq!(
+            "pipeline".parse::<TransferMode>().unwrap(),
+            TransferMode::Pipeline
+        );
+        assert!("streaming".parse::<TransferMode>().is_err());
+        assert_eq!(TransferMode::default(), TransferMode::Materialize);
+        assert_eq!(MachineParams::default().transfer, TransferMode::Materialize);
     }
 }

@@ -41,7 +41,7 @@ use df_core::{JoinAlgo, LockRequest, LockTable, StrategyPicker, WorkCandidate, W
 use df_obs::{EventKind, Path, Tracer};
 use df_query::ops::{
     cross_pages_raw, dedup_pages_raw, difference_pages_raw, hash_join_applicable, hash_join_probe,
-    join_pages_raw, project_page_raw, restrict_page_raw, union_pages_raw,
+    join_pages_raw, project_page_raw, restrict_page_raw, span_page_raw, union_pages_raw,
 };
 use df_query::{Op, QueryTree};
 use df_relalg::{Catalog, Page, PageKeyIndex, Relation, Schema, TupleBuf};
@@ -194,7 +194,9 @@ pub fn run_host_queries(
     params.validate()?;
     let plans: Vec<Arc<QueryPlan>> = queries
         .iter()
-        .map(|q| QueryPlan::build(db, q, params.page_size, params.join).map(Arc::new))
+        .map(|q| {
+            QueryPlan::build(db, q, params.page_size, params.join, params.transfer).map(Arc::new)
+        })
         .collect::<HostResult<_>>()?;
 
     let started = Instant::now();
@@ -1100,6 +1102,11 @@ fn worker_loop(
         if poisoned.load(Ordering::Relaxed) {
             break;
         }
+        // A fused span unit runs `k` logical operators in one kernel; each
+        // still counts as its own kernel span (start/end pair, busy time
+        // split evenly) so the per-operator accounting — and the df-obs
+        // conservation identities over it — hold in both transfer modes.
+        let logical_kernels = unit.plan.cells[unit.cell].steps.len().max(1);
         let span = trace
             .as_deref()
             .map(|t| t.span(unit.query as u32, unit.cell as u32, unit.seq));
@@ -1117,13 +1124,23 @@ fn worker_loop(
         let busy = t0.elapsed();
         stats.units += 1;
         stats.busy += busy;
+        stats.kernel_spans += logical_kernels;
         if let (Some(t), Some(span)) = (trace.as_deref(), span) {
             let class = match &executed {
                 Ok((_, _, _, UnitClass::Probe)) => 1,
                 Ok((_, _, _, UnitClass::Sweep)) => 2,
                 _ => 0,
             };
-            span.end_with(t, class, busy.as_nanos() as u64);
+            let per = busy.as_nanos() as u64 / logical_kernels as u64;
+            span.end_with(
+                t,
+                class,
+                busy.as_nanos() as u64 - per * (logical_kernels - 1) as u64,
+            );
+            for _ in 1..logical_kernels {
+                let extra = t.span(unit.query as u32, unit.cell as u32, unit.seq);
+                extra.end_with(t, class, per);
+            }
         }
         let completion = match executed {
             Ok((pages, pages_in, bytes_in, class)) => {
@@ -1195,6 +1212,17 @@ fn execute_unit(unit: &WorkUnit) -> (Vec<Arc<Page>>, usize, u64, UnitClass) {
         )
     };
     let mut class = UnitClass::Other;
+
+    // A fused span cell (pipeline mode) runs its whole restrict→project
+    // chain over the operand page in one kernel — `spec.op` is only the
+    // chain's bottom operator, so it must not reach the per-op match below.
+    if !spec.steps.is_empty() {
+        let WorkKind::Page(page) = &unit.kind else {
+            unreachable!("span cells fire per page");
+        };
+        pager.absorb(&mut span_page_raw(page, &spec.steps, &spec.out_schema));
+        return (pager.finish(), 1, page.wire_bytes() as u64, class);
+    }
 
     let (pages_in, bytes_in) = match (&spec.op, &unit.kind) {
         (Op::Restrict { predicate }, WorkKind::Page(page)) => {

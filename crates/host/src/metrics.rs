@@ -7,6 +7,11 @@ use std::time::Duration;
 pub struct WorkerStats {
     /// Work units executed, panicked ones included.
     pub units: usize,
+    /// Logical kernel spans executed. Equal to `units` in materialize
+    /// mode; in pipeline mode a fused span unit contributes one span per
+    /// chained operator, so this stays comparable across transfer modes
+    /// (and equals the worker's traced `KernelStart`/`KernelEnd` count).
+    pub kernel_spans: usize,
     /// Work units whose kernel panicked (caught and reported, never
     /// propagated — the thread keeps serving).
     pub panics: usize,
@@ -44,8 +49,9 @@ impl WorkerStats {
     /// `send_wait` (arbitration back-pressure) included.
     pub fn summary_row(&self, id: usize) -> String {
         format!(
-            "worker {id:>2}: {:>6} units, busy {:>10.2?}, send_wait {:>9.2?}, wall {:>10.2?} ({:>4.1}%){}",
+            "worker {id:>2}: {:>6} units ({:>6} spans), busy {:>10.2?}, send_wait {:>9.2?}, wall {:>10.2?} ({:>4.1}%){}",
             self.units,
+            self.kernel_spans,
             self.busy,
             self.send_wait,
             self.wall,
@@ -108,6 +114,13 @@ impl HostMetrics {
     /// Total work units executed by all workers.
     pub fn total_units(&self) -> usize {
         self.per_worker.iter().map(|w| w.units).sum()
+    }
+
+    /// Total logical kernel spans executed by all workers (≥
+    /// [`HostMetrics::total_units`]; strictly greater when pipeline mode
+    /// fused any chain).
+    pub fn total_kernel_spans(&self) -> usize {
+        self.per_worker.iter().map(|w| w.kernel_spans).sum()
     }
 
     /// Total kernel panics contained across all workers.

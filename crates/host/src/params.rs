@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use df_core::{AllocationStrategy, JoinAlgo};
+use df_core::{AllocationStrategy, JoinAlgo, TransferMode};
 use df_obs::Tracer;
 
 use crate::error::{HostError, HostResult};
@@ -29,6 +29,16 @@ pub struct HostParams {
     /// via `Arc` thereafter. Non-equi θ-joins silently fall back to the
     /// nested-loops sweep; results are multiset-identical either way.
     pub join: JoinAlgo,
+    /// How chained unary operators exchange results. Under
+    /// [`TransferMode::Materialize`] (the paper's design) every
+    /// restrict/project cell packs its survivors into its own output pages
+    /// and ships them to the parent cell. Under [`TransferMode::Pipeline`]
+    /// the planner fuses maximal restrict→project chains into a single
+    /// span cell: one work unit evaluates the whole chain per operand page
+    /// and only the final survivors are paged, so the intermediate pages
+    /// (and their distribution/arbitration bytes) never exist. Results are
+    /// byte-identical either way.
+    pub transfer: TransferMode,
     /// Capacity of the result channel (the "arbitration network" carrying
     /// completions back to the scheduler). Workers block producing past it,
     /// which bounds memory for pathological fan-outs. Must be ≥ 1.
@@ -65,6 +75,7 @@ impl Default for HostParams {
             page_size: 1016,
             strategy: AllocationStrategy::default(),
             join: JoinAlgo::default(),
+            transfer: TransferMode::default(),
             completion_capacity: 256,
             deterministic: false,
             stall_timeout: Duration::from_secs(60),
@@ -133,6 +144,7 @@ mod tests {
         assert!(p.page_size >= 116); // header + one 100-byte tuple
         assert!(p.completion_capacity >= 1);
         assert_eq!(p.join, JoinAlgo::Nested);
+        assert_eq!(p.transfer, TransferMode::Materialize);
         assert!(!p.fault.is_active());
         assert!(p.validate().is_ok());
         assert_eq!(HostParams::with_workers(3).workers, 3);

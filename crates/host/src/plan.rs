@@ -5,7 +5,8 @@
 //! parent it feeds), and its depth from the root (the `RootFirst` policy's
 //! input).
 
-use df_core::JoinAlgo;
+use df_core::{JoinAlgo, TransferMode};
+use df_query::ops::SpanStep;
 use df_query::{validate, Op, QueryTree};
 use df_relalg::{Catalog, Schema, PAGE_HEADER_BYTES};
 
@@ -46,6 +47,14 @@ pub(crate) struct CellSpec {
     /// Page size for this cell's output pages: the configured size, grown
     /// if necessary so at least one (possibly very wide) tuple fits.
     pub out_page_size: usize,
+    /// Non-empty only under [`TransferMode::Pipeline`]: this cell is a
+    /// *fused span* standing in for a maximal restrict→project chain. The
+    /// steps run bottom (this cell's original operator) to top per operand
+    /// page in one work unit; `op` keeps the bottom operator for
+    /// diagnostics, `out_schema`/`out_page_size`/`parent`/`depth` are the
+    /// chain top's. The absorbed upper cells stay in `cells` (indices are
+    /// tree node ids) but nothing ever routes pages to them.
+    pub steps: Vec<SpanStep>,
 }
 
 /// A compiled query: cells in topological (leaf-before-parent) order, the
@@ -71,6 +80,7 @@ impl QueryPlan {
         tree: &QueryTree,
         page_size: usize,
         join: JoinAlgo,
+        transfer: TransferMode,
     ) -> HostResult<QueryPlan> {
         let schemas = validate(db, tree)?;
         let parents = tree.parents();
@@ -124,13 +134,82 @@ impl QueryPlan {
                 arity: node.op.arity(),
                 firing,
                 out_page_size,
+                steps: Vec::new(),
             });
         }
-        Ok(QueryPlan {
+        let mut plan = QueryPlan {
             cells,
             root: tree.root().0,
             join,
-        })
+        };
+        if transfer == TransferMode::Pipeline {
+            plan.fuse_spans();
+        }
+        Ok(plan)
+    }
+
+    /// The pipeline post-pass: collapse every maximal chain of per-page
+    /// restrict/project cells into one fused span cell.
+    ///
+    /// Cell indices are tree node ids (the scheduler addresses cells by
+    /// them), so unlike the simulated machines' compiler this pass never
+    /// renumbers: the chain's *bottom* cell is rewritten in place to carry
+    /// the whole chain, and the absorbed upper cells are left inert — with
+    /// the bottom's `parent` repointed past them, no page is ever routed
+    /// their way, no unit ever fires on them, and cell completion never
+    /// consults them.
+    fn fuse_spans(&mut self) {
+        let fusible = |spec: &CellSpec| {
+            spec.firing == Firing::PerPage
+                && matches!(
+                    spec.op,
+                    Op::Restrict { .. } | Op::Project { dedup: false, .. }
+                )
+        };
+        // A chain bottom is a fusible cell not fed by another fusible cell.
+        let mut fed_by_fusible = vec![false; self.cells.len()];
+        for spec in self.cells.iter().filter(|s| fusible(s)) {
+            if let Some((p, _)) = spec.parent {
+                if fusible(&self.cells[p]) {
+                    fed_by_fusible[p] = true;
+                }
+            }
+        }
+        for (bottom, &fed) in fed_by_fusible.iter().enumerate() {
+            if fed || !fusible(&self.cells[bottom]) {
+                continue;
+            }
+            // Walk up while the parent is fusible too.
+            let mut chain = vec![bottom];
+            while let Some((p, _)) = self.cells[*chain.last().expect("nonempty")].parent {
+                if !fusible(&self.cells[p]) {
+                    break;
+                }
+                chain.push(p);
+            }
+            if chain.len() < 2 {
+                continue;
+            }
+            let steps: Vec<SpanStep> = chain
+                .iter()
+                .map(|&c| match &self.cells[c].op {
+                    Op::Restrict { predicate } => SpanStep::Restrict(predicate.clone()),
+                    Op::Project { projection, .. } => SpanStep::Project(projection.clone()),
+                    other => unreachable!("non-fusible op `{}` in a chain", other.name()),
+                })
+                .collect();
+            let top = *chain.last().expect("nonempty");
+            let top_spec = self.cells[top].clone();
+            let spec = &mut self.cells[bottom];
+            spec.steps = steps;
+            spec.out_schema = top_spec.out_schema;
+            spec.out_page_size = top_spec.out_page_size;
+            spec.parent = top_spec.parent;
+            spec.depth = top_spec.depth;
+            if self.root == top {
+                self.root = bottom;
+            }
+        }
     }
 }
 
@@ -172,7 +251,8 @@ mod tests {
             .equi_join(b.scan("emp").unwrap(), "dept", "dept")
             .unwrap()
             .finish();
-        let plan = QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested).unwrap();
+        let plan =
+            QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested, TransferMode::Materialize).unwrap();
         assert_eq!(plan.cells.len(), 4);
         assert_eq!(plan.root, 3);
         assert_eq!(plan.cells[plan.root].depth, 0);
@@ -196,7 +276,8 @@ mod tests {
             .project(&["dept"], true)
             .unwrap()
             .finish();
-        let plan = QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested).unwrap();
+        let plan =
+            QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested, TransferMode::Materialize).unwrap();
         assert_eq!(plan.cells[1].firing, Firing::Complete);
         let q = TreeBuilder::new(&db)
             .scan("emp")
@@ -204,7 +285,8 @@ mod tests {
             .project(&["dept"], false)
             .unwrap()
             .finish();
-        let plan = QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested).unwrap();
+        let plan =
+            QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested, TransferMode::Materialize).unwrap();
         assert_eq!(plan.cells[1].firing, Firing::PerPage);
     }
 
@@ -212,8 +294,77 @@ mod tests {
     fn tiny_page_size_grows_to_fit_one_tuple() {
         let db = db();
         let q = TreeBuilder::new(&db).scan("emp").unwrap().finish();
-        let plan = QueryPlan::build(&db, &q, 8, JoinAlgo::Nested).unwrap();
+        let plan =
+            QueryPlan::build(&db, &q, 8, JoinAlgo::Nested, TransferMode::Materialize).unwrap();
         assert!(plan.cells[0].out_page_size >= PAGE_HEADER_BYTES + 16);
+    }
+
+    #[test]
+    fn pipeline_fuses_chain_without_renumbering() {
+        let db = db();
+        let q = TreeBuilder::new(&db)
+            .scan("emp")
+            .unwrap()
+            .restrict_where("id", CmpOp::Gt, Value::Int(2))
+            .unwrap()
+            .project(&["dept"], false)
+            .unwrap()
+            .finish();
+        let plan =
+            QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested, TransferMode::Pipeline).unwrap();
+        // Cells keep their tree-node indices; the restrict (cell 1) became
+        // the span, absorbing the project (cell 2), and took over as root.
+        assert_eq!(plan.cells.len(), 3);
+        assert_eq!(plan.root, 1);
+        let span = &plan.cells[1];
+        assert_eq!(span.steps.len(), 2);
+        assert!(matches!(span.steps[0], SpanStep::Restrict(_)));
+        assert!(matches!(span.steps[1], SpanStep::Project(_)));
+        assert_eq!(span.parent, None);
+        assert_eq!(span.out_schema.arity(), 1);
+        assert_eq!(span.firing, Firing::PerPage);
+        // The scan still feeds the span cell at port 0.
+        assert_eq!(plan.cells[0].parent, Some((1, 0)));
+        // Materialize mode leaves the chain unfused.
+        let plan =
+            QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested, TransferMode::Materialize).unwrap();
+        assert_eq!(plan.root, 2);
+        assert!(plan.cells.iter().all(|c| c.steps.is_empty()));
+    }
+
+    #[test]
+    fn pipeline_fuses_legs_below_a_join() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let left = b
+            .scan("emp")
+            .unwrap()
+            .restrict_where("id", CmpOp::Gt, Value::Int(1))
+            .unwrap()
+            .restrict_where("id", CmpOp::Lt, Value::Int(6))
+            .unwrap();
+        let q = left
+            .equi_join(b.scan("emp").unwrap(), "dept", "dept")
+            .unwrap()
+            .finish();
+        let plan =
+            QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested, TransferMode::Pipeline).unwrap();
+        // scan(0) -> restrict(1) -> restrict(2) -> join(4) <- scan(3); the
+        // two restricts fuse into cell 1, feeding the join's port 0.
+        let span = &plan.cells[1];
+        assert_eq!(span.steps.len(), 2);
+        assert_eq!(span.parent, Some((4, 0)));
+        assert_eq!(plan.root, 4);
+        // A lone restrict (or project) never fuses: chain length 1.
+        let q = TreeBuilder::new(&db)
+            .scan("emp")
+            .unwrap()
+            .restrict_where("id", CmpOp::Gt, Value::Int(2))
+            .unwrap()
+            .finish();
+        let plan =
+            QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested, TransferMode::Pipeline).unwrap();
+        assert!(plan.cells.iter().all(|c| c.steps.is_empty()));
     }
 
     #[test]
@@ -222,7 +373,8 @@ mod tests {
         let q = TreeBuilder::new(&db)
             .delete_where("emp", "id", CmpOp::Eq, Value::Int(0))
             .unwrap();
-        let err = QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested).unwrap_err();
+        let err = QueryPlan::build(&db, &q, 1024, JoinAlgo::Nested, TransferMode::Materialize)
+            .unwrap_err();
         assert!(err.to_string().contains("read-only"));
     }
 }

@@ -91,10 +91,19 @@ fn event_stream_is_conserved_against_metrics() {
     assert_eq!(snap.bytes(Path::Distribution), bytes_in);
     assert_eq!(snap.bytes(Path::Arbitration), bytes_out);
 
-    let units = m.total_units() as usize;
+    let units = m.total_units();
     assert_eq!(snap.of_kind(EventKind::UnitDispatch).count(), units);
-    assert_eq!(snap.of_kind(EventKind::KernelStart).count(), units);
-    assert_eq!(snap.of_kind(EventKind::KernelEnd).count(), units);
+    // Kernel spans are counted per *logical operator*: in materialize mode
+    // (the default here) every unit runs exactly one, so all three agree.
+    assert_eq!(m.total_kernel_spans(), units);
+    assert_eq!(
+        snap.of_kind(EventKind::KernelStart).count(),
+        m.total_kernel_spans()
+    );
+    assert_eq!(
+        snap.of_kind(EventKind::KernelEnd).count(),
+        m.total_kernel_spans()
+    );
 
     // KernelEnd carries the unit class in `a`: 0 other, 1 probe, 2 sweep.
     let class = |c: u64| {
@@ -116,6 +125,46 @@ fn event_stream_is_conserved_against_metrics() {
     // arrival) equal the units dispatched.
     let fired: u64 = snap.of_kind(EventKind::CellFire).map(|e| e.b).sum();
     assert_eq!(fired as usize, units, "cell fires vs dispatches");
+}
+
+/// Pipeline mode dispatches a fused restrict→project chain as ONE unit but
+/// must still account one kernel span per logical operator: the traced
+/// `KernelStart`/`KernelEnd` counts equal the workers' `kernel_spans`
+/// total, which strictly exceeds the unit count (some chain fused), while
+/// the distribution/arbitration byte identities keep holding.
+#[test]
+fn pipeline_span_units_conserve_per_operator_kernel_spans() {
+    use df_core::TransferMode;
+    use df_workload::pipeline_queries;
+    let spec = BenchmarkSpec::scaled(0.01);
+    let db = generate_database(&spec.database);
+    let queries = pipeline_queries(&db, &spec).expect("pipeline suite builds");
+    let tracer = Arc::new(Tracer::new(Tracer::DEFAULT_CAPACITY));
+    let params = HostParams {
+        transfer: TransferMode::Pipeline,
+        trace: Some(Arc::clone(&tracer)),
+        ..HostParams::with_workers(2)
+    };
+    let out = run_host_queries(&db, &queries, &params).expect("host executes");
+    let m = &out.metrics;
+    let snap = tracer.snapshot();
+    assert_eq!(snap.dropped, 0, "ring must hold the whole run");
+
+    let units = m.total_units();
+    let spans = m.total_kernel_spans();
+    assert_eq!(snap.of_kind(EventKind::UnitDispatch).count(), units);
+    assert_eq!(snap.of_kind(EventKind::KernelStart).count(), spans);
+    assert_eq!(snap.of_kind(EventKind::KernelEnd).count(), spans);
+    assert!(
+        spans > units,
+        "the pipeline suite has restrict→project chains, so fused units \
+         must carry more logical spans ({spans}) than units ({units})"
+    );
+
+    let bytes_in: u64 = m.per_worker.iter().map(|w| w.bytes_in).sum();
+    let bytes_out: u64 = m.per_worker.iter().map(|w| w.bytes_out).sum();
+    assert_eq!(snap.bytes(Path::Distribution), bytes_in);
+    assert_eq!(snap.bytes(Path::Arbitration), bytes_out);
 }
 
 /// Installing a tracer must not change results: deterministic-mode page

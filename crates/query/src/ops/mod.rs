@@ -7,8 +7,10 @@
 
 mod join;
 mod project;
+mod raw;
 mod restrict;
 mod set_ops;
+mod span;
 
 pub use join::{
     hash_join_applicable, hash_join_pages_raw, hash_join_probe, hash_join_relations, join_pages,
@@ -20,6 +22,7 @@ pub use set_ops::{
     cross_pages, cross_pages_raw, dedup_pages_raw, difference_pages_raw, difference_relations,
     union_pages_raw, union_relations,
 };
+pub use span::{span_output_schema, span_page, span_page_raw, SpanStep};
 
 use df_relalg::{Page, Relation, Result, Schema, Tuple};
 

@@ -15,6 +15,8 @@ use std::collections::HashSet;
 
 use df_relalg::{Page, Projection, Schema, Tuple, TupleBuf};
 
+use super::raw::{attr_runs, copy_rows};
+
 /// Project every tuple of `page` onto the given attribute list.
 ///
 /// Decoded-tuple variant, kept for the oracle executor and as the baseline
@@ -35,11 +37,19 @@ pub fn project_page(page: &Page, projection: &Projection) -> Vec<Tuple> {
 /// `out_schema` is the projection's output schema (derived once by the
 /// caller, typically carried by the instruction packet).
 pub fn project_page_raw(page: &Page, projection: &Projection, out_schema: &Schema) -> TupleBuf {
-    let mut out = TupleBuf::new(out_schema.clone());
-    for t in page.tuple_refs() {
-        out.push_projected(&t, projection.indices());
-    }
-    out
+    // Selected attribute ranges are coalesced once into contiguous byte
+    // runs, so each output row is a handful of bulk copies instead of a
+    // per-attribute offset recomputation (and an adjacent-attribute
+    // projection is one memcpy per row).
+    let runs = attr_runs(projection.indices(), page.schema());
+    let bytes = copy_rows(
+        page.raw_data(),
+        page.schema().tuple_width(),
+        None,
+        &runs,
+        out_schema.tuple_width(),
+    );
+    TupleBuf::from_images(out_schema.clone(), bytes)
 }
 
 /// Eliminate duplicates from a tuple stream, preserving first occurrence

@@ -2,6 +2,8 @@
 
 use df_relalg::{Page, Predicate, Tuple, TupleBuf};
 
+use super::raw::{copy_rows, RowFilter};
+
 /// Apply `predicate` to every tuple of `page`, returning the survivors.
 ///
 /// This is the unit of work an IP performs for one restrict instruction
@@ -14,17 +16,21 @@ pub fn restrict_page(page: &Page, predicate: &Predicate) -> Vec<Tuple> {
     page.tuples().filter(|t| predicate.eval(t)).collect()
 }
 
-/// Zero-copy restrict: evaluates the predicate directly over each tuple's
-/// encoded image and memcpy's surviving images into the output batch —
-/// no tuple is decoded or re-encoded.
+/// Zero-copy restrict: two-pass selection over the page's raw byte area.
+/// The predicate's `Int` comparisons run as branchless stride loops AND-ing
+/// into a selection mask; runs of consecutive survivors then copy as single
+/// `memcpy`s. No tuple is decoded or re-encoded.
 pub fn restrict_page_raw(page: &Page, predicate: &Predicate) -> TupleBuf {
-    let mut out = TupleBuf::new(page.schema().clone());
-    for t in page.tuple_refs() {
-        if predicate.eval_ref(&t) {
-            out.push_ref(&t);
-        }
+    let schema = page.schema();
+    let w = schema.tuple_width();
+    let filter = RowFilter::compile(std::slice::from_ref(predicate), schema);
+    if filter.is_trivial() {
+        return TupleBuf::from_images(schema.clone(), page.raw_data().to_vec());
     }
-    out
+    let mut mask = vec![true; page.len()];
+    filter.apply(page, &mut mask);
+    let bytes = copy_rows(page.raw_data(), w, Some(&mask), &[(0, w)], w);
+    TupleBuf::from_images(schema.clone(), bytes)
 }
 
 #[cfg(test)]

@@ -1,0 +1,207 @@
+//! Fused restrict/project span kernel.
+//!
+//! The paper's instruction cells materialize a whole result page between
+//! every operator. A *span* collapses a maximal restrict→project→restrict…
+//! chain into one kernel that evaluates every predicate and the composed
+//! projection per tuple over the **input** page's raw bytes and writes only
+//! the final survivors — the intermediate pages are never built, so the
+//! page-transfer cost between chained unary operators disappears (the
+//! `TransferMode::Pipeline` knob; see DESIGN.md §7 for the deviation note).
+//!
+//! Correctness rests on the canonical encoding: projection is a pure byte
+//! re-arrangement, so a predicate written against a projected schema can be
+//! *remapped* ([`Predicate::remap`]) onto the original input layout and
+//! compare the very same bytes. Restricts only filter and projects are 1:1,
+//! so a tuple survives the chain iff it passes the conjunction of all
+//! remapped predicates, and the output order is the input order — the fused
+//! result is byte-identical to running the steps one page at a time.
+
+use df_relalg::{Page, Predicate, Projection, Schema, Tuple, TupleBuf};
+
+use super::raw::{attr_runs, copy_rows, RowFilter};
+
+/// One logical operator inside a fused span, in chain order (bottom first).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanStep {
+    /// A restriction (σ) applied to the chain's intermediate schema.
+    Restrict(Predicate),
+    /// A projection (π, no dedup) applied to the chain's intermediate schema.
+    Project(Projection),
+}
+
+/// The composed form of a span over a concrete input schema: every
+/// predicate remapped onto the input layout, plus the final attribute map
+/// (output attribute `j` is input attribute `map[j]`).
+fn compose(steps: &[SpanStep], input_arity: usize) -> (Vec<Predicate>, Vec<usize>) {
+    let mut map: Vec<usize> = (0..input_arity).collect();
+    let mut preds = Vec::new();
+    for step in steps {
+        match step {
+            SpanStep::Restrict(p) => preds.push(p.remap(&map)),
+            SpanStep::Project(proj) => {
+                map = proj.indices().iter().map(|&i| map[i]).collect();
+            }
+        }
+    }
+    (preds, map)
+}
+
+/// Run a fused span over one page without materializing intermediates:
+/// mask pass over the raw column bytes, then one run-coalesced copy of the
+/// survivors' projected ranges. `out_schema` is the final step's output
+/// schema (carried by the instruction packet).
+pub fn span_page_raw(page: &Page, steps: &[SpanStep], out_schema: &Schema) -> TupleBuf {
+    let in_schema = page.schema();
+    let (preds, map) = compose(steps, in_schema.arity());
+    let filter = RowFilter::compile(&preds, in_schema);
+    let runs = attr_runs(&map, in_schema);
+    let w_in = in_schema.tuple_width();
+    let mask_storage;
+    let mask = if filter.is_trivial() {
+        None
+    } else {
+        let mut m = vec![true; page.len()];
+        filter.apply(page, &mut m);
+        mask_storage = m;
+        Some(&mask_storage[..])
+    };
+    let bytes = copy_rows(page.raw_data(), w_in, mask, &runs, out_schema.tuple_width());
+    TupleBuf::from_images(out_schema.clone(), bytes)
+}
+
+/// Decoded-tuple reference: apply the steps one at a time, materializing
+/// each intermediate. Kept for the oracle executor and as the baseline the
+/// fused kernel is tested (and benched) against.
+pub fn span_page(page: &Page, steps: &[SpanStep]) -> Vec<Tuple> {
+    let mut tuples: Vec<Tuple> = page.tuples().collect();
+    for step in steps {
+        match step {
+            SpanStep::Restrict(p) => tuples.retain(|t| p.eval(t)),
+            SpanStep::Project(proj) => {
+                tuples = tuples
+                    .iter()
+                    .map(|t| proj.apply(t).expect("span steps validated at compile time"))
+                    .collect();
+            }
+        }
+    }
+    tuples
+}
+
+/// The output schema a span produces when fed `input`: fold each step's
+/// schema derivation.
+///
+/// # Errors
+/// Fails if any step references attributes its intermediate schema lacks.
+pub fn span_output_schema(input: &Schema, steps: &[SpanStep]) -> df_relalg::Result<Schema> {
+    let mut schema = input.clone();
+    for step in steps {
+        if let SpanStep::Project(proj) = step {
+            schema = proj.output_schema(&schema)?;
+        }
+    }
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_support::*;
+    use crate::ops::{project_page_raw, restrict_page_raw};
+    use df_relalg::{CmpOp, Value};
+
+    fn page() -> Page {
+        kv_page(&[(1, 10), (2, 20), (3, 30), (4, 40), (5, 50), (6, 60)])
+    }
+
+    /// Apply the steps unfused, one materialized TupleBuf per hop.
+    fn unfused(page: &Page, steps: &[SpanStep]) -> TupleBuf {
+        let mut cur = TupleBuf::from_images(page.schema().clone(), page.raw_data().to_vec());
+        for step in steps {
+            // Repack the intermediate into a page to reuse the unary kernels.
+            let mut p = Page::new(
+                cur.schema().clone(),
+                16 + cur.schema().tuple_width() * cur.len().max(1),
+            )
+            .unwrap();
+            cur.drain_into(&mut p);
+            cur = match step {
+                SpanStep::Restrict(pred) => restrict_page_raw(&p, pred),
+                SpanStep::Project(proj) => {
+                    let out = proj.output_schema(p.schema()).unwrap();
+                    project_page_raw(&p, proj, &out)
+                }
+            };
+        }
+        cur
+    }
+
+    #[test]
+    fn fused_matches_unfused_restrict_project_restrict() {
+        let s = kv_schema();
+        let steps = vec![
+            SpanStep::Restrict(Predicate::cmp_const(&s, "k", CmpOp::Ge, Value::Int(2)).unwrap()),
+            SpanStep::Project(Projection::new(&s, &["v", "k"]).unwrap()),
+            // After the projection, attribute 0 is `v`.
+            SpanStep::Restrict(Predicate::CmpConst {
+                index: 0,
+                op: CmpOp::Le,
+                value: Value::Int(50),
+            }),
+        ];
+        let p = page();
+        let out_schema = span_output_schema(p.schema(), &steps).unwrap();
+        let fused = span_page_raw(&p, &steps, &out_schema);
+        let by_hand = unfused(&p, &steps);
+        assert_eq!(fused.to_tuples(), by_hand.to_tuples());
+        assert_eq!(fused.len(), 4); // k in 2..=5
+                                    // Decoded reference agrees too.
+        assert_eq!(fused.to_tuples(), span_page(&p, &steps));
+    }
+
+    #[test]
+    fn projection_chains_compose() {
+        let s = kv_schema();
+        let steps = vec![
+            SpanStep::Project(Projection::new(&s, &["v", "k"]).unwrap()),
+            // (v, k) -> keep attribute 1 (= original k).
+            SpanStep::Project(Projection::from_indices(&span_single(&s), vec![1]).unwrap()),
+        ];
+        let p = page();
+        let out_schema = span_output_schema(p.schema(), &steps).unwrap();
+        assert_eq!(out_schema.attrs()[0].name, "k");
+        let fused = span_page_raw(&p, &steps, &out_schema);
+        assert_eq!(fused.to_tuples(), span_page(&p, &steps));
+        assert_eq!(fused.len(), p.len());
+    }
+
+    fn span_single(s: &Schema) -> Schema {
+        Projection::new(s, &["v", "k"])
+            .unwrap()
+            .output_schema(s)
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_page_and_empty_steps() {
+        let p = kv_page(&[]);
+        let out = span_page_raw(&p, &[], p.schema());
+        assert!(out.is_empty());
+        let p2 = page();
+        // No steps: the span is the identity.
+        let out2 = span_page_raw(&p2, &[], p2.schema());
+        assert_eq!(out2.len(), p2.len());
+        assert_eq!(out2.to_tuples(), p2.tuples().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_filtered_out_yields_empty() {
+        let s = kv_schema();
+        let steps = vec![SpanStep::Restrict(
+            Predicate::cmp_const(&s, "k", CmpOp::Gt, Value::Int(100)).unwrap(),
+        )];
+        let p = page();
+        let out = span_page_raw(&p, &steps, p.schema());
+        assert!(out.is_empty());
+    }
+}

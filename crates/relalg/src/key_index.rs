@@ -42,6 +42,27 @@ impl Hasher for RawKeyHasher {
 }
 
 type RawKeyMap = HashMap<Box<[u8]>, Vec<u32>, BuildHasherDefault<RawKeyHasher>>;
+type WordKeyMap = HashMap<u64, Vec<u32>, BuildHasherDefault<RawKeyHasher>>;
+
+/// The key storage, specialized on the key attribute's width.
+///
+/// An 8-byte key image (`Int` — the workload's join keys) is exactly one
+/// machine word, so the word map hashes and compares it as a `u64` read
+/// straight off the page bytes: no owned `Box<[u8]>` allocation per
+/// distinct key at build time, and probes are single word compares instead
+/// of slice `memcmp`s.
+#[derive(Debug, Clone)]
+enum KeyMap {
+    Word(WordKeyMap),
+    Bytes(RawKeyMap),
+}
+
+/// Read an 8-byte key image as its word (any fixed endianness works: the
+/// word is only hashed and compared for equality, never ordered).
+#[inline]
+fn key_word(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8-byte key image"))
+}
 
 /// A hash index over one page's raw key bytes: distinct key image → the
 /// slots carrying it, in ascending slot order.
@@ -54,7 +75,7 @@ type RawKeyMap = HashMap<Box<[u8]>, Vec<u32>, BuildHasherDefault<RawKeyHasher>>;
 #[derive(Debug, Clone)]
 pub struct PageKeyIndex {
     key: usize,
-    map: RawKeyMap,
+    map: KeyMap,
 }
 
 impl PageKeyIndex {
@@ -63,19 +84,32 @@ impl PageKeyIndex {
     /// # Panics
     /// Panics if `key` is out of range for the page's schema.
     pub fn build(page: &Page, key: usize) -> PageKeyIndex {
-        let mut map =
-            RawKeyMap::with_capacity_and_hasher(page.len(), BuildHasherDefault::default());
-        for (slot, t) in page.tuple_refs().enumerate() {
-            let bytes = t.attr_bytes(key);
-            // get_mut-then-insert instead of the entry API: duplicate keys
-            // (the common case on fk pages) take the hit-path without
-            // allocating an owned key first.
-            if let Some(slots) = map.get_mut(bytes) {
-                slots.push(slot as u32);
-            } else {
-                map.insert(bytes.into(), vec![slot as u32]);
+        let width = page.schema().attr_range(key).len();
+        let map = if width == 8 {
+            let mut map =
+                WordKeyMap::with_capacity_and_hasher(page.len(), BuildHasherDefault::default());
+            for (slot, t) in page.tuple_refs().enumerate() {
+                map.entry(key_word(t.attr_bytes(key)))
+                    .or_default()
+                    .push(slot as u32);
             }
-        }
+            KeyMap::Word(map)
+        } else {
+            let mut map =
+                RawKeyMap::with_capacity_and_hasher(page.len(), BuildHasherDefault::default());
+            for (slot, t) in page.tuple_refs().enumerate() {
+                let bytes = t.attr_bytes(key);
+                // get_mut-then-insert instead of the entry API: duplicate keys
+                // (the common case on fk pages) take the hit-path without
+                // allocating an owned key first.
+                if let Some(slots) = map.get_mut(bytes) {
+                    slots.push(slot as u32);
+                } else {
+                    map.insert(bytes.into(), vec![slot as u32]);
+                }
+            }
+            KeyMap::Bytes(map)
+        };
         PageKeyIndex { key, map }
     }
 
@@ -85,14 +119,25 @@ impl PageKeyIndex {
     }
 
     /// Slots whose key image equals `key_bytes`, in ascending order; empty
-    /// when the key does not appear in the page.
+    /// when the key does not appear in the page (or has a different width).
     pub fn probe(&self, key_bytes: &[u8]) -> &[u32] {
-        self.map.get(key_bytes).map_or(&[], Vec::as_slice)
+        match &self.map {
+            KeyMap::Word(map) => {
+                if key_bytes.len() != 8 {
+                    return &[];
+                }
+                map.get(&key_word(key_bytes)).map_or(&[], Vec::as_slice)
+            }
+            KeyMap::Bytes(map) => map.get(key_bytes).map_or(&[], Vec::as_slice),
+        }
     }
 
     /// Number of distinct key values in the page.
     pub fn distinct_keys(&self) -> usize {
-        self.map.len()
+        match &self.map {
+            KeyMap::Word(map) => map.len(),
+            KeyMap::Bytes(map) => map.len(),
+        }
     }
 }
 
@@ -141,6 +186,29 @@ mod tests {
         let empty = PageKeyIndex::build(&page(&[]), 0);
         assert_eq!(empty.distinct_keys(), 0);
         assert!(empty.probe(&enc(1)).is_empty());
+    }
+
+    /// Non-8-byte keys take the byte-slice map; behaviour is identical.
+    #[test]
+    fn str_keys_use_byte_fallback() {
+        let schema = Schema::build()
+            .attr("s", DataType::Str(4))
+            .attr("v", DataType::Int)
+            .finish()
+            .unwrap();
+        let mut p = Page::new(schema, 16 + 12 * 4).unwrap();
+        for (i, s) in ["aa", "bb", "aa", "c"].iter().enumerate() {
+            p.push(&Tuple::new(vec![Value::str(s), Value::Int(i as i64)]))
+                .unwrap();
+        }
+        let idx = PageKeyIndex::build(&p, 0);
+        assert_eq!(idx.distinct_keys(), 3);
+        let mut key = Vec::new();
+        Value::str("aa").encode(DataType::Str(4), &mut key).unwrap();
+        assert_eq!(idx.probe(&key), &[0, 2]);
+        // A probe of the wrong width can never match.
+        let word_idx = PageKeyIndex::build(&p, 1);
+        assert!(word_idx.probe(&key[..4.min(key.len())]).is_empty());
     }
 
     #[test]

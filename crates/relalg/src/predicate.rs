@@ -261,6 +261,35 @@ impl Predicate {
         }
     }
 
+    /// Rewrite attribute indices through `map`: index `i` becomes `map[i]`.
+    ///
+    /// Used when a predicate written against a projected schema is pushed
+    /// back onto the pre-projection tuple layout (fused restrict/project
+    /// spans): attribute `i` of the projection output is attribute `map[i]`
+    /// of the input, and the canonical encoding guarantees the bytes — and
+    /// therefore the comparison results — are identical.
+    ///
+    /// # Panics
+    /// Panics if the predicate references an index at or beyond `map.len()`.
+    pub fn remap(&self, map: &[usize]) -> Predicate {
+        match self {
+            Predicate::True => Predicate::True,
+            Predicate::CmpConst { index, op, value } => Predicate::CmpConst {
+                index: map[*index],
+                op: *op,
+                value: value.clone(),
+            },
+            Predicate::CmpAttrs { left, op, right } => Predicate::CmpAttrs {
+                left: map[*left],
+                op: *op,
+                right: map[*right],
+            },
+            Predicate::And(a, b) => Predicate::And(Box::new(a.remap(map)), Box::new(b.remap(map))),
+            Predicate::Or(a, b) => Predicate::Or(Box::new(a.remap(map)), Box::new(b.remap(map))),
+            Predicate::Not(a) => Predicate::Not(Box::new(a.remap(map))),
+        }
+    }
+
     /// A crude selectivity estimate, used only for workload documentation
     /// (the simulators measure, they never estimate).
     pub fn describe(&self, schema: &Schema) -> String {
@@ -582,6 +611,29 @@ mod tests {
                 };
                 assert_eq!(js.matches_ref(&lr, &rr), js.matches(l, r), "{op} str");
             }
+        }
+    }
+
+    /// Remapping through the projection's index list makes a post-projection
+    /// predicate agree with the pre-projection tuple.
+    #[test]
+    fn remap_rewrites_indices_through_projection() {
+        // Projected schema (b, a): predicate `#0 > #1` there means `b > a`.
+        let p = Predicate::CmpAttrs {
+            left: 0,
+            op: CmpOp::Gt,
+            right: 1,
+        }
+        .and(Predicate::CmpConst {
+            index: 0,
+            op: CmpOp::Ne,
+            value: Value::Int(9),
+        })
+        .or(Predicate::True.not());
+        let remapped = p.remap(&[1, 0]); // projection kept (b, a) of (a, b, s)
+        for t in [tup(1, 2, "x"), tup(2, 1, "x"), tup(3, 9, "x")] {
+            let projected = Tuple::new(vec![t.get(1).unwrap().clone(), t.get(0).unwrap().clone()]);
+            assert_eq!(remapped.eval(&t), p.eval(&projected), "tuple {t}");
         }
     }
 

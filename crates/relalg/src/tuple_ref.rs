@@ -133,6 +133,27 @@ impl TupleBuf {
         }
     }
 
+    /// Wrap an already-built byte vector of whole images (length must be a
+    /// multiple of the tuple width — debug-asserted). The bulk path for
+    /// kernels that assemble their output bytes directly.
+    pub fn from_images(schema: Schema, bytes: Vec<u8>) -> TupleBuf {
+        debug_assert_eq!(bytes.len() % schema.tuple_width(), 0);
+        TupleBuf {
+            schema,
+            bytes,
+            start: 0,
+        }
+    }
+
+    /// Append `bytes` holding zero or more whole images (length must be a
+    /// multiple of the tuple width — debug-asserted). One memcpy: the bulk
+    /// path for run-coalesced kernel copies.
+    #[inline]
+    pub fn push_images(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(bytes.len() % self.schema.tuple_width(), 0);
+        self.bytes.extend_from_slice(bytes);
+    }
+
     /// The batch's schema.
     #[inline]
     pub fn schema(&self) -> &Schema {

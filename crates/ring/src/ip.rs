@@ -156,7 +156,10 @@ impl RingMachine {
                     let kernel = self.program.instructions[instr].kernel.clone();
                     let out_schema = self.program.instructions[instr].output_schema.clone();
                     let results = kernel.run_unit_raw(&[self.store.get(page)], &out_schema);
-                    let ops = self.store.get(page).len();
+                    // Kernel-aware service time: a fused span charges the
+                    // sum of its step costs (n per step); plain unary
+                    // kernels charge n.
+                    let ops = kernel.tuple_ops(&[self.store.get(page).len()]);
                     let dur = self.compute_time_for(&[page], ops);
                     self.ips[ip].current_results = Some(results);
                     self.ips[ip].busy = true;

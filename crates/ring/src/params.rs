@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use df_core::{CostModel, JoinAlgo};
+use df_core::{CostModel, JoinAlgo, TransferMode};
 use df_obs::Tracer;
 use df_sim::Duration;
 use df_storage::{CacheParams, DiskParams};
@@ -30,6 +30,12 @@ pub struct RingParams {
     /// broadcast protocol and IRC bookkeeping are unchanged, so Fig-4.2
     /// bandwidth curves can be re-derived under both algorithms.
     pub join_algo: JoinAlgo,
+    /// How results move between chained unary operators: `Materialize`
+    /// (one result page per instruction cell, the paper's design) or
+    /// `Pipeline` (restrict→project chains fused into spans at compile
+    /// time — one IP computation and one result-packet stream per chain,
+    /// charged the sum of the step costs but a single transfer).
+    pub transfer: TransferMode,
     /// Page size in bytes (header included). Figure 4.2 assumes "16K byte
     /// operands"; the default stays at the §3.3 analysis size of ~1 KB and
     /// the `fig_4_2` bench overrides it.
@@ -75,6 +81,7 @@ impl Default for RingParams {
             hop_latency: Duration::from_micros(2),
             cost: CostModel::default(),
             join_algo: JoinAlgo::default(),
+            transfer: TransferMode::default(),
             page_size: 1016,
             ip_memory_pages: 4,
             ic_memory_pages: 64,

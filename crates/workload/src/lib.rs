@@ -29,6 +29,6 @@ pub use dbgen::{
     generate_database, parent_of, DatabaseSpec, FK_ATTR, KEY_ATTR, VAL_ATTR, VAL_DOMAIN,
 };
 pub use queries::{
-    benchmark_queries, chain_query, chain_query_naive, poisson_arrivals, random_query,
-    BenchmarkSpec,
+    benchmark_queries, chain_query, chain_query_naive, pipeline_chain_query, pipeline_queries,
+    poisson_arrivals, random_query, BenchmarkSpec,
 };

@@ -157,6 +157,87 @@ pub fn benchmark_queries(db: &Catalog, spec: &BenchmarkSpec) -> Result<Vec<Query
         .collect()
 }
 
+/// Like [`chain_query`], but every restricted leaf projects away the
+/// 76-byte `pad` filler right after its restrict, and the root carries a
+/// final restrict→project pair — so every query holds maximal
+/// restrict→project chains below (and above) its joins. This is the
+/// workload the materialize-vs-pipeline shoot-out runs: under
+/// `TransferMode::Pipeline` each chain fuses into one span and the
+/// intermediate pages (pad bytes included) never cross the network.
+pub fn pipeline_chain_query(
+    db: &Catalog,
+    n_relations: usize,
+    start: usize,
+    njoins: usize,
+    restricts: usize,
+    cutoff: i64,
+) -> Result<QueryTree> {
+    assert!(
+        restricts <= njoins + 1,
+        "cannot place {restricts} restricts on {} leaves",
+        njoins + 1
+    );
+    let b = TreeBuilder::new(db);
+    let make_leaf = |rel_index: usize, restricted: bool| {
+        let name = DatabaseSpec::relation_name(rel_index);
+        let scan = b.scan(&name)?;
+        if restricted {
+            // restrict → project: the fusible leaf chain.
+            scan.restrict_where(VAL_ATTR, CmpOp::Lt, Value::Int(cutoff))?
+                .project(&[KEY_ATTR, FK_ATTR, VAL_ATTR], false)
+        } else {
+            Ok(scan)
+        }
+    };
+
+    let mut rel = start;
+    let mut tree = make_leaf(rel, restricts >= 1)?;
+    let mut fk_attr = FK_ATTR.to_owned();
+    let mut top_key = KEY_ATTR.to_owned();
+    for k in 0..njoins {
+        rel = parent_of(rel, n_relations);
+        let right = make_leaf(rel, restricts >= k + 2)?;
+        tree = tree.join_on(right, &fk_attr, CmpOp::Eq, KEY_ATTR)?;
+        fk_attr = format!("r_{fk_attr}");
+        top_key = format!("r_{top_key}");
+    }
+    // The above-join chain: one more (redundant-at-worst) restrict plus a
+    // narrowing project, fusible with the leaf chain when njoins == 0.
+    tree = tree
+        .restrict_where(VAL_ATTR, CmpOp::Lt, Value::Int(cutoff))?
+        .project(&[VAL_ATTR, &top_key], false)?;
+    Ok(tree.finish())
+}
+
+/// The ten-query benchmark in its pipeline-bearing form: the same §3.2
+/// shapes as [`benchmark_queries`], rebuilt with [`pipeline_chain_query`]
+/// so every query contains restrict→project chains for span fusion to
+/// collapse. Answers are oracle-checked like the plain suite; the byte
+/// traffic difference between `TransferMode::Materialize` and
+/// `TransferMode::Pipeline` on this suite is the PERF-PIPE experiment.
+pub fn pipeline_queries(db: &Catalog, spec: &BenchmarkSpec) -> Result<Vec<QueryTree>> {
+    let n = spec.database.relations;
+    let cutoff = spec.cutoff();
+    let shapes: [(usize, usize, usize); 10] = [
+        (0, 0, 1),
+        (2, 0, 1),
+        (1, 1, 2),
+        (3, 1, 2),
+        (5, 1, 2),
+        (2, 2, 3),
+        (6, 2, 3),
+        (4, 3, 4),
+        (7, 4, 4),
+        (8, 5, 6),
+    ];
+    shapes
+        .iter()
+        .map(|&(start, joins, restricts)| {
+            pipeline_chain_query(db, n, start, joins, restricts, cutoff)
+        })
+        .collect()
+}
+
 /// Exponentially distributed arrival times for an open multi-user stream:
 /// `n` arrivals with the given mean inter-arrival gap (seconds), starting
 /// at t = 0. Deterministic in `rng`. Pairs with
@@ -245,6 +326,28 @@ mod tests {
                 assert!(out.num_tuples() > 0, "Q{} produced an empty result", i + 1);
             }
         }
+    }
+
+    #[test]
+    fn pipeline_queries_validate_and_carry_fusible_chains() {
+        let (db, spec) = setup();
+        let queries = pipeline_queries(&db, &spec).unwrap();
+        assert_eq!(queries.len(), 10);
+        for (i, q) in queries.iter().enumerate() {
+            validate(&db, q).unwrap_or_else(|e| panic!("PQ{} invalid: {e}", i + 1));
+            execute_readonly(&db, q, &ExecParams::default())
+                .unwrap_or_else(|e| panic!("PQ{} failed: {e}", i + 1));
+            // Every restricted leaf projects, plus the root pair: each
+            // query has at least one project per restrict placement.
+            assert!(
+                q.count_op("project") >= 2,
+                "PQ{} has no fusible chain",
+                i + 1
+            );
+        }
+        // Same join mix as the paper suite.
+        let joins: Vec<usize> = queries.iter().map(|q| q.count_op("join")).collect();
+        assert_eq!(joins, vec![0, 0, 1, 1, 1, 2, 2, 3, 4, 5]);
     }
 
     #[test]
