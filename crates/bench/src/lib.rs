@@ -7,6 +7,7 @@
 //! (`src/bin/experiments.rs`) runs the paper-scale versions and prints the
 //! tables recorded in `EXPERIMENTS.md`.
 
+pub mod loadgen;
 pub mod report;
 
 use df_core::{run_queries, AllocationStrategy, Granularity, JoinAlgo, MachineParams, Metrics};

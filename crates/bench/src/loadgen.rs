@@ -1,0 +1,202 @@
+//! Multi-client load-generation knobs and query synthesis for
+//! `serve_bench` — kept in the library so the FromStr/Display round-trip
+//! contract is testable alongside the other flag enums.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How each simulated client issues requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopMode {
+    /// One request in flight per client: send, wait for the response,
+    /// repeat. Measures service latency under self-limiting load.
+    #[default]
+    Closed,
+    /// Requests sent on a fixed schedule (`--qps` per client) regardless
+    /// of outstanding responses, pipelined on the connection. Measures
+    /// behavior under offered load, including `Busy` rejections.
+    Open,
+}
+
+impl LoopMode {
+    /// Every mode, in benchmark order.
+    pub const ALL: [LoopMode; 2] = [LoopMode::Closed, LoopMode::Open];
+
+    /// Stable lowercase name (the `--mode` flag spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopMode::Closed => "closed",
+            LoopMode::Open => "open",
+        }
+    }
+}
+
+impl fmt::Display for LoopMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for LoopMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<LoopMode, String> {
+        match s {
+            "closed" => Ok(LoopMode::Closed),
+            "open" => Ok(LoopMode::Open),
+            other => Err(format!("unknown loop mode `{other}` (closed|open)")),
+        }
+    }
+}
+
+/// What the generated clients ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RequestMix {
+    /// Every client sends the same read query — the best case for
+    /// read-batch fusion (fused executions ≪ submitted queries).
+    #[default]
+    ReadSame,
+    /// Reads over varying relations and selectivities; identical requests
+    /// still collide occasionally, so some fusion remains.
+    ReadMixed,
+    /// [`RequestMix::ReadMixed`] with every eighth request an `append`,
+    /// exercising write serialization under the relation lock table.
+    ReadWrite,
+}
+
+impl RequestMix {
+    /// Every mix, in benchmark order.
+    pub const ALL: [RequestMix; 3] = [
+        RequestMix::ReadSame,
+        RequestMix::ReadMixed,
+        RequestMix::ReadWrite,
+    ];
+
+    /// Stable lowercase name (the `--mix` flag spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestMix::ReadSame => "read-same",
+            RequestMix::ReadMixed => "read-mixed",
+            RequestMix::ReadWrite => "read-write",
+        }
+    }
+
+    /// The query text client `client` sends as its `seq`-th request.
+    /// Deterministic, so runs are reproducible and fusion counts are a
+    /// property of the mix, not of chance.
+    pub fn query_text(self, client: usize, seq: u64) -> String {
+        match self {
+            RequestMix::ReadSame => "(restrict (scan r03) (< val 500))".to_string(),
+            RequestMix::ReadMixed => read_mixed(client, seq),
+            RequestMix::ReadWrite => {
+                if seq % 8 == 7 {
+                    // Append one existing tuple (keys are unique, so the
+                    // restriction selects exactly one) into a sibling
+                    // relation — a minimal, observable write.
+                    let key = (client as u64 * 31 + seq) % 50;
+                    format!("(append (restrict (scan r00) (= key {key})) r01)")
+                } else {
+                    read_mixed(client, seq)
+                }
+            }
+        }
+    }
+}
+
+/// A read whose relation and selectivity vary with (client, seq) over a
+/// small set, so concurrent clients sometimes collide on the same plan.
+fn read_mixed(client: usize, seq: u64) -> String {
+    let rel = (client as u64 + seq) % 8 + 2; // r02..r09: never the write targets
+    let threshold = (seq % 4 + 1) * 200; // 200..800 of VAL_DOMAIN=1000
+    format!("(restrict (scan r{rel:02}) (< val {threshold}))")
+}
+
+impl fmt::Display for RequestMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for RequestMix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RequestMix, String> {
+        match s {
+            "read-same" => Ok(RequestMix::ReadSame),
+            "read-mixed" => Ok(RequestMix::ReadMixed),
+            "read-write" => Ok(RequestMix::ReadWrite),
+            other => Err(format!(
+                "unknown request mix `{other}` (read-same|read-mixed|read-write)"
+            )),
+        }
+    }
+}
+
+/// The `p`-th percentile (0.0–1.0) of an unsorted latency sample, by the
+/// nearest-rank method. Returns 0.0 for an empty sample.
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_mode_round_trips() {
+        for mode in LoopMode::ALL {
+            assert_eq!(mode.to_string().parse::<LoopMode>(), Ok(mode));
+        }
+        assert!("both".parse::<LoopMode>().is_err());
+    }
+
+    #[test]
+    fn request_mix_round_trips() {
+        for mix in RequestMix::ALL {
+            assert_eq!(mix.to_string().parse::<RequestMix>(), Ok(mix));
+        }
+        assert!("write-only".parse::<RequestMix>().is_err());
+    }
+
+    #[test]
+    fn read_same_is_identical_across_clients() {
+        let q = RequestMix::ReadSame.query_text(0, 0);
+        assert_eq!(RequestMix::ReadSame.query_text(7, 123), q);
+    }
+
+    #[test]
+    fn read_write_mix_appends_every_eighth() {
+        let writes = (0..64)
+            .filter(|&s| {
+                RequestMix::ReadWrite
+                    .query_text(1, s)
+                    .starts_with("(append")
+            })
+            .count();
+        assert_eq!(writes, 8);
+    }
+
+    #[test]
+    fn read_mixed_avoids_write_targets() {
+        for client in 0..8 {
+            for seq in 0..32 {
+                let q = RequestMix::ReadMixed.query_text(client, seq);
+                assert!(!q.contains("r00") && !q.contains("r01"), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&mut v, 0.50), 50.0);
+        assert_eq!(percentile(&mut v, 0.95), 95.0);
+        assert_eq!(percentile(&mut v, 0.99), 99.0);
+        assert_eq!(percentile(&mut [], 0.5), 0.0);
+    }
+}

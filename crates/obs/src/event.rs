@@ -84,10 +84,16 @@ pub enum Path {
     DiskRead = 7,
     /// Bytes written to mass storage.
     DiskWrite = 8,
+    /// Request bytes arriving from serve clients (the df-serve
+    /// front-end; the `query` field of the transfer event carries the
+    /// client id, so per-client traffic is recoverable from the trace).
+    ClientIn = 9,
+    /// Response bytes sent back to serve clients.
+    ClientOut = 10,
 }
 
 /// Number of distinct [`Path`]s.
-pub(crate) const PATHS: usize = 9;
+pub(crate) const PATHS: usize = 11;
 
 impl Path {
     /// Every path, in discriminant order.
@@ -101,6 +107,8 @@ impl Path {
         Path::CacheOut,
         Path::DiskRead,
         Path::DiskWrite,
+        Path::ClientIn,
+        Path::ClientOut,
     ];
 
     /// Stable snake-case name (the artifact/JSON `path` field).
@@ -115,6 +123,8 @@ impl Path {
             Path::CacheOut => "cache_out",
             Path::DiskRead => "disk_read",
             Path::DiskWrite => "disk_write",
+            Path::ClientIn => "client_in",
+            Path::ClientOut => "client_out",
         }
     }
 }

@@ -1,0 +1,165 @@
+//! Client-side pieces: a blocking [`ServeClient`] over the frame
+//! protocol, and the interactive-shell line parser shared by the
+//! `serve_client` binary and the `repl` example (so the two front-ends
+//! accept the same command language).
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{read_frame, write_frame, Priority, Request, Response};
+
+/// One parsed line of an interactive shell: either a `:`-prefixed meta
+/// command or raw query text. Both the local REPL example and the remote
+/// serve client parse lines through here; each front-end handles the
+/// commands that make sense for it and reports the rest as unsupported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplCommand {
+    /// Blank line; show a fresh prompt.
+    Empty,
+    /// `:quit` / `:q`.
+    Quit,
+    /// `:help`.
+    Help,
+    /// `:relations`.
+    Relations,
+    /// `:stats` (serve client; the local REPL has no server counters).
+    Stats,
+    /// `:optimize on|off`.
+    Optimize(bool),
+    /// `:engine <name>` — the name is validated by the front-end, which
+    /// knows its available engines.
+    Engine(String),
+    /// `:priority high|normal|low` (serve client).
+    Priority(Priority),
+    /// Anything not starting with `:` is query text for the s-expression
+    /// parser.
+    Query(String),
+}
+
+impl ReplCommand {
+    /// Parse one input line.
+    ///
+    /// # Errors
+    /// Returns a printable message for a malformed or unknown meta
+    /// command (queries are never rejected here — the query parser owns
+    /// that grammar).
+    pub fn parse(line: &str) -> Result<ReplCommand, String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(ReplCommand::Empty);
+        }
+        if !line.starts_with(':') {
+            return Ok(ReplCommand::Query(line.to_string()));
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match (cmd, rest) {
+            (":quit" | ":q", "") => Ok(ReplCommand::Quit),
+            (":help", "") => Ok(ReplCommand::Help),
+            (":relations", "") => Ok(ReplCommand::Relations),
+            (":stats", "") => Ok(ReplCommand::Stats),
+            (":optimize", "on") => Ok(ReplCommand::Optimize(true)),
+            (":optimize", "off") => Ok(ReplCommand::Optimize(false)),
+            (":optimize", other) => Err(format!("`:optimize` wants on|off, got `{other}`")),
+            (":engine", "") => Err("`:engine` wants a name".into()),
+            (":engine", name) => Ok(ReplCommand::Engine(name.to_string())),
+            (":priority", p) => p
+                .parse::<Priority>()
+                .map(ReplCommand::Priority)
+                .map_err(|e| e.to_string()),
+            (other, _) => Err(format!("unknown command `{other}` (try :help)")),
+        }
+    }
+}
+
+/// A blocking client connection to a df-serve instance.
+///
+/// Requests can be issued call-and-response ([`ServeClient::request`]) or
+/// pipelined ([`ServeClient::send`] several, then [`ServeClient::recv`]
+/// each response) — the open-loop load generator relies on the latter,
+/// matching responses to requests by id since the engine reorders across
+/// priority classes.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Send one request frame without waiting for the response.
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        write_frame(&mut self.writer, &request.encode())
+    }
+
+    /// Build a query request with the next pipelined id; pair with
+    /// [`ServeClient::send`] + [`ServeClient::recv`].
+    pub fn query_request(&mut self, text: &str, priority: Priority, optimize: bool) -> Request {
+        let id = self.next_id;
+        self.next_id += 1;
+        Request::Query {
+            id,
+            priority,
+            optimize,
+            text: text.to_string(),
+        }
+    }
+
+    /// Read the next response frame.
+    ///
+    /// # Errors
+    /// Socket failures, a server that hung up (`UnexpectedEof`), or an
+    /// undecodable frame (`InvalidData`).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Response::decode(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    /// Call-and-response: send `request`, wait for one response.
+    ///
+    /// # Errors
+    /// As [`ServeClient::send`] and [`ServeClient::recv`].
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Submit one query and wait for its result or error.
+    ///
+    /// # Errors
+    /// As [`ServeClient::request`].
+    pub fn query(
+        &mut self,
+        text: &str,
+        priority: Priority,
+        optimize: bool,
+    ) -> io::Result<Response> {
+        let request = self.query_request(text, priority, optimize);
+        self.request(&request)
+    }
+}

@@ -1,0 +1,662 @@
+//! The admission/execution engine behind the socket front-end.
+//!
+//! One dispatcher thread (the serve-layer counterpart of the paper's
+//! master controller) drains bounded per-client queues in batches and
+//! executes each batch on the df-host executor:
+//!
+//! * **Backpressure** — each client has a bounded queue; a submission to a
+//!   full queue is answered immediately with a typed
+//!   [`ServeError::Busy`], never blocking the acceptor or the reader
+//!   threads (the queue only shrinks when the dispatcher drains it).
+//! * **Priority + fairness** — batch collection walks priority classes
+//!   high → normal → low; within a class it round-robins over the *heads*
+//!   of the client queues with a cursor that persists across batches, so
+//!   a heavy client contributes at most one request per turn and cannot
+//!   starve the rest. Each client's own requests stay FIFO.
+//! * **Read-batch fusion** — identical concurrent read queries (same
+//!   canonical plan, compared via [`df_query::render_tree`] after
+//!   optional optimization) collapse to a single execution whose result
+//!   is fanned out to every waiter — the Noria read-heavy-web-traffic
+//!   trick, applied at batch granularity.
+//! * **Lock-table grouping** — a batch is split into groups of mutually
+//!   compatible lock requests ([`df_core::LockTable`]): reads of the same
+//!   relations share a group and run concurrently inside one
+//!   [`run_host_queries`] call (which re-admits them under the host
+//!   scheduler's own relation lock manager), while conflicting writes
+//!   land in separate groups and apply strictly serially against the
+//!   owned catalog — no lost updates by construction.
+//!
+//! Failures are contained per request: a query that fails parsing,
+//! validation, or execution (any [`HostError`], including a panicking
+//! unit injected via [`df_host::FaultPlan`]) produces a structured
+//! [`Response::Error`] to exactly that client while the rest of the batch
+//! completes normally. The dispatcher itself never panics on query
+//! content.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use df_core::{LockRequest, LockTable};
+use df_host::{run_host_queries, HostError, HostParams};
+use df_obs::{EventKind, Tracer};
+use df_opt::{optimize, CatalogStats};
+use df_query::{execute, parse_query, render_tree, ExecParams, QueryTree};
+use df_relalg::Catalog;
+
+use crate::proto::{Priority, QueryResult, Response, ServeError};
+
+/// Serve-layer configuration. [`ServeConfig::validate`] is called by
+/// [`Engine::new`]; execution itself reuses [`HostParams`] (validated by
+/// the executor per batch).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bounded per-client admission queue depth. A submission past this
+    /// is rejected with [`ServeError::Busy`].
+    pub queue_capacity: usize,
+    /// Most requests drained into one execution batch.
+    pub batch_max: usize,
+    /// Executor configuration for read batches. `deterministic` is
+    /// forced on so fused waiters receive byte-identical results and
+    /// every response is oracle-comparable.
+    pub host: HostParams,
+    /// Serve-layer tracer: `query_admit`/`query_done` per request (the
+    /// `query` field carries the client id) and `client_in`/`client_out`
+    /// transfer bytes recorded by the socket layer. Independent of
+    /// `host.trace`, which observes the executor's internals.
+    pub trace: Option<Arc<Tracer>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 32,
+            batch_max: 64,
+            host: HostParams::default(),
+            trace: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate the serve-layer knobs (the executor's are checked by
+    /// [`HostParams::validate`]).
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first bad knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("`queue_capacity` must be >= 1".into());
+        }
+        if self.batch_max == 0 {
+            return Err("`batch_max` must be >= 1".into());
+        }
+        self.host.validate().map_err(|e| e.to_string())
+    }
+}
+
+/// How the engine hands a [`Response`] back to whoever submitted the
+/// request — a socket writer on the server, a channel in tests.
+pub type Reply = Box<dyn FnOnce(Response) + Send>;
+
+/// One queued query request.
+struct Submission {
+    client: usize,
+    id: u64,
+    priority: Priority,
+    optimize: bool,
+    text: String,
+    reply: Reply,
+}
+
+/// Cumulative serve-layer counters. All relaxed atomics: they are
+/// monotonic tallies, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Query requests accepted into a queue.
+    pub submitted: AtomicU64,
+    /// Query requests rejected with [`ServeError::Busy`].
+    pub busy_rejected: AtomicU64,
+    /// Distinct executions dispatched (read groups count each deduped
+    /// plan once; every write counts once).
+    pub executed: AtomicU64,
+    /// Requests served by another request's execution (fusion followers).
+    pub fused: AtomicU64,
+    /// Update queries applied to the catalog.
+    pub writes_applied: AtomicU64,
+    /// Requests answered with an error (parse, validation, or executor).
+    pub failed: AtomicU64,
+    /// Batches drained.
+    pub batches: AtomicU64,
+    /// Lock-compatibility groups executed.
+    pub groups: AtomicU64,
+    /// Request bytes read off client sockets (maintained by the server).
+    pub bytes_in: AtomicU64,
+    /// Response bytes written to client sockets (maintained by the
+    /// server).
+    pub bytes_out: AtomicU64,
+}
+
+impl ServeStats {
+    /// Snapshot as stable `(name, value)` rows — the payload of
+    /// [`Response::Stats`].
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        vec![
+            ("submitted".into(), g(&self.submitted)),
+            ("busy_rejected".into(), g(&self.busy_rejected)),
+            ("executed".into(), g(&self.executed)),
+            ("fused".into(), g(&self.fused)),
+            ("writes_applied".into(), g(&self.writes_applied)),
+            ("failed".into(), g(&self.failed)),
+            ("batches".into(), g(&self.batches)),
+            ("groups".into(), g(&self.groups)),
+            ("bytes_in".into(), g(&self.bytes_in)),
+            ("bytes_out".into(), g(&self.bytes_out)),
+        ]
+    }
+}
+
+/// State shared between the dispatcher and every submitting thread.
+struct Shared {
+    inbox: Mutex<Inbox>,
+    wake: Condvar,
+    stats: ServeStats,
+    queue_capacity: usize,
+    /// One human-readable description per served relation, refreshed by
+    /// the dispatcher after every applied write — lets the front-end
+    /// answer `Relations` requests without reaching into the catalog.
+    relations: Mutex<Vec<String>>,
+}
+
+struct Inbox {
+    queues: Vec<VecDeque<Submission>>,
+    /// Closed clients keep their slot (ids are never reused within a
+    /// server lifetime) but accept no further submissions.
+    open: Vec<bool>,
+    shutdown: bool,
+}
+
+impl Inbox {
+    fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// Cloneable submission-side handle to a running [`Engine`].
+#[derive(Clone)]
+pub struct EngineHandle {
+    shared: Arc<Shared>,
+}
+
+impl EngineHandle {
+    /// Register a new client; returns its id (dense, never reused).
+    pub fn register_client(&self) -> usize {
+        let mut inbox = self.shared.inbox.lock().expect("inbox lock");
+        inbox.queues.push(VecDeque::new());
+        inbox.open.push(true);
+        inbox.queues.len() - 1
+    }
+
+    /// Mark a client disconnected: its queued requests are dropped (their
+    /// replies would hit a dead socket) and further submissions refused.
+    pub fn close_client(&self, client: usize) {
+        let mut inbox = self.shared.inbox.lock().expect("inbox lock");
+        if let Some(open) = inbox.open.get_mut(client) {
+            *open = false;
+        }
+        if let Some(q) = inbox.queues.get_mut(client) {
+            q.clear();
+        }
+    }
+
+    /// Submit a query request on behalf of `client`. Admission control
+    /// happens here: a full queue or a shutting-down engine answers
+    /// through `reply` immediately (with [`ServeError::Busy`] /
+    /// [`ServeError::ShuttingDown`]) and the dispatcher never sees the
+    /// request.
+    pub fn submit(
+        &self,
+        client: usize,
+        id: u64,
+        priority: Priority,
+        optimize: bool,
+        text: String,
+        reply: Reply,
+    ) {
+        let rejection: Option<(ServeError, Reply)> = {
+            let mut inbox = self.shared.inbox.lock().expect("inbox lock");
+            if inbox.shutdown || !inbox.open.get(client).copied().unwrap_or(false) {
+                Some((ServeError::ShuttingDown, reply))
+            } else if inbox.queues[client].len() >= self.shared.queue_capacity {
+                self.shared
+                    .stats
+                    .busy_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Some((
+                    ServeError::Busy {
+                        capacity: self.shared.queue_capacity as u64,
+                    },
+                    reply,
+                ))
+            } else {
+                inbox.queues[client].push_back(Submission {
+                    client,
+                    id,
+                    priority,
+                    optimize,
+                    text,
+                    reply,
+                });
+                self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.wake.notify_one();
+                None
+            }
+        };
+        // The rejection reply may write to a socket; invoke it outside
+        // the inbox lock so a slow client cannot stall admission.
+        if let Some((error, reply)) = rejection {
+            reply(Response::Error { id, error });
+        }
+    }
+
+    /// Ask the dispatcher to finish queued work and exit; subsequent
+    /// submissions are refused with [`ServeError::ShuttingDown`].
+    pub fn shutdown(&self) {
+        let mut inbox = self.shared.inbox.lock().expect("inbox lock");
+        inbox.shutdown = true;
+        self.shared.wake.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.inbox.lock().expect("inbox lock").shutdown
+    }
+
+    /// The cumulative serve-layer counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Current relation descriptions (name, schema, cardinality), as of
+    /// the last applied write.
+    pub fn relations(&self) -> Vec<String> {
+        self.shared
+            .relations
+            .lock()
+            .expect("relations lock")
+            .clone()
+    }
+}
+
+/// The dispatcher: owns the catalog and drains the inbox batch by batch.
+pub struct Engine {
+    shared: Arc<Shared>,
+    db: Catalog,
+    config: ServeConfig,
+    /// Round-robin cursor over clients, persisted across batches.
+    rr_cursor: usize,
+    /// Catalog statistics for the optimizer, rebuilt lazily after writes.
+    opt_stats: Option<CatalogStats>,
+    /// Dense id for `query_admit` trace events (one per distinct
+    /// execution).
+    next_exec: u64,
+}
+
+impl Engine {
+    /// Build an engine serving `db` under `config`.
+    ///
+    /// # Errors
+    /// Returns a description of the first invalid configuration knob.
+    pub fn new(db: Catalog, mut config: ServeConfig) -> Result<Engine, String> {
+        config.validate()?;
+        // Fused waiters must receive byte-identical results, and every
+        // response must be comparable against the sequential oracle:
+        // canonicalize results regardless of what the caller set.
+        config.host.deterministic = true;
+        let relations = db.iter().map(|r| r.to_string()).collect();
+        Ok(Engine {
+            shared: Arc::new(Shared {
+                inbox: Mutex::new(Inbox {
+                    queues: Vec::new(),
+                    open: Vec::new(),
+                    shutdown: false,
+                }),
+                wake: Condvar::new(),
+                stats: ServeStats::default(),
+                queue_capacity: config.queue_capacity,
+                relations: Mutex::new(relations),
+            }),
+            db,
+            config,
+            rr_cursor: 0,
+            opt_stats: None,
+            next_exec: 0,
+        })
+    }
+
+    /// A submission-side handle (cloneable, usable from any thread).
+    pub fn handle(&self) -> EngineHandle {
+        EngineHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The serve-layer tracer, if configured (the socket front-end needs
+    /// it for `client_in`/`client_out` transfer events).
+    pub fn trace(&self) -> Option<Arc<Tracer>> {
+        self.config.trace.clone()
+    }
+
+    /// Drain and execute batches until shutdown is requested and the
+    /// queues are empty.
+    pub fn run(mut self) {
+        while self.run_batch() {}
+    }
+
+    /// Block for the next batch and execute it. Returns `false` when the
+    /// engine has shut down and nothing remains to drain — the dispatcher
+    /// loop's exit condition, and the single-step entry point tests use.
+    pub fn run_batch(&mut self) -> bool {
+        let Some(batch) = self.collect_batch() else {
+            return false;
+        };
+        self.shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.execute_batch(batch);
+        true
+    }
+
+    /// Wait until work is pending (or shutdown), then drain up to
+    /// `batch_max` requests: priority classes high → low, round-robin
+    /// across client queue heads within a class.
+    fn collect_batch(&mut self) -> Option<Vec<Submission>> {
+        let mut inbox = self.shared.inbox.lock().expect("inbox lock");
+        loop {
+            if inbox.pending() > 0 {
+                break;
+            }
+            if inbox.shutdown {
+                return None;
+            }
+            inbox = self.shared.wake.wait(inbox).expect("inbox lock");
+        }
+        let clients = inbox.queues.len();
+        let mut batch = Vec::new();
+        'fill: while batch.len() < self.config.batch_max {
+            for class in Priority::ALL {
+                let mut picked = false;
+                for step in 0..clients {
+                    let c = (self.rr_cursor + step) % clients;
+                    if inbox.queues[c].front().map(|s| s.priority) == Some(class) {
+                        batch.push(inbox.queues[c].pop_front().expect("front exists"));
+                        self.rr_cursor = c + 1;
+                        picked = true;
+                        break;
+                    }
+                }
+                if picked {
+                    // Restart from the highest class: the pop may have
+                    // exposed a higher-priority head elsewhere.
+                    continue 'fill;
+                }
+            }
+            break; // no queue head left in any class
+        }
+        debug_assert!(!batch.is_empty(), "woke with pending work");
+        Some(batch)
+    }
+
+    /// Parse, group by lock compatibility, and execute one batch.
+    fn execute_batch(&mut self, batch: Vec<Submission>) {
+        let trace = self.config.trace.clone();
+        // Parse (and optionally optimize) each request; failures are
+        // answered immediately and drop out of the batch.
+        let mut entries: Vec<(Submission, QueryTree)> = Vec::with_capacity(batch.len());
+        for sub in batch {
+            match self.build_tree(&sub.text, sub.optimize) {
+                Ok(tree) => entries.push((sub, tree)),
+                Err(detail) => {
+                    self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &trace {
+                        t.record(EventKind::QueryDone, sub.client as u32, u32::MAX, 1, 0);
+                    }
+                    (sub.reply)(Response::Error {
+                        id: sub.id,
+                        error: ServeError::Parse { detail },
+                    });
+                }
+            }
+        }
+        // Split into groups of mutually compatible lock requests,
+        // preserving submission order among conflicting requests: a
+        // request that conflicts with anything already granted waits for
+        // a later group, so writes serialize against their readers and
+        // against each other.
+        let mut remaining = entries;
+        while !remaining.is_empty() {
+            let mut locks = LockTable::new();
+            let mut group = Vec::new();
+            let mut rest = Vec::new();
+            for (sub, tree) in remaining {
+                let request =
+                    LockRequest::new(tree.referenced_relations(), tree.written_relations());
+                if locks.compatible(&request) {
+                    locks.grant(group.len(), &request);
+                    group.push((sub, tree));
+                } else {
+                    rest.push((sub, tree));
+                }
+            }
+            self.shared.stats.groups.fetch_add(1, Ordering::Relaxed);
+            self.execute_group(group);
+            remaining = rest;
+        }
+    }
+
+    /// Parse query text and optionally run the optimizer over it.
+    fn build_tree(&mut self, text: &str, optimizing: bool) -> Result<QueryTree, String> {
+        let tree = parse_query(&self.db, text).map_err(|e| e.to_string())?;
+        if !optimizing {
+            return Ok(tree);
+        }
+        if self.opt_stats.is_none() {
+            self.opt_stats = Some(CatalogStats::gather(&self.db));
+        }
+        let stats = self.opt_stats.as_ref().expect("just gathered");
+        match optimize(&self.db, &tree, stats) {
+            Ok(o) => Ok(o.tree),
+            // An optimizer failure is not a query failure; run the
+            // un-optimized tree.
+            Err(_) => parse_query(&self.db, text).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Execute one lock-compatible group: fused reads concurrently on the
+    /// host executor, then writes strictly in order.
+    fn execute_group(&mut self, group: Vec<(Submission, QueryTree)>) {
+        let mut reads: Vec<(Submission, QueryTree)> = Vec::new();
+        let mut writes: Vec<(Submission, QueryTree)> = Vec::new();
+        for (sub, tree) in group {
+            if tree.written_relations().is_empty() {
+                reads.push((sub, tree));
+            } else {
+                writes.push((sub, tree));
+            }
+        }
+        self.execute_reads(reads);
+        self.execute_writes(writes);
+    }
+
+    /// Dedupe identical read plans on their canonical rendering, run the
+    /// distinct plans as one concurrent df-host batch, and fan each
+    /// result out to every waiter.
+    fn execute_reads(&mut self, reads: Vec<(Submission, QueryTree)>) {
+        if reads.is_empty() {
+            return;
+        }
+        let trace = self.config.trace.clone();
+        let mut distinct: Vec<QueryTree> = Vec::new();
+        let mut waiters: Vec<Vec<Submission>> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for (sub, tree) in reads {
+            let key = render_tree(&tree);
+            match index.get(&key) {
+                Some(&i) => {
+                    self.shared.stats.fused.fetch_add(1, Ordering::Relaxed);
+                    waiters[i].push(sub);
+                }
+                None => {
+                    index.insert(key, distinct.len());
+                    distinct.push(tree);
+                    waiters.push(vec![sub]);
+                }
+            }
+        }
+        self.shared
+            .stats
+            .executed
+            .fetch_add(distinct.len() as u64, Ordering::Relaxed);
+        if let Some(t) = &trace {
+            for (i, w) in waiters.iter().enumerate() {
+                // One admit event per distinct execution; `a` = waiters
+                // sharing it (> 1 ⟺ fused), `b` = dense execution id.
+                t.record(
+                    EventKind::QueryAdmit,
+                    w[0].client as u32,
+                    u32::MAX,
+                    w.len() as u64,
+                    self.next_exec + i as u64,
+                );
+            }
+        }
+        self.next_exec += distinct.len() as u64;
+
+        match run_host_queries(&self.db, &distinct, &self.config.host) {
+            Ok(out) => {
+                for (result, subs) in out.results.into_iter().zip(waiters) {
+                    match result {
+                        Ok(rel) => {
+                            let fan_out = subs.len() as u32;
+                            let schema = rel.schema().to_string();
+                            let tuples: Vec<Vec<u8>> =
+                                rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
+                            for sub in subs {
+                                self.conclude(
+                                    &trace,
+                                    sub,
+                                    Ok(QueryResult {
+                                        id: 0, // filled per waiter below
+                                        fan_out,
+                                        schema: schema.clone(),
+                                        tuples: tuples.clone(),
+                                    }),
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            let error = ServeError::host(&e);
+                            for sub in subs {
+                                self.conclude(&trace, sub, Err(error.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                // Run-level failure (validation, stall): every waiter of
+                // the group gets the structured error; the server lives.
+                let error = ServeError::host(&e);
+                for subs in waiters {
+                    for sub in subs {
+                        self.conclude(&trace, sub, Err(error.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply write queries strictly in submission order against the owned
+    /// catalog. The affected tuples (what `append`/`delete` touched) are
+    /// the response payload.
+    fn execute_writes(&mut self, writes: Vec<(Submission, QueryTree)>) {
+        if writes.is_empty() {
+            return;
+        }
+        let trace = self.config.trace.clone();
+        let exec = ExecParams {
+            page_size: self.config.host.page_size,
+            ..ExecParams::default()
+        };
+        for (sub, tree) in writes {
+            self.opt_stats = None; // catalog statistics go stale
+            let outcome = execute(&mut self.db, &tree, &exec);
+            self.shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &trace {
+                t.record(
+                    EventKind::QueryAdmit,
+                    sub.client as u32,
+                    u32::MAX,
+                    1,
+                    self.next_exec,
+                );
+            }
+            self.next_exec += 1;
+            match outcome {
+                Ok(rel) => {
+                    self.shared
+                        .stats
+                        .writes_applied
+                        .fetch_add(1, Ordering::Relaxed);
+                    let schema = rel.schema().to_string();
+                    let tuples = rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
+                    self.conclude(
+                        &trace,
+                        sub,
+                        Ok(QueryResult {
+                            id: 0,
+                            fan_out: 1,
+                            schema,
+                            tuples,
+                        }),
+                    );
+                }
+                Err(e) => {
+                    let error = ServeError::host(&HostError::Data(e));
+                    self.conclude(&trace, sub, Err(error));
+                }
+            }
+        }
+        *self.shared.relations.lock().expect("relations lock") =
+            self.db.iter().map(|r| r.to_string()).collect();
+    }
+
+    /// Send one request's final answer and record its `query_done` event.
+    fn conclude(
+        &self,
+        trace: &Option<Arc<Tracer>>,
+        sub: Submission,
+        outcome: Result<QueryResult, ServeError>,
+    ) {
+        let response = match outcome {
+            Ok(mut result) => {
+                result.id = sub.id;
+                Response::Result(result)
+            }
+            Err(error) => {
+                self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                Response::Error { id: sub.id, error }
+            }
+        };
+        if let Some(t) = trace {
+            let failed = matches!(response, Response::Error { .. });
+            t.record(
+                EventKind::QueryDone,
+                sub.client as u32,
+                u32::MAX,
+                u64::from(failed),
+                0,
+            );
+        }
+        (sub.reply)(response);
+    }
+}

@@ -1,0 +1,728 @@
+//! The df-serve wire protocol.
+//!
+//! Every message is one length-prefixed frame: a 4-byte big-endian payload
+//! length followed by that many payload bytes. Inside a frame the first
+//! byte is a message tag; the rest is tag-specific, built from three
+//! primitives (`u8`, big-endian `u32`/`u64`, and length-prefixed byte
+//! strings). The encoding is hand-rolled for the same reason `df-obs`
+//! writes its own JSON: the build environment is offline (see
+//! `shims/README.md`), so no serde.
+//!
+//! Responses to queries carry the request's client-chosen `id`, so a
+//! client may pipeline many requests on one connection and match
+//! responses out of order (the engine reorders across priority classes).
+//! Errors travel as [`ServeError`], which embeds the df-host
+//! [`df_host::HostError`] taxonomy from PR 4 as a stable
+//! [`HostErrorKind`] code plus its rendered detail.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::str::FromStr;
+
+use df_host::HostError;
+
+/// Largest accepted frame payload (64 MiB). A malformed or hostile length
+/// prefix fails the connection instead of allocating unbounded memory.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Write one length-prefixed frame.
+///
+/// # Errors
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary.
+///
+/// # Errors
+/// Propagates I/O errors; rejects length prefixes over [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------- priority
+
+/// Admission priority class of a query request. The engine drains classes
+/// strictly high → normal → low, round-robin across clients within each
+/// class (DESIGN.md §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum Priority {
+    /// Served before everything else.
+    High = 0,
+    /// The default class.
+    #[default]
+    Normal = 1,
+    /// Served only when no higher class has pending work.
+    Low = 2,
+}
+
+impl Priority {
+    /// All classes, highest first (drain order).
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    fn from_wire(b: u8) -> Result<Priority, DecodeError> {
+        match b {
+            0 => Ok(Priority::High),
+            1 => Ok(Priority::Normal),
+            2 => Ok(Priority::Low),
+            other => Err(DecodeError::new(format!("bad priority byte {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        })
+    }
+}
+
+impl FromStr for Priority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Priority, String> {
+        match s {
+            "high" => Ok(Priority::High),
+            "normal" => Ok(Priority::Normal),
+            "low" => Ok(Priority::Low),
+            other => Err(format!(
+                "unknown priority `{other}` (expected high, normal, or low)"
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- requests
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a query, given as s-expression text (`df_query::parse_query`
+    /// grammar), under a priority class. `id` is chosen by the client and
+    /// echoed in the matching [`Response::Result`]/[`Response::Error`].
+    Query {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// Admission class.
+        priority: Priority,
+        /// Run `df-opt` on the parsed tree before execution.
+        optimize: bool,
+        /// The query text.
+        text: String,
+    },
+    /// Fetch the server's cumulative counters.
+    Stats,
+    /// List the served relations.
+    Relations,
+    /// Liveness probe; answered with [`Response::Ok`].
+    Ping,
+    /// Ask the server to finish in-flight work and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Query {
+                id,
+                priority,
+                optimize,
+                text,
+            } => {
+                out.push(0);
+                out.extend_from_slice(&id.to_be_bytes());
+                out.push(*priority as u8);
+                out.push(u8::from(*optimize));
+                put_bytes(&mut out, text.as_bytes());
+            }
+            Request::Stats => out.push(1),
+            Request::Relations => out.push(2),
+            Request::Ping => out.push(3),
+            Request::Shutdown => out.push(4),
+        }
+        out
+    }
+
+    /// Decode from a frame payload.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on truncated or malformed payloads.
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut r = Cursor::new(payload);
+        let req = match r.u8()? {
+            0 => Request::Query {
+                id: r.u64()?,
+                priority: Priority::from_wire(r.u8()?)?,
+                optimize: r.u8()? != 0,
+                text: r.string()?,
+            },
+            1 => Request::Stats,
+            2 => Request::Relations,
+            3 => Request::Ping,
+            4 => Request::Shutdown,
+            other => return Err(DecodeError::new(format!("bad request tag {other}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+// --------------------------------------------------------------- responses
+
+/// One query's result set as it travels the wire: the canonical tuple
+/// images of the (deterministically ordered) result relation plus enough
+/// schema text to print them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Echo of the request id.
+    pub id: u64,
+    /// How many concurrent identical requests this execution served
+    /// (≥ 1; > 1 means the request was fused with others).
+    pub fan_out: u32,
+    /// Rendered result schema, e.g. `key:int fk:int val:int pad:str(76)`.
+    pub schema: String,
+    /// Raw canonical tuple images, in result order.
+    pub tuples: Vec<Vec<u8>>,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A query completed.
+    Result(QueryResult),
+    /// A query failed (or was rejected); `id` echoes the request.
+    Error {
+        /// Echo of the request id.
+        id: u64,
+        /// What went wrong.
+        error: ServeError,
+    },
+    /// Cumulative server counters, name → value.
+    Stats(Vec<(String, u64)>),
+    /// Served relations, one description per line.
+    Relations(Vec<String>),
+    /// Acknowledgement of [`Request::Ping`]/[`Request::Shutdown`].
+    Ok,
+}
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Result(r) => {
+                out.push(0);
+                out.extend_from_slice(&r.id.to_be_bytes());
+                out.extend_from_slice(&r.fan_out.to_be_bytes());
+                put_bytes(&mut out, r.schema.as_bytes());
+                out.extend_from_slice(&(r.tuples.len() as u32).to_be_bytes());
+                for t in &r.tuples {
+                    put_bytes(&mut out, t);
+                }
+            }
+            Response::Error { id, error } => {
+                out.push(1);
+                out.extend_from_slice(&id.to_be_bytes());
+                error.encode(&mut out);
+            }
+            Response::Stats(rows) => {
+                out.push(2);
+                out.extend_from_slice(&(rows.len() as u32).to_be_bytes());
+                for (k, v) in rows {
+                    put_bytes(&mut out, k.as_bytes());
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+            }
+            Response::Relations(rows) => {
+                out.push(3);
+                out.extend_from_slice(&(rows.len() as u32).to_be_bytes());
+                for r in rows {
+                    put_bytes(&mut out, r.as_bytes());
+                }
+            }
+            Response::Ok => out.push(4),
+        }
+        out
+    }
+
+    /// Decode from a frame payload.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on truncated or malformed payloads.
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
+        let mut r = Cursor::new(payload);
+        let resp = match r.u8()? {
+            0 => {
+                let id = r.u64()?;
+                let fan_out = r.u32()?;
+                let schema = r.string()?;
+                let n = r.u32()? as usize;
+                let mut tuples = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    tuples.push(r.bytes()?);
+                }
+                Response::Result(QueryResult {
+                    id,
+                    fan_out,
+                    schema,
+                    tuples,
+                })
+            }
+            1 => Response::Error {
+                id: r.u64()?,
+                error: ServeError::decode(&mut r)?,
+            },
+            2 => {
+                let n = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let k = r.string()?;
+                    let v = r.u64()?;
+                    rows.push((k, v));
+                }
+                Response::Stats(rows)
+            }
+            3 => {
+                let n = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    rows.push(r.string()?);
+                }
+                Response::Relations(rows)
+            }
+            4 => Response::Ok,
+            other => return Err(DecodeError::new(format!("bad response tag {other}"))),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// ------------------------------------------------------------ error model
+
+/// Stable wire code for each [`HostError`] variant (PR 4's taxonomy).
+/// Codes appear on the wire and must not be reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HostErrorKind {
+    /// [`HostError::InvalidParams`].
+    InvalidParams = 0,
+    /// [`HostError::ReadOnlyExecutor`].
+    ReadOnlyExecutor = 1,
+    /// [`HostError::UnitPanicked`].
+    UnitPanicked = 2,
+    /// [`HostError::WorkersExhausted`].
+    WorkersExhausted = 3,
+    /// [`HostError::Stalled`].
+    Stalled = 4,
+    /// [`HostError::Data`].
+    Data = 5,
+    /// A variant this protocol version does not know (`HostError` is
+    /// `#[non_exhaustive]`).
+    Other = 6,
+}
+
+impl HostErrorKind {
+    /// Stable lower-snake name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HostErrorKind::InvalidParams => "invalid_params",
+            HostErrorKind::ReadOnlyExecutor => "read_only_executor",
+            HostErrorKind::UnitPanicked => "unit_panicked",
+            HostErrorKind::WorkersExhausted => "workers_exhausted",
+            HostErrorKind::Stalled => "stalled",
+            HostErrorKind::Data => "data",
+            HostErrorKind::Other => "other",
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<HostErrorKind, DecodeError> {
+        Ok(match b {
+            0 => HostErrorKind::InvalidParams,
+            1 => HostErrorKind::ReadOnlyExecutor,
+            2 => HostErrorKind::UnitPanicked,
+            3 => HostErrorKind::WorkersExhausted,
+            4 => HostErrorKind::Stalled,
+            5 => HostErrorKind::Data,
+            6 => HostErrorKind::Other,
+            other => return Err(DecodeError::new(format!("bad host error kind {other}"))),
+        })
+    }
+}
+
+impl From<&HostError> for HostErrorKind {
+    fn from(e: &HostError) -> HostErrorKind {
+        match e {
+            HostError::InvalidParams { .. } => HostErrorKind::InvalidParams,
+            HostError::ReadOnlyExecutor { .. } => HostErrorKind::ReadOnlyExecutor,
+            HostError::UnitPanicked { .. } => HostErrorKind::UnitPanicked,
+            HostError::WorkersExhausted { .. } => HostErrorKind::WorkersExhausted,
+            HostError::Stalled { .. } => HostErrorKind::Stalled,
+            HostError::Data(_) => HostErrorKind::Data,
+            _ => HostErrorKind::Other,
+        }
+    }
+}
+
+/// Everything the server can report back instead of a result. Carried in
+/// [`Response::Error`]; the executor-side variants embed the PR-4
+/// [`HostError`] taxonomy as a [`HostErrorKind`] plus rendered detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The client's bounded admission queue is full. Backpressure, not
+    /// failure: retry after draining some in-flight requests.
+    Busy {
+        /// The queue capacity that was exceeded.
+        capacity: u64,
+    },
+    /// The query text did not parse or validate against the catalog.
+    Parse {
+        /// Rendered parse/validation error.
+        detail: String,
+    },
+    /// The executor failed this query with a structured [`HostError`].
+    Host {
+        /// Which taxonomy variant.
+        kind: HostErrorKind,
+        /// The rendered `HostError`.
+        detail: String,
+    },
+    /// The request violated the wire protocol.
+    Protocol {
+        /// What was malformed.
+        detail: String,
+    },
+    /// The server is shutting down and no longer admits queries.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// Build the executor-failure variant from a [`HostError`].
+    pub fn host(e: &HostError) -> ServeError {
+        ServeError::Host {
+            kind: e.into(),
+            detail: e.to_string(),
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ServeError::Busy { capacity } => {
+                out.push(0);
+                out.extend_from_slice(&capacity.to_be_bytes());
+            }
+            ServeError::Parse { detail } => {
+                out.push(1);
+                put_bytes(out, detail.as_bytes());
+            }
+            ServeError::Host { kind, detail } => {
+                out.push(2);
+                out.push(*kind as u8);
+                put_bytes(out, detail.as_bytes());
+            }
+            ServeError::Protocol { detail } => {
+                out.push(3);
+                put_bytes(out, detail.as_bytes());
+            }
+            ServeError::ShuttingDown => out.push(4),
+        }
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<ServeError, DecodeError> {
+        Ok(match r.u8()? {
+            0 => ServeError::Busy { capacity: r.u64()? },
+            1 => ServeError::Parse {
+                detail: r.string()?,
+            },
+            2 => ServeError::Host {
+                kind: HostErrorKind::from_wire(r.u8()?)?,
+                detail: r.string()?,
+            },
+            3 => ServeError::Protocol {
+                detail: r.string()?,
+            },
+            4 => ServeError::ShuttingDown,
+            other => return Err(DecodeError::new(format!("bad serve error code {other}"))),
+        })
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy { capacity } => {
+                write!(f, "busy: admission queue full ({capacity} slots)")
+            }
+            ServeError::Parse { detail } => write!(f, "parse error: {detail}"),
+            ServeError::Host { kind, detail } => {
+                write!(f, "execution failed ({}): {detail}", kind.name())
+            }
+            ServeError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A malformed frame payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was malformed.
+    pub detail: String,
+}
+
+impl DecodeError {
+    fn new(detail: String) -> DecodeError {
+        DecodeError { detail }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed frame: {}", self.detail)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ----------------------------------------------------------- byte cursors
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError::new(format!(
+                "need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|e| DecodeError::new(format!("invalid utf-8 string: {e}")))
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return Err(DecodeError::new(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let decoded = Request::decode(&req.encode()).expect("decodes");
+        assert_eq!(decoded, req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let decoded = Response::decode(&resp.encode()).expect("decodes");
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Query {
+            id: 77,
+            priority: Priority::Low,
+            optimize: true,
+            text: "(restrict (scan r00) (< val 100))".into(),
+        });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Relations);
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Result(QueryResult {
+            id: 9,
+            fan_out: 3,
+            schema: "key:int val:int".into(),
+            tuples: vec![vec![1, 2, 3], vec![], vec![255; 100]],
+        }));
+        round_trip_response(Response::Error {
+            id: 1,
+            error: ServeError::Busy { capacity: 32 },
+        });
+        round_trip_response(Response::Error {
+            id: 2,
+            error: ServeError::Parse {
+                detail: "unbalanced parens".into(),
+            },
+        });
+        round_trip_response(Response::Error {
+            id: 3,
+            error: ServeError::Host {
+                kind: HostErrorKind::UnitPanicked,
+                detail: "work unit of query 0, cell 1 (`join`) panicked: boom".into(),
+            },
+        });
+        round_trip_response(Response::Error {
+            id: 4,
+            error: ServeError::Protocol {
+                detail: "bad tag".into(),
+            },
+        });
+        round_trip_response(Response::Error {
+            id: 5,
+            error: ServeError::ShuttingDown,
+        });
+        round_trip_response(Response::Stats(vec![
+            ("submitted".into(), 10),
+            ("fused".into(), 4),
+        ]));
+        round_trip_response(Response::Relations(vec!["r00 (100 tuples)".into()]));
+        round_trip_response(Response::Ok);
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_pipe() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut len = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        len.extend_from_slice(&[0; 16]);
+        let mut r = &len[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_payloads_fail_cleanly() {
+        let full = Request::Query {
+            id: 1,
+            priority: Priority::Normal,
+            optimize: false,
+            text: "(scan r00)".into(),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(
+                Request::decode(&full[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = full.clone();
+        padded.push(0);
+        assert!(Request::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn host_error_kinds_map_the_taxonomy() {
+        let e = HostError::WorkersExhausted { workers: 4 };
+        let se = ServeError::host(&e);
+        match &se {
+            ServeError::Host { kind, detail } => {
+                assert_eq!(*kind, HostErrorKind::WorkersExhausted);
+                assert!(detail.contains("all 4 worker"));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        assert_eq!(
+            HostErrorKind::from(&HostError::Stalled {
+                in_flight: 1,
+                waited: std::time::Duration::from_secs(1),
+                detail: String::new(),
+            }),
+            HostErrorKind::Stalled
+        );
+    }
+
+    #[test]
+    fn priority_round_trips_from_str() {
+        for p in Priority::ALL {
+            let rendered = p.to_string();
+            assert_eq!(rendered.parse::<Priority>().unwrap(), p);
+        }
+        assert!("urgent".parse::<Priority>().is_err());
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+}

@@ -1,0 +1,229 @@
+//! TCP front-end wrapping the [`Engine`]: an acceptor thread plus one
+//! reader thread per connected client, speaking the length-prefixed
+//! frame protocol of [`crate::proto`].
+//!
+//! The acceptor never blocks on query execution: a request either lands
+//! in the client's bounded queue or is rejected immediately with a typed
+//! error by [`EngineHandle::submit`]. Responses are written by whichever
+//! thread produced them (the dispatcher for query results, the reader
+//! for control requests) under a per-client writer lock, so a query
+//! result and a `Stats` reply never interleave mid-frame.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use df_obs::{Path, Tracer};
+
+use crate::engine::{Engine, EngineHandle};
+use crate::proto::{read_frame, write_frame, Request, Response, ServeError};
+
+/// State shared by the acceptor, the reader threads, and shutdown.
+struct ServerShared {
+    handle: EngineHandle,
+    trace: Option<Arc<Tracer>>,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ServerShared {
+    /// Encode and write one response frame, tallying outbound bytes.
+    /// Write errors mean the client vanished; the reader thread will
+    /// notice on its side, so they are swallowed here.
+    fn send(&self, writer: &Mutex<TcpStream>, client: usize, response: &Response) {
+        let payload = response.encode();
+        self.handle
+            .stats()
+            .bytes_out
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            t.transfer(Path::ClientOut, client as u32, payload.len() as u64);
+        }
+        let mut w = writer.lock().expect("writer lock");
+        let _ = write_frame(&mut *w, &payload);
+    }
+
+    /// Begin server shutdown: stop admitting, wake the acceptor, let the
+    /// dispatcher drain what is queued.
+    fn begin_shutdown(&self) {
+        self.handle.shutdown();
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept()` with a throwaway
+        // connection; if connecting fails the listener is already gone.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running df-serve instance: engine dispatcher + acceptor + per-client
+/// readers. Dropping the struct does not stop it; call [`Server::join`]
+/// after a shutdown request, or [`Server::shutdown`] to initiate one.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start serving `engine` on `listener`. The listener may be bound to
+    /// port 0; [`Server::local_addr`] reports the resolved address.
+    ///
+    /// # Errors
+    /// Propagates listener address lookup failures.
+    pub fn start(listener: TcpListener, engine: Engine) -> io::Result<Server> {
+        let shared = Arc::new(ServerShared {
+            handle: engine.handle(),
+            trace: engine.trace(),
+            stopping: AtomicBool::new(false),
+            addr: listener.local_addr()?,
+        });
+        let dispatcher = thread::Builder::new()
+            .name("serve-dispatch".into())
+            .spawn(move || engine.run())
+            .expect("spawn dispatcher");
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A submission-side handle to the engine (stats, shutdown).
+    pub fn handle(&self) -> EngineHandle {
+        self.shared.handle.clone()
+    }
+
+    /// Initiate shutdown from the host process (equivalent to a client
+    /// sending [`Request::Shutdown`]).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the acceptor and dispatcher to exit. Reader threads for
+    /// still-connected clients are detached; they exit when their client
+    /// hangs up or on the next request (answered `ShuttingDown`).
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client); drop it.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let client = shared.handle.register_client();
+        let shared = Arc::clone(shared);
+        // Detached on purpose: the thread exits when the client hangs up.
+        let _ = thread::Builder::new()
+            .name(format!("serve-client-{client}"))
+            .spawn(move || client_loop(stream, client, &shared));
+    }
+}
+
+/// One reader thread: decode frames, dispatch requests, reply. Exits on
+/// client EOF or an unreadable stream.
+fn client_loop(stream: TcpStream, client: usize, shared: &Arc<ServerShared>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => {
+            shared.handle.close_client(client);
+            return;
+        }
+    };
+    let mut reader = io::BufReader::new(stream);
+    // Clean EOF and a torn connection end the loop alike: either way the
+    // client is gone and its queued work is dropped.
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        shared
+            .handle
+            .stats()
+            .bytes_in
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if let Some(t) = &shared.trace {
+            t.transfer(Path::ClientIn, client as u32, payload.len() as u64);
+        }
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Framing is still intact (length prefix), so answer the
+                // malformed request and keep serving the connection.
+                shared.send(
+                    &writer,
+                    client,
+                    &Response::Error {
+                        id: 0,
+                        error: ServeError::Protocol {
+                            detail: e.to_string(),
+                        },
+                    },
+                );
+                continue;
+            }
+        };
+        match request {
+            Request::Query {
+                id,
+                priority,
+                optimize,
+                text,
+            } => {
+                let cb_shared = Arc::clone(shared);
+                let cb_writer = Arc::clone(&writer);
+                shared.handle.submit(
+                    client,
+                    id,
+                    priority,
+                    optimize,
+                    text,
+                    Box::new(move |response| cb_shared.send(&cb_writer, client, &response)),
+                );
+            }
+            Request::Stats => {
+                let rows = shared.handle.stats().rows();
+                shared.send(&writer, client, &Response::Stats(rows));
+            }
+            Request::Relations => {
+                let rows = shared.handle.relations();
+                shared.send(&writer, client, &Response::Relations(rows));
+            }
+            Request::Ping => {
+                shared.send(&writer, client, &Response::Ok);
+            }
+            Request::Shutdown => {
+                shared.send(&writer, client, &Response::Ok);
+                shared.begin_shutdown();
+            }
+        }
+    }
+    shared.handle.close_client(client);
+}

@@ -1,0 +1,550 @@
+//! Integration tests for the serving layer: admission semantics (lock
+//! serialization, fusion, backpressure, priority, fairness), structured
+//! error propagation under fault injection, and the socket front-end
+//! end to end.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use df_obs::{EventKind, Tracer};
+use df_query::{execute_readonly, parse_query, ExecParams};
+use df_relalg::Catalog;
+use df_serve::proto::{HostErrorKind, Priority, QueryResult, Request, Response, ServeError};
+use df_serve::{Engine, ServeClient, ServeConfig, Server};
+use df_workload::{generate_database, DatabaseSpec};
+
+fn small_db() -> Catalog {
+    generate_database(&DatabaseSpec::scaled(0.01))
+}
+
+fn test_config() -> ServeConfig {
+    let mut config = ServeConfig::default();
+    config.host.workers = 4;
+    config
+}
+
+/// Collects replies as `(client, response)` in arrival order.
+#[derive(Clone, Default)]
+struct Replies(Arc<Mutex<Vec<(usize, Response)>>>);
+
+impl Replies {
+    fn reply_for(&self, client: usize) -> df_serve::engine::Reply {
+        let sink = Arc::clone(&self.0);
+        Box::new(move |response| {
+            sink.lock().expect("replies lock").push((client, response));
+        })
+    }
+
+    fn take(&self) -> Vec<(usize, Response)> {
+        std::mem::take(&mut self.0.lock().expect("replies lock"))
+    }
+}
+
+/// The sequential-oracle tuple images for a read query, sorted (the
+/// engine runs deterministic mode, which canonicalizes result order).
+fn oracle_tuples(db: &Catalog, text: &str, page_size: usize) -> Vec<Vec<u8>> {
+    let tree = parse_query(db, text).expect("oracle parse");
+    let params = ExecParams {
+        page_size,
+        ..ExecParams::default()
+    };
+    let rel = execute_readonly(db, &tree, &params).expect("oracle run");
+    let mut tuples: Vec<Vec<u8>> = rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
+    tuples.sort();
+    tuples
+}
+
+fn result(response: &Response) -> &QueryResult {
+    match response {
+        Response::Result(r) => r,
+        other => panic!("expected a result, got {other:?}"),
+    }
+}
+
+/// Keep expected injected worker panics out of the test output.
+fn quiet_worker_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("df-host-worker"));
+            if !on_worker {
+                default(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn identical_concurrent_reads_fuse_to_one_execution() {
+    let db = small_db();
+    let mut config = test_config();
+    let trace = Arc::new(Tracer::new(Tracer::DEFAULT_CAPACITY));
+    config.trace = Some(Arc::clone(&trace));
+    let page_size = config.host.page_size;
+    let text = "(restrict (scan r02) (< val 600))";
+    let want = oracle_tuples(&db, text, page_size);
+
+    let mut engine = Engine::new(db, config).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let clients: Vec<usize> = (0..6).map(|_| handle.register_client()).collect();
+    for &c in &clients {
+        handle.submit(
+            c,
+            c as u64,
+            Priority::Normal,
+            false,
+            text.to_string(),
+            replies.reply_for(c),
+        );
+    }
+    assert!(engine.run_batch());
+
+    // One execution, five fused followers.
+    let stats = handle.stats();
+    assert_eq!(stats.submitted.load(Ordering::Relaxed), 6);
+    assert_eq!(stats.executed.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.fused.load(Ordering::Relaxed), 5);
+
+    // The `query_admit` trace event shows one admission carrying all six
+    // waiters.
+    let admits: Vec<_> = trace
+        .snapshot()
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::QueryAdmit)
+        .map(|e| e.a)
+        .collect();
+    assert_eq!(admits, vec![6]);
+
+    // Every waiter gets the result, byte-identical to the oracle (and
+    // therefore to each other), with the shared fan-out stamped on it.
+    let got = replies.take();
+    assert_eq!(got.len(), 6);
+    for (client, response) in got {
+        let r = result(&response);
+        assert_eq!(r.id, client as u64, "responses correlate by request id");
+        assert_eq!(r.fan_out, 6);
+        let mut tuples = r.tuples.clone();
+        tuples.sort();
+        assert_eq!(tuples, want, "client {client} diverged from the oracle");
+    }
+}
+
+#[test]
+fn distinct_reads_do_not_fuse() {
+    let db = small_db();
+    let mut engine = Engine::new(db, test_config()).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let c = handle.register_client();
+    for (i, text) in ["(restrict (scan r02) (< val 100))", "(scan r03)"]
+        .iter()
+        .enumerate()
+    {
+        handle.submit(
+            c,
+            i as u64,
+            Priority::Normal,
+            false,
+            text.to_string(),
+            replies.reply_for(c),
+        );
+    }
+    assert!(engine.run_batch());
+    assert_eq!(handle.stats().executed.load(Ordering::Relaxed), 2);
+    assert_eq!(handle.stats().fused.load(Ordering::Relaxed), 0);
+    assert_eq!(replies.take().len(), 2);
+}
+
+#[test]
+fn conflicting_writes_serialize_without_lost_updates() {
+    let db = small_db();
+    let config = test_config();
+    let page_size = config.host.page_size;
+    let baseline = oracle_tuples(&db, "(scan r01)", page_size).len();
+
+    let mut engine = Engine::new(db, config).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    // Two clients race appends into the same target relation; each
+    // restriction selects exactly one tuple (keys are unique).
+    let a = handle.register_client();
+    let b = handle.register_client();
+    let per_client = 4usize;
+    for i in 0..per_client {
+        for &c in &[a, b] {
+            let key = c * per_client + i; // distinct keys per request
+            handle.submit(
+                c,
+                (c * 100 + i) as u64,
+                Priority::Normal,
+                false,
+                format!("(append (restrict (scan r00) (= key {key})) r01)"),
+                replies.reply_for(c),
+            );
+        }
+    }
+    while handle.stats().executed.load(Ordering::Relaxed) < 2 * per_client as u64 {
+        assert!(engine.run_batch());
+    }
+    let got = replies.take();
+    assert_eq!(got.len(), 2 * per_client);
+    for (client, response) in &got {
+        let r = result(response);
+        assert_eq!(r.tuples.len(), 1, "client {client}: append touched 1 tuple");
+    }
+    // Writes conflict pairwise (same read source, same write target), so
+    // they must have split into one lock group each.
+    assert_eq!(
+        handle.stats().groups.load(Ordering::Relaxed),
+        2 * per_client as u64
+    );
+    assert_eq!(
+        handle.stats().writes_applied.load(Ordering::Relaxed),
+        2 * per_client as u64
+    );
+
+    // No lost updates: the target grew by exactly one tuple per append.
+    let check = handle.register_client();
+    handle.submit(
+        check,
+        999,
+        Priority::Normal,
+        false,
+        "(scan r01)".to_string(),
+        replies.reply_for(check),
+    );
+    assert!(engine.run_batch());
+    let got = replies.take();
+    assert_eq!(result(&got[0].1).tuples.len(), baseline + 2 * per_client);
+}
+
+#[test]
+fn full_queue_rejects_with_busy_immediately() {
+    let db = small_db();
+    let mut config = test_config();
+    config.queue_capacity = 2;
+    let mut engine = Engine::new(db, config).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let c = handle.register_client();
+    // Nothing drains the queue (the dispatcher is not running), so the
+    // third submission must bounce without blocking.
+    for i in 0..4u64 {
+        handle.submit(
+            c,
+            i,
+            Priority::Normal,
+            false,
+            "(scan r02)".to_string(),
+            replies.reply_for(c),
+        );
+    }
+    let got = replies.take();
+    assert_eq!(got.len(), 2, "two submissions rejected synchronously");
+    for (_, response) in &got {
+        match response {
+            Response::Error {
+                error: ServeError::Busy { capacity },
+                ..
+            } => assert_eq!(*capacity, 2),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+    }
+    assert_eq!(handle.stats().busy_rejected.load(Ordering::Relaxed), 2);
+    assert_eq!(handle.stats().submitted.load(Ordering::Relaxed), 2);
+    // The queued pair still executes normally.
+    assert!(engine.run_batch());
+    assert_eq!(replies.take().len(), 2);
+}
+
+#[test]
+fn priority_classes_drain_high_to_low() {
+    let db = small_db();
+    let mut engine = Engine::new(db, test_config()).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    // One client per request so queue-front collection sees all three.
+    let submit = |priority, id: u64, text: &str| {
+        let c = handle.register_client();
+        handle.submit(
+            c,
+            id,
+            priority,
+            false,
+            text.to_string(),
+            replies.reply_for(c),
+        );
+    };
+    submit(Priority::Low, 0, "(restrict (scan r02) (< val 100))");
+    submit(Priority::Normal, 1, "(restrict (scan r03) (< val 100))");
+    submit(Priority::High, 2, "(restrict (scan r04) (< val 100))");
+    assert!(engine.run_batch());
+    let order: Vec<u64> = replies.take().iter().map(|(_, r)| result(r).id).collect();
+    assert_eq!(order, vec![2, 1, 0], "high drains first, low last");
+}
+
+#[test]
+fn round_robin_interleaves_clients_within_a_class() {
+    let db = small_db();
+    let mut engine = Engine::new(db, test_config()).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let a = handle.register_client();
+    let b = handle.register_client();
+    // Client A floods three requests before B's arrive; collection must
+    // still alternate queue fronts, not drain A first.
+    for (c, ids) in [(a, [0u64, 1, 2]), (b, [10, 11, 12])] {
+        for id in ids {
+            handle.submit(
+                c,
+                id,
+                Priority::Normal,
+                false,
+                format!("(restrict (scan r{:02}) (< val {}))", 2 + c, 100 + id),
+                replies.reply_for(c),
+            );
+        }
+    }
+    assert!(engine.run_batch());
+    let order: Vec<u64> = replies.take().iter().map(|(_, r)| result(r).id).collect();
+    assert_eq!(order, vec![0, 10, 1, 11, 2, 12]);
+}
+
+#[test]
+fn injected_fault_fails_exactly_that_query_with_structured_error() {
+    quiet_worker_panics();
+    let db = small_db();
+    let mut config = test_config();
+    // Panic the very first dispatched unit: the batch's first read dies,
+    // the other keeps running.
+    config.host.fault.panic_on_unit = Some(0);
+    let page_size = config.host.page_size;
+    let queries = [
+        "(restrict (scan r02) (< val 400))",
+        "(restrict (scan r03) (< val 700))",
+    ];
+    let oracles: Vec<_> = queries
+        .iter()
+        .map(|q| oracle_tuples(&db, q, page_size))
+        .collect();
+
+    let mut engine = Engine::new(db, config).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    for (i, text) in queries.iter().enumerate() {
+        let c = handle.register_client();
+        handle.submit(
+            c,
+            i as u64,
+            Priority::Normal,
+            false,
+            text.to_string(),
+            replies.reply_for(c),
+        );
+    }
+    assert!(engine.run_batch());
+    let got = replies.take();
+    assert_eq!(got.len(), 2, "every client hears back");
+    let mut failed = 0;
+    for (_, response) in &got {
+        match response {
+            Response::Error {
+                id,
+                error: ServeError::Host { kind, detail },
+            } => {
+                failed += 1;
+                assert_eq!(*kind, HostErrorKind::UnitPanicked);
+                assert!(detail.contains("panicked"), "detail: {detail}");
+                assert!(*id < 2);
+            }
+            Response::Result(r) => {
+                let mut tuples = r.tuples.clone();
+                tuples.sort();
+                assert_eq!(
+                    tuples, oracles[r.id as usize],
+                    "survivor diverged from the oracle"
+                );
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(failed, 1, "exactly one query dies");
+    assert_eq!(handle.stats().failed.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn parse_errors_answer_only_the_offender() {
+    let db = small_db();
+    let mut engine = Engine::new(db, test_config()).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let a = handle.register_client();
+    let b = handle.register_client();
+    handle.submit(
+        a,
+        0,
+        Priority::Normal,
+        false,
+        "(restrict (scan r99) (< val 1))".to_string(),
+        replies.reply_for(a),
+    );
+    handle.submit(
+        b,
+        1,
+        Priority::Normal,
+        false,
+        "(scan r02)".to_string(),
+        replies.reply_for(b),
+    );
+    assert!(engine.run_batch());
+    let got = replies.take();
+    assert_eq!(got.len(), 2);
+    for (client, response) in got {
+        if client == a {
+            assert!(
+                matches!(
+                    response,
+                    Response::Error {
+                        id: 0,
+                        error: ServeError::Parse { .. }
+                    }
+                ),
+                "bad query gets a parse error, got {response:?}"
+            );
+        } else {
+            assert_eq!(result(&response).fan_out, 1, "good query still runs");
+        }
+    }
+}
+
+#[test]
+fn socket_round_trip_with_concurrent_clients() {
+    let db = small_db();
+    let config = test_config();
+    let page_size = config.host.page_size;
+    let text = "(restrict (scan r05) (< val 500))";
+    let want = oracle_tuples(&db, text, page_size);
+    let engine = Engine::new(db, config).expect("engine");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = Server::start(listener, engine).expect("server");
+    let addr = server.local_addr();
+
+    let results: Vec<Vec<Vec<u8>>> = std::thread::scope(|s| {
+        (0..4)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    match client.query(text, Priority::Normal, false).expect("query") {
+                        Response::Result(r) => {
+                            let mut tuples = r.tuples;
+                            tuples.sort();
+                            tuples
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for tuples in &results {
+        assert_eq!(tuples, &want, "socket results match the oracle");
+    }
+
+    let mut control = ServeClient::connect(addr).expect("connect");
+    assert!(matches!(
+        control.request(&Request::Ping).expect("ping"),
+        Response::Ok
+    ));
+    match control.request(&Request::Relations).expect("relations") {
+        Response::Relations(rows) => assert_eq!(rows.len(), 15),
+        other => panic!("unexpected {other:?}"),
+    }
+    match control.request(&Request::Stats).expect("stats") {
+        Response::Stats(rows) => {
+            let get = |k: &str| {
+                rows.iter()
+                    .find(|(name, _)| name == k)
+                    .map(|(_, v)| *v)
+                    .expect("counter present")
+            };
+            assert_eq!(get("submitted"), 4);
+            assert!(get("bytes_in") > 0 && get("bytes_out") > 0);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Clean shutdown: Ok now, ShuttingDown for late queries, and both
+    // service threads exit.
+    assert!(matches!(
+        control.request(&Request::Shutdown).expect("shutdown"),
+        Response::Ok
+    ));
+    match control
+        .query("(scan r02)", Priority::Normal, false)
+        .expect("late query")
+    {
+        Response::Error {
+            error: ServeError::ShuttingDown,
+            ..
+        } => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn closed_client_queue_is_dropped() {
+    let db = small_db();
+    let mut engine = Engine::new(db, test_config()).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let a = handle.register_client();
+    let b = handle.register_client();
+    handle.submit(
+        a,
+        0,
+        Priority::Normal,
+        false,
+        "(scan r02)".to_string(),
+        replies.reply_for(a),
+    );
+    handle.submit(
+        b,
+        1,
+        Priority::Normal,
+        false,
+        "(scan r03)".to_string(),
+        replies.reply_for(b),
+    );
+    handle.close_client(a);
+    assert!(engine.run_batch());
+    let got = replies.take();
+    // Only the live client's query ran; the disconnected one's queued
+    // request was discarded, and new submissions bounce.
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].0, b);
+    handle.submit(
+        a,
+        2,
+        Priority::Normal,
+        false,
+        "(scan r02)".to_string(),
+        replies.reply_for(a),
+    );
+    assert!(matches!(
+        replies.take()[0].1,
+        Response::Error {
+            error: ServeError::ShuttingDown,
+            ..
+        }
+    ));
+}

@@ -2,6 +2,10 @@
 //! queries against the generated database and run them on your choice of
 //! engine, with optional optimization.
 //!
+//! The command language (`:engine`, `:optimize`, `:relations`, …) is the
+//! shared shell grammar from [`df_serve::ReplCommand`], so this local
+//! REPL and the remote `serve_client` accept the same input.
+//!
 //! ```sh
 //! cargo run --release -p df-bench --example repl
 //! ```
@@ -21,6 +25,7 @@ use df_core::{run_query, Granularity, MachineParams};
 use df_opt::{optimize, CatalogStats};
 use df_query::{execute_readonly, parse_query, render_tree, ExecParams};
 use df_ring::{run_ring_queries, RingParams};
+use df_serve::ReplCommand;
 use df_workload::{generate_database, DatabaseSpec};
 
 #[derive(Clone, Copy, PartialEq)]
@@ -63,13 +68,17 @@ fn main() {
         if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
             break; // EOF
         }
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        match line {
-            ":quit" | ":q" => break,
-            ":help" => {
+        let command = match ReplCommand::parse(&line) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{e}");
+                continue;
+            }
+        };
+        let query = match command {
+            ReplCommand::Empty => continue,
+            ReplCommand::Quit => break,
+            ReplCommand::Help => {
                 println!(
                     ":engine oracle|relation|page|tuple|ring   select execution engine\n\
                      :optimize on|off                          run df-opt first\n\
@@ -80,42 +89,44 @@ fn main() {
                 );
                 continue;
             }
-            ":relations" => {
+            ReplCommand::Relations => {
                 for r in db.iter() {
                     println!("  {r}");
                 }
                 continue;
             }
-            ":optimize on" => {
-                optimizing = true;
-                println!("optimizer on");
+            ReplCommand::Stats => {
+                println!("`:stats` is for the serve client; this shell runs queries locally");
                 continue;
             }
-            ":optimize off" => {
-                optimizing = false;
-                println!("optimizer off");
+            ReplCommand::Priority(_) => {
+                println!("`:priority` is for the serve client; this shell has no queueing");
                 continue;
             }
-            _ => {}
-        }
-        if let Some(rest) = line.strip_prefix(":engine ") {
-            engine = match rest.trim() {
-                "oracle" => Engine::Oracle,
-                "relation" => Engine::Relation,
-                "page" => Engine::Page,
-                "tuple" => Engine::Tuple,
-                "ring" => Engine::Ring,
-                other => {
-                    println!("unknown engine `{other}`");
-                    continue;
-                }
-            };
-            println!("engine = {}", engine.name());
-            continue;
-        }
+            ReplCommand::Optimize(on) => {
+                optimizing = on;
+                println!("optimizer {}", if on { "on" } else { "off" });
+                continue;
+            }
+            ReplCommand::Engine(name) => {
+                engine = match name.as_str() {
+                    "oracle" => Engine::Oracle,
+                    "relation" => Engine::Relation,
+                    "page" => Engine::Page,
+                    "tuple" => Engine::Tuple,
+                    "ring" => Engine::Ring,
+                    other => {
+                        println!("unknown engine `{other}`");
+                        continue;
+                    }
+                };
+                println!("engine = {}", engine.name());
+                continue;
+            }
+            ReplCommand::Query(text) => text,
+        };
 
-        // A query.
-        let tree = match parse_query(&db, line) {
+        let tree = match parse_query(&db, &query) {
             Ok(t) => t,
             Err(e) => {
                 println!("parse error: {e}");
