@@ -11,10 +11,21 @@
 //! - `--addr A`       use a running df-serve (default: spawn in-process)
 //! - `--scale F`      database scale when spawning (default 0.05)
 //! - `--workers N`    executor workers when spawning
+//! - `--lanes N`      read executor lanes when spawning (default 2)
+//! - `--plan-cache N` plan-cache capacity when spawning (0 disables)
+//! - `--batch-max N`  dispatcher batch size when spawning (default 64;
+//!   smaller batches split a burst into more concurrent lane tasks)
+//! - `--delay-every N`, `--delay-ms M`  inject a deterministic M-ms
+//!   stall into every N-th executor unit when spawning — a stand-in for
+//!   mass-storage staging latency, which the single-core CI container
+//!   cannot otherwise exhibit (every mix here is CPU-bound on one core)
 //! - `--clients N`    concurrent clients (default 8)
+//! - `--optimize`     send queries with the optimize flag set, so a plan
+//!   cache miss pays the df-opt planning pass (the work a hit skips)
 //! - `--qps F`        per-client offered rate, open loop (default 25)
 //! - `--duration S`   seconds per mode run (default 2)
-//! - `--mix M`        `read-same` | `read-mixed` | `read-write`
+//! - `--mix M`        `read-same` | `read-mixed` | `read-write` |
+//!   `repeat-read[:N]` (zipf-ish over N distinct plans, default 8)
 //! - `--mode M`       `closed` | `open` (default: both, closed first)
 //! - `--out-dir D`    artifact directory (default `.`)
 //! - `--name N`       artifact name (default `serve`)
@@ -41,9 +52,15 @@ struct Opts {
     addr: Option<String>,
     scale: f64,
     workers: Option<usize>,
+    lanes: Option<usize>,
+    plan_cache: Option<usize>,
+    batch_max: Option<usize>,
+    delay_every: Option<u64>,
+    delay_ms: Option<u64>,
     clients: usize,
     qps: f64,
     duration: Duration,
+    optimize: bool,
     mix: RequestMix,
     modes: Vec<LoopMode>,
     out_dir: String,
@@ -74,6 +91,19 @@ fn main() {
             if let Some(w) = opts.workers {
                 config.host.workers = w;
             }
+            if let Some(l) = opts.lanes {
+                config.lanes = l;
+            }
+            if let Some(c) = opts.plan_cache {
+                config.plan_cache_capacity = c;
+            }
+            if let Some(b) = opts.batch_max {
+                config.batch_max = b;
+            }
+            if let Some(every) = opts.delay_every {
+                config.host.fault.delay_every = Some(every);
+                config.host.fault.delay = Duration::from_millis(opts.delay_ms.unwrap_or(1));
+            }
             let db = generate_database(&DatabaseSpec::scaled(opts.scale));
             println!(
                 "serve_bench: in-process server, scale {} ({} KB)",
@@ -96,7 +126,15 @@ fn main() {
         .param("clients", opts.clients)
         .param("qps", opts.qps)
         .param("duration_secs", opts.duration.as_secs_f64())
+        .param("optimize", opts.optimize)
         .param("mix", opts.mix)
+        .param(
+            "delay",
+            match opts.delay_every {
+                Some(every) => format!("every {every} units, {} ms", opts.delay_ms.unwrap_or(1)),
+                None => "none".to_string(),
+            },
+        )
         .param(
             "spawned",
             if server.is_some() {
@@ -105,6 +143,11 @@ fn main() {
                 "no".to_string()
             },
         );
+
+    // The engine reports its lane count in its stats rows, so the
+    // artifact records it even when benchmarking an external server.
+    let lanes = *server_stats(&addr).get("lanes").unwrap_or(&0);
+    artifact.param("lanes", lanes);
 
     let (mut queries, mut tuples, mut payload) = (0u64, 0u64, 0u64);
     for mode in &opts.modes {
@@ -158,7 +201,8 @@ fn main() {
         println!(
             "{mode}: {} sent, {} ok, {} busy, {} errors | p50 {p50:.2} ms, \
              p95 {p95:.2} ms, p99 {p99:.2} ms | {qps_sustained:.1} qps sustained | \
-             server: {} submitted, {} executed, {} fused",
+             server: {} submitted, {} executed, {} fused, {} joined, \
+             cache {}/{} hit/miss",
             row.sent,
             row.ok,
             row.busy,
@@ -166,6 +210,9 @@ fn main() {
             delta("submitted"),
             delta("executed"),
             delta("fused"),
+            delta("inflight_joins"),
+            delta("plan_cache_hits"),
+            delta("plan_cache_misses"),
         );
         artifact.sweep.push(SweepRow {
             label: format!("mode={mode}"),
@@ -183,6 +230,12 @@ fn main() {
                 ("executed".into(), delta("executed")),
                 ("fused".into(), delta("fused")),
                 ("writes_applied".into(), delta("writes_applied")),
+                ("reads".into(), delta("reads")),
+                ("read_execs".into(), delta("read_execs")),
+                ("inflight_joins".into(), delta("inflight_joins")),
+                ("plan_cache_hits".into(), delta("plan_cache_hits")),
+                ("plan_cache_misses".into(), delta("plan_cache_misses")),
+                ("lanes".into(), lanes as f64),
             ],
         });
     }
@@ -227,7 +280,7 @@ fn run_closed(addr: &str, client: usize, opts: &Opts, run_start: Instant) -> Tal
         tally.sent += 1;
         let t0 = Instant::now();
         let response = conn
-            .query(&text, Priority::Normal, false)
+            .query(&text, Priority::Normal, opts.optimize)
             .unwrap_or_else(|e| die(&format!("client io: {e}")));
         tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         absorb(&mut tally, &response, run_start);
@@ -274,7 +327,7 @@ fn run_open(addr: &str, client: usize, opts: &Opts, run_start: Instant) -> Tally
                 let request = Request::Query {
                     id,
                     priority: Priority::Normal,
-                    optimize: false,
+                    optimize: opts.optimize,
                     text: opts.mix.query_text(client, id),
                 };
                 scheduled.lock().expect("schedule lock").insert(id, due);
@@ -354,9 +407,15 @@ fn parse_args() -> Opts {
         addr: None,
         scale: 0.05,
         workers: None,
+        lanes: None,
+        plan_cache: None,
+        batch_max: None,
+        delay_every: None,
+        delay_ms: None,
         clients: 8,
         qps: 25.0,
         duration: Duration::from_secs(2),
+        optimize: false,
         mix: RequestMix::default(),
         modes: LoopMode::ALL.to_vec(),
         out_dir: ".".to_string(),
@@ -373,6 +432,14 @@ fn parse_args() -> Opts {
             "--addr" => opts.addr = Some(value("--addr")),
             "--scale" => opts.scale = parse(&value("--scale"), "--scale"),
             "--workers" => opts.workers = Some(parse(&value("--workers"), "--workers")),
+            "--lanes" => opts.lanes = Some(parse(&value("--lanes"), "--lanes")),
+            "--plan-cache" => opts.plan_cache = Some(parse(&value("--plan-cache"), "--plan-cache")),
+            "--batch-max" => opts.batch_max = Some(parse(&value("--batch-max"), "--batch-max")),
+            "--delay-every" => {
+                opts.delay_every = Some(parse(&value("--delay-every"), "--delay-every"));
+            }
+            "--delay-ms" => opts.delay_ms = Some(parse(&value("--delay-ms"), "--delay-ms")),
+            "--optimize" => opts.optimize = true,
             "--clients" => opts.clients = parse(&value("--clients"), "--clients"),
             "--qps" => opts.qps = parse(&value("--qps"), "--qps"),
             "--duration" => {

@@ -62,22 +62,30 @@ pub enum RequestMix {
     /// [`RequestMix::ReadMixed`] with every eighth request an `append`,
     /// exercising write serialization under the relation lock table.
     ReadWrite,
+    /// Reads drawn zipf-ishly (harmonic weights, seeded per
+    /// `(client, seq)`) from a pool of `distinct` plans — the plan-cache
+    /// efficacy mix: a few hot queries dominate, a long tail keeps the
+    /// cache honest. Spelled `repeat-read:N` (`repeat-read` = 8).
+    RepeatRead { distinct: usize },
 }
 
 impl RequestMix {
     /// Every mix, in benchmark order.
-    pub const ALL: [RequestMix; 3] = [
+    pub const ALL: [RequestMix; 4] = [
         RequestMix::ReadSame,
         RequestMix::ReadMixed,
         RequestMix::ReadWrite,
+        RequestMix::RepeatRead { distinct: 8 },
     ];
 
-    /// Stable lowercase name (the `--mix` flag spelling).
+    /// Stable lowercase name (the `--mix` flag spelling, minus the
+    /// `repeat-read` pool-size suffix).
     pub fn name(self) -> &'static str {
         match self {
             RequestMix::ReadSame => "read-same",
             RequestMix::ReadMixed => "read-mixed",
             RequestMix::ReadWrite => "read-write",
+            RequestMix::RepeatRead { .. } => "repeat-read",
         }
     }
 
@@ -99,8 +107,42 @@ impl RequestMix {
                     read_mixed(client, seq)
                 }
             }
+            RequestMix::RepeatRead { distinct } => repeat_read(distinct, client, seq),
         }
     }
+}
+
+/// A read drawn from a fixed pool of `distinct` plans with zipf-ish
+/// (harmonic, s = 1) weights: plan 0 is picked ∝ 1, plan 1 ∝ 1/2, plan
+/// k ∝ 1/(k+1). Selection is a pure function of (client, seq), so runs
+/// are reproducible and cache hit-rates are a property of the mix.
+fn repeat_read(distinct: usize, client: usize, seq: u64) -> String {
+    let distinct = distinct.max(1);
+    // splitmix64 over the (client, seq) pair → a uniform draw in [0, 1).
+    let mut z = (client as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seq)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+    // Walk the cumulative harmonic weights to the drawn mass.
+    let total: f64 = (1..=distinct).map(|k| 1.0 / k as f64).sum();
+    let mut mass = u * total;
+    let mut rank = distinct - 1;
+    for k in 0..distinct {
+        mass -= 1.0 / (k + 1) as f64;
+        if mass < 0.0 {
+            rank = k;
+            break;
+        }
+    }
+    // Each rank is a distinct plan: relation cycles r02..r09 (never the
+    // write targets) and the threshold is unique per rank.
+    let rel = rank % 8 + 2;
+    let threshold = 100 + 7 * rank;
+    format!("(restrict (scan r{rel:02}) (< val {threshold}))")
 }
 
 /// A read whose relation and selectivity vary with (client, seq) over a
@@ -113,7 +155,10 @@ fn read_mixed(client: usize, seq: u64) -> String {
 
 impl fmt::Display for RequestMix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        match self {
+            RequestMix::RepeatRead { distinct } => write!(f, "repeat-read:{distinct}"),
+            other => f.write_str(other.name()),
+        }
     }
 }
 
@@ -125,9 +170,20 @@ impl FromStr for RequestMix {
             "read-same" => Ok(RequestMix::ReadSame),
             "read-mixed" => Ok(RequestMix::ReadMixed),
             "read-write" => Ok(RequestMix::ReadWrite),
-            other => Err(format!(
-                "unknown request mix `{other}` (read-same|read-mixed|read-write)"
-            )),
+            "repeat-read" => Ok(RequestMix::RepeatRead { distinct: 8 }),
+            other => {
+                if let Some(n) = other.strip_prefix("repeat-read:") {
+                    let distinct =
+                        n.parse::<usize>().ok().filter(|&d| d >= 1).ok_or_else(|| {
+                            format!("bad repeat-read pool size `{n}` (want an integer >= 1)")
+                        })?;
+                    return Ok(RequestMix::RepeatRead { distinct });
+                }
+                Err(format!(
+                    "unknown request mix `{other}` \
+                     (read-same|read-mixed|read-write|repeat-read[:N])"
+                ))
+            }
         }
     }
 }
@@ -188,6 +244,49 @@ mod tests {
                 let q = RequestMix::ReadMixed.query_text(client, seq);
                 assert!(!q.contains("r00") && !q.contains("r01"), "{q}");
             }
+        }
+    }
+
+    #[test]
+    fn repeat_read_round_trips_with_pool_size() {
+        assert_eq!(
+            "repeat-read".parse::<RequestMix>(),
+            Ok(RequestMix::RepeatRead { distinct: 8 })
+        );
+        assert_eq!(
+            "repeat-read:32".parse::<RequestMix>(),
+            Ok(RequestMix::RepeatRead { distinct: 32 })
+        );
+        let mix = RequestMix::RepeatRead { distinct: 17 };
+        assert_eq!(mix.to_string(), "repeat-read:17");
+        assert_eq!(mix.to_string().parse::<RequestMix>(), Ok(mix));
+        assert!("repeat-read:0".parse::<RequestMix>().is_err());
+        assert!("repeat-read:many".parse::<RequestMix>().is_err());
+    }
+
+    #[test]
+    fn repeat_read_is_deterministic_and_skewed() {
+        let mix = RequestMix::RepeatRead { distinct: 8 };
+        // Pure function of (client, seq): same inputs, same query.
+        assert_eq!(mix.query_text(3, 41), mix.query_text(3, 41));
+        // Zipf-ish skew: the pool's hottest plan (rank 0) dominates any
+        // uniform share, and the pool really has at most 8 plans.
+        let mut counts = std::collections::HashMap::new();
+        for client in 0..8 {
+            for seq in 0..128 {
+                *counts.entry(mix.query_text(client, seq)).or_insert(0u32) += 1;
+            }
+        }
+        assert!(counts.len() <= 8);
+        let hottest = *counts.values().max().expect("non-empty");
+        let total: u32 = counts.values().sum();
+        assert!(
+            f64::from(hottest) > f64::from(total) / 8.0 * 2.0,
+            "rank 0 should far exceed a uniform share: {hottest}/{total}"
+        );
+        // The pool avoids the write-target relations.
+        for q in counts.keys() {
+            assert!(!q.contains("r00") && !q.contains("r01"), "{q}");
         }
     }
 

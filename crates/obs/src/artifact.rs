@@ -9,8 +9,17 @@
 use crate::json::JsonValue;
 
 /// Version stamped into every artifact. Bump on any incompatible change
-/// to the field layout; `bench_check` refuses to compare across versions.
-pub const SCHEMA_VERSION: u64 = 1;
+/// to the field layout; `bench_check` refuses versions outside
+/// [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`].
+///
+/// v2 added the serve-layer sweep fields (`reads`, `read_execs`,
+/// `plan_cache_hits`/`plan_cache_misses`, `inflight_joins`, `lanes`) and
+/// their conservation check; every v1 field kept its meaning, so v1
+/// baselines remain readable and comparable.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version this build still reads, checks, and compares.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Counters that are deterministic at a fixed scale/page-size/seed and
 /// therefore compared for *exact* equality against a committed baseline.
@@ -286,9 +295,9 @@ impl BenchArtifact {
     /// violation found (empty = sound).
     pub fn check(&self) -> Vec<String> {
         let mut problems = Vec::new();
-        if self.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&self.schema_version) {
             problems.push(format!(
-                "schema_version {} != supported {SCHEMA_VERSION}",
+                "schema_version {} outside supported {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}",
                 self.schema_version
             ));
         }
@@ -346,6 +355,27 @@ impl BenchArtifact {
                 problems.push(format!("series {}: negative/non-finite demand", s.path));
             }
         }
+        // Serve-layer read conservation (schema v2): every read request is
+        // executed, batch-fused, or joined onto an in-flight execution,
+        // exactly once. Rows without the v2 fields (v1 baselines) are
+        // skipped, keeping old artifacts valid.
+        for row in &self.sweep {
+            let get = |key: &str| row.values.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+            if let (Some(reads), Some(execs), Some(fused), Some(joins)) = (
+                get("reads"),
+                get("read_execs"),
+                get("fused"),
+                get("inflight_joins"),
+            ) {
+                if execs + fused + joins != reads {
+                    problems.push(format!(
+                        "sweep {}: read_execs {execs} + fused {fused} + inflight_joins \
+                         {joins} != reads {reads}",
+                        row.label
+                    ));
+                }
+            }
+        }
         problems
     }
 
@@ -363,11 +393,21 @@ impl BenchArtifact {
         opts: &CompareOptions,
     ) -> Vec<String> {
         let mut failures = Vec::new();
-        if base.schema_version != cand.schema_version {
-            failures.push(format!(
-                "schema_version mismatch: baseline {} vs candidate {}",
-                base.schema_version, cand.schema_version
-            ));
+        // Any supported-version pair compares: every v1 field kept its
+        // meaning in v2, so a committed v1 baseline still gates a v2
+        // candidate. Unsupported versions are terminal.
+        for (role, version) in [
+            ("baseline", base.schema_version),
+            ("candidate", cand.schema_version),
+        ] {
+            if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
+                failures.push(format!(
+                    "{role} schema_version {version} outside supported \
+                     {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
+                ));
+            }
+        }
+        if !failures.is_empty() {
             return failures;
         }
         if base.kind != cand.kind {
@@ -634,5 +674,53 @@ mod tests {
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("schema_version"));
         assert!(!cand.check().is_empty());
+    }
+
+    #[test]
+    fn v1_baseline_still_checks_and_gates_a_v2_candidate() {
+        let mut base = sample();
+        base.schema_version = MIN_SCHEMA_VERSION;
+        assert_eq!(base.check(), Vec::<String>::new(), "v1 stays valid");
+        let cand = sample();
+        assert_eq!(cand.schema_version, SCHEMA_VERSION);
+        assert_eq!(
+            BenchArtifact::compare(&base, &cand, &CompareOptions::default()),
+            Vec::<String>::new()
+        );
+        // Deterministic-counter drift is still caught across versions.
+        let mut drifted = cand;
+        drifted.counters[1].1 = 31.0;
+        assert!(!BenchArtifact::compare(&base, &drifted, &CompareOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn serve_sweep_conservation_identity_is_enforced() {
+        let mut a = BenchArtifact::new("serve_x", "serve");
+        a.elapsed_secs = 1.0;
+        a.sweep = vec![SweepRow {
+            label: "clients=8".to_string(),
+            values: vec![
+                ("reads".to_string(), 100.0),
+                ("read_execs".to_string(), 40.0),
+                ("fused".to_string(), 50.0),
+                ("inflight_joins".to_string(), 10.0),
+            ],
+        }];
+        assert_eq!(a.check(), Vec::<String>::new());
+        a.sweep[0].values[3].1 = 9.0; // 40 + 50 + 9 != 100
+        let problems = a.check();
+        assert!(
+            problems.iter().any(|p| p.contains("inflight_joins")),
+            "{problems:?}"
+        );
+        // A v1-shaped row (fields absent) is exempt from the identity.
+        let mut v1 = BenchArtifact::new("serve_old", "serve");
+        v1.schema_version = MIN_SCHEMA_VERSION;
+        v1.elapsed_secs = 1.0;
+        v1.sweep = vec![SweepRow {
+            label: "clients=8".to_string(),
+            values: vec![("qps".to_string(), 185.0)],
+        }];
+        assert_eq!(v1.check(), Vec::<String>::new());
     }
 }

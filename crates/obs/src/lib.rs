@@ -47,7 +47,8 @@ mod json;
 mod series;
 
 pub use artifact::{
-    BenchArtifact, CompareOptions, QueryRow, SeriesRow, SweepRow, EXACT_COUNTERS, SCHEMA_VERSION,
+    BenchArtifact, CompareOptions, QueryRow, SeriesRow, SweepRow, EXACT_COUNTERS,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use event::{EventKind, Path, Span, TraceEvent, TraceSnapshot, Tracer};
 pub use json::JsonValue;

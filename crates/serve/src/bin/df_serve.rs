@@ -18,6 +18,9 @@
 //! - `--transfer T`        transfer mode: `materialize` or `pipeline`
 //! - `--queue-capacity N`  per-client admission queue depth (default 32)
 //! - `--batch-max N`       max requests drained per batch (default 64)
+//! - `--lanes N`           read executor lanes (default 2)
+//! - `--plan-cache N`      plan-cache capacity in plans (default 128;
+//!   0 disables caching)
 //! - `--trace-out FILE`    dump the serve-layer trace snapshot at exit
 //!
 //! Fault injection (deterministic, for demos and smoke tests):
@@ -66,6 +69,10 @@ fn main() {
                 config.queue_capacity = parse(&value("--queue-capacity"), "--queue-capacity");
             }
             "--batch-max" => config.batch_max = parse(&value("--batch-max"), "--batch-max"),
+            "--lanes" => config.lanes = parse(&value("--lanes"), "--lanes"),
+            "--plan-cache" => {
+                config.plan_cache_capacity = parse(&value("--plan-cache"), "--plan-cache");
+            }
             "--trace-out" => trace_out = Some(value("--trace-out")),
             "--fault-panic" => {
                 config.host.fault.panic_on_unit =
@@ -86,10 +93,12 @@ fn main() {
     let db = generate_database(&DatabaseSpec::scaled(scale));
     println!(
         "df-serve: scale {scale} — {} relations, {} KB; {} workers, \
-         queue capacity {}, batch max {}",
+         {} lanes, plan cache {}, queue capacity {}, batch max {}",
         db.len(),
         db.total_bytes() / 1024,
         config.host.workers,
+        config.lanes,
+        config.plan_cache_capacity,
         config.queue_capacity,
         config.batch_max
     );

@@ -17,7 +17,7 @@
 use std::io::{BufRead, Write};
 
 use df_serve::proto::{Priority, Request, Response};
-use df_serve::{ReplCommand, ServeClient};
+use df_serve::{format_stats, ReplCommand, ServeClient};
 
 fn main() {
     let mut addr = "127.0.0.1:7411".to_string();
@@ -94,11 +94,7 @@ fn main() {
                 Err(e) => die(&format!("connection lost: {e}")),
             },
             ReplCommand::Stats => match client.request(&Request::Stats) {
-                Ok(Response::Stats(rows)) => {
-                    for (name, v) in rows {
-                        println!("  {name:>14} {v}");
-                    }
-                }
+                Ok(Response::Stats(rows)) => println!("{}", format_stats(&rows)),
                 Ok(other) => println!("unexpected response: {other:?}"),
                 Err(e) => die(&format!("connection lost: {e}")),
             },

@@ -3,10 +3,75 @@
 //! `serve_client` binary and the `repl` example (so the two front-ends
 //! accept the same command language).
 
+use std::fmt::Write as _;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::proto::{read_frame, write_frame, Priority, Request, Response};
+
+/// Pretty-print engine counter rows (a [`Response::Stats`] payload, or
+/// any `(name, value)` list) grouped by subsystem, for the `:stats`
+/// shell command. Counters the grouping does not know — future additions,
+/// per-lane rows beyond the fixed set — land in a trailing `other`
+/// section, so the shell never hides a counter.
+pub fn format_stats(rows: &[(String, u64)]) -> String {
+    const GROUPS: &[(&str, &[&str])] = &[
+        (
+            "admission",
+            &["submitted", "busy_rejected", "batches", "groups", "failed"],
+        ),
+        (
+            "execution",
+            &["reads", "executed", "read_execs", "writes_applied"],
+        ),
+        ("fusion", &["fused", "inflight_joins"]),
+        (
+            "plan cache",
+            &["plan_cache_hits", "plan_cache_misses", "parses"],
+        ),
+        ("transport", &["bytes_in", "bytes_out"]),
+    ];
+    let find = |key: &str| rows.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+    let mut out = String::new();
+    let mut shown: Vec<&str> = Vec::new();
+    for (title, keys) in GROUPS {
+        let present: Vec<(&str, u64)> = keys
+            .iter()
+            .filter_map(|k| find(k).map(|v| (*k, v)))
+            .collect();
+        if present.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{title}:");
+        for (k, v) in present {
+            shown.push(k);
+            let _ = writeln!(out, "  {k:>18} {v}");
+        }
+    }
+    // Per-lane executions, one line per lane, under their own heading.
+    if let Some(lanes) = find("lanes") {
+        let _ = writeln!(out, "lanes: {lanes}");
+        shown.push("lanes");
+        for (k, v) in rows {
+            if k.starts_with("lane") && k.ends_with("_execs") {
+                shown.push(k.as_str());
+                let _ = writeln!(out, "  {k:>18} {v}");
+            }
+        }
+    }
+    let rest: Vec<_> = rows
+        .iter()
+        .filter(|(k, _)| !shown.contains(&k.as_str()))
+        .collect();
+    if !rest.is_empty() {
+        let _ = writeln!(out, "other:");
+        for (k, v) in rest {
+            let _ = writeln!(out, "  {k:>18} {v}");
+        }
+    }
+    out.truncate(out.trim_end().len());
+    out
+}
 
 /// One parsed line of an interactive shell: either a `:`-prefixed meta
 /// command or raw query text. Both the local REPL example and the remote
@@ -22,7 +87,8 @@ pub enum ReplCommand {
     Help,
     /// `:relations`.
     Relations,
-    /// `:stats` (serve client; the local REPL has no server counters).
+    /// `:stats` — server counters in the serve client, local session
+    /// counters in the REPL (both render via [`crate::format_stats`]).
     Stats,
     /// `:optimize on|off`.
     Optimize(bool),
@@ -161,5 +227,33 @@ impl ServeClient {
     ) -> io::Result<Response> {
         let request = self.query_request(text, priority, optimize);
         self.request(&request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::format_stats;
+
+    #[test]
+    fn format_stats_groups_and_keeps_unknown_counters() {
+        let rows: Vec<(String, u64)> = [
+            ("submitted", 10),
+            ("fused", 3),
+            ("plan_cache_hits", 7),
+            ("lanes", 2),
+            ("lane0_execs", 4),
+            ("lane1_execs", 2),
+            ("mystery_counter", 42),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        let text = format_stats(&rows);
+        for section in ["admission:", "fusion:", "plan cache:", "lanes: 2", "other:"] {
+            assert!(text.contains(section), "missing `{section}` in:\n{text}");
+        }
+        for row in ["submitted 10", "lane1_execs 2", "mystery_counter 42"] {
+            assert!(text.contains(row), "missing `{row}` in:\n{text}");
+        }
     }
 }

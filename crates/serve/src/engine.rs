@@ -1,8 +1,10 @@
 //! The admission/execution engine behind the socket front-end.
 //!
 //! One dispatcher thread (the serve-layer counterpart of the paper's
-//! master controller) drains bounded per-client queues in batches and
-//! executes each batch on the df-host executor:
+//! master controller) drains bounded per-client queues in batches,
+//! resolves each request to a cached plan, and hands lock-compatible
+//! read groups to a pool of executor *lanes* while applying writes
+//! itself:
 //!
 //! * **Backpressure** — each client has a bounded queue; a submission to a
 //!   full queue is answered immediately with a typed
@@ -13,29 +15,50 @@
 //!   of the client queues with a cursor that persists across batches, so
 //!   a heavy client contributes at most one request per turn and cannot
 //!   starve the rest. Each client's own requests stay FIFO.
+//! * **Plan cache** — parsed (and optionally optimized) trees are cached
+//!   in an LRU keyed by normalized query text, so repeat reads skip
+//!   `parse_query` entirely. Any applied write invalidates the whole
+//!   cache (and the optimizer statistics): a read admitted after a write
+//!   always plans against the post-write catalog.
 //! * **Read-batch fusion** — identical concurrent read queries (same
 //!   canonical plan, compared via [`df_query::render_tree`] after
 //!   optional optimization) collapse to a single execution whose result
 //!   is fanned out to every waiter — the Noria read-heavy-web-traffic
 //!   trick, applied at batch granularity.
+//! * **In-flight fusion** — a read whose twin is *already executing* on a
+//!   lane joins that execution's waiter list (the in-flight registry)
+//!   and receives the same byte-identical fan-out, instead of waiting
+//!   for the next batch. `ServeStats::inflight_joins` counts these late
+//!   joiners; per read request exactly one of
+//!   executed/fused/inflight_joins accounts for it.
+//! * **Parallel read lanes** — read groups are dispatched to `lanes`
+//!   executor threads, so independent read batches run concurrently
+//!   instead of queueing behind one `run_host_queries` call. Writes
+//!   still drain strictly through the dispatcher: before a write group
+//!   applies, the dispatcher quiesces every lane, takes the catalog
+//!   write lock, and applies the writes in submission order —
+//!   preserving the no-lost-update semantics of the single-dispatcher
+//!   design.
 //! * **Lock-table grouping** — a batch is split into groups of mutually
 //!   compatible lock requests ([`df_core::LockTable`]): reads of the same
 //!   relations share a group and run concurrently inside one
 //!   [`run_host_queries`] call (which re-admits them under the host
 //!   scheduler's own relation lock manager), while conflicting writes
 //!   land in separate groups and apply strictly serially against the
-//!   owned catalog — no lost updates by construction.
+//!   shared catalog — no lost updates by construction.
 //!
 //! Failures are contained per request: a query that fails parsing,
 //! validation, or execution (any [`HostError`], including a panicking
 //! unit injected via [`df_host::FaultPlan`]) produces a structured
 //! [`Response::Error`] to exactly that client while the rest of the batch
-//! completes normally. The dispatcher itself never panics on query
-//! content.
+//! completes normally. Neither the dispatcher nor a lane ever panics on
+//! query content.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
 
 use df_core::{LockRequest, LockTable};
 use df_host::{run_host_queries, HostError, HostParams};
@@ -56,6 +79,16 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Most requests drained into one execution batch.
     pub batch_max: usize,
+    /// Read executor lanes (≥ 1). Each lock-compatible read group is
+    /// dispatched to one lane; with several lanes, independent read
+    /// batches execute concurrently while the dispatcher keeps
+    /// collecting. Writes always apply on the dispatcher after a lane
+    /// quiesce, whatever the lane count.
+    pub lanes: usize,
+    /// Plan-cache capacity in distinct (normalized text, optimize-flag)
+    /// entries; 0 disables the cache. The cache is invalidated wholesale
+    /// by every applied write.
+    pub plan_cache_capacity: usize,
     /// Executor configuration for read batches. `deterministic` is
     /// forced on so fused waiters receive byte-identical results and
     /// every response is oracle-comparable.
@@ -65,6 +98,12 @@ pub struct ServeConfig {
     /// transfer bytes recorded by the socket layer. Independent of
     /// `host.trace`, which observes the executor's internals.
     pub trace: Option<Arc<Tracer>>,
+    /// Test-only gate holding every lane before it executes its next
+    /// task. Lets tests park a read execution deterministically so a
+    /// twin read provably joins it in flight. Must be released before
+    /// the engine is dropped or lane joins hang.
+    #[doc(hidden)]
+    pub lane_hold: Option<Arc<LaneHold>>,
 }
 
 impl Default for ServeConfig {
@@ -72,8 +111,11 @@ impl Default for ServeConfig {
         ServeConfig {
             queue_capacity: 32,
             batch_max: 64,
+            lanes: 2,
+            plan_cache_capacity: 128,
             host: HostParams::default(),
             trace: None,
+            lane_hold: None,
         }
     }
 }
@@ -91,7 +133,38 @@ impl ServeConfig {
         if self.batch_max == 0 {
             return Err("`batch_max` must be >= 1".into());
         }
+        if self.lanes == 0 {
+            return Err("`lanes` must be >= 1".into());
+        }
         self.host.validate().map_err(|e| e.to_string())
+    }
+}
+
+/// Test-only gate parking lanes between task receipt and execution.
+#[doc(hidden)]
+#[derive(Debug, Default)]
+pub struct LaneHold {
+    held: Mutex<bool>,
+    released: Condvar,
+}
+
+impl LaneHold {
+    /// Park every lane before its next task until [`LaneHold::release`].
+    pub fn hold(&self) {
+        *self.held.lock().expect("hold lock") = true;
+    }
+
+    /// Release parked lanes (and stop parking new tasks).
+    pub fn release(&self) {
+        *self.held.lock().expect("hold lock") = false;
+        self.released.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut held = self.held.lock().expect("hold lock");
+        while *held {
+            held = self.released.wait(held).expect("hold lock");
+        }
     }
 }
 
@@ -117,11 +190,30 @@ pub struct ServeStats {
     pub submitted: AtomicU64,
     /// Query requests rejected with [`ServeError::Busy`].
     pub busy_rejected: AtomicU64,
+    /// Read requests that reached read scheduling (parsed successfully,
+    /// no write target). Conservation: `reads == read_execs + fused +
+    /// inflight_joins` — every read is executed, batch-fused, or joined
+    /// to an in-flight twin, exactly once.
+    pub reads: AtomicU64,
     /// Distinct executions dispatched (read groups count each deduped
     /// plan once; every write counts once).
     pub executed: AtomicU64,
-    /// Requests served by another request's execution (fusion followers).
+    /// Distinct read plans dispatched to a lane (the read share of
+    /// `executed`).
+    pub read_execs: AtomicU64,
+    /// Requests served by another request's execution in the same batch
+    /// (fusion followers).
     pub fused: AtomicU64,
+    /// Requests that joined an already-executing identical read across a
+    /// batch boundary (late fusion joiners).
+    pub inflight_joins: AtomicU64,
+    /// `parse_query` invocations — at most one per plan-cache miss; the
+    /// regression guard for the parse-twice bug the cache subsumed.
+    pub parses: AtomicU64,
+    /// Requests whose plan came out of the cache.
+    pub plan_cache_hits: AtomicU64,
+    /// Requests that had to parse (and possibly optimize) from scratch.
+    pub plan_cache_misses: AtomicU64,
     /// Update queries applied to the catalog.
     pub writes_applied: AtomicU64,
     /// Requests answered with an error (parse, validation, or executor).
@@ -135,38 +227,215 @@ pub struct ServeStats {
     /// Response bytes written to client sockets (maintained by the
     /// server).
     pub bytes_out: AtomicU64,
+    /// Distinct read plans executed per lane, indexed by lane id.
+    pub lane_execs: Vec<AtomicU64>,
 }
 
 impl ServeStats {
+    /// Counters for an engine with `lanes` read lanes.
+    pub fn with_lanes(lanes: usize) -> ServeStats {
+        ServeStats {
+            lane_execs: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+            ..ServeStats::default()
+        }
+    }
+
     /// Snapshot as stable `(name, value)` rows — the payload of
     /// [`Response::Stats`].
     pub fn rows(&self) -> Vec<(String, u64)> {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        vec![
+        let mut rows = vec![
             ("submitted".into(), g(&self.submitted)),
             ("busy_rejected".into(), g(&self.busy_rejected)),
+            ("reads".into(), g(&self.reads)),
             ("executed".into(), g(&self.executed)),
+            ("read_execs".into(), g(&self.read_execs)),
             ("fused".into(), g(&self.fused)),
+            ("inflight_joins".into(), g(&self.inflight_joins)),
+            ("parses".into(), g(&self.parses)),
+            ("plan_cache_hits".into(), g(&self.plan_cache_hits)),
+            ("plan_cache_misses".into(), g(&self.plan_cache_misses)),
             ("writes_applied".into(), g(&self.writes_applied)),
             ("failed".into(), g(&self.failed)),
             ("batches".into(), g(&self.batches)),
             ("groups".into(), g(&self.groups)),
             ("bytes_in".into(), g(&self.bytes_in)),
             ("bytes_out".into(), g(&self.bytes_out)),
-        ]
+            ("lanes".into(), self.lane_execs.len() as u64),
+        ];
+        for (i, lane) in self.lane_execs.iter().enumerate() {
+            rows.push((format!("lane{i}_execs"), g(lane)));
+        }
+        rows
     }
 }
 
-/// State shared between the dispatcher and every submitting thread.
+/// A resolved plan: the (possibly optimized) tree and its canonical
+/// rendering, shared between the cache, the fusion index, and the
+/// in-flight registry.
+#[derive(Clone)]
+struct Plan {
+    tree: Arc<QueryTree>,
+    key: Arc<str>,
+}
+
+/// Dispatcher-owned LRU of resolved plans, keyed by normalized query
+/// text plus the optimize flag. Capacity is small, so eviction is a
+/// linear scan for the stalest tick — no extra list to maintain.
+struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<(String, bool), (Plan, u64)>,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &(String, bool)) -> Option<Plan> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(plan, used)| {
+            *used = tick;
+            plan.clone()
+        })
+    }
+
+    fn insert(&mut self, key: (String, bool), plan: Plan) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(stalest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&stalest);
+            }
+        }
+        self.entries.insert(key, (plan, self.tick));
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Collapse whitespace runs so trivially reformatted repeats of the same
+/// query text share a cache entry.
+fn normalize_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_gap = true; // leading whitespace is dropped
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            if !in_gap {
+                out.push(' ');
+                in_gap = true;
+            }
+        } else {
+            out.push(ch);
+            in_gap = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// One read execution currently queued on or running inside a lane. Kept
+/// in the in-flight registry from dispatch until the lane fans the
+/// result out; late twins append themselves to `waiters`.
+struct Inflight {
+    exec_id: u64,
+    waiters: Vec<Submission>,
+}
+
+/// One distinct read plan inside a lane task.
+struct ReadExec {
+    key: Arc<str>,
+    tree: QueryTree,
+}
+
+/// One lock-compatible read group, executed by a single lane as one
+/// concurrent [`run_host_queries`] batch.
+struct ReadTask {
+    execs: Vec<ReadExec>,
+}
+
+/// State shared between the dispatcher, the lanes, and every submitting
+/// thread.
 struct Shared {
     inbox: Mutex<Inbox>,
     wake: Condvar,
     stats: ServeStats,
     queue_capacity: usize,
+    /// The served catalog. Lanes hold the read lock for the duration of
+    /// an execution; the dispatcher takes the write lock (after a lane
+    /// quiesce) to apply writes, and the read lock to parse/plan.
+    db: RwLock<Catalog>,
+    /// Read executions dispatched but not yet fanned out, keyed by
+    /// canonical plan rendering. Guards the join-vs-complete race: a
+    /// twin read either finds the entry and joins, or misses and
+    /// schedules fresh — never both, never neither.
+    inflight: Mutex<HashMap<Arc<str>, Inflight>>,
+    /// Read tasks dispatched to lanes and not yet completed; the write
+    /// barrier waits for zero.
+    lane_busy: Mutex<usize>,
+    lane_idle: Condvar,
     /// One human-readable description per served relation, refreshed by
     /// the dispatcher after every applied write — lets the front-end
     /// answer `Relations` requests without reaching into the catalog.
     relations: Mutex<Vec<String>>,
+}
+
+impl Shared {
+    /// Send one request's final answer and record its `query_done` event.
+    fn conclude(
+        &self,
+        trace: &Option<Arc<Tracer>>,
+        sub: Submission,
+        outcome: Result<QueryResult, ServeError>,
+    ) {
+        let response = match outcome {
+            Ok(mut result) => {
+                result.id = sub.id;
+                Response::Result(result)
+            }
+            Err(error) => {
+                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                Response::Error { id: sub.id, error }
+            }
+        };
+        if let Some(t) = trace {
+            let failed = matches!(response, Response::Error { .. });
+            t.record(
+                EventKind::QueryDone,
+                sub.client as u32,
+                u32::MAX,
+                u64::from(failed),
+                0,
+            );
+        }
+        (sub.reply)(response);
+    }
+
+    /// Block until no lane task is queued or executing — the write
+    /// barrier, and the test/bench drain point.
+    fn quiesce_lanes(&self) {
+        let mut busy = self.lane_busy.lock().expect("lane busy lock");
+        while *busy > 0 {
+            busy = self.lane_idle.wait(busy).expect("lane busy lock");
+        }
+    }
 }
 
 struct Inbox {
@@ -273,6 +542,13 @@ impl EngineHandle {
         self.shared.inbox.lock().expect("inbox lock").shutdown
     }
 
+    /// Block until every dispatched read task has completed and fanned
+    /// out its replies. Tests and benchmarks pair this with
+    /// [`Engine::run_batch`] — the dispatch itself is asynchronous.
+    pub fn quiesce(&self) {
+        self.shared.quiesce_lanes();
+    }
+
     /// The cumulative serve-layer counters.
     pub fn stats(&self) -> &ServeStats {
         &self.shared.stats
@@ -289,22 +565,30 @@ impl EngineHandle {
     }
 }
 
-/// The dispatcher: owns the catalog and drains the inbox batch by batch.
+/// The dispatcher: plans every request, owns the write path, and feeds
+/// the read lanes.
 pub struct Engine {
     shared: Arc<Shared>,
-    db: Catalog,
     config: ServeConfig,
     /// Round-robin cursor over clients, persisted across batches.
     rr_cursor: usize,
     /// Catalog statistics for the optimizer, rebuilt lazily after writes.
     opt_stats: Option<CatalogStats>,
+    /// Parsed/optimized plans keyed by normalized text, invalidated on
+    /// every applied write.
+    plan_cache: PlanCache,
     /// Dense id for `query_admit` trace events (one per distinct
     /// execution).
     next_exec: u64,
+    /// Sender side of the lane task channel; dropped on engine drop so
+    /// lanes drain and exit.
+    lane_tx: Option<Sender<ReadTask>>,
+    lane_handles: Vec<JoinHandle<()>>,
 }
 
 impl Engine {
-    /// Build an engine serving `db` under `config`.
+    /// Build an engine serving `db` under `config`, spawning its read
+    /// lanes immediately.
     ///
     /// # Errors
     /// Returns a description of the first invalid configuration knob.
@@ -315,23 +599,46 @@ impl Engine {
         // canonicalize results regardless of what the caller set.
         config.host.deterministic = true;
         let relations = db.iter().map(|r| r.to_string()).collect();
-        Ok(Engine {
-            shared: Arc::new(Shared {
-                inbox: Mutex::new(Inbox {
-                    queues: Vec::new(),
-                    open: Vec::new(),
-                    shutdown: false,
-                }),
-                wake: Condvar::new(),
-                stats: ServeStats::default(),
-                queue_capacity: config.queue_capacity,
-                relations: Mutex::new(relations),
+        let shared = Arc::new(Shared {
+            inbox: Mutex::new(Inbox {
+                queues: Vec::new(),
+                open: Vec::new(),
+                shutdown: false,
             }),
-            db,
+            wake: Condvar::new(),
+            stats: ServeStats::with_lanes(config.lanes),
+            queue_capacity: config.queue_capacity,
+            db: RwLock::new(db),
+            inflight: Mutex::new(HashMap::new()),
+            lane_busy: Mutex::new(0),
+            lane_idle: Condvar::new(),
+            relations: Mutex::new(relations),
+        });
+        let (lane_tx, lane_rx) = channel::<ReadTask>();
+        let lane_rx = Arc::new(Mutex::new(lane_rx));
+        let lane_handles = (0..config.lanes)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&lane_rx);
+                let host = config.host.clone();
+                let trace = config.trace.clone();
+                let hold = config.lane_hold.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-lane-{lane}"))
+                    .spawn(move || lane_loop(lane, &shared, &rx, &host, &trace, hold.as_deref()))
+                    .expect("spawn lane")
+            })
+            .collect();
+        let plan_cache = PlanCache::new(config.plan_cache_capacity);
+        Ok(Engine {
+            shared,
             config,
             rr_cursor: 0,
             opt_stats: None,
+            plan_cache,
             next_exec: 0,
+            lane_tx: Some(lane_tx),
+            lane_handles,
         })
     }
 
@@ -349,14 +656,19 @@ impl Engine {
     }
 
     /// Drain and execute batches until shutdown is requested and the
-    /// queues are empty.
+    /// queues are empty, then drain the lanes. Lane threads are joined
+    /// when the engine drops at the end of this call, so a completed
+    /// `run` means every accepted request was answered.
     pub fn run(mut self) {
         while self.run_batch() {}
+        self.shared.quiesce_lanes();
     }
 
-    /// Block for the next batch and execute it. Returns `false` when the
-    /// engine has shut down and nothing remains to drain — the dispatcher
-    /// loop's exit condition, and the single-step entry point tests use.
+    /// Block for the next batch and execute it: writes synchronously,
+    /// reads dispatched to the lanes (pair with [`EngineHandle::quiesce`]
+    /// to wait for their replies). Returns `false` when the engine has
+    /// shut down and nothing remains to drain — the dispatcher loop's
+    /// exit condition, and the single-step entry point tests use.
     pub fn run_batch(&mut self) -> bool {
         let Some(batch) = self.collect_batch() else {
             return false;
@@ -406,15 +718,15 @@ impl Engine {
         Some(batch)
     }
 
-    /// Parse, group by lock compatibility, and execute one batch.
+    /// Plan, group by lock compatibility, and execute one batch.
     fn execute_batch(&mut self, batch: Vec<Submission>) {
         let trace = self.config.trace.clone();
-        // Parse (and optionally optimize) each request; failures are
-        // answered immediately and drop out of the batch.
-        let mut entries: Vec<(Submission, QueryTree)> = Vec::with_capacity(batch.len());
+        // Resolve each request to a plan (cache hit or parse+optimize);
+        // failures are answered immediately and drop out of the batch.
+        let mut entries: Vec<(Submission, Plan)> = Vec::with_capacity(batch.len());
         for sub in batch {
-            match self.build_tree(&sub.text, sub.optimize) {
-                Ok(tree) => entries.push((sub, tree)),
+            match self.resolve_plan(&sub.text, sub.optimize) {
+                Ok(plan) => entries.push((sub, plan)),
                 Err(detail) => {
                     self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                     if let Some(t) = &trace {
@@ -437,14 +749,16 @@ impl Engine {
             let mut locks = LockTable::new();
             let mut group = Vec::new();
             let mut rest = Vec::new();
-            for (sub, tree) in remaining {
-                let request =
-                    LockRequest::new(tree.referenced_relations(), tree.written_relations());
+            for (sub, plan) in remaining {
+                let request = LockRequest::new(
+                    plan.tree.referenced_relations(),
+                    plan.tree.written_relations(),
+                );
                 if locks.compatible(&request) {
                     locks.grant(group.len(), &request);
-                    group.push((sub, tree));
+                    group.push((sub, plan));
                 } else {
-                    rest.push((sub, tree));
+                    rest.push((sub, plan));
                 }
             }
             self.shared.stats.groups.fetch_add(1, Ordering::Relaxed);
@@ -453,143 +767,190 @@ impl Engine {
         }
     }
 
-    /// Parse query text and optionally run the optimizer over it.
-    fn build_tree(&mut self, text: &str, optimizing: bool) -> Result<QueryTree, String> {
-        let tree = parse_query(&self.db, text).map_err(|e| e.to_string())?;
-        if !optimizing {
-            return Ok(tree);
+    /// Resolve query text to a plan: hit the cache, or parse once (and
+    /// optionally optimize) and fill it. The single `parse_query` call —
+    /// counted in `ServeStats::parses` — is shared by the
+    /// optimizer-failure fallback, which reuses the already-parsed tree
+    /// instead of parsing the same text a second time.
+    fn resolve_plan(&mut self, text: &str, optimizing: bool) -> Result<Plan, String> {
+        let cache_key = (normalize_text(text), optimizing);
+        if let Some(plan) = self.plan_cache.get(&cache_key) {
+            self.shared
+                .stats
+                .plan_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(plan);
         }
-        if self.opt_stats.is_none() {
-            self.opt_stats = Some(CatalogStats::gather(&self.db));
-        }
-        let stats = self.opt_stats.as_ref().expect("just gathered");
-        match optimize(&self.db, &tree, stats) {
-            Ok(o) => Ok(o.tree),
-            // An optimizer failure is not a query failure; run the
-            // un-optimized tree.
-            Err(_) => parse_query(&self.db, text).map_err(|e| e.to_string()),
-        }
+        self.shared
+            .stats
+            .plan_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
+        let db = self.shared.db.read().expect("catalog lock");
+        self.shared.stats.parses.fetch_add(1, Ordering::Relaxed);
+        let tree = parse_query(&db, text).map_err(|e| e.to_string())?;
+        let tree = if optimizing {
+            if self.opt_stats.is_none() {
+                self.opt_stats = Some(CatalogStats::gather(&db));
+            }
+            let stats = self.opt_stats.as_ref().expect("just gathered");
+            match optimize(&db, &tree, stats) {
+                Ok(o) => o.tree,
+                // An optimizer failure is not a query failure; run the
+                // un-optimized tree (no second parse).
+                Err(_) => tree,
+            }
+        } else {
+            tree
+        };
+        drop(db);
+        let plan = Plan {
+            key: Arc::from(render_tree(&tree).as_str()),
+            tree: Arc::new(tree),
+        };
+        self.plan_cache.insert(cache_key, plan.clone());
+        Ok(plan)
     }
 
-    /// Execute one lock-compatible group: fused reads concurrently on the
-    /// host executor, then writes strictly in order.
-    fn execute_group(&mut self, group: Vec<(Submission, QueryTree)>) {
-        let mut reads: Vec<(Submission, QueryTree)> = Vec::new();
-        let mut writes: Vec<(Submission, QueryTree)> = Vec::new();
-        for (sub, tree) in group {
-            if tree.written_relations().is_empty() {
-                reads.push((sub, tree));
+    /// Execute one lock-compatible group: reads dispatched to a lane
+    /// (deduped and joined against in-flight twins first), then writes
+    /// strictly in order behind a lane quiesce.
+    fn execute_group(&mut self, group: Vec<(Submission, Plan)>) {
+        let mut reads: Vec<(Submission, Plan)> = Vec::new();
+        let mut writes: Vec<(Submission, Plan)> = Vec::new();
+        for (sub, plan) in group {
+            if plan.tree.written_relations().is_empty() {
+                reads.push((sub, plan));
             } else {
-                writes.push((sub, tree));
+                writes.push((sub, plan));
             }
         }
-        self.execute_reads(reads);
+        self.dispatch_reads(reads);
         self.execute_writes(writes);
     }
 
-    /// Dedupe identical read plans on their canonical rendering, run the
-    /// distinct plans as one concurrent df-host batch, and fan each
-    /// result out to every waiter.
-    fn execute_reads(&mut self, reads: Vec<(Submission, QueryTree)>) {
+    /// Dedupe identical read plans on their canonical rendering, join
+    /// late twins onto in-flight executions, and hand the remainder to a
+    /// lane as one concurrent df-host batch.
+    fn dispatch_reads(&mut self, reads: Vec<(Submission, Plan)>) {
         if reads.is_empty() {
             return;
         }
         let trace = self.config.trace.clone();
-        let mut distinct: Vec<QueryTree> = Vec::new();
-        let mut waiters: Vec<Vec<Submission>> = Vec::new();
-        let mut index: HashMap<String, usize> = HashMap::new();
-        for (sub, tree) in reads {
-            let key = render_tree(&tree);
-            match index.get(&key) {
+        self.shared
+            .stats
+            .reads
+            .fetch_add(reads.len() as u64, Ordering::Relaxed);
+        // Batch-level fusion: one entry per distinct canonical plan.
+        let mut distinct: Vec<(Plan, Vec<Submission>)> = Vec::new();
+        let mut index: HashMap<Arc<str>, usize> = HashMap::new();
+        for (sub, plan) in reads {
+            match index.get(&plan.key) {
                 Some(&i) => {
                     self.shared.stats.fused.fetch_add(1, Ordering::Relaxed);
-                    waiters[i].push(sub);
+                    distinct[i].1.push(sub);
                 }
                 None => {
-                    index.insert(key, distinct.len());
-                    distinct.push(tree);
-                    waiters.push(vec![sub]);
+                    index.insert(Arc::clone(&plan.key), distinct.len());
+                    distinct.push((plan, vec![sub]));
                 }
             }
+        }
+        // In-flight fusion: a plan whose twin is already queued on or
+        // running inside a lane joins that execution's waiter list; the
+        // lane's fan-out will include it. Everything else becomes a
+        // fresh execution, registered before the task is sent so
+        // later twins can find it.
+        let mut execs: Vec<ReadExec> = Vec::new();
+        {
+            let mut inflight = self.shared.inflight.lock().expect("inflight lock");
+            for (plan, waiters) in distinct {
+                if let Some(entry) = inflight.get_mut(&plan.key) {
+                    // Only the group leader counts as a join: its
+                    // batch-fused twins are already in `fused`, and each
+                    // read lands in exactly one of {read_execs, fused,
+                    // inflight_joins} so the conservation identity
+                    // `read_execs + fused + inflight_joins == reads`
+                    // holds.
+                    self.shared
+                        .stats
+                        .inflight_joins
+                        .fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &trace {
+                        // Late joiners get their own admit event aimed at
+                        // the execution they joined (`b` = its id).
+                        t.record(
+                            EventKind::QueryAdmit,
+                            waiters[0].client as u32,
+                            u32::MAX,
+                            waiters.len() as u64,
+                            entry.exec_id,
+                        );
+                    }
+                    entry.waiters.extend(waiters);
+                    continue;
+                }
+                let exec_id = self.next_exec;
+                self.next_exec += 1;
+                if let Some(t) = &trace {
+                    // One admit event per distinct execution; `a` =
+                    // waiters sharing it at dispatch (> 1 ⟺ fused),
+                    // `b` = dense execution id.
+                    t.record(
+                        EventKind::QueryAdmit,
+                        waiters[0].client as u32,
+                        u32::MAX,
+                        waiters.len() as u64,
+                        exec_id,
+                    );
+                }
+                inflight.insert(Arc::clone(&plan.key), Inflight { exec_id, waiters });
+                execs.push(ReadExec {
+                    key: Arc::clone(&plan.key),
+                    tree: plan.tree.as_ref().clone(),
+                });
+            }
+        }
+        if execs.is_empty() {
+            return;
         }
         self.shared
             .stats
             .executed
-            .fetch_add(distinct.len() as u64, Ordering::Relaxed);
-        if let Some(t) = &trace {
-            for (i, w) in waiters.iter().enumerate() {
-                // One admit event per distinct execution; `a` = waiters
-                // sharing it (> 1 ⟺ fused), `b` = dense execution id.
-                t.record(
-                    EventKind::QueryAdmit,
-                    w[0].client as u32,
-                    u32::MAX,
-                    w.len() as u64,
-                    self.next_exec + i as u64,
-                );
-            }
-        }
-        self.next_exec += distinct.len() as u64;
-
-        match run_host_queries(&self.db, &distinct, &self.config.host) {
-            Ok(out) => {
-                for (result, subs) in out.results.into_iter().zip(waiters) {
-                    match result {
-                        Ok(rel) => {
-                            let fan_out = subs.len() as u32;
-                            let schema = rel.schema().to_string();
-                            let tuples: Vec<Vec<u8>> =
-                                rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
-                            for sub in subs {
-                                self.conclude(
-                                    &trace,
-                                    sub,
-                                    Ok(QueryResult {
-                                        id: 0, // filled per waiter below
-                                        fan_out,
-                                        schema: schema.clone(),
-                                        tuples: tuples.clone(),
-                                    }),
-                                );
-                            }
-                        }
-                        Err(e) => {
-                            let error = ServeError::host(&e);
-                            for sub in subs {
-                                self.conclude(&trace, sub, Err(error.clone()));
-                            }
-                        }
-                    }
-                }
-            }
-            Err(e) => {
-                // Run-level failure (validation, stall): every waiter of
-                // the group gets the structured error; the server lives.
-                let error = ServeError::host(&e);
-                for subs in waiters {
-                    for sub in subs {
-                        self.conclude(&trace, sub, Err(error.clone()));
-                    }
-                }
-            }
-        }
+            .fetch_add(execs.len() as u64, Ordering::Relaxed);
+        self.shared
+            .stats
+            .read_execs
+            .fetch_add(execs.len() as u64, Ordering::Relaxed);
+        *self.shared.lane_busy.lock().expect("lane busy lock") += 1;
+        self.lane_tx
+            .as_ref()
+            .expect("lanes alive while engine runs")
+            .send(ReadTask { execs })
+            .expect("lanes alive while engine runs");
     }
 
-    /// Apply write queries strictly in submission order against the owned
-    /// catalog. The affected tuples (what `append`/`delete` touched) are
-    /// the response payload.
-    fn execute_writes(&mut self, writes: Vec<(Submission, QueryTree)>) {
+    /// Apply write queries strictly in submission order against the
+    /// shared catalog, behind a full lane quiesce (the serve-layer write
+    /// barrier: no read is in flight when the catalog changes, so no
+    /// in-flight entry can serve a post-write submission stale bytes).
+    /// The affected tuples (what `append`/`delete` touched) are the
+    /// response payload.
+    fn execute_writes(&mut self, writes: Vec<(Submission, Plan)>) {
         if writes.is_empty() {
             return;
         }
+        self.shared.quiesce_lanes();
         let trace = self.config.trace.clone();
         let exec = ExecParams {
             page_size: self.config.host.page_size,
             ..ExecParams::default()
         };
-        for (sub, tree) in writes {
-            self.opt_stats = None; // catalog statistics go stale
-            let outcome = execute(&mut self.db, &tree, &exec);
+        let mut db = self.shared.db.write().expect("catalog lock");
+        for (sub, plan) in writes {
+            // Catalog statistics and cached plans go stale together.
+            self.opt_stats = None;
+            self.plan_cache.clear();
+            let outcome = execute(&mut db, &plan.tree, &exec);
             self.shared.stats.executed.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = &trace {
                 t.record(
@@ -609,7 +970,7 @@ impl Engine {
                         .fetch_add(1, Ordering::Relaxed);
                     let schema = rel.schema().to_string();
                     let tuples = rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
-                    self.conclude(
+                    self.shared.conclude(
                         &trace,
                         sub,
                         Ok(QueryResult {
@@ -622,41 +983,165 @@ impl Engine {
                 }
                 Err(e) => {
                     let error = ServeError::host(&HostError::Data(e));
-                    self.conclude(&trace, sub, Err(error));
+                    self.shared.conclude(&trace, sub, Err(error));
                 }
             }
         }
         *self.shared.relations.lock().expect("relations lock") =
-            self.db.iter().map(|r| r.to_string()).collect();
+            db.iter().map(|r| r.to_string()).collect();
+    }
+}
+
+impl Drop for Engine {
+    /// Close the lane channel and join the lanes: queued tasks finish and
+    /// fan out before the engine disappears, so every dispatched read is
+    /// answered even on the single-step (`run_batch`) path.
+    fn drop(&mut self) {
+        drop(self.lane_tx.take());
+        for h in self.lane_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One executor lane: pull read tasks, run them against the shared
+/// catalog under the read lock, and fan each plan's result out to every
+/// waiter registered by then (initial batch plus in-flight joiners).
+fn lane_loop(
+    lane: usize,
+    shared: &Arc<Shared>,
+    rx: &Arc<Mutex<Receiver<ReadTask>>>,
+    host: &HostParams,
+    trace: &Option<Arc<Tracer>>,
+    hold: Option<&LaneHold>,
+) {
+    loop {
+        // Hold the receiver lock only for the recv itself, so sibling
+        // lanes can pull the next task while this one executes.
+        let task = match rx.lock().expect("lane rx lock").recv() {
+            Ok(task) => task,
+            Err(_) => return, // channel closed: engine is shutting down
+        };
+        if let Some(hold) = hold {
+            hold.wait();
+        }
+        let trees: Vec<QueryTree> = task.execs.iter().map(|e| e.tree.clone()).collect();
+        let run = {
+            let db = shared.db.read().expect("catalog lock");
+            run_host_queries(&db, &trees, host)
+        };
+        shared.stats.lane_execs[lane].fetch_add(trees.len() as u64, Ordering::Relaxed);
+        let take_waiters = |key: &Arc<str>| -> Vec<Submission> {
+            shared
+                .inflight
+                .lock()
+                .expect("inflight lock")
+                .remove(key)
+                .expect("dispatched execution is registered")
+                .waiters
+        };
+        match run {
+            Ok(out) => {
+                for (result, exec) in out.results.into_iter().zip(&task.execs) {
+                    let subs = take_waiters(&exec.key);
+                    match result {
+                        Ok(rel) => {
+                            let fan_out = subs.len() as u32;
+                            let schema = rel.schema().to_string();
+                            let tuples: Vec<Vec<u8>> =
+                                rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
+                            for sub in subs {
+                                shared.conclude(
+                                    trace,
+                                    sub,
+                                    Ok(QueryResult {
+                                        id: 0, // filled per waiter in conclude
+                                        fan_out,
+                                        schema: schema.clone(),
+                                        tuples: tuples.clone(),
+                                    }),
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            let error = ServeError::host(&e);
+                            for sub in subs {
+                                shared.conclude(trace, sub, Err(error.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                // Run-level failure (validation, stall): every waiter of
+                // the task gets the structured error; the server lives.
+                let error = ServeError::host(&e);
+                for exec in &task.execs {
+                    for sub in take_waiters(&exec.key) {
+                        shared.conclude(trace, sub, Err(error.clone()));
+                    }
+                }
+            }
+        }
+        let mut busy = shared.lane_busy.lock().expect("lane busy lock");
+        *busy -= 1;
+        if *busy == 0 {
+            shared.lane_idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{normalize_text, Plan, PlanCache};
+    use std::sync::Arc;
+
+    fn dummy_plan(tag: &str) -> Plan {
+        // The cache never inspects the tree; a minimal parsed tree of any
+        // shape works. Build one from the tag so entries are told apart.
+        let db = df_workload::generate_database(&df_workload::DatabaseSpec::scaled(0.01));
+        let tree = df_query::parse_query(&db, "(scan r00)").expect("parse");
+        Plan {
+            tree: Arc::new(tree),
+            key: Arc::from(tag),
+        }
     }
 
-    /// Send one request's final answer and record its `query_done` event.
-    fn conclude(
-        &self,
-        trace: &Option<Arc<Tracer>>,
-        sub: Submission,
-        outcome: Result<QueryResult, ServeError>,
-    ) {
-        let response = match outcome {
-            Ok(mut result) => {
-                result.id = sub.id;
-                Response::Result(result)
-            }
-            Err(error) => {
-                self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                Response::Error { id: sub.id, error }
-            }
-        };
-        if let Some(t) = trace {
-            let failed = matches!(response, Response::Error { .. });
-            t.record(
-                EventKind::QueryDone,
-                sub.client as u32,
-                u32::MAX,
-                u64::from(failed),
-                0,
-            );
-        }
-        (sub.reply)(response);
+    #[test]
+    fn normalize_collapses_whitespace_runs() {
+        assert_eq!(
+            normalize_text("  (scan\n\t r00)  "),
+            "(scan r00)".to_string()
+        );
+        assert_eq!(normalize_text("(scan r00)"), "(scan r00)");
+        assert_eq!(normalize_text(""), "");
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let mut cache = PlanCache::new(2);
+        cache.insert(("a".into(), false), dummy_plan("a"));
+        cache.insert(("b".into(), false), dummy_plan("b"));
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        assert!(cache.get(&("a".into(), false)).is_some());
+        cache.insert(("c".into(), false), dummy_plan("c"));
+        assert!(cache.get(&("a".into(), false)).is_some());
+        assert!(cache.get(&("b".into(), false)).is_none(), "b evicted");
+        assert!(cache.get(&("c".into(), false)).is_some());
+    }
+
+    #[test]
+    fn plan_cache_zero_capacity_never_stores() {
+        let mut cache = PlanCache::new(0);
+        cache.insert(("a".into(), false), dummy_plan("a"));
+        assert!(cache.get(&("a".into(), false)).is_none());
+    }
+
+    #[test]
+    fn plan_cache_keys_on_optimize_flag() {
+        let mut cache = PlanCache::new(4);
+        cache.insert(("q".into(), false), dummy_plan("plain"));
+        assert!(cache.get(&("q".into(), true)).is_none());
+        assert!(cache.get(&("q".into(), false)).is_some());
     }
 }

@@ -46,7 +46,7 @@ pub mod engine;
 pub mod proto;
 pub mod server;
 
-pub use client::{ReplCommand, ServeClient};
+pub use client::{format_stats, ReplCommand, ServeClient};
 pub use engine::{Engine, EngineHandle, ServeConfig, ServeStats};
 pub use proto::{Priority, Request, Response, ServeError};
 pub use server::Server;

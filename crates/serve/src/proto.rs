@@ -36,8 +36,14 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
             format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
         ));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload)?;
+    // One coalesced write, not prefix-then-payload: two small writes on
+    // a TCP stream interact with Nagle + delayed ACK — the payload sits
+    // in the kernel until the peer acknowledges the 4-byte prefix, a
+    // ~40 ms stall per frame on Linux defaults.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
     w.flush()
 }
 

@@ -141,6 +141,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
+        // Results are latency-sensitive small frames; never let Nagle
+        // batch them behind the peer's delayed ACK.
+        stream.set_nodelay(true).ok();
         let client = shared.handle.register_client();
         let shared = Arc::clone(shared);
         // Detached on purpose: the thread exits when the client hangs up.

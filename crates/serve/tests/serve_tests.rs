@@ -1,5 +1,6 @@
 //! Integration tests for the serving layer: admission semantics (lock
-//! serialization, fusion, backpressure, priority, fairness), structured
+//! serialization, fusion, backpressure, priority, fairness), the plan
+//! cache, cross-batch in-flight fusion, multi-lane execution, structured
 //! error propagation under fault injection, and the socket front-end
 //! end to end.
 
@@ -9,6 +10,7 @@ use std::sync::{Arc, Mutex};
 use df_obs::{EventKind, Tracer};
 use df_query::{execute_readonly, parse_query, ExecParams};
 use df_relalg::Catalog;
+use df_serve::engine::LaneHold;
 use df_serve::proto::{HostErrorKind, Priority, QueryResult, Request, Response, ServeError};
 use df_serve::{Engine, ServeClient, ServeConfig, Server};
 use df_workload::{generate_database, DatabaseSpec};
@@ -103,12 +105,14 @@ fn identical_concurrent_reads_fuse_to_one_execution() {
         );
     }
     assert!(engine.run_batch());
+    handle.quiesce();
 
     // One execution, five fused followers.
     let stats = handle.stats();
     assert_eq!(stats.submitted.load(Ordering::Relaxed), 6);
     assert_eq!(stats.executed.load(Ordering::Relaxed), 1);
     assert_eq!(stats.fused.load(Ordering::Relaxed), 5);
+    assert_eq!(stats.inflight_joins.load(Ordering::Relaxed), 0);
 
     // The `query_admit` trace event shows one admission carrying all six
     // waiters.
@@ -156,6 +160,7 @@ fn distinct_reads_do_not_fuse() {
         );
     }
     assert!(engine.run_batch());
+    handle.quiesce();
     assert_eq!(handle.stats().executed.load(Ordering::Relaxed), 2);
     assert_eq!(handle.stats().fused.load(Ordering::Relaxed), 0);
     assert_eq!(replies.take().len(), 2);
@@ -220,6 +225,7 @@ fn conflicting_writes_serialize_without_lost_updates() {
         replies.reply_for(check),
     );
     assert!(engine.run_batch());
+    handle.quiesce();
     let got = replies.take();
     assert_eq!(result(&got[0].1).tuples.len(), baseline + 2 * per_client);
 }
@@ -260,6 +266,7 @@ fn full_queue_rejects_with_busy_immediately() {
     assert_eq!(handle.stats().submitted.load(Ordering::Relaxed), 2);
     // The queued pair still executes normally.
     assert!(engine.run_batch());
+    handle.quiesce();
     assert_eq!(replies.take().len(), 2);
 }
 
@@ -285,6 +292,7 @@ fn priority_classes_drain_high_to_low() {
     submit(Priority::Normal, 1, "(restrict (scan r03) (< val 100))");
     submit(Priority::High, 2, "(restrict (scan r04) (< val 100))");
     assert!(engine.run_batch());
+    handle.quiesce();
     let order: Vec<u64> = replies.take().iter().map(|(_, r)| result(r).id).collect();
     assert_eq!(order, vec![2, 1, 0], "high drains first, low last");
 }
@@ -312,6 +320,7 @@ fn round_robin_interleaves_clients_within_a_class() {
         }
     }
     assert!(engine.run_batch());
+    handle.quiesce();
     let order: Vec<u64> = replies.take().iter().map(|(_, r)| result(r).id).collect();
     assert_eq!(order, vec![0, 10, 1, 11, 2, 12]);
 }
@@ -349,6 +358,7 @@ fn injected_fault_fails_exactly_that_query_with_structured_error() {
         );
     }
     assert!(engine.run_batch());
+    handle.quiesce();
     let got = replies.take();
     assert_eq!(got.len(), 2, "every client hears back");
     let mut failed = 0;
@@ -403,6 +413,7 @@ fn parse_errors_answer_only_the_offender() {
         replies.reply_for(b),
     );
     assert!(engine.run_batch());
+    handle.quiesce();
     let got = replies.take();
     assert_eq!(got.len(), 2);
     for (client, response) in got {
@@ -421,6 +432,249 @@ fn parse_errors_answer_only_the_offender() {
             assert_eq!(result(&response).fan_out, 1, "good query still runs");
         }
     }
+}
+
+#[test]
+fn cross_batch_inflight_fusion_is_byte_identical() {
+    let db = small_db();
+    let mut config = test_config();
+    let trace = Arc::new(Tracer::new(Tracer::DEFAULT_CAPACITY));
+    config.trace = Some(Arc::clone(&trace));
+    let hold = Arc::new(LaneHold::default());
+    config.lane_hold = Some(Arc::clone(&hold));
+    let page_size = config.host.page_size;
+    let text = "(restrict (scan r04) (< val 800))";
+    let want = oracle_tuples(&db, text, page_size);
+
+    let mut engine = Engine::new(db, config).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let a = handle.register_client();
+    let b = handle.register_client();
+
+    // Batch 1: the read dispatches to a lane, which is parked by the
+    // hold — the execution stays in flight.
+    hold.hold();
+    handle.submit(
+        a,
+        7,
+        Priority::Normal,
+        false,
+        text.to_string(),
+        replies.reply_for(a),
+    );
+    assert!(engine.run_batch());
+
+    // Batch 2: the twin arrives while batch 1 executes; it must join the
+    // in-flight execution instead of scheduling a second one.
+    handle.submit(
+        b,
+        8,
+        Priority::Normal,
+        false,
+        text.to_string(),
+        replies.reply_for(b),
+    );
+    assert!(engine.run_batch());
+    hold.release();
+    handle.quiesce();
+
+    let stats = handle.stats();
+    assert_eq!(stats.reads.load(Ordering::Relaxed), 2);
+    assert_eq!(stats.read_execs.load(Ordering::Relaxed), 1, "one execution");
+    assert_eq!(stats.fused.load(Ordering::Relaxed), 0, "not same-batch");
+    assert_eq!(stats.inflight_joins.load(Ordering::Relaxed), 1);
+    // Conservation: every read is executed, fused, or joined — once.
+    assert_eq!(
+        stats.reads.load(Ordering::Relaxed),
+        stats.read_execs.load(Ordering::Relaxed)
+            + stats.fused.load(Ordering::Relaxed)
+            + stats.inflight_joins.load(Ordering::Relaxed)
+    );
+
+    // Both the original admit and the late join are traced against the
+    // same execution id.
+    let admits: Vec<(u64, u64)> = trace
+        .snapshot()
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::QueryAdmit)
+        .map(|e| (e.a, e.b))
+        .collect();
+    assert_eq!(admits, vec![(1, 0), (1, 0)], "admit then join, same exec");
+
+    // The late joiner's bytes equal the first waiter's and the oracle's,
+    // and the fan-out covers both.
+    let got = replies.take();
+    assert_eq!(got.len(), 2);
+    let first = result(&got[0].1);
+    let second = result(&got[1].1);
+    assert_eq!(first.fan_out, 2);
+    assert_eq!(second.fan_out, 2);
+    assert_eq!(first.tuples, second.tuples, "fan-out is byte-identical");
+    let mut tuples = second.tuples.clone();
+    tuples.sort();
+    assert_eq!(tuples, want, "late joiner matches the oracle");
+}
+
+#[test]
+fn plan_cache_hits_skip_parsing_and_writes_invalidate() {
+    let db = small_db();
+    let config = test_config();
+    let page_size = config.host.page_size;
+    let baseline = oracle_tuples(&db, "(scan r01)", page_size).len();
+
+    let mut engine = Engine::new(db, config).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let c = handle.register_client();
+    let read = "(scan r01)";
+    let mut run_one = |text: &str| {
+        handle.submit(
+            c,
+            0,
+            Priority::Normal,
+            false,
+            text.to_string(),
+            replies.reply_for(c),
+        );
+        assert!(engine.run_batch());
+        handle.quiesce();
+        replies.take()
+    };
+
+    // Cold read parses; an immediate repeat (with different whitespace)
+    // hits the cache and does not parse again.
+    run_one(read);
+    run_one("  (scan\n r01)  ");
+    let stats = handle.stats();
+    assert_eq!(stats.plan_cache_hits.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.plan_cache_misses.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        stats.parses.load(Ordering::Relaxed),
+        stats.plan_cache_misses.load(Ordering::Relaxed),
+        "exactly one parse per cache miss, never two"
+    );
+
+    // A write invalidates the cached plan; the next read re-plans
+    // against the post-write catalog and sees the appended row.
+    run_one("(append (restrict (scan r00) (= key 3)) r01)");
+    let got = run_one(read);
+    assert_eq!(result(&got[0].1).tuples.len(), baseline + 1);
+    assert_eq!(
+        stats.plan_cache_hits.load(Ordering::Relaxed),
+        1,
+        "post-write read is a miss: the cache was invalidated"
+    );
+    assert_eq!(stats.plan_cache_misses.load(Ordering::Relaxed), 3);
+    assert_eq!(
+        stats.parses.load(Ordering::Relaxed),
+        stats.plan_cache_misses.load(Ordering::Relaxed)
+    );
+}
+
+#[test]
+fn multi_lane_execution_matches_sequential_oracle() {
+    let queries: Vec<String> = (0..10)
+        .map(|i| {
+            format!(
+                "(restrict (scan r{:02}) (< val {}))",
+                2 + i % 5,
+                300 + 50 * i
+            )
+        })
+        .collect();
+    let db = small_db();
+    let page_size = test_config().host.page_size;
+    let oracles: Vec<_> = queries
+        .iter()
+        .map(|q| oracle_tuples(&db, q, page_size))
+        .collect();
+
+    for lanes in [1, 2, 4] {
+        let mut config = test_config();
+        config.lanes = lanes;
+        // Small batches force several concurrent lane tasks.
+        config.batch_max = 3;
+        let mut engine = Engine::new(small_db(), config).expect("engine");
+        let handle = engine.handle();
+        let replies = Replies::default();
+        for (i, text) in queries.iter().enumerate() {
+            let c = handle.register_client();
+            handle.submit(
+                c,
+                i as u64,
+                Priority::Normal,
+                false,
+                text.clone(),
+                replies.reply_for(c),
+            );
+        }
+        let mut batches = 0;
+        while replies.0.lock().expect("replies lock").len() < queries.len() {
+            assert!(engine.run_batch());
+            batches += 1;
+            assert!(
+                batches <= queries.len(),
+                "dispatcher stopped making progress"
+            );
+            handle.quiesce();
+        }
+        assert!(batches >= 4, "batch_max=3 splits ten requests");
+        for (_, response) in replies.take() {
+            let r = result(&response);
+            let mut tuples = r.tuples.clone();
+            tuples.sort();
+            assert_eq!(
+                tuples, oracles[r.id as usize],
+                "lanes={lanes}: query {} diverged from the oracle",
+                r.id
+            );
+        }
+        // Per-lane counters cover every distinct execution.
+        let stats = handle.stats();
+        let lane_total: u64 = stats
+            .lane_execs
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(stats.lane_execs.len(), lanes);
+        assert_eq!(lane_total, stats.read_execs.load(Ordering::Relaxed));
+    }
+}
+
+#[test]
+fn priorities_drain_in_order_with_many_lanes() {
+    let mut config = test_config();
+    config.lanes = 4;
+    let mut engine = Engine::new(small_db(), config).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let priorities = [
+        Priority::Low,
+        Priority::High,
+        Priority::Normal,
+        Priority::High,
+        Priority::Low,
+        Priority::Normal,
+    ];
+    for (i, &priority) in priorities.iter().enumerate() {
+        let c = handle.register_client();
+        handle.submit(
+            c,
+            i as u64,
+            priority,
+            false,
+            format!("(restrict (scan r{:02}) (< val 100))", 2 + i),
+            replies.reply_for(c),
+        );
+    }
+    // One batch → one compatible read group → one in-order fan-out, so
+    // reply order equals collection order even with four lanes racing.
+    assert!(engine.run_batch());
+    handle.quiesce();
+    let order: Vec<u64> = replies.take().iter().map(|(_, r)| result(r).id).collect();
+    assert_eq!(order, vec![1, 3, 5, 2, 4, 0], "high, then normal, then low");
 }
 
 #[test]
@@ -478,6 +732,15 @@ fn socket_round_trip_with_concurrent_clients() {
             };
             assert_eq!(get("submitted"), 4);
             assert!(get("bytes_in") > 0 && get("bytes_out") > 0);
+            // The new counters ride the same open key-value stats frame.
+            assert_eq!(get("lanes"), 2);
+            assert_eq!(get("reads"), 4);
+            assert_eq!(
+                get("reads"),
+                get("read_execs") + get("fused") + get("inflight_joins"),
+                "read conservation identity over the wire"
+            );
+            assert_eq!(get("parses"), get("plan_cache_misses"));
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -527,6 +790,7 @@ fn closed_client_queue_is_dropped() {
     );
     handle.close_client(a);
     assert!(engine.run_batch());
+    handle.quiesce();
     let got = replies.take();
     // Only the live client's query ran; the disconnected one's queued
     // request was discarded, and new submissions bounce.

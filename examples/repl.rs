@@ -25,7 +25,7 @@ use df_core::{run_query, Granularity, MachineParams};
 use df_opt::{optimize, CatalogStats};
 use df_query::{execute_readonly, parse_query, render_tree, ExecParams};
 use df_ring::{run_ring_queries, RingParams};
-use df_serve::ReplCommand;
+use df_serve::{format_stats, ReplCommand};
 use df_workload::{generate_database, DatabaseSpec};
 
 #[derive(Clone, Copy, PartialEq)]
@@ -49,11 +49,40 @@ impl Engine {
     }
 }
 
+/// Local session counters, shown by `:stats` through the same
+/// `format_stats` renderer the serve client uses.
+#[derive(Default)]
+struct SessionStats {
+    submitted: u64,
+    executed: u64,
+    failed: u64,
+    parses: u64,
+    optimized: u64,
+    result_tuples: u64,
+}
+
+impl SessionStats {
+    fn rows(&self) -> Vec<(String, u64)> {
+        [
+            ("submitted", self.submitted),
+            ("executed", self.executed),
+            ("failed", self.failed),
+            ("parses", self.parses),
+            ("optimizer_runs", self.optimized),
+            ("result_tuples", self.result_tuples),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+}
+
 fn main() {
     let db = generate_database(&DatabaseSpec::scaled(0.05));
     let stats = CatalogStats::gather(&db);
     let mut engine = Engine::Page;
     let mut optimizing = false;
+    let mut session = SessionStats::default();
 
     println!(
         "dataflow-dbm shell — {} relations, {} KB. :help for commands.",
@@ -83,6 +112,7 @@ fn main() {
                     ":engine oracle|relation|page|tuple|ring   select execution engine\n\
                      :optimize on|off                          run df-opt first\n\
                      :relations                                list relations\n\
+                     :stats                                    session counters\n\
                      :quit                                     exit\n\
                      anything else is parsed as a query, e.g.\n\
                      (restrict (scan r00) (< val 100))"
@@ -96,7 +126,7 @@ fn main() {
                 continue;
             }
             ReplCommand::Stats => {
-                println!("`:stats` is for the serve client; this shell runs queries locally");
+                println!("{}", format_stats(&session.rows()));
                 continue;
             }
             ReplCommand::Priority(_) => {
@@ -126,16 +156,20 @@ fn main() {
             ReplCommand::Query(text) => text,
         };
 
+        session.submitted += 1;
+        session.parses += 1;
         let tree = match parse_query(&db, &query) {
             Ok(t) => t,
             Err(e) => {
                 println!("parse error: {e}");
+                session.failed += 1;
                 continue;
             }
         };
         let tree = if optimizing {
             match optimize(&db, &tree, &stats) {
                 Ok(o) => {
+                    session.optimized += 1;
                     if !o.applied.is_empty() {
                         println!("optimizer applied: {:?}", o.applied);
                     }
@@ -143,6 +177,7 @@ fn main() {
                 }
                 Err(e) => {
                     println!("optimizer error: {e}");
+                    session.failed += 1;
                     continue;
                 }
             }
@@ -189,6 +224,8 @@ fn main() {
         };
         match result {
             Ok((rel, note)) => {
+                session.executed += 1;
+                session.result_tuples += rel.num_tuples() as u64;
                 println!("{} tuples {note}", rel.num_tuples());
                 for t in rel.tuples().take(10) {
                     println!("  {t}");
@@ -197,7 +234,10 @@ fn main() {
                     println!("  ... and {} more", rel.num_tuples() - 10);
                 }
             }
-            Err(e) => println!("execution error: {e}"),
+            Err(e) => {
+                session.failed += 1;
+                println!("execution error: {e}");
+            }
         }
     }
     println!("bye");
