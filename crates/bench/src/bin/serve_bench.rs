@@ -25,7 +25,12 @@
 //! - `--qps F`        per-client offered rate, open loop (default 25)
 //! - `--duration S`   seconds per mode run (default 2)
 //! - `--mix M`        `read-same` | `read-mixed` | `read-write` |
-//!   `repeat-read[:N]` (zipf-ish over N distinct plans, default 8)
+//!   `write-disjoint` (every fourth request appends to a per-client
+//!   target in r10..r14 — disjoint writes overlap and never evict the
+//!   read pool's cached plans) | `repeat-read[:N]` (zipf-ish over N
+//!   distinct plans, default 8)
+//! - `--mux`          spawn the in-process server in poll-based mux mode
+//!   (one reader thread services every client socket)
 //! - `--mode M`       `closed` | `open` (default: both, closed first)
 //! - `--out-dir D`    artifact directory (default `.`)
 //! - `--name N`       artifact name (default `serve`)
@@ -45,7 +50,7 @@ use df_bench::loadgen::{percentile, LoopMode, RequestMix};
 use df_bench::report::{series_row, write_artifact};
 use df_obs::{BenchArtifact, IntervalSeries, SweepRow};
 use df_serve::proto::{read_frame, write_frame, Priority, Request, Response, ServeError};
-use df_serve::{Engine, ServeClient, ServeConfig, Server};
+use df_serve::{Engine, ServeClient, ServeConfig, Server, ServerOptions};
 use df_workload::{generate_database, DatabaseSpec};
 
 struct Opts {
@@ -62,6 +67,7 @@ struct Opts {
     duration: Duration,
     optimize: bool,
     mix: RequestMix,
+    mux: bool,
     modes: Vec<LoopMode>,
     out_dir: String,
     name: String,
@@ -113,7 +119,7 @@ fn main() {
             let engine = Engine::new(db, config).unwrap_or_else(|e| die(&e));
             let listener = std::net::TcpListener::bind("127.0.0.1:0")
                 .unwrap_or_else(|e| die(&format!("bind: {e}")));
-            let server = Server::start(listener, engine)
+            let server = Server::start_with(listener, engine, ServerOptions { mux: opts.mux })
                 .unwrap_or_else(|e| die(&format!("server start: {e}")));
             (server.local_addr().to_string(), Some(server))
         }
@@ -128,6 +134,7 @@ fn main() {
         .param("duration_secs", opts.duration.as_secs_f64())
         .param("optimize", opts.optimize)
         .param("mix", opts.mix)
+        .param("mux", opts.mux)
         .param(
             "delay",
             match opts.delay_every {
@@ -202,7 +209,7 @@ fn main() {
             "{mode}: {} sent, {} ok, {} busy, {} errors | p50 {p50:.2} ms, \
              p95 {p95:.2} ms, p99 {p99:.2} ms | {qps_sustained:.1} qps sustained | \
              server: {} submitted, {} executed, {} fused, {} joined, \
-             cache {}/{} hit/miss",
+             cache {}/{} hit/miss, {} evicted, {} writes ({} overlapped)",
             row.sent,
             row.ok,
             row.busy,
@@ -213,6 +220,9 @@ fn main() {
             delta("inflight_joins"),
             delta("plan_cache_hits"),
             delta("plan_cache_misses"),
+            delta("cache_evictions_partial"),
+            delta("writes_applied"),
+            delta("concurrent_write_batches"),
         );
         artifact.sweep.push(SweepRow {
             label: format!("mode={mode}"),
@@ -235,6 +245,16 @@ fn main() {
                 ("inflight_joins".into(), delta("inflight_joins")),
                 ("plan_cache_hits".into(), delta("plan_cache_hits")),
                 ("plan_cache_misses".into(), delta("plan_cache_misses")),
+                ("parses".into(), delta("parses")),
+                (
+                    "cache_evictions_partial".into(),
+                    delta("cache_evictions_partial"),
+                ),
+                (
+                    "concurrent_write_batches".into(),
+                    delta("concurrent_write_batches"),
+                ),
+                ("mux_clients".into(), delta("mux_clients")),
                 ("lanes".into(), lanes as f64),
             ],
         });
@@ -417,6 +437,7 @@ fn parse_args() -> Opts {
         duration: Duration::from_secs(2),
         optimize: false,
         mix: RequestMix::default(),
+        mux: false,
         modes: LoopMode::ALL.to_vec(),
         out_dir: ".".to_string(),
         name: "serve".to_string(),
@@ -446,6 +467,7 @@ fn parse_args() -> Opts {
                 opts.duration = Duration::from_secs_f64(parse(&value("--duration"), "--duration"));
             }
             "--mix" => opts.mix = value("--mix").parse().unwrap_or_else(|e: String| die(&e)),
+            "--mux" => opts.mux = true,
             "--mode" => {
                 opts.modes = vec![value("--mode").parse().unwrap_or_else(|e: String| die(&e))];
             }

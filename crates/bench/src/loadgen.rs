@@ -62,6 +62,14 @@ pub enum RequestMix {
     /// [`RequestMix::ReadMixed`] with every eighth request an `append`,
     /// exercising write serialization under the relation lock table.
     ReadWrite,
+    /// [`RequestMix::ReadMixed`] with every fourth request an `append`
+    /// into a per-client target drawn from r10..r14 — writes to
+    /// *disjoint* relations. The partitioned-write-path mix: disjoint
+    /// writes overlap under the per-relation gate
+    /// (`concurrent_write_batches` > 0) while the read pool (r02..r09)
+    /// never intersects a write's relations, so cached read plans
+    /// survive every write.
+    WriteDisjoint,
     /// Reads drawn zipf-ishly (harmonic weights, seeded per
     /// `(client, seq)`) from a pool of `distinct` plans — the plan-cache
     /// efficacy mix: a few hot queries dominate, a long tail keeps the
@@ -71,12 +79,19 @@ pub enum RequestMix {
 
 impl RequestMix {
     /// Every mix, in benchmark order.
-    pub const ALL: [RequestMix; 4] = [
+    pub const ALL: [RequestMix; 5] = [
         RequestMix::ReadSame,
         RequestMix::ReadMixed,
         RequestMix::ReadWrite,
+        RequestMix::WriteDisjoint,
         RequestMix::RepeatRead { distinct: 8 },
     ];
+
+    /// Largest accepted `repeat-read:N` pool. Beyond this the harmonic
+    /// tail weights vanish into floating-point dust (and the pool far
+    /// exceeds any plan-cache capacity worth measuring), so bigger
+    /// values are a flag typo, not a workload.
+    pub const MAX_REPEAT_READ_POOL: usize = 1 << 16;
 
     /// Stable lowercase name (the `--mix` flag spelling, minus the
     /// `repeat-read` pool-size suffix).
@@ -85,6 +100,7 @@ impl RequestMix {
             RequestMix::ReadSame => "read-same",
             RequestMix::ReadMixed => "read-mixed",
             RequestMix::ReadWrite => "read-write",
+            RequestMix::WriteDisjoint => "write-disjoint",
             RequestMix::RepeatRead { .. } => "repeat-read",
         }
     }
@@ -103,6 +119,19 @@ impl RequestMix {
                     // relation — a minimal, observable write.
                     let key = (client as u64 * 31 + seq) % 50;
                     format!("(append (restrict (scan r00) (= key {key})) r01)")
+                } else {
+                    read_mixed(client, seq)
+                }
+            }
+            RequestMix::WriteDisjoint => {
+                if seq % 4 == 3 {
+                    // Each client appends into its own target (r10..r14
+                    // for five-way disjointness); the source restriction
+                    // selects exactly one tuple. Distinct keys keep the
+                    // write plans distinct, defeating write fusion.
+                    let key = (client as u64 * 31 + seq) % 50;
+                    let target = 10 + client % 5;
+                    format!("(append (restrict (scan r00) (= key {key})) r{target})")
                 } else {
                     read_mixed(client, seq)
                 }
@@ -170,18 +199,25 @@ impl FromStr for RequestMix {
             "read-same" => Ok(RequestMix::ReadSame),
             "read-mixed" => Ok(RequestMix::ReadMixed),
             "read-write" => Ok(RequestMix::ReadWrite),
+            "write-disjoint" => Ok(RequestMix::WriteDisjoint),
             "repeat-read" => Ok(RequestMix::RepeatRead { distinct: 8 }),
             other => {
                 if let Some(n) = other.strip_prefix("repeat-read:") {
-                    let distinct =
-                        n.parse::<usize>().ok().filter(|&d| d >= 1).ok_or_else(|| {
-                            format!("bad repeat-read pool size `{n}` (want an integer >= 1)")
+                    let distinct = n
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&d| (1..=RequestMix::MAX_REPEAT_READ_POOL).contains(&d))
+                        .ok_or_else(|| {
+                            format!(
+                                "bad repeat-read pool size `{n}` (want an integer in 1..={})",
+                                RequestMix::MAX_REPEAT_READ_POOL
+                            )
                         })?;
                     return Ok(RequestMix::RepeatRead { distinct });
                 }
                 Err(format!(
                     "unknown request mix `{other}` \
-                     (read-same|read-mixed|read-write|repeat-read[:N])"
+                     (read-same|read-mixed|read-write|write-disjoint|repeat-read[:N])"
                 ))
             }
         }
@@ -287,6 +323,54 @@ mod tests {
         // The pool avoids the write-target relations.
         for q in counts.keys() {
             assert!(!q.contains("r00") && !q.contains("r01"), "{q}");
+        }
+    }
+
+    #[test]
+    fn write_disjoint_targets_are_per_client_and_every_fourth() {
+        let mix = RequestMix::WriteDisjoint;
+        for client in 0..10 {
+            let target = format!("r{}", 10 + client % 5);
+            for seq in 0..32 {
+                let q = mix.query_text(client, seq);
+                if seq % 4 == 3 {
+                    assert!(q.starts_with("(append"), "{q}");
+                    assert!(q.ends_with(&format!("{target})")), "{q}");
+                } else {
+                    // Reads never touch the write targets (r00, r10..r14),
+                    // so cached read plans survive every write.
+                    assert!(q.starts_with("(restrict"), "{q}");
+                    assert!(!q.contains("r00") && !q.contains("r1"), "{q}");
+                }
+            }
+        }
+        // Clients 5 apart share a target; neighbors never do.
+        assert_eq!(
+            mix.query_text(0, 3).split_whitespace().last(),
+            mix.query_text(5, 3).split_whitespace().last()
+        );
+    }
+
+    #[test]
+    fn degenerate_repeat_read_pools_are_rejected() {
+        // Zero would leave the harmonic weights empty (a panic in the
+        // zipf walk before this guard existed); absurd sizes are typos.
+        assert!("repeat-read:0".parse::<RequestMix>().is_err());
+        assert!("repeat-read:-1".parse::<RequestMix>().is_err());
+        assert!("repeat-read:65537".parse::<RequestMix>().is_err());
+        assert!("repeat-read:18446744073709551616"
+            .parse::<RequestMix>()
+            .is_err());
+        assert_eq!(
+            "repeat-read:65536".parse::<RequestMix>(),
+            Ok(RequestMix::RepeatRead {
+                distinct: RequestMix::MAX_REPEAT_READ_POOL
+            })
+        );
+        // Every accepted pool size synthesizes queries without panicking.
+        for d in [1usize, 2, 65536] {
+            let q = RequestMix::RepeatRead { distinct: d }.query_text(3, 7);
+            assert!(q.starts_with("(restrict"), "{q}");
         }
     }
 

@@ -46,6 +46,12 @@ pub struct FaultPlan {
     pub delay: Duration,
     /// Worker ids that die before receiving any work.
     pub dead_workers: Vec<usize>,
+    /// Panic the **serve lane** (df-serve's batch-caller thread, one layer
+    /// above this executor) before it runs the lane task with this
+    /// sequence number (lane tasks are numbered from 0 in dispatch
+    /// order). Ignored by the host executor itself; df-serve uses it to
+    /// prove a lane panic is contained to the affected queries.
+    pub lane_panic_task: Option<u64>,
 }
 
 #[allow(clippy::derivable_impls)] // an explicit Default documents "no faults"
@@ -58,6 +64,7 @@ impl Default for FaultPlan {
             delay_every: None,
             delay: Duration::ZERO,
             dead_workers: Vec::new(),
+            lane_panic_task: None,
         }
     }
 }
@@ -69,6 +76,7 @@ impl FaultPlan {
             || self.panic_rate > 0.0
             || self.delay_every.is_some()
             || !self.dead_workers.is_empty()
+            || self.lane_panic_task.is_some()
     }
 
     /// The fault (if any) injected into the unit with dispatch sequence

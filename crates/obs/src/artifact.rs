@@ -16,7 +16,15 @@ use crate::json::JsonValue;
 /// `plan_cache_hits`/`plan_cache_misses`, `inflight_joins`, `lanes`) and
 /// their conservation check; every v1 field kept its meaning, so v1
 /// baselines remain readable and comparable.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added the serve write-path fields (`parses`,
+/// `cache_evictions_partial`, `concurrent_write_batches`, `mux_clients`)
+/// and two checks: `parses == plan_cache_misses` (relation-scoped
+/// invalidation never forces a redundant parse) and
+/// `cache_evictions_partial == 0` when `writes_applied == 0` (only
+/// writes evict). v1/v2 fields kept their meanings, so older baselines
+/// remain readable and comparable.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version this build still reads, checks, and compares.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -375,6 +383,28 @@ impl BenchArtifact {
                     ));
                 }
             }
+            // Serve write-path identities (schema v3). Relation-scoped
+            // plan-cache invalidation must never force a parse the cache
+            // didn't miss, and only an applied write may evict.
+            if let (Some(parses), Some(misses)) = (get("parses"), get("plan_cache_misses")) {
+                if parses != misses {
+                    problems.push(format!(
+                        "sweep {}: parses {parses} != plan_cache_misses {misses}",
+                        row.label
+                    ));
+                }
+            }
+            if let (Some(evictions), Some(writes)) =
+                (get("cache_evictions_partial"), get("writes_applied"))
+            {
+                if writes == 0.0 && evictions != 0.0 {
+                    problems.push(format!(
+                        "sweep {}: {evictions} partial cache evictions with zero \
+                         writes applied",
+                        row.label
+                    ));
+                }
+            }
         }
         problems
     }
@@ -722,5 +752,58 @@ mod tests {
             values: vec![("qps".to_string(), 185.0)],
         }];
         assert_eq!(v1.check(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn serve_write_path_identities_are_enforced() {
+        let mut a = BenchArtifact::new("serve_w", "serve");
+        a.elapsed_secs = 1.0;
+        a.sweep = vec![SweepRow {
+            label: "mode=closed".to_string(),
+            values: vec![
+                ("parses".to_string(), 12.0),
+                ("plan_cache_misses".to_string(), 12.0),
+                ("cache_evictions_partial".to_string(), 4.0),
+                ("writes_applied".to_string(), 3.0),
+            ],
+        }];
+        assert_eq!(a.check(), Vec::<String>::new());
+
+        // Relation-scoped invalidation must never force a redundant
+        // parse: parses != plan_cache_misses is a bug.
+        a.sweep[0].values[0].1 = 13.0;
+        let problems = a.check();
+        assert!(
+            problems.iter().any(|p| p.contains("plan_cache_misses")),
+            "{problems:?}"
+        );
+        a.sweep[0].values[0].1 = 12.0;
+
+        // Only writes evict: evictions without writes is a bug.
+        a.sweep[0].values[3].1 = 0.0;
+        let problems = a.check();
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("partial cache evictions")),
+            "{problems:?}"
+        );
+        a.sweep[0].values[2].1 = 0.0;
+        assert_eq!(a.check(), Vec::<String>::new());
+
+        // Rows without the v3 fields (older baselines) stay exempt.
+        let mut v2 = BenchArtifact::new("serve_v2", "serve");
+        v2.schema_version = 2;
+        v2.elapsed_secs = 1.0;
+        v2.sweep = vec![SweepRow {
+            label: "mode=closed".to_string(),
+            values: vec![
+                ("reads".to_string(), 10.0),
+                ("read_execs".to_string(), 10.0),
+                ("fused".to_string(), 0.0),
+                ("inflight_joins".to_string(), 0.0),
+            ],
+        }];
+        assert_eq!(v2.check(), Vec::<String>::new());
     }
 }

@@ -6,11 +6,11 @@
 //! by the integration tests (as multiset equality — the machines interleave
 //! work and therefore produce tuples in a different order).
 
-use df_relalg::{Catalog, Error, Relation, Result};
+use df_relalg::{Catalog, Error, Relation, Result, Tuple};
 
 use crate::ops;
 use crate::tree::{Op, QueryTree};
-use crate::validate::validate;
+use crate::validate::{validate, NodeSchemas};
 
 /// Which join algorithm the oracle uses (\[5\] compares both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,12 +66,143 @@ pub fn execute_readonly(db: &Catalog, tree: &QueryTree, params: &ExecParams) -> 
 /// * read-only root → the query result,
 /// * `Append` → the tuples that were appended,
 /// * `Delete` → the tuples that were deleted.
+///
+/// Updating queries run as [`stage_write`] followed immediately by
+/// [`apply_write`]; callers that interleave other work between the read
+/// and write phases (df-serve's lanes) call the two halves directly.
 pub fn execute(db: &mut Catalog, tree: &QueryTree, params: &ExecParams) -> Result<Relation> {
+    if !tree.written_relations().is_empty() {
+        let delta = stage_write(db, tree, params)?;
+        return apply_write(db, delta);
+    }
     let schemas = validate(db, tree)?;
+    let mut results = eval_read_nodes(db, tree, &schemas, params)?;
+    let mut out = results.pop().expect("validated tree has at least one node");
+    // The loop pushes in topo order; the root is last.
+    debug_assert_eq!(tree.root().0, results.len());
+    out.set_name("result");
+    Ok(out)
+}
+
+/// The staged effect of an updating query: the expensive read phase of a
+/// write, computed against an immutable catalog, ready to be applied by
+/// [`apply_write`] under exclusive access.
+///
+/// The split is only sound if the **target** relation cannot change
+/// between the two calls — a `Delete` stages the kept/deleted partition
+/// of the target it saw, an `Append` stages tuples computed from its
+/// sources — so the caller must hold the target exclusively (or, like
+/// the oracle, apply immediately). df-serve's per-relation writer marks
+/// provide exactly that guarantee.
+#[derive(Debug)]
+pub struct WriteDelta {
+    target: String,
+    kind: WriteKind,
+    result: Relation,
+}
+
+#[derive(Debug)]
+enum WriteKind {
+    /// Tuples to append to the target.
+    Append(Vec<Tuple>),
+    /// The rebuilt (post-delete) target relation.
+    Replace(Relation),
+}
+
+impl WriteDelta {
+    /// The relation the apply phase will mutate.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+}
+
+/// Run the read phase of an updating query: validate, evaluate the
+/// source subtree (`Append`) or partition the target (`Delete`), and
+/// package the effect as a [`WriteDelta`]. `db` is not mutated.
+///
+/// # Errors
+/// Fails on validation errors or if the tree is read-only.
+pub fn stage_write(db: &Catalog, tree: &QueryTree, params: &ExecParams) -> Result<WriteDelta> {
+    let schemas = validate(db, tree)?;
+    let root = tree.node(tree.root());
+    let name = format!("{}_{}", tree.root(), root.op.name());
+    let schema = schemas.schema(tree.root()).clone();
+    match &root.op {
+        Op::Append { target } => {
+            let results = eval_read_nodes(db, tree, &schemas, params)?;
+            let to_add: Vec<Tuple> = results[root.children[0].0].tuples().collect();
+            let result = ops::pack_tuples(&name, schema, params.page_size, to_add.iter().cloned())?;
+            Ok(WriteDelta {
+                target: target.clone(),
+                kind: WriteKind::Append(to_add),
+                result,
+            })
+        }
+        Op::Delete { target, predicate } => {
+            let target_rel = db.require(target)?;
+            let (kept, deleted): (Vec<_>, Vec<_>) =
+                target_rel.tuples().partition(|t| !predicate.eval(t));
+            let rebuilt = Relation::from_tuples(
+                target,
+                target_rel.schema().clone(),
+                target_rel.page_size(),
+                kept,
+            )?;
+            let result = ops::pack_tuples(&name, schema, params.page_size, deleted)?;
+            Ok(WriteDelta {
+                target: target.clone(),
+                kind: WriteKind::Replace(rebuilt),
+                result,
+            })
+        }
+        _ => Err(Error::SchemaMismatch {
+            detail: "stage_write called on a read-only query".into(),
+        }),
+    }
+}
+
+/// Apply a staged write to `db`, returning the query's result relation
+/// (the appended or deleted tuples, named `"result"`).
+///
+/// Every intermediate state is structurally valid: `Append` adds whole
+/// tuples one at a time, `Delete` swaps in a fully rebuilt relation — so
+/// even a caller that recovers from a panic mid-apply observes a
+/// consistent (if partially applied) catalog.
+pub fn apply_write(db: &mut Catalog, delta: WriteDelta) -> Result<Relation> {
+    db.require(&delta.target)?;
+    match delta.kind {
+        WriteKind::Append(tuples) => {
+            let target_rel = db.get_mut(&delta.target).expect("just required");
+            for t in tuples {
+                target_rel.append(t)?;
+            }
+        }
+        WriteKind::Replace(rebuilt) => {
+            db.insert_or_replace(rebuilt);
+        }
+    }
+    let mut out = delta.result;
+    out.set_name("result");
+    Ok(out)
+}
+
+/// Evaluate every read-only node of `tree` in topo order; the returned
+/// vector is indexed by `NodeId`. Stops before the root when the root is
+/// an update operator (validation guarantees updates appear nowhere
+/// else, and topo order puts the root last).
+fn eval_read_nodes(
+    db: &Catalog,
+    tree: &QueryTree,
+    schemas: &NodeSchemas,
+    params: &ExecParams,
+) -> Result<Vec<Relation>> {
     let mut results: Vec<Relation> = Vec::with_capacity(tree.len());
 
     for id in tree.topo_order() {
         let node = tree.node(id);
+        if node.op.is_update() {
+            break;
+        }
         let schema = schemas.schema(id).clone();
         let child = |i: usize| -> &Relation { &results[node.children[i].0] };
         let name = format!("{id}_{}", node.op.name());
@@ -134,35 +265,12 @@ pub fn execute(db: &mut Catalog, tree: &QueryTree, params: &ExecParams) -> Resul
                 let tuples = ops::difference_relations(child(0), child(1))?;
                 ops::pack_tuples(&name, schema, params.page_size, tuples)?
             }
-            Op::Append { target } => {
-                let to_add: Vec<_> = child(0).tuples().collect();
-                let appended =
-                    ops::pack_tuples(&name, schema, params.page_size, to_add.iter().cloned())?;
-                let target_rel = db.get_mut(target).expect("validated");
-                for t in to_add {
-                    target_rel.append(t)?;
-                }
-                appended
-            }
-            Op::Delete { target, predicate } => {
-                let target_rel = db.get_mut(target).expect("validated");
-                let (kept, deleted): (Vec<_>, Vec<_>) =
-                    target_rel.tuples().partition(|t| !predicate.eval(t));
-                let page_size = target_rel.page_size();
-                let rebuilt =
-                    Relation::from_tuples(target, target_rel.schema().clone(), page_size, kept)?;
-                db.insert_or_replace(rebuilt);
-                ops::pack_tuples(&name, schema, params.page_size, deleted)?
-            }
+            Op::Append { .. } | Op::Delete { .. } => unreachable!("is_update checked above"),
         };
         results.push(rel);
     }
 
-    let mut out = results.pop().expect("validated tree has at least one node");
-    // The loop pushes in topo order; the root is last.
-    debug_assert_eq!(tree.root().0, results.len());
-    out.set_name("result");
-    Ok(out)
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -351,6 +459,57 @@ mod tests {
         let deleted = execute(&mut db, &q, &ExecParams::default()).unwrap();
         assert_eq!(deleted.num_tuples(), 5);
         assert_eq!(db.get("emp").unwrap().num_tuples(), 15);
+    }
+
+    #[test]
+    fn staged_append_matches_direct_execute() {
+        let mut direct = db();
+        let mut staged = db();
+        let b = TreeBuilder::new(&direct);
+        let q = b
+            .scan("emp")
+            .unwrap()
+            .restrict_where("id", CmpOp::Lt, Value::Int(3))
+            .unwrap()
+            .append_to("emp")
+            .unwrap()
+            .finish();
+        let direct_out = execute(&mut direct, &q, &ExecParams::default()).unwrap();
+        let delta = stage_write(&staged, &q, &ExecParams::default()).unwrap();
+        assert_eq!(delta.target(), "emp");
+        // Staging alone must not mutate.
+        assert_eq!(staged.get("emp").unwrap().num_tuples(), 20);
+        let staged_out = apply_write(&mut staged, delta).unwrap();
+        assert!(direct_out.same_contents(&staged_out));
+        assert!(direct
+            .get("emp")
+            .unwrap()
+            .same_contents(staged.get("emp").unwrap()));
+    }
+
+    #[test]
+    fn staged_delete_matches_direct_execute() {
+        let mut direct = db();
+        let mut staged = db();
+        let q = TreeBuilder::new(&direct)
+            .delete_where("emp", "dept", CmpOp::Eq, Value::Int(0))
+            .unwrap();
+        let direct_out = execute(&mut direct, &q, &ExecParams::default()).unwrap();
+        let delta = stage_write(&staged, &q, &ExecParams::default()).unwrap();
+        assert_eq!(staged.get("emp").unwrap().num_tuples(), 20);
+        let staged_out = apply_write(&mut staged, delta).unwrap();
+        assert!(direct_out.same_contents(&staged_out));
+        assert!(direct
+            .get("emp")
+            .unwrap()
+            .same_contents(staged.get("emp").unwrap()));
+    }
+
+    #[test]
+    fn stage_write_rejects_read_only_trees() {
+        let db = db();
+        let q = TreeBuilder::new(&db).scan("emp").unwrap().finish();
+        assert!(stage_write(&db, &q, &ExecParams::default()).is_err());
     }
 
     #[test]

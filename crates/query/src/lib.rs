@@ -52,7 +52,9 @@ mod validate;
 pub mod ops;
 
 pub use builder::{SubTree, TreeBuilder};
-pub use exec::{execute, execute_readonly, ExecParams, JoinAlgorithm};
+pub use exec::{
+    apply_write, execute, execute_readonly, stage_write, ExecParams, JoinAlgorithm, WriteDelta,
+};
 pub use parser::parse_query;
 pub use render::render_tree;
 pub use tree::{NodeId, Op, QueryNode, QueryTree};

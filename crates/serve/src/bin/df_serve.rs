@@ -21,10 +21,14 @@
 //! - `--lanes N`           read executor lanes (default 2)
 //! - `--plan-cache N`      plan-cache capacity in plans (default 128;
 //!   0 disables caching)
+//! - `--mux`               service all client sockets from one
+//!   poll(2)-based reader thread instead of one thread per connection
 //! - `--trace-out FILE`    dump the serve-layer trace snapshot at exit
 //!
 //! Fault injection (deterministic, for demos and smoke tests):
-//! - `--fault-panic N`     panic the kernel of dispatched unit N
+//! - `--fault-panic N`       panic the kernel of dispatched unit N
+//! - `--fault-lane-panic N`  panic the serve lane before lane task N
+//!   (proves lane-panic containment: other clients keep being served)
 //!
 //! The readiness line `df-serve: listening on <addr>` is printed exactly
 //! once, after the listener is bound — scripts should wait for it.
@@ -32,13 +36,14 @@
 use std::sync::Arc;
 
 use df_obs::Tracer;
-use df_serve::{Engine, ServeConfig, Server};
+use df_serve::{Engine, ServeConfig, Server, ServerOptions};
 use df_workload::{generate_database, DatabaseSpec};
 
 fn main() {
     let mut addr = "127.0.0.1:7411".to_string();
     let mut scale = 0.05f64;
     let mut config = ServeConfig::default();
+    let mut options = ServerOptions::default();
     let mut trace_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -73,10 +78,15 @@ fn main() {
             "--plan-cache" => {
                 config.plan_cache_capacity = parse(&value("--plan-cache"), "--plan-cache");
             }
+            "--mux" => options.mux = true,
             "--trace-out" => trace_out = Some(value("--trace-out")),
             "--fault-panic" => {
                 config.host.fault.panic_on_unit =
                     Some(parse(&value("--fault-panic"), "--fault-panic"));
+            }
+            "--fault-lane-panic" => {
+                config.host.fault.lane_panic_task =
+                    Some(parse(&value("--fault-lane-panic"), "--fault-lane-panic"));
             }
             other => die(&format!(
                 "unknown flag `{other}` (see --help in the source)"
@@ -102,13 +112,16 @@ fn main() {
         config.queue_capacity,
         config.batch_max
     );
+    if options.mux {
+        println!("df-serve: mux mode — one poll-based reader thread");
+    }
 
     let trace = config.trace.clone();
     let engine = Engine::new(db, config).unwrap_or_else(|e| die(&e));
     let listener = std::net::TcpListener::bind(&addr)
         .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
-    let server =
-        Server::start(listener, engine).unwrap_or_else(|e| die(&format!("cannot start: {e}")));
+    let server = Server::start_with(listener, engine, options)
+        .unwrap_or_else(|e| die(&format!("cannot start: {e}")));
     println!("df-serve: listening on {}", server.local_addr());
 
     let handle = server.handle();
@@ -127,14 +140,15 @@ fn main() {
     }
 }
 
-/// Injected kernel panics are expected; keep their backtraces quiet.
+/// Injected kernel and serve-lane panics are expected; keep their
+/// backtraces quiet.
 fn quiet_worker_panics() {
     let default = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        let on_worker = std::thread::current()
+        let quiet = std::thread::current()
             .name()
-            .is_some_and(|n| n.starts_with("df-host-worker"));
-        if !on_worker {
+            .is_some_and(|n| n.starts_with("df-host-worker") || n.starts_with("serve-lane"));
+        if !quiet {
             default(info);
         }
     }));

@@ -22,14 +22,25 @@ pub fn format_stats(rows: &[(String, u64)]) -> String {
         ),
         (
             "execution",
-            &["reads", "executed", "read_execs", "writes_applied"],
+            &[
+                "reads",
+                "executed",
+                "read_execs",
+                "writes_applied",
+                "concurrent_write_batches",
+            ],
         ),
         ("fusion", &["fused", "inflight_joins"]),
         (
             "plan cache",
-            &["plan_cache_hits", "plan_cache_misses", "parses"],
+            &[
+                "plan_cache_hits",
+                "plan_cache_misses",
+                "parses",
+                "cache_evictions_partial",
+            ],
         ),
-        ("transport", &["bytes_in", "bytes_out"]),
+        ("transport", &["bytes_in", "bytes_out", "mux_clients"]),
     ];
     let find = |key: &str| rows.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
     let mut out = String::new();

@@ -3,8 +3,8 @@
 //! One dispatcher thread (the serve-layer counterpart of the paper's
 //! master controller) drains bounded per-client queues in batches,
 //! resolves each request to a cached plan, and hands lock-compatible
-//! read groups to a pool of executor *lanes* while applying writes
-//! itself:
+//! read groups — and individual writes — to a pool of executor *lanes*,
+//! ordered by a per-relation gate:
 //!
 //! * **Backpressure** — each client has a bounded queue; a submission to a
 //!   full queue is answered immediately with a typed
@@ -17,9 +17,12 @@
 //!   starve the rest. Each client's own requests stay FIFO.
 //! * **Plan cache** — parsed (and optionally optimized) trees are cached
 //!   in an LRU keyed by normalized query text, so repeat reads skip
-//!   `parse_query` entirely. Any applied write invalidates the whole
-//!   cache (and the optimizer statistics): a read admitted after a write
-//!   always plans against the post-write catalog.
+//!   `parse_query` entirely. Each entry is tagged with the base relations
+//!   its tree reads; an applied write evicts only the entries whose
+//!   read-set intersects the written relations
+//!   (`ServeStats::cache_evictions_partial` counts them), so a write to
+//!   `A` leaves plans that only read `B` cached while a read admitted
+//!   after a write still plans against the post-write catalog.
 //! * **Read-batch fusion** — identical concurrent read queries (same
 //!   canonical plan, compared via [`df_query::render_tree`] after
 //!   optional optimization) collapse to a single execution whose result
@@ -31,14 +34,21 @@
 //!   for the next batch. `ServeStats::inflight_joins` counts these late
 //!   joiners; per read request exactly one of
 //!   executed/fused/inflight_joins accounts for it.
-//! * **Parallel read lanes** — read groups are dispatched to `lanes`
-//!   executor threads, so independent read batches run concurrently
-//!   instead of queueing behind one `run_host_queries` call. Writes
-//!   still drain strictly through the dispatcher: before a write group
-//!   applies, the dispatcher quiesces every lane, takes the catalog
-//!   write lock, and applies the writes in submission order —
-//!   preserving the no-lost-update semantics of the single-dispatcher
-//!   design.
+//! * **Parallel lanes, partitioned writes** — read groups *and* writes
+//!   are dispatched to `lanes` executor threads. Instead of the old
+//!   global quiesce barrier, a per-relation gate ([`RelationGate`],
+//!   built on [`df_core::LockTable`]) holds shared marks on every
+//!   relation a task reads and exclusive marks on every relation a
+//!   write mutates: writes to disjoint relations apply concurrently
+//!   (`ServeStats::concurrent_write_batches` counts the overlap) while
+//!   reads of untouched relations keep flowing. The dispatcher acquires
+//!   marks in dispatch order before sending a task, so conflicting work
+//!   still executes in submission order — the PR-7 no-lost-update
+//!   argument now holds per relation instead of globally. A write runs
+//!   split-phase ([`df_query::stage_write`] under the catalog read lock,
+//!   [`df_query::apply_write`] under a brief write lock), which is sound
+//!   because the gate's exclusive mark freezes the target between the
+//!   two phases.
 //! * **Lock-table grouping** — a batch is split into groups of mutually
 //!   compatible lock requests ([`df_core::LockTable`]): reads of the same
 //!   relations share a group and run concurrently inside one
@@ -52,22 +62,60 @@
 //! unit injected via [`df_host::FaultPlan`]) produces a structured
 //! [`Response::Error`] to exactly that client while the rest of the batch
 //! completes normally. Neither the dispatcher nor a lane ever panics on
-//! query content.
+//! query content — and if a lane *does* panic (a kernel bug, or a
+//! [`df_host::FaultPlan::lane_panic_task`] injection), the panic is
+//! caught, the task's waiters get a structured error, the task's gate
+//! marks are released, and the server keeps serving everyone else.
+//! Shared locks are acquired through poison-recovering helpers
+//! ([`lock`], [`read_lock`], [`write_lock`]): every guarded structure is
+//! left consistent at any panic point (counters are atomics, queues
+//! mutate one whole element at a time, and catalog mutations go through
+//! [`df_query::apply_write`], whose intermediate states are all valid),
+//! so a poisoned mutex is recovered instead of cascading panics into
+//! every other client's thread.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::thread::JoinHandle;
 
 use df_core::{LockRequest, LockTable};
 use df_host::{run_host_queries, HostError, HostParams};
 use df_obs::{EventKind, Tracer};
 use df_opt::{optimize, CatalogStats};
-use df_query::{execute, parse_query, render_tree, ExecParams, QueryTree};
+use df_query::{apply_write, parse_query, render_tree, stage_write, ExecParams, QueryTree};
 use df_relalg::Catalog;
 
 use crate::proto::{Priority, QueryResult, Response, ServeError};
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+/// Sound here because every structure guarded by a serve-layer mutex is
+/// consistent at each possible panic point (see the module docs).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock`] for a shared (read) catalog guard. Reader panics never
+/// poison a `RwLock`, but the recovery keeps readers alive after a
+/// *writer* panic — which [`apply_write`] keeps consistent by
+/// construction.
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock`] for the exclusive (write) catalog guard.
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Condvar wait with the same poison recovery as [`lock`].
+fn wait_on<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Serve-layer configuration. [`ServeConfig::validate`] is called by
 /// [`Engine::new`]; execution itself reuses [`HostParams`] (validated by
@@ -79,15 +127,16 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Most requests drained into one execution batch.
     pub batch_max: usize,
-    /// Read executor lanes (≥ 1). Each lock-compatible read group is
-    /// dispatched to one lane; with several lanes, independent read
-    /// batches execute concurrently while the dispatcher keeps
-    /// collecting. Writes always apply on the dispatcher after a lane
-    /// quiesce, whatever the lane count.
+    /// Executor lanes (≥ 1). Each lock-compatible read group — and each
+    /// write — is dispatched to one lane; with several lanes,
+    /// independent reads and writes to disjoint relations execute
+    /// concurrently while the dispatcher keeps collecting. The
+    /// per-relation gate serializes conflicting tasks in dispatch
+    /// order, whatever the lane count.
     pub lanes: usize,
     /// Plan-cache capacity in distinct (normalized text, optimize-flag)
-    /// entries; 0 disables the cache. The cache is invalidated wholesale
-    /// by every applied write.
+    /// entries; 0 disables the cache. A write evicts exactly the entries
+    /// whose read-set intersects the relations it mutates.
     pub plan_cache_capacity: usize,
     /// Executor configuration for read batches. `deterministic` is
     /// forced on so fused waiters receive byte-identical results and
@@ -151,19 +200,19 @@ pub struct LaneHold {
 impl LaneHold {
     /// Park every lane before its next task until [`LaneHold::release`].
     pub fn hold(&self) {
-        *self.held.lock().expect("hold lock") = true;
+        *lock(&self.held) = true;
     }
 
     /// Release parked lanes (and stop parking new tasks).
     pub fn release(&self) {
-        *self.held.lock().expect("hold lock") = false;
+        *lock(&self.held) = false;
         self.released.notify_all();
     }
 
     fn wait(&self) {
-        let mut held = self.held.lock().expect("hold lock");
+        let mut held = lock(&self.held);
         while *held {
-            held = self.released.wait(held).expect("hold lock");
+            held = wait_on(&self.released, held);
         }
     }
 }
@@ -216,6 +265,19 @@ pub struct ServeStats {
     pub plan_cache_misses: AtomicU64,
     /// Update queries applied to the catalog.
     pub writes_applied: AtomicU64,
+    /// Plan-cache entries evicted by relation-scoped invalidation —
+    /// entries whose read-set intersected an applied write's target
+    /// relations. Under the old wholesale `clear()` this would equal the
+    /// entire cache population at every write.
+    pub cache_evictions_partial: AtomicU64,
+    /// Write tasks dispatched while another write was still in flight —
+    /// impossible under the old global quiesce barrier, which drained
+    /// every lane before each write applied. Nonzero proves writes to
+    /// disjoint relations no longer serialize behind one another.
+    pub concurrent_write_batches: AtomicU64,
+    /// Clients admitted through the poll(2) multiplexed reader (the
+    /// `--mux` server mode); 0 in thread-per-connection mode.
+    pub mux_clients: AtomicU64,
     /// Requests answered with an error (parse, validation, or executor).
     pub failed: AtomicU64,
     /// Batches drained.
@@ -227,7 +289,8 @@ pub struct ServeStats {
     /// Response bytes written to client sockets (maintained by the
     /// server).
     pub bytes_out: AtomicU64,
-    /// Distinct read plans executed per lane, indexed by lane id.
+    /// Distinct executions (read plans and writes) per lane, indexed by
+    /// lane id.
     pub lane_execs: Vec<AtomicU64>,
 }
 
@@ -256,6 +319,15 @@ impl ServeStats {
             ("plan_cache_hits".into(), g(&self.plan_cache_hits)),
             ("plan_cache_misses".into(), g(&self.plan_cache_misses)),
             ("writes_applied".into(), g(&self.writes_applied)),
+            (
+                "cache_evictions_partial".into(),
+                g(&self.cache_evictions_partial),
+            ),
+            (
+                "concurrent_write_batches".into(),
+                g(&self.concurrent_write_batches),
+            ),
+            ("mux_clients".into(), g(&self.mux_clients)),
             ("failed".into(), g(&self.failed)),
             ("batches".into(), g(&self.batches)),
             ("groups".into(), g(&self.groups)),
@@ -270,13 +342,36 @@ impl ServeStats {
     }
 }
 
-/// A resolved plan: the (possibly optimized) tree and its canonical
-/// rendering, shared between the cache, the fusion index, and the
-/// in-flight registry.
+/// A resolved plan: the (possibly optimized) tree, its canonical
+/// rendering, and its relation footprint, shared between the cache, the
+/// fusion index, the in-flight registry, and the relation gate.
 #[derive(Clone)]
 struct Plan {
     tree: Arc<QueryTree>,
     key: Arc<str>,
+    /// Base relations the tree reads (sorted, deduped; a write also
+    /// reads its target) — the invalidation read-set and the shared half
+    /// of the gate request.
+    reads: Arc<[String]>,
+    /// Relations the root update mutates (empty for reads) — the
+    /// exclusive half of the gate request.
+    writes: Arc<[String]>,
+}
+
+impl Plan {
+    fn from_tree(tree: QueryTree) -> Plan {
+        Plan {
+            key: Arc::from(render_tree(&tree).as_str()),
+            reads: tree.referenced_relations().into(),
+            writes: tree.written_relations().into(),
+            tree: Arc::new(tree),
+        }
+    }
+
+    /// The per-relation gate marks this plan's execution needs.
+    fn gate_request(&self) -> LockRequest {
+        LockRequest::new(self.reads.to_vec(), self.writes.to_vec())
+    }
 }
 
 /// Dispatcher-owned LRU of resolved plans, keyed by normalized query
@@ -324,8 +419,68 @@ impl PlanCache {
         self.entries.insert(key, (plan, self.tick));
     }
 
-    fn clear(&mut self) {
-        self.entries.clear();
+    /// Relation-scoped invalidation: evict exactly the entries whose
+    /// read-set intersects `written` (sorted, as
+    /// [`QueryTree::written_relations`] returns it), and return how many
+    /// were evicted. Entries reading only untouched relations survive,
+    /// so `parses == plan_cache_misses` stays a per-relation invariant:
+    /// a plan is re-parsed only when a relation it reads changed.
+    fn evict_reading(&mut self, written: &[String]) -> u64 {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, (plan, _)| !plan.reads.iter().any(|r| written.binary_search(r).is_ok()));
+        (before - self.entries.len()) as u64
+    }
+}
+
+/// Per-relation reader/writer accounting — the paper's insertion-ring
+/// discipline applied to the serve layer: any number of concurrent
+/// readers per relation, or one writer, never both. The dispatcher
+/// acquires marks in dispatch order *before* sending a task to a lane
+/// (so conflicting tasks execute in submission order); the lane that ran
+/// the task releases them after fan-out. Built on the same
+/// [`df_core::LockTable`] rules that group batches, keyed by a
+/// monotonically increasing ticket.
+struct RelationGate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+struct GateState {
+    table: LockTable,
+    next_ticket: usize,
+}
+
+impl RelationGate {
+    fn new() -> RelationGate {
+        RelationGate {
+            state: Mutex::new(GateState {
+                table: LockTable::new(),
+                next_ticket: 0,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Block until `request` is compatible with every held mark, then
+    /// grant it. Only the dispatcher acquires (single-threaded, so
+    /// waiting here cannot deadlock: lanes only release), and the
+    /// returned ticket is handed to the executing lane for
+    /// [`RelationGate::release`].
+    fn acquire(&self, request: &LockRequest) -> usize {
+        let mut state = lock(&self.state);
+        while !state.table.compatible(request) {
+            state = wait_on(&self.freed, state);
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.table.grant(ticket, request);
+        ticket
+    }
+
+    fn release(&self, ticket: usize) {
+        lock(&self.state).table.release(ticket);
+        self.freed.notify_all();
     }
 }
 
@@ -365,10 +520,31 @@ struct ReadExec {
     tree: QueryTree,
 }
 
+/// What a lane pulls off the shared task channel. Every task carries the
+/// gate ticket the dispatcher acquired for it; the lane releases the
+/// ticket after fan-out (reads) or apply (writes), even if the task
+/// panicked.
+enum LaneTask {
+    Read(ReadTask),
+    Write(WriteTask),
+}
+
 /// One lock-compatible read group, executed by a single lane as one
 /// concurrent [`run_host_queries`] batch.
 struct ReadTask {
     execs: Vec<ReadExec>,
+    ticket: usize,
+}
+
+/// One update query, executed split-phase by a lane: `stage_write` under
+/// the catalog read lock, `apply_write` under the write lock. The gate's
+/// exclusive mark on the target makes the split sound.
+struct WriteTask {
+    /// Taken (`Option::take`) at conclusion; a panic before that point
+    /// leaves it here for the containment path to answer.
+    sub: Option<Submission>,
+    tree: Arc<QueryTree>,
+    ticket: usize,
 }
 
 /// State shared between the dispatcher, the lanes, and every submitting
@@ -379,20 +555,32 @@ struct Shared {
     stats: ServeStats,
     queue_capacity: usize,
     /// The served catalog. Lanes hold the read lock for the duration of
-    /// an execution; the dispatcher takes the write lock (after a lane
-    /// quiesce) to apply writes, and the read lock to parse/plan.
+    /// a read execution and of a write's staging phase; a write's apply
+    /// phase takes the write lock briefly. The relation gate — not this
+    /// lock — is what orders conflicting tasks.
     db: RwLock<Catalog>,
     /// Read executions dispatched but not yet fanned out, keyed by
     /// canonical plan rendering. Guards the join-vs-complete race: a
     /// twin read either finds the entry and joins, or misses and
-    /// schedules fresh — never both, never neither.
+    /// schedules fresh — never both, never neither. A lane removes a
+    /// task's entries strictly before releasing its gate ticket, so a
+    /// read admitted after a conflicting write can never join a
+    /// pre-write execution.
     inflight: Mutex<HashMap<Arc<str>, Inflight>>,
-    /// Read tasks dispatched to lanes and not yet completed; the write
-    /// barrier waits for zero.
+    /// Per-relation reader/writer marks ordering conflicting lane tasks.
+    gate: RelationGate,
+    /// Lane tasks dispatched and not yet completed (reads and writes);
+    /// [`EngineHandle::quiesce`] waits for zero.
     lane_busy: Mutex<usize>,
     lane_idle: Condvar,
+    /// Write tasks dispatched and not yet completed; used to detect (and
+    /// count) writes overlapping writes.
+    writes_in_flight: AtomicU64,
+    /// Global lane-task sequence numbers, the coordinate system for
+    /// [`df_host::FaultPlan::lane_panic_task`] injection.
+    lane_task_seq: AtomicU64,
     /// One human-readable description per served relation, refreshed by
-    /// the dispatcher after every applied write — lets the front-end
+    /// the lane that applied the latest write — lets the front-end
     /// answer `Relations` requests without reaching into the catalog.
     relations: Mutex<Vec<String>>,
 }
@@ -428,12 +616,13 @@ impl Shared {
         (sub.reply)(response);
     }
 
-    /// Block until no lane task is queued or executing — the write
-    /// barrier, and the test/bench drain point.
+    /// Block until no lane task is queued or executing — the test/bench
+    /// drain point (no longer a write barrier: writes order themselves
+    /// through the relation gate).
     fn quiesce_lanes(&self) {
-        let mut busy = self.lane_busy.lock().expect("lane busy lock");
+        let mut busy = lock(&self.lane_busy);
         while *busy > 0 {
-            busy = self.lane_idle.wait(busy).expect("lane busy lock");
+            busy = wait_on(&self.lane_idle, busy);
         }
     }
 }
@@ -461,7 +650,7 @@ pub struct EngineHandle {
 impl EngineHandle {
     /// Register a new client; returns its id (dense, never reused).
     pub fn register_client(&self) -> usize {
-        let mut inbox = self.shared.inbox.lock().expect("inbox lock");
+        let mut inbox = lock(&self.shared.inbox);
         inbox.queues.push(VecDeque::new());
         inbox.open.push(true);
         inbox.queues.len() - 1
@@ -470,7 +659,7 @@ impl EngineHandle {
     /// Mark a client disconnected: its queued requests are dropped (their
     /// replies would hit a dead socket) and further submissions refused.
     pub fn close_client(&self, client: usize) {
-        let mut inbox = self.shared.inbox.lock().expect("inbox lock");
+        let mut inbox = lock(&self.shared.inbox);
         if let Some(open) = inbox.open.get_mut(client) {
             *open = false;
         }
@@ -494,7 +683,7 @@ impl EngineHandle {
         reply: Reply,
     ) {
         let rejection: Option<(ServeError, Reply)> = {
-            let mut inbox = self.shared.inbox.lock().expect("inbox lock");
+            let mut inbox = lock(&self.shared.inbox);
             if inbox.shutdown || !inbox.open.get(client).copied().unwrap_or(false) {
                 Some((ServeError::ShuttingDown, reply))
             } else if inbox.queues[client].len() >= self.shared.queue_capacity {
@@ -532,18 +721,19 @@ impl EngineHandle {
     /// Ask the dispatcher to finish queued work and exit; subsequent
     /// submissions are refused with [`ServeError::ShuttingDown`].
     pub fn shutdown(&self) {
-        let mut inbox = self.shared.inbox.lock().expect("inbox lock");
+        let mut inbox = lock(&self.shared.inbox);
         inbox.shutdown = true;
         self.shared.wake.notify_all();
     }
 
     /// Whether shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
-        self.shared.inbox.lock().expect("inbox lock").shutdown
+        lock(&self.shared.inbox).shutdown
     }
 
-    /// Block until every dispatched read task has completed and fanned
-    /// out its replies. Tests and benchmarks pair this with
+    /// Block until every dispatched lane task (read or write) has
+    /// completed and fanned out its replies. Tests and benchmarks pair
+    /// this with
     /// [`Engine::run_batch`] — the dispatch itself is asynchronous.
     pub fn quiesce(&self) {
         self.shared.quiesce_lanes();
@@ -557,16 +747,12 @@ impl EngineHandle {
     /// Current relation descriptions (name, schema, cardinality), as of
     /// the last applied write.
     pub fn relations(&self) -> Vec<String> {
-        self.shared
-            .relations
-            .lock()
-            .expect("relations lock")
-            .clone()
+        lock(&self.shared.relations).clone()
     }
 }
 
-/// The dispatcher: plans every request, owns the write path, and feeds
-/// the read lanes.
+/// The dispatcher: plans every request, acquires each task's gate
+/// marks in dispatch order, and feeds the lanes.
 pub struct Engine {
     shared: Arc<Shared>,
     config: ServeConfig,
@@ -582,7 +768,7 @@ pub struct Engine {
     next_exec: u64,
     /// Sender side of the lane task channel; dropped on engine drop so
     /// lanes drain and exit.
-    lane_tx: Option<Sender<ReadTask>>,
+    lane_tx: Option<Sender<LaneTask>>,
     lane_handles: Vec<JoinHandle<()>>,
 }
 
@@ -610,11 +796,14 @@ impl Engine {
             queue_capacity: config.queue_capacity,
             db: RwLock::new(db),
             inflight: Mutex::new(HashMap::new()),
+            gate: RelationGate::new(),
             lane_busy: Mutex::new(0),
             lane_idle: Condvar::new(),
+            writes_in_flight: AtomicU64::new(0),
+            lane_task_seq: AtomicU64::new(0),
             relations: Mutex::new(relations),
         });
-        let (lane_tx, lane_rx) = channel::<ReadTask>();
+        let (lane_tx, lane_rx) = channel::<LaneTask>();
         let lane_rx = Arc::new(Mutex::new(lane_rx));
         let lane_handles = (0..config.lanes)
             .map(|lane| {
@@ -664,9 +853,9 @@ impl Engine {
         self.shared.quiesce_lanes();
     }
 
-    /// Block for the next batch and execute it: writes synchronously,
-    /// reads dispatched to the lanes (pair with [`EngineHandle::quiesce`]
-    /// to wait for their replies). Returns `false` when the engine has
+    /// Block for the next batch and execute it: reads and writes are
+    /// dispatched to the lanes (pair with [`EngineHandle::quiesce`] to
+    /// wait for their replies). Returns `false` when the engine has
     /// shut down and nothing remains to drain — the dispatcher loop's
     /// exit condition, and the single-step entry point tests use.
     pub fn run_batch(&mut self) -> bool {
@@ -682,7 +871,7 @@ impl Engine {
     /// `batch_max` requests: priority classes high → low, round-robin
     /// across client queue heads within a class.
     fn collect_batch(&mut self) -> Option<Vec<Submission>> {
-        let mut inbox = self.shared.inbox.lock().expect("inbox lock");
+        let mut inbox = lock(&self.shared.inbox);
         loop {
             if inbox.pending() > 0 {
                 break;
@@ -690,7 +879,7 @@ impl Engine {
             if inbox.shutdown {
                 return None;
             }
-            inbox = self.shared.wake.wait(inbox).expect("inbox lock");
+            inbox = wait_on(&self.shared.wake, inbox);
         }
         let clients = inbox.queues.len();
         let mut batch = Vec::new();
@@ -750,10 +939,7 @@ impl Engine {
             let mut group = Vec::new();
             let mut rest = Vec::new();
             for (sub, plan) in remaining {
-                let request = LockRequest::new(
-                    plan.tree.referenced_relations(),
-                    plan.tree.written_relations(),
-                );
+                let request = plan.gate_request();
                 if locks.compatible(&request) {
                     locks.grant(group.len(), &request);
                     group.push((sub, plan));
@@ -785,7 +971,7 @@ impl Engine {
             .stats
             .plan_cache_misses
             .fetch_add(1, Ordering::Relaxed);
-        let db = self.shared.db.read().expect("catalog lock");
+        let db = read_lock(&self.shared.db);
         self.shared.stats.parses.fetch_add(1, Ordering::Relaxed);
         let tree = parse_query(&db, text).map_err(|e| e.to_string())?;
         let tree = if optimizing {
@@ -803,29 +989,28 @@ impl Engine {
             tree
         };
         drop(db);
-        let plan = Plan {
-            key: Arc::from(render_tree(&tree).as_str()),
-            tree: Arc::new(tree),
-        };
+        let plan = Plan::from_tree(tree);
         self.plan_cache.insert(cache_key, plan.clone());
         Ok(plan)
     }
 
-    /// Execute one lock-compatible group: reads dispatched to a lane
-    /// (deduped and joined against in-flight twins first), then writes
-    /// strictly in order behind a lane quiesce.
+    /// Execute one lock-compatible group: reads deduped, joined against
+    /// in-flight twins, and dispatched as one lane task; writes
+    /// dispatched as one lane task each. (Within a group, reads and
+    /// writes touch disjoint relations by construction, so dispatch
+    /// order between them is immaterial.)
     fn execute_group(&mut self, group: Vec<(Submission, Plan)>) {
         let mut reads: Vec<(Submission, Plan)> = Vec::new();
         let mut writes: Vec<(Submission, Plan)> = Vec::new();
         for (sub, plan) in group {
-            if plan.tree.written_relations().is_empty() {
+            if plan.writes.is_empty() {
                 reads.push((sub, plan));
             } else {
                 writes.push((sub, plan));
             }
         }
         self.dispatch_reads(reads);
-        self.execute_writes(writes);
+        self.dispatch_writes(writes);
     }
 
     /// Dedupe identical read plans on their canonical rendering, join
@@ -861,8 +1046,9 @@ impl Engine {
         // fresh execution, registered before the task is sent so
         // later twins can find it.
         let mut execs: Vec<ReadExec> = Vec::new();
+        let mut read_set: Vec<String> = Vec::new();
         {
-            let mut inflight = self.shared.inflight.lock().expect("inflight lock");
+            let mut inflight = lock(&self.shared.inflight);
             for (plan, waiters) in distinct {
                 if let Some(entry) = inflight.get_mut(&plan.key) {
                     // Only the group leader counts as a join: its
@@ -904,6 +1090,11 @@ impl Engine {
                     );
                 }
                 inflight.insert(Arc::clone(&plan.key), Inflight { exec_id, waiters });
+                for rel in plan.reads.iter() {
+                    if !read_set.contains(rel) {
+                        read_set.push(rel.clone());
+                    }
+                }
                 execs.push(ReadExec {
                     key: Arc::clone(&plan.key),
                     tree: plan.tree.as_ref().clone(),
@@ -921,36 +1112,37 @@ impl Engine {
             .stats
             .read_execs
             .fetch_add(execs.len() as u64, Ordering::Relaxed);
-        *self.shared.lane_busy.lock().expect("lane busy lock") += 1;
-        self.lane_tx
-            .as_ref()
-            .expect("lanes alive while engine runs")
-            .send(ReadTask { execs })
-            .expect("lanes alive while engine runs");
+        // Shared marks on every relation the task reads: a conflicting
+        // write dispatched later waits for this task's lane to release.
+        // May block here if such a write is already in flight — the
+        // dispatcher stalls (preserving dispatch order), lanes don't.
+        let ticket = self
+            .shared
+            .gate
+            .acquire(&LockRequest::new(read_set, Vec::new()));
+        self.send_task(LaneTask::Read(ReadTask { execs, ticket }));
     }
 
-    /// Apply write queries strictly in submission order against the
-    /// shared catalog, behind a full lane quiesce (the serve-layer write
-    /// barrier: no read is in flight when the catalog changes, so no
-    /// in-flight entry can serve a post-write submission stale bytes).
-    /// The affected tuples (what `append`/`delete` touched) are the
-    /// response payload.
-    fn execute_writes(&mut self, writes: Vec<(Submission, Plan)>) {
-        if writes.is_empty() {
-            return;
-        }
-        self.shared.quiesce_lanes();
+    /// Dispatch write queries to the lanes, one task per write, in
+    /// submission order. The gate's exclusive marks on each write's
+    /// target relations — acquired here, in dispatch order — are what
+    /// serialize conflicting writes (and their readers); writes to
+    /// disjoint relations proceed concurrently, which
+    /// `concurrent_write_batches` counts. The affected tuples (what
+    /// `append`/`delete` touched) are the response payload, assembled by
+    /// the lane.
+    fn dispatch_writes(&mut self, writes: Vec<(Submission, Plan)>) {
         let trace = self.config.trace.clone();
-        let exec = ExecParams {
-            page_size: self.config.host.page_size,
-            ..ExecParams::default()
-        };
-        let mut db = self.shared.db.write().expect("catalog lock");
         for (sub, plan) in writes {
-            // Catalog statistics and cached plans go stale together.
+            // Catalog statistics and the cached plans that read the
+            // written relations go stale together; everything else in
+            // the cache survives.
             self.opt_stats = None;
-            self.plan_cache.clear();
-            let outcome = execute(&mut db, &plan.tree, &exec);
+            let evicted = self.plan_cache.evict_reading(&plan.writes);
+            self.shared
+                .stats
+                .cache_evictions_partial
+                .fetch_add(evicted, Ordering::Relaxed);
             self.shared.stats.executed.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = &trace {
                 t.record(
@@ -962,39 +1154,35 @@ impl Engine {
                 );
             }
             self.next_exec += 1;
-            match outcome {
-                Ok(rel) => {
-                    self.shared
-                        .stats
-                        .writes_applied
-                        .fetch_add(1, Ordering::Relaxed);
-                    let schema = rel.schema().to_string();
-                    let tuples = rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
-                    self.shared.conclude(
-                        &trace,
-                        sub,
-                        Ok(QueryResult {
-                            id: 0,
-                            fan_out: 1,
-                            schema,
-                            tuples,
-                        }),
-                    );
-                }
-                Err(e) => {
-                    let error = ServeError::host(&HostError::Data(e));
-                    self.shared.conclude(&trace, sub, Err(error));
-                }
+            let ticket = self.shared.gate.acquire(&plan.gate_request());
+            if self.shared.writes_in_flight.fetch_add(1, Ordering::Relaxed) > 0 {
+                self.shared
+                    .stats
+                    .concurrent_write_batches
+                    .fetch_add(1, Ordering::Relaxed);
             }
+            self.send_task(LaneTask::Write(WriteTask {
+                sub: Some(sub),
+                tree: Arc::clone(&plan.tree),
+                ticket,
+            }));
         }
-        *self.shared.relations.lock().expect("relations lock") =
-            db.iter().map(|r| r.to_string()).collect();
+    }
+
+    /// Hand one gated task to the lane pool.
+    fn send_task(&mut self, task: LaneTask) {
+        *lock(&self.shared.lane_busy) += 1;
+        self.lane_tx
+            .as_ref()
+            .expect("lanes alive while engine runs")
+            .send(task)
+            .expect("lanes alive while engine runs");
     }
 }
 
 impl Drop for Engine {
     /// Close the lane channel and join the lanes: queued tasks finish and
-    /// fan out before the engine disappears, so every dispatched read is
+    /// fan out before the engine disappears, so every dispatched task is
     /// answered even on the single-step (`run_batch`) path.
     fn drop(&mut self) {
         drop(self.lane_tx.take());
@@ -1004,13 +1192,17 @@ impl Drop for Engine {
     }
 }
 
-/// One executor lane: pull read tasks, run them against the shared
-/// catalog under the read lock, and fan each plan's result out to every
-/// waiter registered by then (initial batch plus in-flight joiners).
+/// One executor lane: pull tasks, run reads against the shared catalog
+/// under the read lock (fanning each plan's result out to every waiter
+/// registered by then) and writes split-phase (stage under the read
+/// lock, apply under the write lock). Task bodies run inside
+/// `catch_unwind`: a panic — injected or real — is contained to the
+/// task's own waiters, and the epilogue (gate release, busy/write
+/// accounting) runs regardless, so the rest of the server keeps flowing.
 fn lane_loop(
     lane: usize,
     shared: &Arc<Shared>,
-    rx: &Arc<Mutex<Receiver<ReadTask>>>,
+    rx: &Arc<Mutex<Receiver<LaneTask>>>,
     host: &HostParams,
     trace: &Option<Arc<Tracer>>,
     hold: Option<&LaneHold>,
@@ -1018,75 +1210,208 @@ fn lane_loop(
     loop {
         // Hold the receiver lock only for the recv itself, so sibling
         // lanes can pull the next task while this one executes.
-        let task = match rx.lock().expect("lane rx lock").recv() {
+        let mut task = match lock(rx).recv() {
             Ok(task) => task,
             Err(_) => return, // channel closed: engine is shutting down
         };
         if let Some(hold) = hold {
             hold.wait();
         }
-        let trees: Vec<QueryTree> = task.execs.iter().map(|e| e.tree.clone()).collect();
-        let run = {
-            let db = shared.db.read().expect("catalog lock");
-            run_host_queries(&db, &trees, host)
+        let seq = shared.lane_task_seq.fetch_add(1, Ordering::Relaxed);
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            if host.fault.lane_panic_task == Some(seq) {
+                panic!("injected lane fault (task {seq})");
+            }
+            match &mut task {
+                LaneTask::Read(read) => run_read_task(lane, shared, read, host, trace),
+                LaneTask::Write(write) => run_write_task(lane, shared, write, host, trace),
+            }
+        }))
+        .is_err();
+        if panicked {
+            contain_lane_panic(shared, &mut task, trace, seq);
+        }
+        // Epilogue — runs on success and after a contained panic alike.
+        // Order matters: the in-flight entries are gone by now (removed
+        // by the task body or by the containment path), so releasing the
+        // gate cannot expose a stale pre-write execution to joiners.
+        let (ticket, was_write) = match &task {
+            LaneTask::Read(read) => (read.ticket, false),
+            LaneTask::Write(write) => (write.ticket, true),
         };
-        shared.stats.lane_execs[lane].fetch_add(trees.len() as u64, Ordering::Relaxed);
-        let take_waiters = |key: &Arc<str>| -> Vec<Submission> {
-            shared
-                .inflight
-                .lock()
-                .expect("inflight lock")
-                .remove(key)
-                .expect("dispatched execution is registered")
-                .waiters
-        };
-        match run {
-            Ok(out) => {
-                for (result, exec) in out.results.into_iter().zip(&task.execs) {
-                    let subs = take_waiters(&exec.key);
-                    match result {
-                        Ok(rel) => {
-                            let fan_out = subs.len() as u32;
-                            let schema = rel.schema().to_string();
-                            let tuples: Vec<Vec<u8>> =
-                                rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
-                            for sub in subs {
-                                shared.conclude(
-                                    trace,
-                                    sub,
-                                    Ok(QueryResult {
-                                        id: 0, // filled per waiter in conclude
-                                        fan_out,
-                                        schema: schema.clone(),
-                                        tuples: tuples.clone(),
-                                    }),
-                                );
-                            }
-                        }
-                        Err(e) => {
-                            let error = ServeError::host(&e);
-                            for sub in subs {
-                                shared.conclude(trace, sub, Err(error.clone()));
-                            }
+        if was_write {
+            shared.writes_in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
+        shared.gate.release(ticket);
+        let mut busy = lock(&shared.lane_busy);
+        *busy -= 1;
+        if *busy == 0 {
+            shared.lane_idle.notify_all();
+        }
+    }
+}
+
+/// Remove and return a dispatched execution's waiter list.
+fn take_waiters(shared: &Shared, key: &Arc<str>) -> Vec<Submission> {
+    lock(&shared.inflight)
+        .remove(key)
+        .expect("dispatched execution is registered")
+        .waiters
+}
+
+/// Execute one read group as a concurrent df-host batch and fan results
+/// out to every waiter.
+fn run_read_task(
+    lane: usize,
+    shared: &Arc<Shared>,
+    task: &mut ReadTask,
+    host: &HostParams,
+    trace: &Option<Arc<Tracer>>,
+) {
+    let trees: Vec<QueryTree> = task.execs.iter().map(|e| e.tree.clone()).collect();
+    let run = {
+        let db = read_lock(&shared.db);
+        run_host_queries(&db, &trees, host)
+    };
+    shared.stats.lane_execs[lane].fetch_add(trees.len() as u64, Ordering::Relaxed);
+    match run {
+        Ok(out) => {
+            for (result, exec) in out.results.into_iter().zip(&task.execs) {
+                let subs = take_waiters(shared, &exec.key);
+                match result {
+                    Ok(rel) => {
+                        let fan_out = subs.len() as u32;
+                        let schema = rel.schema().to_string();
+                        let tuples: Vec<Vec<u8>> =
+                            rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
+                        for sub in subs {
+                            shared.conclude(
+                                trace,
+                                sub,
+                                Ok(QueryResult {
+                                    id: 0, // filled per waiter in conclude
+                                    fan_out,
+                                    schema: schema.clone(),
+                                    tuples: tuples.clone(),
+                                }),
+                            );
                         }
                     }
-                }
-            }
-            Err(e) => {
-                // Run-level failure (validation, stall): every waiter of
-                // the task gets the structured error; the server lives.
-                let error = ServeError::host(&e);
-                for exec in &task.execs {
-                    for sub in take_waiters(&exec.key) {
-                        shared.conclude(trace, sub, Err(error.clone()));
+                    Err(e) => {
+                        let error = ServeError::host(&e);
+                        for sub in subs {
+                            shared.conclude(trace, sub, Err(error.clone()));
+                        }
                     }
                 }
             }
         }
-        let mut busy = shared.lane_busy.lock().expect("lane busy lock");
-        *busy -= 1;
-        if *busy == 0 {
-            shared.lane_idle.notify_all();
+        Err(e) => {
+            // Run-level failure (validation, stall): every waiter of
+            // the task gets the structured error; the server lives.
+            let error = ServeError::host(&e);
+            for exec in &task.execs {
+                for sub in take_waiters(shared, &exec.key) {
+                    shared.conclude(trace, sub, Err(error.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Execute one write split-phase: the expensive source evaluation /
+/// target partition under the catalog *read* lock (other lanes keep
+/// reading), then a brief write lock for the apply. Sound because the
+/// dispatcher granted this task exclusive gate marks on its target
+/// relations, so no other task can read or write them between the
+/// phases.
+fn run_write_task(
+    lane: usize,
+    shared: &Arc<Shared>,
+    task: &mut WriteTask,
+    host: &HostParams,
+    trace: &Option<Arc<Tracer>>,
+) {
+    let exec = ExecParams {
+        page_size: host.page_size,
+        ..ExecParams::default()
+    };
+    let staged = {
+        let db = read_lock(&shared.db);
+        stage_write(&db, &task.tree, &exec)
+    };
+    let outcome = staged.and_then(|delta| {
+        let mut db = write_lock(&shared.db);
+        let applied = apply_write(&mut db, delta);
+        if applied.is_ok() {
+            // Refresh the relation descriptions while still holding the
+            // write lock, so `Relations` responses never mix catalogs.
+            *lock(&shared.relations) = db.iter().map(|r| r.to_string()).collect();
+        }
+        applied
+    });
+    shared.stats.lane_execs[lane].fetch_add(1, Ordering::Relaxed);
+    let sub = task.sub.take().expect("write concluded once");
+    match outcome {
+        Ok(rel) => {
+            shared.stats.writes_applied.fetch_add(1, Ordering::Relaxed);
+            let schema = rel.schema().to_string();
+            let tuples = rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
+            shared.conclude(
+                trace,
+                sub,
+                Ok(QueryResult {
+                    id: 0,
+                    fan_out: 1,
+                    schema,
+                    tuples,
+                }),
+            );
+        }
+        Err(e) => {
+            let error = ServeError::host(&HostError::Data(e));
+            shared.conclude(trace, sub, Err(error));
+        }
+    }
+}
+
+/// Containment path for a lane panic: answer whatever waiters the task
+/// still owes (a read's in-flight entries, a write's un-taken
+/// submission) with a structured error, so every accepted request is
+/// still answered exactly once and the in-flight registry holds no
+/// stale entries when the epilogue releases the gate.
+fn contain_lane_panic(
+    shared: &Arc<Shared>,
+    task: &mut LaneTask,
+    trace: &Option<Arc<Tracer>>,
+    seq: u64,
+) {
+    // `UnitPanicked` is the wire shape clients already understand for a
+    // contained panic; `op` marks the layer that caught it.
+    let error = ServeError::host(&HostError::UnitPanicked {
+        query: 0,
+        cell: 0,
+        op: "serve-lane".into(),
+        payload: format!("serve lane panicked while executing task {seq}"),
+    });
+    match task {
+        LaneTask::Read(read) => {
+            for exec in &read.execs {
+                // `remove` (not expect): a panic mid-fan-out may have
+                // already consumed some entries.
+                let waiters = lock(&shared.inflight)
+                    .remove(&exec.key)
+                    .map(|e| e.waiters)
+                    .unwrap_or_default();
+                for sub in waiters {
+                    shared.conclude(trace, sub, Err(error.clone()));
+                }
+            }
+        }
+        LaneTask::Write(write) => {
+            if let Some(sub) = write.sub.take() {
+                shared.conclude(trace, sub, Err(error.clone()));
+            }
         }
     }
 }
@@ -1097,13 +1422,19 @@ mod tests {
     use std::sync::Arc;
 
     fn dummy_plan(tag: &str) -> Plan {
-        // The cache never inspects the tree; a minimal parsed tree of any
-        // shape works. Build one from the tag so entries are told apart.
+        // The cache keys on text, not the tree; a minimal parsed tree of
+        // any shape works. The tag only tells entries apart.
+        plan_for(tag, "(scan r00)")
+    }
+
+    /// A real plan for `text` (so its read-set tags are genuine), keyed
+    /// by `tag`.
+    fn plan_for(tag: &str, text: &str) -> Plan {
         let db = df_workload::generate_database(&df_workload::DatabaseSpec::scaled(0.01));
-        let tree = df_query::parse_query(&db, "(scan r00)").expect("parse");
+        let tree = df_query::parse_query(&db, text).expect("parse");
         Plan {
-            tree: Arc::new(tree),
             key: Arc::from(tag),
+            ..Plan::from_tree(tree)
         }
     }
 
@@ -1143,5 +1474,29 @@ mod tests {
         cache.insert(("q".into(), false), dummy_plan("plain"));
         assert!(cache.get(&("q".into(), true)).is_none());
         assert!(cache.get(&("q".into(), false)).is_some());
+    }
+
+    #[test]
+    fn evict_reading_is_relation_scoped() {
+        let mut cache = PlanCache::new(8);
+        cache.insert(("a".into(), false), plan_for("a", "(scan r00)"));
+        cache.insert(("b".into(), false), plan_for("b", "(scan r01)"));
+        cache.insert(
+            ("j".into(), false),
+            plan_for("j", "(join (scan r00) (scan r02) (= key key))"),
+        );
+        // A write to r01 evicts only the r01 reader.
+        assert_eq!(cache.evict_reading(&["r01".to_string()]), 1);
+        assert!(cache.get(&("a".into(), false)).is_some());
+        assert!(cache.get(&("b".into(), false)).is_none());
+        assert!(cache.get(&("j".into(), false)).is_some());
+        // A write to a join input evicts the join (and the scan sharing
+        // that input).
+        assert_eq!(cache.evict_reading(&["r02".to_string()]), 1);
+        assert!(cache.get(&("j".into(), false)).is_none());
+        assert_eq!(cache.evict_reading(&["r00".to_string()]), 1);
+        assert!(cache.get(&("a".into(), false)).is_none());
+        // Nothing left to evict.
+        assert_eq!(cache.evict_reading(&["r00".to_string()]), 0);
     }
 }

@@ -45,8 +45,9 @@ pub mod client;
 pub mod engine;
 pub mod proto;
 pub mod server;
+pub mod sys;
 
 pub use client::{format_stats, ReplCommand, ServeClient};
 pub use engine::{Engine, EngineHandle, ServeConfig, ServeStats};
 pub use proto::{Priority, Request, Response, ServeError};
-pub use server::Server;
+pub use server::{Server, ServerOptions};

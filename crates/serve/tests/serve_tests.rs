@@ -12,7 +12,7 @@ use df_query::{execute_readonly, parse_query, ExecParams};
 use df_relalg::Catalog;
 use df_serve::engine::LaneHold;
 use df_serve::proto::{HostErrorKind, Priority, QueryResult, Request, Response, ServeError};
-use df_serve::{Engine, ServeClient, ServeConfig, Server};
+use df_serve::{Engine, ServeClient, ServeConfig, Server, ServerOptions};
 use df_workload::{generate_database, DatabaseSpec};
 
 fn small_db() -> Catalog {
@@ -63,17 +63,18 @@ fn result(response: &Response) -> &QueryResult {
     }
 }
 
-/// Keep expected injected worker panics out of the test output.
+/// Keep expected injected worker and serve-lane panics out of the test
+/// output.
 fn quiet_worker_panics() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let default = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            let on_worker = std::thread::current()
+            let quiet = std::thread::current()
                 .name()
-                .is_some_and(|n| n.starts_with("df-host-worker"));
-            if !on_worker {
+                .is_some_and(|n| n.starts_with("df-host-worker") || n.starts_with("serve-lane"));
+            if !quiet {
                 default(info);
             }
         }));
@@ -197,6 +198,8 @@ fn conflicting_writes_serialize_without_lost_updates() {
     while handle.stats().executed.load(Ordering::Relaxed) < 2 * per_client as u64 {
         assert!(engine.run_batch());
     }
+    // Writes are lane tasks now: wait for them to apply and fan out.
+    handle.quiesce();
     let got = replies.take();
     assert_eq!(got.len(), 2 * per_client);
     for (client, response) in &got {
@@ -811,4 +814,346 @@ fn closed_client_queue_is_dropped() {
             ..
         }
     ));
+}
+
+#[test]
+fn relation_scoped_invalidation_spares_unrelated_plans() {
+    let db = small_db();
+    let config = test_config();
+    let page_size = config.host.page_size;
+    let r01_baseline = oracle_tuples(&db, "(scan r01)", page_size).len();
+
+    let mut engine = Engine::new(db, config).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let c = handle.register_client();
+    let mut run_one = |text: &str| {
+        handle.submit(
+            c,
+            0,
+            Priority::Normal,
+            false,
+            text.to_string(),
+            replies.reply_for(c),
+        );
+        assert!(engine.run_batch());
+        handle.quiesce();
+        replies.take()
+    };
+    let stats = handle.stats();
+    let misses = || stats.plan_cache_misses.load(Ordering::Relaxed);
+    let hits = || stats.plan_cache_hits.load(Ordering::Relaxed);
+    let evicted = || stats.cache_evictions_partial.load(Ordering::Relaxed);
+
+    let join = "(join (scan r00) (scan r02) (= key key))";
+    run_one("(scan r01)");
+    run_one("(scan r02)");
+    run_one(join);
+    assert_eq!((misses(), hits()), (3, 0), "three cold plans");
+
+    // A write to r01 evicts exactly the plans whose read-set includes
+    // r01: the r01 scan and the write plan itself (an append's read-set
+    // includes its target).
+    run_one("(append (restrict (scan r00) (= key 0)) r01)");
+    assert_eq!(misses(), 4, "the write itself parses once");
+    assert_eq!(evicted(), 2, "r01 scan + the write plan");
+
+    // Differential: plans reading only r02 (and the r00⋈r02 join)
+    // survive the r01 write...
+    run_one("(scan r02)");
+    run_one(join);
+    assert_eq!(hits(), 2, "unrelated plans stayed cached");
+    // ...while the r01 reader re-plans against the post-write catalog.
+    let got = run_one("(scan r01)");
+    assert_eq!(result(&got[0].1).tuples.len(), r01_baseline + 1);
+    assert_eq!(misses(), 5, "the evicted r01 plan re-parses");
+
+    // A write to a join *input* (r02) evicts plans over either side of
+    // the join: the r02 scan and the join itself.
+    run_one("(append (restrict (scan r00) (= key 1)) r02)");
+    assert_eq!(
+        evicted(),
+        5,
+        "r02 scan + the join over it + the write plan itself"
+    );
+    run_one("(scan r01)");
+    assert_eq!(hits(), 3, "the r01 plan survives the r02 write");
+    run_one("(scan r02)");
+    run_one(join);
+    assert_eq!(misses(), 8, "both r02 readers re-parse");
+
+    // The per-relation invariant holds throughout.
+    assert_eq!(stats.parses.load(Ordering::Relaxed), misses());
+}
+
+#[test]
+fn disjoint_writes_overlap_and_match_sequential_oracle() {
+    // Five clients append to five distinct targets (r10..r14) from a
+    // shared read source; the per-relation gate lets them all overlap.
+    let writers = 5usize;
+    let per_writer = 3usize;
+    let write_text = |w: usize, i: usize| {
+        format!(
+            "(append (restrict (scan r00) (= key {})) r{})",
+            w * per_writer + i,
+            10 + w
+        )
+    };
+
+    // Sequential oracle: the same writes applied one at a time.
+    let mut oracle_db = small_db();
+    for i in 0..per_writer {
+        for w in 0..writers {
+            let tree = parse_query(&oracle_db, &write_text(w, i)).expect("oracle parse");
+            df_query::execute(&mut oracle_db, &tree, &ExecParams::default()).expect("oracle write");
+        }
+    }
+
+    for lanes in [1usize, 2, 4] {
+        let mut config = test_config();
+        config.lanes = lanes;
+        let hold = Arc::new(LaneHold::default());
+        config.lane_hold = Some(Arc::clone(&hold));
+        let page_size = config.host.page_size;
+        let mut engine = Engine::new(small_db(), config).expect("engine");
+        let handle = engine.handle();
+        let replies = Replies::default();
+        let clients: Vec<usize> = (0..writers).map(|_| handle.register_client()).collect();
+
+        // Round 0 rides a lane hold: all five disjoint writes are
+        // dispatched while the previous ones are still parked in flight,
+        // so the overlap counter fires deterministically. (Only one
+        // write per target — a second write to a *held* target would
+        // rightly block the dispatcher at the gate.)
+        hold.hold();
+        for (w, &c) in clients.iter().enumerate() {
+            handle.submit(
+                c,
+                (w * 100) as u64,
+                Priority::Normal,
+                false,
+                write_text(w, 0),
+                replies.reply_for(c),
+            );
+        }
+        while handle.stats().executed.load(Ordering::Relaxed) < writers as u64 {
+            assert!(engine.run_batch());
+        }
+        hold.release();
+        handle.quiesce();
+        assert_eq!(
+            handle
+                .stats()
+                .concurrent_write_batches
+                .load(Ordering::Relaxed),
+            writers as u64 - 1,
+            "lanes={lanes}: every round-0 write after the first was \
+             dispatched while its predecessors were in flight"
+        );
+
+        // Remaining rounds run free: writes to the same target serialize
+        // through the gate, disjoint targets keep overlapping.
+        for i in 1..per_writer {
+            for (w, &c) in clients.iter().enumerate() {
+                handle.submit(
+                    c,
+                    (w * 100 + i) as u64,
+                    Priority::Normal,
+                    false,
+                    write_text(w, i),
+                    replies.reply_for(c),
+                );
+            }
+        }
+        let total = (writers * per_writer) as u64;
+        while handle.stats().executed.load(Ordering::Relaxed) < total {
+            assert!(engine.run_batch());
+        }
+        handle.quiesce();
+
+        let stats = handle.stats();
+        assert_eq!(stats.writes_applied.load(Ordering::Relaxed), total);
+        assert!(
+            stats.concurrent_write_batches.load(Ordering::Relaxed) > 0,
+            "lanes={lanes}: disjoint writes were dispatched while others \
+             were still in flight"
+        );
+        assert_eq!(replies.take().len(), writers * per_writer);
+
+        // Byte-identity with the sequential oracle, per target relation.
+        for w in 0..writers {
+            let target = format!("(scan r{})", 10 + w);
+            let want = oracle_tuples(&oracle_db, &target, page_size);
+            let c = handle.register_client();
+            handle.submit(
+                c,
+                999,
+                Priority::Normal,
+                false,
+                target.clone(),
+                replies.reply_for(c),
+            );
+            assert!(engine.run_batch());
+            handle.quiesce();
+            let got = replies.take();
+            let mut tuples = result(&got[0].1).tuples.clone();
+            tuples.sort();
+            assert_eq!(tuples, want, "lanes={lanes}: {target} diverged");
+        }
+    }
+}
+
+#[test]
+fn lane_panic_is_contained_to_its_task() {
+    quiet_worker_panics();
+    let mut config = test_config();
+    // Panic the serve lane itself (not a host worker) on lane task 0.
+    config.host.fault.lane_panic_task = Some(0);
+    let db = small_db();
+    let page_size = config.host.page_size;
+    let survivor = "(restrict (scan r03) (< val 500))";
+    let want = oracle_tuples(&db, survivor, page_size);
+
+    let mut engine = Engine::new(db, config).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let a = handle.register_client();
+    let b = handle.register_client();
+
+    // Task 0: this read dies inside the lane.
+    handle.submit(
+        a,
+        0,
+        Priority::Normal,
+        false,
+        "(restrict (scan r02) (< val 400))".to_string(),
+        replies.reply_for(a),
+    );
+    assert!(engine.run_batch());
+    handle.quiesce();
+    let got = replies.take();
+    assert_eq!(got.len(), 1, "the victim still hears back");
+    match &got[0].1 {
+        Response::Error {
+            error: ServeError::Host { kind, detail },
+            ..
+        } => {
+            assert_eq!(*kind, HostErrorKind::UnitPanicked);
+            assert!(detail.contains("serve lane"), "detail: {detail}");
+        }
+        other => panic!("expected a contained lane panic, got {other:?}"),
+    }
+    assert_eq!(handle.stats().failed.load(Ordering::Relaxed), 1);
+
+    // The gate marks and the lane were recovered: a read of the same
+    // relation, a different read, and a write all still work.
+    for text in [
+        "(restrict (scan r02) (< val 400))",
+        survivor,
+        "(append (restrict (scan r00) (= key 0)) r01)",
+    ] {
+        handle.submit(
+            b,
+            1,
+            Priority::Normal,
+            false,
+            text.to_string(),
+            replies.reply_for(b),
+        );
+        assert!(engine.run_batch());
+        handle.quiesce();
+    }
+    let got = replies.take();
+    assert_eq!(got.len(), 3, "the server keeps serving after the panic");
+    let mut tuples = result(&got[1].1).tuples.clone();
+    tuples.sort();
+    assert_eq!(tuples, want, "survivor is oracle-identical");
+    assert_eq!(handle.stats().writes_applied.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn shutdown_with_zero_clients_does_not_hang() {
+    // The old implementation woke the acceptor by connecting to itself —
+    // racy with real clients and dependent on the connect succeeding.
+    // Shutting the listening socket down must work with nobody
+    // connected at all.
+    let engine = Engine::new(small_db(), test_config()).expect("engine");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = Server::start(listener, engine).expect("server");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.shutdown();
+        server.join();
+        tx.send(()).expect("send");
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(10))
+        .expect("shutdown with zero clients completed");
+}
+
+#[test]
+fn mux_mode_serves_many_clients_from_one_reader() {
+    let db = small_db();
+    let config = test_config();
+    let page_size = config.host.page_size;
+    let text = "(restrict (scan r06) (< val 500))";
+    let want = oracle_tuples(&db, text, page_size);
+    let engine = Engine::new(db, config).expect("engine");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = Server::start_with(listener, engine, ServerOptions { mux: true }).expect("server");
+    let addr = server.local_addr();
+
+    // Eight concurrent clients, one poll-based reader thread.
+    let results: Vec<Vec<Vec<u8>>> = std::thread::scope(|s| {
+        (0..8)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    match client.query(text, Priority::Normal, false).expect("query") {
+                        Response::Result(r) => {
+                            let mut tuples = r.tuples;
+                            tuples.sort();
+                            tuples
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for tuples in &results {
+        assert_eq!(tuples, &want, "mux results match the oracle");
+    }
+
+    let mut control = ServeClient::connect(addr).expect("connect");
+    match control.request(&Request::Stats).expect("stats") {
+        Response::Stats(rows) => {
+            let get = |k: &str| {
+                rows.iter()
+                    .find(|(name, _)| name == k)
+                    .map(|(_, v)| *v)
+                    .expect("counter present")
+            };
+            assert!(get("mux_clients") >= 9, "all clients went through the mux");
+            assert_eq!(get("submitted"), 8);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(matches!(
+        control.request(&Request::Shutdown).expect("shutdown"),
+        Response::Ok
+    ));
+    match control
+        .query("(scan r02)", Priority::Normal, false)
+        .expect("late query")
+    {
+        Response::Error {
+            error: ServeError::ShuttingDown,
+            ..
+        } => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    server.join();
 }
