@@ -28,7 +28,11 @@
 //!   `write-disjoint` (every fourth request appends to a per-client
 //!   target in r10..r14 — disjoint writes overlap and never evict the
 //!   read pool's cached plans) | `repeat-read[:N]` (zipf-ish over N
-//!   distinct plans, default 8)
+//!   distinct plans, default 8) | `view-read` (installs the two standing
+//!   views of `RequestMix::VIEWS`, then blends writes into their base,
+//!   view reads, and plain reads; the run ends with a differential check
+//!   that each maintained view is byte-identical to re-running its
+//!   defining query from scratch)
 //! - `--mux`          spawn the in-process server in poll-based mux mode
 //!   (one reader thread services every client socket)
 //! - `--mode M`       `closed` | `open` (default: both, closed first)
@@ -46,7 +50,7 @@ use std::net::TcpStream;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use df_bench::loadgen::{percentile, LoopMode, RequestMix};
+use df_bench::loadgen::{percentile, GenRequest, LoopMode, RequestMix};
 use df_bench::report::{series_row, write_artifact};
 use df_obs::{BenchArtifact, IntervalSeries, SweepRow};
 use df_serve::proto::{read_frame, write_frame, Priority, Request, Response, ServeError};
@@ -156,6 +160,21 @@ fn main() {
     let lanes = *server_stats(&addr).get("lanes").unwrap_or(&0);
     artifact.param("lanes", lanes);
 
+    // The view mix needs its standing views in place before any client
+    // sends a read for them. Drop-then-install so a reused external
+    // server starts from a fresh materialization.
+    if opts.mix == RequestMix::ViewRead {
+        let mut c = ServeClient::connect(&addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+        for (name, text) in RequestMix::VIEWS {
+            c.drop_view(name).ok();
+            match c.install_view(name, text) {
+                Ok(Response::Result(_)) => println!("serve_bench: installed view `{name}`"),
+                Ok(other) => die(&format!("install `{name}`: {other:?}")),
+                Err(e) => die(&format!("install `{name}`: {e}")),
+            }
+        }
+    }
+
     let (mut queries, mut tuples, mut payload) = (0u64, 0u64, 0u64);
     for mode in &opts.modes {
         let before = server_stats(&addr);
@@ -209,7 +228,8 @@ fn main() {
             "{mode}: {} sent, {} ok, {} busy, {} errors | p50 {p50:.2} ms, \
              p95 {p95:.2} ms, p99 {p99:.2} ms | {qps_sustained:.1} qps sustained | \
              server: {} submitted, {} executed, {} fused, {} joined, \
-             cache {}/{} hit/miss, {} evicted, {} writes ({} overlapped)",
+             cache {}/{} hit/miss, {} evicted, {} writes ({} overlapped), \
+             {} delta pages, {} view reads",
             row.sent,
             row.ok,
             row.busy,
@@ -223,6 +243,8 @@ fn main() {
             delta("cache_evictions_partial"),
             delta("writes_applied"),
             delta("concurrent_write_batches"),
+            delta("delta_pages"),
+            delta("view_reads_served"),
         );
         artifact.sweep.push(SweepRow {
             label: format!("mode={mode}"),
@@ -255,6 +277,15 @@ fn main() {
                     delta("concurrent_write_batches"),
                 ),
                 ("mux_clients".into(), delta("mux_clients")),
+                // Cumulative, not a delta: the v4 quiescence identity is
+                // about whether any view exists, and installs happen
+                // before the first mode run.
+                (
+                    "views_installed".into(),
+                    after.get("views_installed").copied().unwrap_or(0) as f64,
+                ),
+                ("delta_pages".into(), delta("delta_pages")),
+                ("view_reads_served".into(), delta("view_reads_served")),
                 ("lanes".into(), lanes as f64),
             ],
         });
@@ -265,6 +296,39 @@ fn main() {
         .counter("queries", queries as f64)
         .counter("result_tuples", tuples as f64)
         .counter("result_payload_bytes", payload as f64);
+
+    // The IVM differential contract, checked against the live server:
+    // after the whole write storm, each maintained view must be
+    // byte-identical to re-running its defining query from scratch.
+    if opts.mix == RequestMix::ViewRead {
+        let mut c = ServeClient::connect(&addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+        for (name, text) in RequestMix::VIEWS {
+            let maintained = match c.read_view(name) {
+                Ok(Response::Result(r)) => r.tuples,
+                Ok(other) => die(&format!("verify read `{name}`: {other:?}")),
+                Err(e) => die(&format!("verify read `{name}`: {e}")),
+            };
+            let mut fresh = match c.query(text, Priority::Normal, false) {
+                Ok(Response::Result(r)) => r.tuples,
+                Ok(other) => die(&format!("verify query `{name}`: {other:?}")),
+                Err(e) => die(&format!("verify query `{name}`: {e}")),
+            };
+            fresh.sort();
+            if maintained != fresh {
+                die(&format!(
+                    "view `{name}` diverged from scratch execution: \
+                     {} maintained vs {} fresh tuples",
+                    maintained.len(),
+                    fresh.len()
+                ));
+            }
+            println!(
+                "verify: view `{name}` byte-identical to scratch run ({} tuples)",
+                fresh.len()
+            );
+            c.drop_view(name).ok();
+        }
+    }
 
     if let Some(server) = server {
         server.shutdown();
@@ -295,12 +359,15 @@ fn run_closed(addr: &str, client: usize, opts: &Opts, run_start: Instant) -> Tal
     let mut tally = Tally::default();
     let mut seq = 0u64;
     while run_start.elapsed() < opts.duration {
-        let text = opts.mix.query_text(client, seq);
+        let request = match opts.mix.request(client, seq) {
+            GenRequest::Query(text) => conn.query_request(&text, Priority::Normal, opts.optimize),
+            GenRequest::ViewRead(name) => conn.read_view_request(name),
+        };
         seq += 1;
         tally.sent += 1;
         let t0 = Instant::now();
         let response = conn
-            .query(&text, Priority::Normal, opts.optimize)
+            .request(&request)
             .unwrap_or_else(|e| die(&format!("client io: {e}")));
         tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         absorb(&mut tally, &response, run_start);
@@ -344,11 +411,17 @@ fn run_open(addr: &str, client: usize, opts: &Opts, run_start: Instant) -> Tally
                     done.store(true, std::sync::atomic::Ordering::SeqCst);
                     return;
                 }
-                let request = Request::Query {
-                    id,
-                    priority: Priority::Normal,
-                    optimize: opts.optimize,
-                    text: opts.mix.query_text(client, id),
+                let request = match opts.mix.request(client, id) {
+                    GenRequest::Query(text) => Request::Query {
+                        id,
+                        priority: Priority::Normal,
+                        optimize: opts.optimize,
+                        text,
+                    },
+                    GenRequest::ViewRead(name) => Request::ReadView {
+                        id,
+                        name: name.to_string(),
+                    },
                 };
                 scheduled.lock().expect("schedule lock").insert(id, due);
                 sent.fetch_add(1, std::sync::atomic::Ordering::SeqCst);

@@ -75,16 +75,42 @@ pub enum RequestMix {
     /// efficacy mix: a few hot queries dominate, a long tail keeps the
     /// cache honest. Spelled `repeat-read:N` (`repeat-read` = 8).
     RepeatRead { distinct: usize },
+    /// The incremental-view mix: every fourth request appends into `r01`
+    /// (a base of both [`RequestMix::VIEWS`]), half the rest read a
+    /// maintained view, and the remainder are plain mixed reads. Use via
+    /// [`RequestMix::request`] — view reads are not expressible as query
+    /// text.
+    ViewRead,
+}
+
+/// One synthesized client request: ordinary query text, or a read of a
+/// named standing view (a different wire request, not a query).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenRequest {
+    /// Submit this query text.
+    Query(String),
+    /// Read the named maintained view.
+    ViewRead(&'static str),
 }
 
 impl RequestMix {
     /// Every mix, in benchmark order.
-    pub const ALL: [RequestMix; 5] = [
+    pub const ALL: [RequestMix; 6] = [
         RequestMix::ReadSame,
         RequestMix::ReadMixed,
         RequestMix::ReadWrite,
         RequestMix::WriteDisjoint,
         RequestMix::RepeatRead { distinct: 8 },
+        RequestMix::ViewRead,
+    ];
+
+    /// The standing views the `view-read` mix expects installed, as
+    /// `(name, defining query)`: one join-bearing, one set-op, both over
+    /// the mix's write target `r01` so every write batch exercises both
+    /// delta paths. `serve_bench` installs them before driving the mix.
+    pub const VIEWS: [(&'static str, &'static str); 2] = [
+        ("bench_join", "(join (scan r00) (scan r01) (= key key))"),
+        ("bench_set", "(union (scan r02) (scan r01))"),
     ];
 
     /// Largest accepted `repeat-read:N` pool. Beyond this the harmonic
@@ -102,6 +128,27 @@ impl RequestMix {
             RequestMix::ReadWrite => "read-write",
             RequestMix::WriteDisjoint => "write-disjoint",
             RequestMix::RepeatRead { .. } => "repeat-read",
+            RequestMix::ViewRead => "view-read",
+        }
+    }
+
+    /// The request client `client` issues as its `seq`-th action.
+    /// Deterministic, like [`RequestMix::query_text`], which it extends
+    /// with view reads for the `view-read` mix.
+    pub fn request(self, client: usize, seq: u64) -> GenRequest {
+        match self {
+            RequestMix::ViewRead => match seq % 4 {
+                // Writes feed both views through r01; the key draw comes
+                // from the client's own stream.
+                3 => {
+                    let key = client_draw(client, seq) % 50;
+                    GenRequest::Query(format!("(append (restrict (scan r00) (= key {key})) r01)"))
+                }
+                1 => GenRequest::ViewRead(RequestMix::VIEWS[client % 2].0),
+                2 => GenRequest::ViewRead(RequestMix::VIEWS[(client + 1) % 2].0),
+                _ => GenRequest::Query(read_mixed(client, seq)),
+            },
+            other => GenRequest::Query(other.query_text(client, seq)),
         }
     }
 
@@ -137,8 +184,33 @@ impl RequestMix {
                 }
             }
             RequestMix::RepeatRead { distinct } => repeat_read(distinct, client, seq),
+            // View reads are not query text; the plain-query share of the
+            // mix is what this accessor can express.
+            RequestMix::ViewRead => read_mixed(client, seq),
         }
     }
+}
+
+/// The splitmix64 output function: one additive step plus the two-round
+/// xor-multiply finalizer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The `seq`-th draw of client `client`'s private splitmix64 stream.
+///
+/// The client id is avalanched into a stream base first, so each client
+/// is an *independently seeded* generator. The earlier seeding added
+/// `client * GOLDEN + seq` into one finalizer, which made every client's
+/// draws a shifted window of a single global sequence — adjacent clients
+/// marched through correlated positions instead of sampling
+/// independently.
+fn client_draw(client: usize, seq: u64) -> u64 {
+    let base = splitmix64(client as u64);
+    splitmix64(base.wrapping_add(seq.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
 }
 
 /// A read drawn from a fixed pool of `distinct` plans with zipf-ish
@@ -147,15 +219,8 @@ impl RequestMix {
 /// are reproducible and cache hit-rates are a property of the mix.
 fn repeat_read(distinct: usize, client: usize, seq: u64) -> String {
     let distinct = distinct.max(1);
-    // splitmix64 over the (client, seq) pair → a uniform draw in [0, 1).
-    let mut z = (client as u64)
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(seq)
-        .wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^= z >> 31;
-    let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+    // The client's private stream → a uniform draw in [0, 1).
+    let u = (client_draw(client, seq) >> 11) as f64 / (1u64 << 53) as f64;
     // Walk the cumulative harmonic weights to the drawn mass.
     let total: f64 = (1..=distinct).map(|k| 1.0 / k as f64).sum();
     let mut mass = u * total;
@@ -201,6 +266,7 @@ impl FromStr for RequestMix {
             "read-write" => Ok(RequestMix::ReadWrite),
             "write-disjoint" => Ok(RequestMix::WriteDisjoint),
             "repeat-read" => Ok(RequestMix::RepeatRead { distinct: 8 }),
+            "view-read" => Ok(RequestMix::ViewRead),
             other => {
                 if let Some(n) = other.strip_prefix("repeat-read:") {
                     let distinct = n
@@ -217,7 +283,7 @@ impl FromStr for RequestMix {
                 }
                 Err(format!(
                     "unknown request mix `{other}` \
-                     (read-same|read-mixed|read-write|write-disjoint|repeat-read[:N])"
+                     (read-same|read-mixed|read-write|write-disjoint|repeat-read[:N]|view-read)"
                 ))
             }
         }
@@ -372,6 +438,69 @@ mod tests {
             let q = RequestMix::RepeatRead { distinct: d }.query_text(3, 7);
             assert!(q.starts_with("(restrict"), "{q}");
         }
+    }
+
+    #[test]
+    fn client_streams_are_deterministic_and_independently_seeded() {
+        let mix = RequestMix::RepeatRead { distinct: 64 };
+        let stream =
+            |client: usize| -> Vec<String> { (0..64).map(|s| mix.query_text(client, s)).collect() };
+        for client in 0..4 {
+            assert_eq!(stream(client), stream(client), "re-generation drifted");
+        }
+        // Independent seeding: distinct clients draw distinct sequences
+        // (a 64-plan pool makes a 64-draw coincidence astronomically
+        // unlikely), and no client's stream is a one-step shifted window
+        // of its neighbor's — the signature of derived-from-one-stream
+        // seeding.
+        for client in 0..3 {
+            assert_ne!(stream(client), stream(client + 1));
+            let shifted =
+                (0..64).filter(|&s| mix.query_text(client + 1, s) == mix.query_text(client, s + 1));
+            assert!(
+                shifted.count() < 16,
+                "client {} tracks client {}'s stream",
+                client + 1,
+                client
+            );
+        }
+    }
+
+    #[test]
+    fn view_read_mix_blends_writes_view_reads_and_queries() {
+        assert_eq!("view-read".parse::<RequestMix>(), Ok(RequestMix::ViewRead));
+        assert_eq!(RequestMix::ViewRead.to_string(), "view-read");
+        let mut writes = 0;
+        let mut view_reads = std::collections::HashSet::new();
+        for client in 0..4 {
+            for seq in 0..32 {
+                match RequestMix::ViewRead.request(client, seq) {
+                    GenRequest::Query(q) if q.starts_with("(append") => {
+                        assert_eq!(seq % 4, 3, "writes land on the fourth beat");
+                        assert!(q.ends_with("r01)"), "writes feed the view bases: {q}");
+                        writes += 1;
+                    }
+                    GenRequest::Query(q) => assert!(q.starts_with("(restrict"), "{q}"),
+                    GenRequest::ViewRead(name) => {
+                        view_reads.insert(name);
+                    }
+                }
+            }
+        }
+        assert_eq!(writes, 4 * 8, "every fourth request writes");
+        let names: std::collections::HashSet<_> =
+            RequestMix::VIEWS.iter().map(|(n, _)| *n).collect();
+        assert_eq!(view_reads, names, "both views get read");
+        // Deterministic, like every other mix.
+        assert_eq!(
+            RequestMix::ViewRead.request(2, 17),
+            RequestMix::ViewRead.request(2, 17)
+        );
+        // The non-view mixes pass through request() as plain queries.
+        assert_eq!(
+            RequestMix::ReadSame.request(0, 0),
+            GenRequest::Query(RequestMix::ReadSame.query_text(0, 0))
+        );
     }
 
     #[test]

@@ -57,9 +57,11 @@ mod fault;
 mod metrics;
 mod params;
 mod plan;
+mod view;
 
 pub use error::{HostError, HostResult};
 pub use exec::{run_host_queries, run_host_query, HostRunOutput};
 pub use fault::FaultPlan;
 pub use metrics::{HostMetrics, QueryStats, WorkerStats};
 pub use params::HostParams;
+pub use view::{StandingView, ViewUpdate};

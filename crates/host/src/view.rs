@@ -1,0 +1,758 @@
+//! Standing views: incremental maintenance of an installed query tree.
+//!
+//! A [`StandingView`] keeps a read-only query resident after one normal
+//! materializing execution and thereafter updates its result from
+//! base-relation write deltas, never re-running the tree. The design
+//! promotes the machine's transient execution state to owned view state:
+//! during a normal run, a join cell accumulates its operands' pages-so-far
+//! tables and throws them away at completion — here those operand
+//! multisets are *retained*, so the bag-algebra product rule
+//!
+//! ```text
+//! Δ(L ⋈ R) = ΔL ⋈ R  +  (L + ΔL) ⋈ ΔR
+//! ```
+//!
+//! fires the very same page-at-a-time join kernel over delta pages
+//! against the retained side. Deltas are signed counted multisets of raw
+//! tuple images (insert = +n, delete = −n):
+//!
+//! * **linear** operators (restrict, bag project) run the unchanged raw
+//!   kernels over packed delta pages — signs pass through untouched;
+//! * **product** operators (join, cross) fire delta pages against the
+//!   retained opposite operand, output sign = input sign;
+//! * **counted** operators (union, difference, dedup project) keep
+//!   per-port counts and emit a delta only on a 0 ↔ positive transition
+//!   of their set-semantics indicator function.
+//!
+//! The maintained result is itself a counted multiset; reads expand it
+//! in lexicographic image order, which is exactly the canonical order
+//! deterministic mode sorts results into — so a maintained view is
+//! byte-identical on the wire to a from-scratch re-execution.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use df_query::{execute_read_nodes, ops, DeltaKind, DeltaPlan, ExecParams, Op, QueryTree};
+use df_relalg::{Catalog, Page, Relation, Result, Schema, TupleBuf, PAGE_HEADER_BYTES};
+
+/// A signed counted multiset of raw tuple images. `BTreeMap` keeps every
+/// iteration (packing order, result expansion) deterministic.
+type Counts = BTreeMap<Vec<u8>, i64>;
+
+/// Add `n` to an image's count, removing the entry when it hits zero.
+fn add(counts: &mut Counts, image: &[u8], n: i64) {
+    if n == 0 {
+        return;
+    }
+    let slot = counts.entry(image.to_vec()).or_insert(0);
+    *slot += n;
+    if *slot == 0 {
+        counts.remove(image);
+    }
+}
+
+/// Fold a whole delta into `counts`.
+fn fold(counts: &mut Counts, delta: &Counts) {
+    for (image, &n) in delta {
+        add(counts, image, n);
+    }
+}
+
+/// The counted multiset of a materialized relation's images.
+fn counts_of(rel: &Relation) -> Counts {
+    let mut counts = Counts::new();
+    for p in rel.pages() {
+        for t in p.tuple_refs() {
+            add(&mut counts, t.raw(), 1);
+        }
+    }
+    counts
+}
+
+/// A page size that is guaranteed to hold at least one tuple of `schema`
+/// (delta trees can concatenate schemas past the configured page size).
+fn effective_page_size(schema: &Schema, page_size: usize) -> usize {
+    page_size.max(PAGE_HEADER_BYTES + schema.tuple_width())
+}
+
+/// Pack `(image, repeat)` pairs into delta pages of `schema`.
+fn pack_images<'a>(
+    schema: &Schema,
+    page_size: usize,
+    images: impl Iterator<Item = (&'a [u8], i64)>,
+) -> Result<Vec<Page>> {
+    let mut buf = TupleBuf::new(schema.clone());
+    for (image, n) in images {
+        for _ in 0..n {
+            buf.push_raw(image);
+        }
+    }
+    let size = effective_page_size(schema, page_size);
+    let mut pages = Vec::new();
+    while !buf.is_empty() {
+        let mut page = Page::new(schema.clone(), size)?;
+        buf.drain_into(&mut page);
+        pages.push(page);
+    }
+    Ok(pages)
+}
+
+/// Pack each *distinct* image of a delta once (multiplicities are
+/// re-applied after the kernel runs — linear kernels are per-tuple, so
+/// one representative per image is enough).
+fn pack_distinct(schema: &Schema, page_size: usize, delta: &Counts) -> Result<Vec<Page>> {
+    pack_images(schema, page_size, delta.keys().map(|k| (k.as_slice(), 1)))
+}
+
+/// How many delta pages a multiset of `n` images of `schema` occupies
+/// (the page accounting for source injections, which never run a kernel).
+fn pages_needed(n: usize, schema: &Schema, page_size: usize) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let cap = (effective_page_size(schema, page_size) - PAGE_HEADER_BYTES) / schema.tuple_width();
+    n.div_ceil(cap) as u64
+}
+
+/// One retained operand of a product (join/cross) node: the counted
+/// multiset plus its packed page image, rebuilt lazily after a delta
+/// lands on this side (the other side's cache survives untouched).
+#[derive(Debug)]
+struct SideState {
+    counts: Counts,
+    /// `Arc`-shared with the catalog pages that seeded it, exactly like
+    /// the transient operand tables during a normal execution.
+    pages: Option<Vec<Arc<Page>>>,
+}
+
+impl SideState {
+    /// Seed from the install-time materialization of this operand —
+    /// the node result the transient execution would have discarded.
+    fn seed(rel: &Relation) -> SideState {
+        SideState {
+            counts: counts_of(rel),
+            pages: Some(rel.pages().to_vec()),
+        }
+    }
+
+    /// The packed multiset (each image repeated by its count).
+    fn pages(&mut self, schema: &Schema, page_size: usize) -> Result<&[Arc<Page>]> {
+        if self.pages.is_none() {
+            self.pages = Some(
+                pack_images(
+                    schema,
+                    page_size,
+                    self.counts.iter().map(|(k, &n)| (k.as_slice(), n)),
+                )?
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
+            );
+        }
+        Ok(self.pages.as_ref().expect("just built"))
+    }
+
+    /// Fold a delta into this side, invalidating the packed cache.
+    fn fold(&mut self, delta: &Counts) {
+        if delta.is_empty() {
+            return;
+        }
+        fold(&mut self.counts, delta);
+        debug_assert!(
+            self.counts.values().all(|&n| n > 0),
+            "operand went negative"
+        );
+        self.pages = None;
+    }
+}
+
+/// Per-node retained state, indexed like the tree's arena.
+#[derive(Debug)]
+enum NodeState {
+    /// Source and linear nodes hold nothing.
+    Stateless,
+    /// Join/cross: both operand multisets, promoted from the transient
+    /// pages-so-far tables.
+    Product { left: SideState, right: SideState },
+    /// Union/difference: per-port counts for the indicator function.
+    Ports { left: Counts, right: Counts },
+    /// Deduplicating project: counts of *projected* input images.
+    Dedup { counts: Counts },
+}
+
+/// What one write did to a standing view.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ViewUpdate {
+    /// Delta pages that flowed through the standing dataflow (source
+    /// injections plus every packed kernel input).
+    pub delta_pages: u64,
+    /// Whether the maintained result changed at all.
+    pub result_changed: bool,
+}
+
+/// An installed standing query: a compiled [`DeltaPlan`], the retained
+/// per-node operand state, and the maintained result multiset.
+#[derive(Debug)]
+pub struct StandingView {
+    name: String,
+    text: String,
+    plan: DeltaPlan,
+    page_size: usize,
+    states: Vec<NodeState>,
+    result: Counts,
+}
+
+impl StandingView {
+    /// Install `tree` (parsed from `text`) as a standing view:
+    /// materialize every node once through the normal read path, seed
+    /// the retained operand state from the per-node results, and keep
+    /// the root's multiset as the maintained result.
+    ///
+    /// # Errors
+    /// Fails on validation errors or if the tree is not read-only.
+    pub fn install(
+        name: &str,
+        text: &str,
+        db: &Catalog,
+        tree: &QueryTree,
+        page_size: usize,
+    ) -> Result<StandingView> {
+        let plan = DeltaPlan::compile(db, tree)?;
+        let params = ExecParams {
+            page_size,
+            ..ExecParams::default()
+        };
+        let nodes = execute_read_nodes(db, tree, &params)?;
+        let mut states = Vec::with_capacity(tree.len());
+        for id in tree.topo_order() {
+            let node = tree.node(id);
+            let child = |i: usize| -> &Relation { &nodes[node.children[i].0] };
+            let state = match plan.kind(id) {
+                DeltaKind::Source | DeltaKind::Linear => NodeState::Stateless,
+                DeltaKind::Retained => NodeState::Product {
+                    left: SideState::seed(child(0)),
+                    right: SideState::seed(child(1)),
+                },
+                DeltaKind::Counted => match &node.op {
+                    Op::Project { projection, .. } => NodeState::Dedup {
+                        counts: projected_counts(child(0), projection.indices()),
+                    },
+                    _ => NodeState::Ports {
+                        left: counts_of(child(0)),
+                        right: counts_of(child(1)),
+                    },
+                },
+            };
+            states.push(state);
+        }
+        let result = counts_of(&nodes[tree.root().0]);
+        Ok(StandingView {
+            name: name.to_string(),
+            text: text.to_string(),
+            plan,
+            page_size,
+            states,
+            result,
+        })
+    }
+
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The defining query text (the differential oracle re-executes it).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The view's output schema.
+    pub fn schema(&self) -> &Schema {
+        self.plan.output_schema()
+    }
+
+    /// Sorted, deduplicated base relations the view depends on.
+    pub fn base_relations(&self) -> &[String] {
+        self.plan.base_relations()
+    }
+
+    /// Whether a write to `relation` must be replayed through this view.
+    pub fn reads(&self, relation: &str) -> bool {
+        self.plan.reads(relation)
+    }
+
+    /// Current number of result tuples (multiset cardinality).
+    pub fn num_tuples(&self) -> usize {
+        self.result.values().map(|&n| n as usize).sum()
+    }
+
+    /// The maintained result as raw tuple images in canonical
+    /// (lexicographic) order — the order deterministic mode serves.
+    pub fn tuple_images(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.num_tuples());
+        for (image, &n) in &self.result {
+            for _ in 0..n {
+                out.push(image.clone());
+            }
+        }
+        out
+    }
+
+    /// Replay one base-relation write through the standing dataflow.
+    /// `inserts` and `deletes` are raw tuple images in the target's
+    /// encoding, exactly as [`df_query::WriteDelta::base_change`]
+    /// reports them. A write to a relation the view does not read is a
+    /// no-op.
+    ///
+    /// # Errors
+    /// Fails only on page-packing errors (which indicate a schema bug,
+    /// not a data condition).
+    pub fn apply_write(
+        &mut self,
+        target: &str,
+        inserts: &[Vec<u8>],
+        deletes: &[Vec<u8>],
+    ) -> Result<ViewUpdate> {
+        if !self.plan.reads(target) || (inserts.is_empty() && deletes.is_empty()) {
+            return Ok(ViewUpdate::default());
+        }
+        let plan = &self.plan;
+        let states = &mut self.states;
+        let tree = plan.tree();
+        let mut delta_pages = 0u64;
+        let mut deltas: Vec<Counts> = Vec::with_capacity(tree.len());
+        for id in tree.topo_order() {
+            let node = tree.node(id);
+            let delta = match &node.op {
+                Op::Scan { relation } => {
+                    if relation == target {
+                        let schema = plan.schema(id);
+                        delta_pages += pages_needed(inserts.len(), schema, self.page_size)
+                            + pages_needed(deletes.len(), schema, self.page_size);
+                        let mut d = Counts::new();
+                        for image in inserts {
+                            add(&mut d, image, 1);
+                        }
+                        for image in deletes {
+                            add(&mut d, image, -1);
+                        }
+                        d
+                    } else {
+                        Counts::new()
+                    }
+                }
+                Op::Restrict { predicate } => {
+                    let input = &deltas[node.children[0].0];
+                    if input.is_empty() {
+                        Counts::new()
+                    } else {
+                        let schema = plan.schema(node.children[0]);
+                        let pages = pack_distinct(schema, self.page_size, input)?;
+                        delta_pages += pages.len() as u64;
+                        let survivors: HashSet<Vec<u8>> = pages
+                            .iter()
+                            .flat_map(|p| {
+                                let buf = ops::restrict_page_raw(p, predicate);
+                                buf.refs().map(|t| t.raw().to_vec()).collect::<Vec<_>>()
+                            })
+                            .collect();
+                        input
+                            .iter()
+                            .filter(|(image, _)| survivors.contains(image.as_slice()))
+                            .map(|(image, &n)| (image.clone(), n))
+                            .collect()
+                    }
+                }
+                Op::Project { projection, dedup } => {
+                    let input = &deltas[node.children[0].0];
+                    let mut projected = Counts::new();
+                    if !input.is_empty() {
+                        let schema = plan.schema(node.children[0]);
+                        let out_schema = plan.schema(id);
+                        let pages = pack_distinct(schema, self.page_size, input)?;
+                        delta_pages += pages.len() as u64;
+                        // The kernel is 1:1 and order-preserving, so the
+                        // i-th output image projects the i-th input.
+                        for page in &pages {
+                            let buf = ops::project_page_raw(page, projection, out_schema);
+                            for (t_in, t_out) in page.tuple_refs().zip(buf.refs()) {
+                                add(&mut projected, t_out.raw(), input[t_in.raw()]);
+                            }
+                        }
+                    }
+                    if *dedup {
+                        let NodeState::Dedup { counts } = &mut states[id.0] else {
+                            unreachable!("dedup project retains counts");
+                        };
+                        indicator_delta(counts, &projected)
+                    } else {
+                        projected
+                    }
+                }
+                Op::Join { .. } | Op::CrossProduct => {
+                    let (c0, c1) = (node.children[0], node.children[1]);
+                    // Split borrow: earlier deltas are read-only here.
+                    let (dl, dr) = (&deltas[c0.0], &deltas[c1.0]);
+                    if dl.is_empty() && dr.is_empty() {
+                        Counts::new()
+                    } else {
+                        let NodeState::Product { left, right } = &mut states[id.0] else {
+                            unreachable!("product node retains operands");
+                        };
+                        fire_product(
+                            &node.op,
+                            plan.schema(c0),
+                            plan.schema(c1),
+                            plan.schema(id),
+                            self.page_size,
+                            left,
+                            right,
+                            dl,
+                            dr,
+                            &mut delta_pages,
+                        )?
+                    }
+                }
+                Op::Union | Op::Difference => {
+                    let (c0, c1) = (node.children[0], node.children[1]);
+                    let (dl, dr) = (&deltas[c0.0], &deltas[c1.0]);
+                    if dl.is_empty() && dr.is_empty() {
+                        Counts::new()
+                    } else {
+                        let NodeState::Ports { left, right } = &mut states[id.0] else {
+                            unreachable!("set-op node retains port counts");
+                        };
+                        set_op_delta(&node.op, left, right, dl, dr)
+                    }
+                }
+                Op::Append { .. } | Op::Delete { .. } => {
+                    unreachable!("DeltaPlan rejects updating trees")
+                }
+            };
+            deltas.push(delta);
+        }
+        let root_delta = &deltas[tree.root().0];
+        let result_changed = !root_delta.is_empty();
+        fold(&mut self.result, root_delta);
+        debug_assert!(
+            self.result.values().all(|&n| n > 0),
+            "maintained result went negative"
+        );
+        Ok(ViewUpdate {
+            delta_pages,
+            result_changed,
+        })
+    }
+}
+
+/// The projected multiset of a relation's images (with multiplicities —
+/// the node's own deduped output would lose them).
+fn projected_counts(rel: &Relation, indices: &[usize]) -> Counts {
+    let mut counts = Counts::new();
+    let mut image = Vec::new();
+    for p in rel.pages() {
+        for t in p.tuple_refs() {
+            image.clear();
+            for &i in indices {
+                image.extend_from_slice(t.attr_bytes(i));
+            }
+            add(&mut counts, &image, 1);
+        }
+    }
+    counts
+}
+
+/// Fold `delta` into retained `counts` and emit the 0 ↔ positive
+/// transitions of the presence indicator (set semantics: output
+/// multiplicity is always 1).
+fn indicator_delta(counts: &mut Counts, delta: &Counts) -> Counts {
+    let mut out = Counts::new();
+    for (image, &n) in delta {
+        let old = counts.get(image).copied().unwrap_or(0);
+        let new = old + n;
+        debug_assert!(new >= 0, "dedup count went negative");
+        add(counts, image, n);
+        let transition = i64::from(new > 0) - i64::from(old > 0);
+        add(&mut out, image, transition);
+    }
+    out
+}
+
+/// The counted-transition delta of a set-semantics binary operator:
+/// union is present iff either port count is positive, difference iff
+/// the left is positive and the right is zero.
+fn set_op_delta(
+    op: &Op,
+    left: &mut Counts,
+    right: &mut Counts,
+    dl: &Counts,
+    dr: &Counts,
+) -> Counts {
+    let present = |l: i64, r: i64| -> bool {
+        match op {
+            Op::Union => l > 0 || r > 0,
+            Op::Difference => l > 0 && r == 0,
+            _ => unreachable!("set_op_delta on a non-set-op"),
+        }
+    };
+    let mut out = Counts::new();
+    let affected: HashSet<&Vec<u8>> = dl.keys().chain(dr.keys()).collect();
+    for image in affected {
+        let (ol, or) = (
+            left.get(image).copied().unwrap_or(0),
+            right.get(image).copied().unwrap_or(0),
+        );
+        let (nl, nr) = (
+            ol + dl.get(image).copied().unwrap_or(0),
+            or + dr.get(image).copied().unwrap_or(0),
+        );
+        debug_assert!(nl >= 0 && nr >= 0, "set-op port count went negative");
+        let transition = i64::from(present(nl, nr)) - i64::from(present(ol, or));
+        add(&mut out, image, transition);
+    }
+    fold(left, dl);
+    fold(right, dr);
+    out
+}
+
+/// Fire the product rule for a join or cross node: delta pages against
+/// the retained opposite operand, folding each side's delta into its
+/// retained multiset between the two half-rules so a self-join's
+/// simultaneous deltas compose exactly (ΔL ⋈ R, then (L + ΔL) ⋈ ΔR).
+#[allow(clippy::too_many_arguments)]
+fn fire_product(
+    op: &Op,
+    left_schema: &Schema,
+    right_schema: &Schema,
+    out_schema: &Schema,
+    page_size: usize,
+    left: &mut SideState,
+    right: &mut SideState,
+    dl: &Counts,
+    dr: &Counts,
+    delta_pages: &mut u64,
+) -> Result<Counts> {
+    let w_left = left_schema.tuple_width();
+    let kernel = |outer: &Page, inner: &Page| -> TupleBuf {
+        match op {
+            Op::Join { condition } => ops::hash_join_pages_raw(outer, inner, condition, out_schema),
+            Op::CrossProduct => ops::cross_pages_raw(outer, inner, out_schema),
+            _ => unreachable!("fire_product on a non-product op"),
+        }
+    };
+    let mut out = Counts::new();
+    // ΔL ⋈ R_old: distinct ΔL images fire against the retained right
+    // multiset; each emitted row carries its left image's signed count.
+    if !dl.is_empty() {
+        let dl_pages = pack_distinct(left_schema, page_size, dl)?;
+        *delta_pages += dl_pages.len() as u64;
+        for dp in &dl_pages {
+            for rp in right.pages(right_schema, page_size)? {
+                let buf = kernel(dp, rp.as_ref());
+                for t in buf.refs() {
+                    add(&mut out, t.raw(), dl[&t.raw()[..w_left]]);
+                }
+            }
+        }
+        left.fold(dl);
+    }
+    // (L + ΔL) ⋈ ΔR: the updated left multiset against distinct ΔR
+    // images; each emitted row carries its right image's signed count.
+    if !dr.is_empty() {
+        let dr_pages = pack_distinct(right_schema, page_size, dr)?;
+        *delta_pages += dr_pages.len() as u64;
+        for lp in left.pages(left_schema, page_size)? {
+            for dp in &dr_pages {
+                let buf = kernel(lp.as_ref(), dp);
+                for t in buf.refs() {
+                    add(&mut out, t.raw(), dr[&t.raw()[w_left..]]);
+                }
+            }
+        }
+        right.fold(dr);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_query::{execute_readonly, parse_query};
+    use df_relalg::{DataType, Tuple, Value};
+
+    fn kv_schema() -> Schema {
+        Schema::build()
+            .attr("key", DataType::Int)
+            .attr("val", DataType::Int)
+            .finish()
+            .unwrap()
+    }
+
+    fn image(key: i64, val: i64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        Tuple::new(vec![Value::Int(key), Value::Int(val)])
+            .encode(&kv_schema(), &mut buf)
+            .unwrap();
+        buf
+    }
+
+    fn db() -> Catalog {
+        let mut db = Catalog::new();
+        for (name, n) in [("a", 8i64), ("b", 6i64)] {
+            db.insert(
+                Relation::from_tuples(
+                    name,
+                    kv_schema(),
+                    128,
+                    (0..n).map(|i| Tuple::new(vec![Value::Int(i % 4), Value::Int(i * 10)])),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    /// The from-scratch oracle: sorted raw images of a fresh execution.
+    fn oracle(db: &Catalog, text: &str) -> Vec<Vec<u8>> {
+        let tree = parse_query(db, text).unwrap();
+        let rel = execute_readonly(db, &tree, &ExecParams::default()).unwrap();
+        let mut images: Vec<Vec<u8>> = rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
+        images.sort();
+        images
+    }
+
+    /// A write batch against one target: (target, inserts, deletes).
+    type WriteBatch<'a> = (&'a str, Vec<Vec<u8>>, Vec<Vec<u8>>);
+
+    /// Install over `db`, apply `writes` both to the view and the
+    /// catalog, and check byte-identity with the oracle after each one.
+    fn check_maintenance(mut db: Catalog, text: &str, writes: &[WriteBatch<'_>]) {
+        let tree = parse_query(&db, text).unwrap();
+        let mut view = StandingView::install("v", text, &db, &tree, 1024).unwrap();
+        assert_eq!(view.tuple_images(), oracle(&db, text), "install mismatch");
+        for (i, (target, inserts, deletes)) in writes.iter().enumerate() {
+            view.apply_write(target, inserts, deletes).unwrap();
+            apply_to_catalog(&mut db, target, inserts, deletes);
+            assert_eq!(
+                view.tuple_images(),
+                oracle(&db, text),
+                "write {i} to {target} diverged"
+            );
+        }
+    }
+
+    /// Mirror a raw-image write into the catalog the slow way.
+    fn apply_to_catalog(db: &mut Catalog, target: &str, inserts: &[Vec<u8>], deletes: &[Vec<u8>]) {
+        let rel = db.get(target).unwrap();
+        let schema = rel.schema().clone();
+        let page_size = rel.page_size();
+        let mut images: Vec<Vec<u8>> = rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
+        for d in deletes {
+            let pos = images.iter().position(|i| i == d).expect("delete exists");
+            images.remove(pos);
+        }
+        images.extend(inserts.iter().cloned());
+        let tuples: Vec<Tuple> = images
+            .iter()
+            .map(|i| df_relalg::TupleRef::new(&schema, i).unwrap().to_tuple())
+            .collect();
+        db.insert_or_replace(Relation::from_tuples(target, schema, page_size, tuples).unwrap());
+    }
+
+    #[test]
+    fn restrict_view_tracks_inserts_and_deletes() {
+        check_maintenance(
+            db(),
+            "(restrict (scan a) (< val 35))",
+            &[
+                ("a", vec![image(9, 5), image(9, 99)], vec![]),
+                ("a", vec![], vec![image(0, 0), image(9, 5)]),
+                ("b", vec![image(1, 1)], vec![]), // unrelated: no-op
+            ],
+        );
+    }
+
+    #[test]
+    fn join_view_uses_retained_operands() {
+        check_maintenance(
+            db(),
+            "(join (scan a) (scan b) (= key key))",
+            &[
+                ("a", vec![image(2, 77)], vec![]),
+                ("b", vec![image(2, 88), image(2, 88)], vec![]),
+                ("a", vec![], vec![image(2, 77)]),
+                ("b", vec![], vec![image(2, 88)]),
+            ],
+        );
+    }
+
+    #[test]
+    fn self_join_composes_simultaneous_deltas() {
+        check_maintenance(
+            db(),
+            "(join (scan a) (scan a) (= key key))",
+            &[
+                ("a", vec![image(5, 50)], vec![]),
+                ("a", vec![image(5, 51), image(6, 60)], vec![image(5, 50)]),
+            ],
+        );
+    }
+
+    #[test]
+    fn union_and_difference_follow_indicator_transitions() {
+        for text in [
+            "(union (scan a) (scan b))",
+            "(difference (scan a) (scan b))",
+        ] {
+            check_maintenance(
+                db(),
+                text,
+                &[
+                    ("a", vec![image(7, 70)], vec![]),
+                    ("b", vec![image(7, 70)], vec![]),
+                    ("b", vec![], vec![image(7, 70)]),
+                    ("a", vec![image(0, 0)], vec![]), // duplicate of an existing image
+                    ("a", vec![], vec![image(0, 0)]), // still present once: no transition
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_project_counts_multiplicities() {
+        check_maintenance(
+            db(),
+            "(project-distinct (scan a) (key))",
+            &[
+                ("a", vec![image(4, 1)], vec![]),
+                ("a", vec![image(4, 2)], vec![]),
+                ("a", vec![], vec![image(4, 1)]), // key 4 still present via (4, 2)
+                ("a", vec![], vec![image(4, 2)]), // now it disappears
+            ],
+        );
+    }
+
+    #[test]
+    fn delta_pages_flow_and_noops_are_free() {
+        let db = db();
+        let text = "(restrict (scan a) (> val 10))";
+        let tree = parse_query(&db, text).unwrap();
+        let mut view = StandingView::install("v", text, &db, &tree, 1024).unwrap();
+        let up = view.apply_write("a", &[image(1, 100)], &[]).unwrap();
+        assert!(up.delta_pages > 0, "delta pages counted");
+        assert!(up.result_changed);
+        let up = view.apply_write("zzz", &[image(1, 100)], &[]).unwrap();
+        assert_eq!(up.delta_pages, 0, "unrelated target is a no-op");
+        let up = view.apply_write("a", &[image(1, 3)], &[]).unwrap();
+        assert!(up.delta_pages > 0, "pages flowed");
+        assert!(!up.result_changed, "filtered out before the root");
+    }
+
+    #[test]
+    fn install_rejects_updating_definitions() {
+        let db = db();
+        let tree = parse_query(&db, "(append (scan a) b)").unwrap();
+        assert!(StandingView::install("v", "q", &db, &tree, 1024).is_err());
+    }
+}

@@ -24,7 +24,14 @@ use crate::json::JsonValue;
 /// `cache_evictions_partial == 0` when `writes_applied == 0` (only
 /// writes evict). v1/v2 fields kept their meanings, so older baselines
 /// remain readable and comparable.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the incremental-view fields (`views_installed`,
+/// `delta_pages`, `view_reads_served`) and their quiescence check: with
+/// no view installed, maintenance must move zero delta pages and serve
+/// zero view reads — a nonzero count would mean the write path paid an
+/// IVM tax without a standing query to maintain. v1–v3 fields kept
+/// their meanings, so older baselines remain readable and comparable.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema version this build still reads, checks, and compares.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -401,6 +408,30 @@ impl BenchArtifact {
                     problems.push(format!(
                         "sweep {}: {evictions} partial cache evictions with zero \
                          writes applied",
+                        row.label
+                    ));
+                }
+            }
+            // Incremental-view quiescence (schema v4): the write path pays
+            // the IVM tax only for standing queries that exist, and a view
+            // read never re-executes — so with zero views installed, both
+            // view counters must be zero.
+            if let (Some(views), Some(delta_pages), Some(view_reads)) = (
+                get("views_installed"),
+                get("delta_pages"),
+                get("view_reads_served"),
+            ) {
+                if views == 0.0 && delta_pages != 0.0 {
+                    problems.push(format!(
+                        "sweep {}: {delta_pages} delta pages moved with zero views \
+                         installed",
+                        row.label
+                    ));
+                }
+                if views == 0.0 && view_reads != 0.0 {
+                    problems.push(format!(
+                        "sweep {}: {view_reads} view reads served with zero views \
+                         installed",
                         row.label
                     ));
                 }
@@ -805,5 +836,49 @@ mod tests {
             ],
         }];
         assert_eq!(v2.check(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn view_quiescence_identities_are_enforced() {
+        let mut a = BenchArtifact::new("serve_ivm", "serve");
+        a.elapsed_secs = 1.0;
+        a.sweep = vec![SweepRow {
+            label: "mix=view-read".to_string(),
+            values: vec![
+                ("views_installed".to_string(), 2.0),
+                ("delta_pages".to_string(), 40.0),
+                ("view_reads_served".to_string(), 16.0),
+            ],
+        }];
+        assert_eq!(a.check(), Vec::<String>::new());
+
+        // With zero views installed, neither maintenance nor view reads
+        // may have happened.
+        a.sweep[0].values[0].1 = 0.0;
+        let problems = a.check();
+        assert!(
+            problems.iter().any(|p| p.contains("delta pages")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("view reads served")),
+            "{problems:?}"
+        );
+        a.sweep[0].values[1].1 = 0.0;
+        a.sweep[0].values[2].1 = 0.0;
+        assert_eq!(a.check(), Vec::<String>::new());
+
+        // Rows without the v4 fields (older baselines) stay exempt.
+        let mut v3 = BenchArtifact::new("serve_v3", "serve");
+        v3.schema_version = 3;
+        v3.elapsed_secs = 1.0;
+        v3.sweep = vec![SweepRow {
+            label: "mode=closed".to_string(),
+            values: vec![
+                ("parses".to_string(), 12.0),
+                ("plan_cache_misses".to_string(), 12.0),
+            ],
+        }];
+        assert_eq!(v3.check(), Vec::<String>::new());
     }
 }

@@ -1,0 +1,227 @@
+//! Delta-plan compilation for incremental view maintenance.
+//!
+//! A standing view keeps a query tree resident after its first
+//! execution and updates the materialized result from base-relation
+//! *deltas* instead of re-running the tree. Compilation classifies every
+//! node by how deltas flow through it:
+//!
+//! * **Source** — `scan` leaves. A write to the scanned relation enters
+//!   the dataflow here as a signed multiset of raw tuple images.
+//! * **Linear** — `restrict` and non-deduplicating `project`. These
+//!   kernels are linear in the bag algebra (they commute with both
+//!   union and sign), so delta pages flow through the *unchanged*
+//!   page-at-a-time kernels with no retained state.
+//! * **Retained** — `join` and `cross`. The bag-algebra product rule
+//!   Δ(L ⋈ R) = ΔL ⋈ R + (L + ΔL) ⋈ ΔR needs both operand multisets
+//!   retained: the transient pages-so-far operand tables df-host keeps
+//!   during a normal execution, promoted to owned view state.
+//! * **Counted** — `union`, `difference`, and deduplicating `project`.
+//!   Set semantics are indicator functions over retained per-port
+//!   counts; a delta is emitted only on a 0 ↔ positive transition.
+//!
+//! The classification (and the schema derivation it reuses) is the
+//! whole "plan" — the actual retained state lives with the executor
+//! (df-host's `StandingView`), which walks the compiled plan in topo
+//! order on every base write.
+
+use df_relalg::{Catalog, Error, Result, Schema};
+
+use crate::tree::{NodeId, Op, QueryTree};
+use crate::validate::{validate, NodeSchemas};
+
+/// How deltas flow through one operator of a compiled standing query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// `scan`: base-relation writes enter the dataflow here.
+    Source,
+    /// Stateless linear operator: delta pages run the normal kernel.
+    Linear,
+    /// Binary product operator: retains both operand multisets.
+    Retained,
+    /// Set-semantics operator: retains per-port counts, emits
+    /// 0 ↔ positive transitions.
+    Counted,
+}
+
+/// A query tree compiled for incremental maintenance: schemas derived,
+/// updates rejected, and every node classified by its [`DeltaKind`].
+#[derive(Debug)]
+pub struct DeltaPlan {
+    tree: QueryTree,
+    schemas: NodeSchemas,
+    kinds: Vec<DeltaKind>,
+    base_relations: Vec<String>,
+}
+
+impl DeltaPlan {
+    /// Compile `tree` against `db` for standing maintenance.
+    ///
+    /// # Errors
+    /// Fails on validation errors or if the tree contains update
+    /// operators (a view definition must be read-only).
+    pub fn compile(db: &Catalog, tree: &QueryTree) -> Result<DeltaPlan> {
+        if !tree.written_relations().is_empty() {
+            return Err(Error::SchemaMismatch {
+                detail: "a standing view must be defined by a read-only query".into(),
+            });
+        }
+        let schemas = validate(db, tree)?;
+        let kinds = tree
+            .nodes()
+            .iter()
+            .map(|n| match &n.op {
+                Op::Scan { .. } => DeltaKind::Source,
+                Op::Restrict { .. } | Op::Project { dedup: false, .. } => DeltaKind::Linear,
+                Op::Join { .. } | Op::CrossProduct => DeltaKind::Retained,
+                Op::Union | Op::Difference | Op::Project { dedup: true, .. } => DeltaKind::Counted,
+                Op::Append { .. } | Op::Delete { .. } => {
+                    unreachable!("written_relations checked above")
+                }
+            })
+            .collect();
+        Ok(DeltaPlan {
+            base_relations: tree.referenced_relations(),
+            tree: tree.clone(),
+            schemas,
+            kinds,
+        })
+    }
+
+    /// The compiled tree.
+    pub fn tree(&self) -> &QueryTree {
+        &self.tree
+    }
+
+    /// The derived schema of node `id`.
+    pub fn schema(&self, id: NodeId) -> &Schema {
+        self.schemas.schema(id)
+    }
+
+    /// The view's output schema (the root's).
+    pub fn output_schema(&self) -> &Schema {
+        self.schemas.output(&self.tree)
+    }
+
+    /// The delta classification of node `id`.
+    pub fn kind(&self, id: NodeId) -> DeltaKind {
+        self.kinds[id.0]
+    }
+
+    /// Sorted, deduplicated base relations the view reads. A write to
+    /// any of these must be replayed through the standing dataflow.
+    pub fn base_relations(&self) -> &[String] {
+        &self.base_relations
+    }
+
+    /// Whether a write to `relation` affects this view.
+    pub fn reads(&self, relation: &str) -> bool {
+        self.base_relations
+            .binary_search_by(|r| r.as_str().cmp(relation))
+            .is_ok()
+    }
+
+    /// Number of nodes carrying retained state (`Retained` + `Counted`).
+    pub fn stateful_nodes(&self) -> usize {
+        self.kinds
+            .iter()
+            .filter(|k| matches!(k, DeltaKind::Retained | DeltaKind::Counted))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use df_relalg::{CmpOp, DataType, Relation, Schema, Tuple, Value};
+
+    fn db() -> Catalog {
+        let mut db = Catalog::new();
+        let kv = Schema::build()
+            .attr("k", DataType::Int)
+            .attr("v", DataType::Int)
+            .finish()
+            .unwrap();
+        for name in ["a", "b"] {
+            db.insert(
+                Relation::from_tuples(
+                    name,
+                    kv.clone(),
+                    128,
+                    (0..4).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 2)])),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn classifies_every_operator() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let q = b
+            .scan("a")
+            .unwrap()
+            .restrict_where("k", CmpOp::Ge, Value::Int(0))
+            .unwrap()
+            .equi_join(b.scan("b").unwrap(), "k", "k")
+            .unwrap()
+            .project(&["k"], true)
+            .unwrap()
+            .finish();
+        let plan = DeltaPlan::compile(&db, &q).unwrap();
+        let kinds: Vec<DeltaKind> = q.topo_order().map(|id| plan.kind(id)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DeltaKind::Source,
+                DeltaKind::Linear,
+                DeltaKind::Source,
+                DeltaKind::Retained,
+                DeltaKind::Counted,
+            ]
+        );
+        assert_eq!(plan.base_relations(), ["a", "b"]);
+        assert!(plan.reads("a") && plan.reads("b") && !plan.reads("c"));
+        assert_eq!(plan.stateful_nodes(), 2);
+        assert_eq!(plan.output_schema().arity(), 1);
+    }
+
+    #[test]
+    fn counted_kinds_for_set_ops() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let u = b
+            .scan("a")
+            .unwrap()
+            .union(b.scan("b").unwrap())
+            .unwrap()
+            .finish();
+        let plan = DeltaPlan::compile(&db, &u).unwrap();
+        assert_eq!(plan.kind(u.root()), DeltaKind::Counted);
+        let d = b
+            .scan("a")
+            .unwrap()
+            .difference(b.scan("b").unwrap())
+            .unwrap()
+            .finish();
+        assert_eq!(
+            DeltaPlan::compile(&db, &d).unwrap().kind(d.root()),
+            DeltaKind::Counted
+        );
+    }
+
+    #[test]
+    fn rejects_updating_definitions() {
+        let db = db();
+        let q = TreeBuilder::new(&db)
+            .scan("a")
+            .unwrap()
+            .append_to("b")
+            .unwrap()
+            .finish();
+        assert!(DeltaPlan::compile(&db, &q).is_err());
+    }
+}

@@ -114,6 +114,25 @@ impl WriteDelta {
     pub fn target(&self) -> &str {
         &self.target
     }
+
+    /// The staged change to the target as raw tuple images, in the
+    /// target's encoding: `(inserted, deleted)`. An `Append` inserts its
+    /// staged result tuples; a `Delete` deletes them. Standing views
+    /// (df-host's IVM layer) extract this before [`apply_write`] consumes
+    /// the delta and replay it through their delta dataflow.
+    pub fn base_change(&self) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let images: Vec<Vec<u8>> = self
+            .result
+            .pages()
+            .iter()
+            .flat_map(|p| p.tuple_refs())
+            .map(|t| t.raw().to_vec())
+            .collect();
+        match self.kind {
+            WriteKind::Append(_) => (images, Vec::new()),
+            WriteKind::Replace(_) => (Vec::new(), images),
+        }
+    }
 }
 
 /// Run the read phase of an updating query: validate, evaluate the
@@ -184,6 +203,27 @@ pub fn apply_write(db: &mut Catalog, delta: WriteDelta) -> Result<Relation> {
     let mut out = delta.result;
     out.set_name("result");
     Ok(out)
+}
+
+/// Evaluate every read-only node of `tree` in topo order, returning one
+/// relation per node, indexed by `NodeId`. This is the install-time
+/// materialization pass of a standing view: each stateful operator seeds
+/// its retained operand state from its children's node results.
+///
+/// # Errors
+/// Fails on validation errors or if the tree contains update operators.
+pub fn execute_read_nodes(
+    db: &Catalog,
+    tree: &QueryTree,
+    params: &ExecParams,
+) -> Result<Vec<Relation>> {
+    if !tree.written_relations().is_empty() {
+        return Err(Error::SchemaMismatch {
+            detail: "execute_read_nodes called on an updating query".into(),
+        });
+    }
+    let schemas = validate(db, tree)?;
+    eval_read_nodes(db, tree, &schemas, params)
 }
 
 /// Evaluate every read-only node of `tree` in topo order; the returned
@@ -503,6 +543,53 @@ mod tests {
             .get("emp")
             .unwrap()
             .same_contents(staged.get("emp").unwrap()));
+    }
+
+    #[test]
+    fn base_change_reports_staged_images() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let append = b
+            .scan("emp")
+            .unwrap()
+            .restrict_where("id", CmpOp::Lt, Value::Int(2))
+            .unwrap()
+            .append_to("emp")
+            .unwrap()
+            .finish();
+        let delta = stage_write(&db, &append, &ExecParams::default()).unwrap();
+        let (ins, del) = delta.base_change();
+        assert_eq!((ins.len(), del.len()), (2, 0));
+        let width = db.get("emp").unwrap().schema().tuple_width();
+        assert!(ins.iter().all(|img| img.len() == width));
+
+        let delete = TreeBuilder::new(&db)
+            .delete_where("emp", "dept", CmpOp::Eq, Value::Int(1))
+            .unwrap();
+        let delta = stage_write(&db, &delete, &ExecParams::default()).unwrap();
+        let (ins, del) = delta.base_change();
+        assert_eq!((ins.len(), del.len()), (0, 5));
+    }
+
+    #[test]
+    fn read_nodes_expose_per_node_results() {
+        let db = db();
+        let b = TreeBuilder::new(&db);
+        let q = b
+            .scan("emp")
+            .unwrap()
+            .equi_join(b.scan("dept").unwrap(), "dept", "dno")
+            .unwrap()
+            .finish();
+        let nodes = execute_read_nodes(&db, &q, &ExecParams::default()).unwrap();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0].num_tuples(), 20);
+        assert_eq!(nodes[1].num_tuples(), 4);
+        assert_eq!(nodes[2].num_tuples(), 20);
+        let update = TreeBuilder::new(&db)
+            .delete_where("emp", "id", CmpOp::Eq, Value::Int(0))
+            .unwrap();
+        assert!(execute_read_nodes(&db, &update, &ExecParams::default()).is_err());
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![warn(clippy::all)]
 
 mod builder;
+mod delta;
 mod exec;
 mod parser;
 mod render;
@@ -52,8 +53,10 @@ mod validate;
 pub mod ops;
 
 pub use builder::{SubTree, TreeBuilder};
+pub use delta::{DeltaKind, DeltaPlan};
 pub use exec::{
-    apply_write, execute, execute_readonly, stage_write, ExecParams, JoinAlgorithm, WriteDelta,
+    apply_write, execute, execute_read_nodes, execute_readonly, stage_write, ExecParams,
+    JoinAlgorithm, WriteDelta,
 };
 pub use parser::parse_query;
 pub use render::render_tree;

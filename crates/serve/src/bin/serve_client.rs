@@ -68,6 +68,9 @@ fn main() {
                 ":priority high|normal|low   class for subsequent queries\n\
                  :optimize on|off            ask the server to run df-opt first\n\
                  :relations                  list served relations\n\
+                 :install <name> <query>     materialize a standing view\n\
+                 :view <name>                read a maintained view\n\
+                 :drop <name>                drop a standing view\n\
                  :stats                      server counters\n\
                  :quit                       exit\n\
                  anything else is sent as a query, e.g.\n\
@@ -95,6 +98,32 @@ fn main() {
             },
             ReplCommand::Stats => match client.request(&Request::Stats) {
                 Ok(Response::Stats(rows)) => println!("{}", format_stats(&rows)),
+                Ok(other) => println!("unexpected response: {other:?}"),
+                Err(e) => die(&format!("connection lost: {e}")),
+            },
+            ReplCommand::Install(name, text) => match client.install_view(&name, &text) {
+                Ok(Response::Result(r)) => println!("view `{name}` installed, schema {}", r.schema),
+                Ok(Response::Error { error, .. }) => println!("error: {error}"),
+                Ok(other) => println!("unexpected response: {other:?}"),
+                Err(e) => die(&format!("connection lost: {e}")),
+            },
+            ReplCommand::Drop(name) => match client.drop_view(&name) {
+                Ok(Response::Result(_)) => println!("view `{name}` dropped"),
+                Ok(Response::Error { error, .. }) => println!("error: {error}"),
+                Ok(other) => println!("unexpected response: {other:?}"),
+                Err(e) => die(&format!("connection lost: {e}")),
+            },
+            ReplCommand::View(name) => match client.read_view(&name) {
+                Ok(Response::Result(r)) => {
+                    println!("{} tuples, schema {}", r.tuples.len(), r.schema);
+                    for t in r.tuples.iter().take(10) {
+                        println!("  {} bytes", t.len());
+                    }
+                    if r.tuples.len() > 10 {
+                        println!("  ... and {} more", r.tuples.len() - 10);
+                    }
+                }
+                Ok(Response::Error { error, .. }) => println!("error: {error}"),
                 Ok(other) => println!("unexpected response: {other:?}"),
                 Err(e) => die(&format!("connection lost: {e}")),
             },

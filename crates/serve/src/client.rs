@@ -32,6 +32,10 @@ pub fn format_stats(rows: &[(String, u64)]) -> String {
         ),
         ("fusion", &["fused", "inflight_joins"]),
         (
+            "views",
+            &["views_installed", "delta_pages", "view_reads_served"],
+        ),
+        (
             "plan cache",
             &[
                 "plan_cache_hits",
@@ -108,6 +112,14 @@ pub enum ReplCommand {
     Engine(String),
     /// `:priority high|normal|low` (serve client).
     Priority(Priority),
+    /// `:install <name> <query>` — materialize `query` as a standing
+    /// view named `name` and maintain it incrementally (serve client).
+    Install(String, String),
+    /// `:drop <name>` — deregister a standing view (serve client).
+    Drop(String),
+    /// `:view <name>` — read a maintained view's current result without
+    /// re-executing its defining query (serve client).
+    View(String),
     /// Anything not starting with `:` is query text for the s-expression
     /// parser.
     Query(String),
@@ -146,6 +158,17 @@ impl ReplCommand {
                 .parse::<Priority>()
                 .map(ReplCommand::Priority)
                 .map_err(|e| e.to_string()),
+            (":install", rest) => match rest.split_once(char::is_whitespace) {
+                Some((name, query)) if !query.trim().is_empty() => Ok(ReplCommand::Install(
+                    name.to_string(),
+                    query.trim().to_string(),
+                )),
+                _ => Err("`:install` wants a name and a query".into()),
+            },
+            (":drop", "") => Err("`:drop` wants a view name".into()),
+            (":drop", name) => Ok(ReplCommand::Drop(name.to_string())),
+            (":view", "") => Err("`:view` wants a view name".into()),
+            (":view", name) => Ok(ReplCommand::View(name.to_string())),
             (other, _) => Err(format!("unknown command `{other}` (try :help)")),
         }
     }
@@ -201,6 +224,37 @@ impl ServeClient {
         }
     }
 
+    /// Build an install-view request with the next pipelined id.
+    pub fn install_view_request(&mut self, name: &str, text: &str) -> Request {
+        let id = self.next_id;
+        self.next_id += 1;
+        Request::InstallView {
+            id,
+            name: name.to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    /// Build a drop-view request with the next pipelined id.
+    pub fn drop_view_request(&mut self, name: &str) -> Request {
+        let id = self.next_id;
+        self.next_id += 1;
+        Request::DropView {
+            id,
+            name: name.to_string(),
+        }
+    }
+
+    /// Build a read-view request with the next pipelined id.
+    pub fn read_view_request(&mut self, name: &str) -> Request {
+        let id = self.next_id;
+        self.next_id += 1;
+        Request::ReadView {
+            id,
+            name: name.to_string(),
+        }
+    }
+
     /// Read the next response frame.
     ///
     /// # Errors
@@ -239,11 +293,60 @@ impl ServeClient {
         let request = self.query_request(text, priority, optimize);
         self.request(&request)
     }
+
+    /// Install a standing view and wait for the acknowledgement.
+    ///
+    /// # Errors
+    /// As [`ServeClient::request`].
+    pub fn install_view(&mut self, name: &str, text: &str) -> io::Result<Response> {
+        let request = self.install_view_request(name, text);
+        self.request(&request)
+    }
+
+    /// Drop a standing view and wait for the acknowledgement.
+    ///
+    /// # Errors
+    /// As [`ServeClient::request`].
+    pub fn drop_view(&mut self, name: &str) -> io::Result<Response> {
+        let request = self.drop_view_request(name);
+        self.request(&request)
+    }
+
+    /// Read a maintained view's current result.
+    ///
+    /// # Errors
+    /// As [`ServeClient::request`].
+    pub fn read_view(&mut self, name: &str) -> io::Result<Response> {
+        let request = self.read_view_request(name);
+        self.request(&request)
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::format_stats;
+    use super::{format_stats, ReplCommand};
+
+    #[test]
+    fn view_commands_parse() {
+        assert_eq!(
+            ReplCommand::parse(":install v (restrict (scan r00) (< val 5))"),
+            Ok(ReplCommand::Install(
+                "v".into(),
+                "(restrict (scan r00) (< val 5))".into()
+            ))
+        );
+        assert_eq!(
+            ReplCommand::parse(":drop v"),
+            Ok(ReplCommand::Drop("v".into()))
+        );
+        assert_eq!(
+            ReplCommand::parse(":view v"),
+            Ok(ReplCommand::View("v".into()))
+        );
+        for bad in [":install", ":install v", ":drop", ":view"] {
+            assert!(ReplCommand::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
 
     #[test]
     fn format_stats_groups_and_keeps_unknown_counters() {

@@ -74,7 +74,7 @@
 //! so a poisoned mutex is recovered instead of cascading panics into
 //! every other client's thread.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -84,7 +84,7 @@ use std::sync::{
 use std::thread::JoinHandle;
 
 use df_core::{LockRequest, LockTable};
-use df_host::{run_host_queries, HostError, HostParams};
+use df_host::{run_host_queries, HostError, HostParams, StandingView};
 use df_obs::{EventKind, Tracer};
 use df_opt::{optimize, CatalogStats};
 use df_query::{apply_write, parse_query, render_tree, stage_write, ExecParams, QueryTree};
@@ -221,13 +221,38 @@ impl LaneHold {
 /// request — a socket writer on the server, a channel in tests.
 pub type Reply = Box<dyn FnOnce(Response) + Send>;
 
-/// One queued query request.
+/// What a queued submission asks the engine to do. Queries flow through
+/// the plan cache and the read/write lanes; the view requests are
+/// dispatched as [`ViewTask`]s ordered by the same relation gate under
+/// pseudo-relation marks (`view:<name>`).
+enum SubmissionKind {
+    /// Run `Submission::text` as a query.
+    Query,
+    /// Install a standing view defined by `Submission::text`.
+    InstallView {
+        /// The view's handle.
+        name: String,
+    },
+    /// Uninstall a standing view.
+    DropView {
+        /// The view's handle.
+        name: String,
+    },
+    /// Serve a maintained view's current result without re-execution.
+    ReadView {
+        /// The view's handle.
+        name: String,
+    },
+}
+
+/// One queued request.
 struct Submission {
     client: usize,
     id: u64,
     priority: Priority,
     optimize: bool,
     text: String,
+    kind: SubmissionKind,
     reply: Reply,
 }
 
@@ -278,6 +303,16 @@ pub struct ServeStats {
     /// Clients admitted through the poll(2) multiplexed reader (the
     /// `--mux` server mode); 0 in thread-per-connection mode.
     pub mux_clients: AtomicU64,
+    /// Standing views successfully installed.
+    pub views_installed: AtomicU64,
+    /// Delta pages that flowed through standing-view dataflows: base
+    /// writes injected at the sources plus the distinct-image pages the
+    /// incremental kernels consumed. Zero while no view is installed.
+    pub delta_pages: AtomicU64,
+    /// View reads served from maintained state. None of these touched
+    /// the plan cache or a read lane: a view read never re-executes the
+    /// defining tree.
+    pub view_reads_served: AtomicU64,
     /// Requests answered with an error (parse, validation, or executor).
     pub failed: AtomicU64,
     /// Batches drained.
@@ -328,6 +363,9 @@ impl ServeStats {
                 g(&self.concurrent_write_batches),
             ),
             ("mux_clients".into(), g(&self.mux_clients)),
+            ("views_installed".into(), g(&self.views_installed)),
+            ("delta_pages".into(), g(&self.delta_pages)),
+            ("view_reads_served".into(), g(&self.view_reads_served)),
             ("failed".into(), g(&self.failed)),
             ("batches".into(), g(&self.batches)),
             ("groups".into(), g(&self.groups)),
@@ -527,6 +565,7 @@ struct ReadExec {
 enum LaneTask {
     Read(ReadTask),
     Write(WriteTask),
+    View(ViewTask),
 }
 
 /// One lock-compatible read group, executed by a single lane as one
@@ -545,6 +584,42 @@ struct WriteTask {
     sub: Option<Submission>,
     tree: Arc<QueryTree>,
     ticket: usize,
+}
+
+/// One standing-view operation, ordered against conflicting work by the
+/// gate marks the dispatcher acquired: an install holds shared marks on
+/// the view's base relations (its from-scratch materialization must not
+/// race a base write) plus an exclusive `view:<name>` mark; drops and
+/// reads hold exclusive/shared `view:<name>` marks respectively. A base
+/// write holds exclusive `view:<name>` marks for every installed view
+/// that reads its target, so view maintenance and view reads serialize
+/// in dispatch order.
+struct ViewTask {
+    /// Taken at conclusion; the containment path answers a leftover.
+    sub: Option<Submission>,
+    action: ViewAction,
+    ticket: usize,
+}
+
+enum ViewAction {
+    /// Materialize and register `name`, defined by `text` (parsed to
+    /// `tree` at dispatch).
+    Install {
+        name: String,
+        text: String,
+        tree: Box<QueryTree>,
+    },
+    /// Deregister `name`.
+    Drop { name: String },
+    /// Serve `name`'s maintained result.
+    Read { name: String },
+}
+
+/// The pseudo-relation the gate uses to order operations on one view.
+/// Cannot collide with a real relation: `:` never appears in catalog
+/// names.
+fn view_mark(name: &str) -> String {
+    format!("view:{name}")
 }
 
 /// State shared between the dispatcher, the lanes, and every submitting
@@ -583,6 +658,18 @@ struct Shared {
     /// the lane that applied the latest write — lets the front-end
     /// answer `Relations` requests without reaching into the catalog.
     relations: Mutex<Vec<String>>,
+    /// Installed standing views. Registered by the lane that ran the
+    /// install (after materialization), updated by every write lane
+    /// whose target the view reads, removed by drops — all serialized
+    /// per view by the gate's `view:<name>` marks.
+    views: Mutex<BTreeMap<String, Arc<Mutex<StandingView>>>>,
+    /// Dispatch-time view authority: name → base relations, updated by
+    /// the dispatcher the moment it admits an install or drop (before
+    /// the lane runs it). Write dispatch reads this to add exclusive
+    /// `view:<name>` marks for every view its target feeds, so the map
+    /// must lead the registry by exactly the dispatch order. A failed
+    /// install's lane removes its entry.
+    view_bases: Mutex<BTreeMap<String, Vec<String>>>,
 }
 
 impl Shared {
@@ -682,11 +769,66 @@ impl EngineHandle {
         text: String,
         reply: Reply,
     ) {
+        self.enqueue(Submission {
+            client,
+            id,
+            priority,
+            optimize,
+            text,
+            kind: SubmissionKind::Query,
+            reply,
+        });
+    }
+
+    /// Submit a standing-view install: materialize `text` once, then
+    /// maintain the result from base-relation deltas. Subject to the
+    /// same admission control as [`EngineHandle::submit`].
+    pub fn install_view(&self, client: usize, id: u64, name: String, text: String, reply: Reply) {
+        self.enqueue(Submission {
+            client,
+            id,
+            priority: Priority::Normal,
+            optimize: false,
+            text,
+            kind: SubmissionKind::InstallView { name },
+            reply,
+        });
+    }
+
+    /// Submit a standing-view drop.
+    pub fn drop_view(&self, client: usize, id: u64, name: String, reply: Reply) {
+        self.enqueue(Submission {
+            client,
+            id,
+            priority: Priority::Normal,
+            optimize: false,
+            text: String::new(),
+            kind: SubmissionKind::DropView { name },
+            reply,
+        });
+    }
+
+    /// Submit a view read, answered from the maintained result — the
+    /// defining query is never re-executed.
+    pub fn read_view(&self, client: usize, id: u64, name: String, reply: Reply) {
+        self.enqueue(Submission {
+            client,
+            id,
+            priority: Priority::Normal,
+            optimize: false,
+            text: String::new(),
+            kind: SubmissionKind::ReadView { name },
+            reply,
+        });
+    }
+
+    fn enqueue(&self, sub: Submission) {
+        let id = sub.id;
         let rejection: Option<(ServeError, Reply)> = {
             let mut inbox = lock(&self.shared.inbox);
-            if inbox.shutdown || !inbox.open.get(client).copied().unwrap_or(false) {
-                Some((ServeError::ShuttingDown, reply))
-            } else if inbox.queues[client].len() >= self.shared.queue_capacity {
+            if inbox.shutdown || !inbox.open.get(sub.client).copied().unwrap_or(false) {
+                Some((ServeError::ShuttingDown, sub.reply))
+            } else if inbox.queues[sub.client].len() >= self.shared.queue_capacity {
                 self.shared
                     .stats
                     .busy_rejected
@@ -695,17 +837,11 @@ impl EngineHandle {
                     ServeError::Busy {
                         capacity: self.shared.queue_capacity as u64,
                     },
-                    reply,
+                    sub.reply,
                 ))
             } else {
-                inbox.queues[client].push_back(Submission {
-                    client,
-                    id,
-                    priority,
-                    optimize,
-                    text,
-                    reply,
-                });
+                let client = sub.client;
+                inbox.queues[client].push_back(sub);
                 self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
                 self.shared.wake.notify_one();
                 None
@@ -802,6 +938,8 @@ impl Engine {
             writes_in_flight: AtomicU64::new(0),
             lane_task_seq: AtomicU64::new(0),
             relations: Mutex::new(relations),
+            views: Mutex::new(BTreeMap::new()),
+            view_bases: Mutex::new(BTreeMap::new()),
         });
         let (lane_tx, lane_rx) = channel::<LaneTask>();
         let lane_rx = Arc::new(Mutex::new(lane_rx));
@@ -907,8 +1045,29 @@ impl Engine {
         Some(batch)
     }
 
-    /// Plan, group by lock compatibility, and execute one batch.
+    /// Execute one batch in submission order: runs of query requests go
+    /// through plan resolution and lock-compatibility grouping; each
+    /// view request flushes the pending run (so its gate marks are
+    /// acquired after every earlier query's) and dispatches on its own.
     fn execute_batch(&mut self, batch: Vec<Submission>) {
+        let mut queries: Vec<Submission> = Vec::new();
+        for sub in batch {
+            if matches!(sub.kind, SubmissionKind::Query) {
+                queries.push(sub);
+            } else {
+                self.execute_queries(std::mem::take(&mut queries));
+                self.dispatch_view(sub);
+            }
+        }
+        self.execute_queries(queries);
+    }
+
+    /// Plan, group by lock compatibility, and execute one run of query
+    /// requests.
+    fn execute_queries(&mut self, batch: Vec<Submission>) {
+        if batch.is_empty() {
+            return;
+        }
         let trace = self.config.trace.clone();
         // Resolve each request to a plan (cache hit or parse+optimize);
         // failures are answered immediately and drop out of the batch.
@@ -1154,7 +1313,7 @@ impl Engine {
                 );
             }
             self.next_exec += 1;
-            let ticket = self.shared.gate.acquire(&plan.gate_request());
+            let ticket = self.shared.gate.acquire(&self.write_gate_request(&plan));
             if self.shared.writes_in_flight.fetch_add(1, Ordering::Relaxed) > 0 {
                 self.shared
                     .stats
@@ -1167,6 +1326,102 @@ impl Engine {
                 ticket,
             }));
         }
+    }
+
+    /// A write's gate request: its plan marks plus an exclusive
+    /// `view:<name>` mark for every installed view reading one of its
+    /// targets — the marks that serialize view maintenance (inside the
+    /// write task) against view reads, in dispatch order.
+    fn write_gate_request(&self, plan: &Plan) -> LockRequest {
+        let mut writes = plan.writes.to_vec();
+        for (name, bases) in lock(&self.shared.view_bases).iter() {
+            if bases.iter().any(|b| plan.writes.contains(b)) {
+                writes.push(view_mark(name));
+            }
+        }
+        LockRequest::new(plan.reads.to_vec(), writes)
+    }
+
+    /// Admit one standing-view request: validate it against the
+    /// dispatch-time view map (answering duplicate installs and unknown
+    /// names immediately), record the map change, acquire the gate
+    /// marks, and hand the lane a [`ViewTask`].
+    ///
+    /// Install parses the definition here — via `parse_query` directly,
+    /// not the plan cache, so the `parses == plan_cache_misses` identity
+    /// stays a statement about query traffic.
+    fn dispatch_view(&mut self, mut sub: Submission) {
+        let trace = self.config.trace.clone();
+        let kind = std::mem::replace(&mut sub.kind, SubmissionKind::Query);
+        let (action, request) = match kind {
+            SubmissionKind::Query => unreachable!("execute_batch routes queries elsewhere"),
+            SubmissionKind::InstallView { name } => {
+                if lock(&self.shared.view_bases).contains_key(&name) {
+                    let detail = format!("view `{name}` is already installed");
+                    return self
+                        .shared
+                        .conclude(&trace, sub, Err(ServeError::View { detail }));
+                }
+                let parsed = {
+                    let db = read_lock(&self.shared.db);
+                    parse_query(&db, &sub.text)
+                };
+                let tree = match parsed {
+                    Ok(tree) => tree,
+                    Err(e) => {
+                        let detail = e.to_string();
+                        return self.shared.conclude(
+                            &trace,
+                            sub,
+                            Err(ServeError::Parse { detail }),
+                        );
+                    }
+                };
+                if !tree.written_relations().is_empty() {
+                    let detail = "a view definition must be read-only".to_string();
+                    return self
+                        .shared
+                        .conclude(&trace, sub, Err(ServeError::View { detail }));
+                }
+                let bases = tree.referenced_relations();
+                lock(&self.shared.view_bases).insert(name.clone(), bases.clone());
+                // Shared marks on the bases: the from-scratch
+                // materialization must not race a base write.
+                let request = LockRequest::new(bases, vec![view_mark(&name)]);
+                let action = ViewAction::Install {
+                    name,
+                    text: sub.text.clone(),
+                    tree: Box::new(tree),
+                };
+                (action, request)
+            }
+            SubmissionKind::DropView { name } => {
+                if lock(&self.shared.view_bases).remove(&name).is_none() {
+                    let detail = format!("view `{name}` is not installed");
+                    return self
+                        .shared
+                        .conclude(&trace, sub, Err(ServeError::View { detail }));
+                }
+                let request = LockRequest::new(Vec::new(), vec![view_mark(&name)]);
+                (ViewAction::Drop { name }, request)
+            }
+            SubmissionKind::ReadView { name } => {
+                if !lock(&self.shared.view_bases).contains_key(&name) {
+                    let detail = format!("view `{name}` is not installed");
+                    return self
+                        .shared
+                        .conclude(&trace, sub, Err(ServeError::View { detail }));
+                }
+                let request = LockRequest::new(vec![view_mark(&name)], Vec::new());
+                (ViewAction::Read { name }, request)
+            }
+        };
+        let ticket = self.shared.gate.acquire(&request);
+        self.send_task(LaneTask::View(ViewTask {
+            sub: Some(sub),
+            action,
+            ticket,
+        }));
     }
 
     /// Hand one gated task to the lane pool.
@@ -1225,6 +1480,7 @@ fn lane_loop(
             match &mut task {
                 LaneTask::Read(read) => run_read_task(lane, shared, read, host, trace),
                 LaneTask::Write(write) => run_write_task(lane, shared, write, host, trace),
+                LaneTask::View(view) => run_view_task(shared, view, host, trace),
             }
         }))
         .is_err();
@@ -1238,6 +1494,7 @@ fn lane_loop(
         let (ticket, was_write) = match &task {
             LaneTask::Read(read) => (read.ticket, false),
             LaneTask::Write(write) => (write.ticket, true),
+            LaneTask::View(view) => (view.ticket, false),
         };
         if was_write {
             shared.writes_in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -1341,6 +1598,10 @@ fn run_write_task(
         stage_write(&db, &task.tree, &exec)
     };
     let outcome = staged.and_then(|delta| {
+        // The staged delta is consumed by the apply; capture the signed
+        // base change first — it is what flows through every standing
+        // view reading the target.
+        let change = delta.base_change();
         let mut db = write_lock(&shared.db);
         let applied = apply_write(&mut db, delta);
         if applied.is_ok() {
@@ -1348,13 +1609,20 @@ fn run_write_task(
             // write lock, so `Relations` responses never mix catalogs.
             *lock(&shared.relations) = db.iter().map(|r| r.to_string()).collect();
         }
-        applied
+        applied.map(|rel| (rel, change))
     });
     shared.stats.lane_execs[lane].fetch_add(1, Ordering::Relaxed);
     let sub = task.sub.take().expect("write concluded once");
     match outcome {
-        Ok(rel) => {
+        Ok((rel, (inserts, deletes))) => {
             shared.stats.writes_applied.fetch_add(1, Ordering::Relaxed);
+            // Maintain standing views before concluding: the gate's
+            // exclusive `view:<name>` marks are still held, so a view
+            // read dispatched after this write observes the maintained
+            // result, never a stale one.
+            if let Some(target) = task.tree.written_relations().first() {
+                maintain_views(shared, target, &inserts, &deletes);
+            }
             let schema = rel.schema().to_string();
             let tuples = rel.tuple_refs().map(|t| t.raw().to_vec()).collect();
             shared.conclude(
@@ -1371,6 +1639,135 @@ fn run_write_task(
         Err(e) => {
             let error = ServeError::host(&HostError::Data(e));
             shared.conclude(trace, sub, Err(error));
+        }
+    }
+}
+
+/// Replay one applied base write through every installed view that
+/// reads `target`. Runs inside the write task, which still holds the
+/// gate's exclusive `view:<name>` marks for exactly these views, so
+/// maintenance is serialized against view reads and other base writes.
+/// A view whose maintenance fails is deregistered (fail-stop): serving
+/// a possibly-stale result would break the differential contract.
+fn maintain_views(shared: &Arc<Shared>, target: &str, inserts: &[Vec<u8>], deletes: &[Vec<u8>]) {
+    let views: Vec<(String, Arc<Mutex<StandingView>>)> = lock(&shared.views)
+        .iter()
+        .map(|(name, slot)| (name.clone(), Arc::clone(slot)))
+        .collect();
+    for (name, slot) in views {
+        let mut view = lock(&slot);
+        if !view.reads(target) {
+            continue;
+        }
+        match view.apply_write(target, inserts, deletes) {
+            Ok(update) => {
+                shared
+                    .stats
+                    .delta_pages
+                    .fetch_add(update.delta_pages, Ordering::Relaxed);
+            }
+            Err(_) => {
+                drop(view);
+                lock(&shared.views).remove(&name);
+                lock(&shared.view_bases).remove(&name);
+            }
+        }
+    }
+}
+
+/// Execute one standing-view operation. Installs materialize through
+/// the normal read path ([`StandingView::install`] runs the per-node
+/// oracle executor under the catalog read lock) and then register the
+/// standing dataflow; reads serve the maintained multiset without
+/// touching the plan cache or a host execution.
+fn run_view_task(
+    shared: &Arc<Shared>,
+    task: &mut ViewTask,
+    host: &HostParams,
+    trace: &Option<Arc<Tracer>>,
+) {
+    let sub = task.sub.take().expect("view task concluded once");
+    match &task.action {
+        ViewAction::Install { name, text, tree } => {
+            let installed = {
+                let db = read_lock(&shared.db);
+                StandingView::install(name, text, &db, tree, host.page_size)
+            };
+            match installed {
+                Ok(view) => {
+                    let schema = view.schema().to_string();
+                    lock(&shared.views).insert(name.clone(), Arc::new(Mutex::new(view)));
+                    shared.stats.views_installed.fetch_add(1, Ordering::Relaxed);
+                    shared.conclude(
+                        trace,
+                        sub,
+                        Ok(QueryResult {
+                            id: 0,
+                            fan_out: 1,
+                            schema,
+                            tuples: Vec::new(),
+                        }),
+                    );
+                }
+                Err(e) => {
+                    // The dispatch-time map entry led the registry;
+                    // retract it so the name is reusable.
+                    lock(&shared.view_bases).remove(name);
+                    shared.conclude(
+                        trace,
+                        sub,
+                        Err(ServeError::View {
+                            detail: e.to_string(),
+                        }),
+                    );
+                }
+            }
+        }
+        ViewAction::Drop { name } => match lock(&shared.views).remove(name) {
+            Some(_) => shared.conclude(
+                trace,
+                sub,
+                Ok(QueryResult {
+                    id: 0,
+                    fan_out: 1,
+                    schema: String::new(),
+                    tuples: Vec::new(),
+                }),
+            ),
+            None => shared.conclude(
+                trace,
+                sub,
+                Err(ServeError::View {
+                    detail: format!("view `{name}` is not installed"),
+                }),
+            ),
+        },
+        ViewAction::Read { name } => {
+            let slot = lock(&shared.views).get(name).cloned();
+            match slot {
+                Some(slot) => {
+                    let view = lock(&slot);
+                    shared
+                        .stats
+                        .view_reads_served
+                        .fetch_add(1, Ordering::Relaxed);
+                    let result = QueryResult {
+                        id: 0,
+                        fan_out: 1,
+                        schema: view.schema().to_string(),
+                        tuples: view.tuple_images(),
+                    };
+                    drop(view);
+                    shared.conclude(trace, sub, Ok(result));
+                }
+                None => shared.conclude(
+                    trace,
+                    sub,
+                    Err(ServeError::View {
+                        detail: format!("view `{name}` is not installed"),
+                    }),
+                ),
+            }
         }
     }
 }
@@ -1410,6 +1807,16 @@ fn contain_lane_panic(
         }
         LaneTask::Write(write) => {
             if let Some(sub) = write.sub.take() {
+                shared.conclude(trace, sub, Err(error.clone()));
+            }
+        }
+        LaneTask::View(view) => {
+            if let Some(sub) = view.sub.take() {
+                // An install that panicked never reached the registry;
+                // retract its dispatch-time entry so the name frees up.
+                if let ViewAction::Install { name, .. } = &view.action {
+                    lock(&shared.view_bases).remove(name);
+                }
                 shared.conclude(trace, sub, Err(error.clone()));
             }
         }

@@ -153,6 +153,33 @@ pub enum Request {
     Ping,
     /// Ask the server to finish in-flight work and exit.
     Shutdown,
+    /// Install a standing view: materialize `text` once, then maintain
+    /// the result incrementally from every write to its base relations.
+    /// Answered with a [`Response::Result`] carrying the view's schema
+    /// and no tuples, or a [`Response::Error`].
+    InstallView {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// View name (the handle for `ReadView`/`DropView`).
+        name: String,
+        /// The read-only defining query.
+        text: String,
+    },
+    /// Uninstall a standing view.
+    DropView {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// The view to drop.
+        name: String,
+    },
+    /// Read a maintained view's current result — served from the
+    /// standing dataflow's state, never by re-executing the definition.
+    ReadView {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// The view to read.
+        name: String,
+    },
 }
 
 impl Request {
@@ -176,6 +203,22 @@ impl Request {
             Request::Relations => out.push(2),
             Request::Ping => out.push(3),
             Request::Shutdown => out.push(4),
+            Request::InstallView { id, name, text } => {
+                out.push(5);
+                out.extend_from_slice(&id.to_be_bytes());
+                put_bytes(&mut out, name.as_bytes());
+                put_bytes(&mut out, text.as_bytes());
+            }
+            Request::DropView { id, name } => {
+                out.push(6);
+                out.extend_from_slice(&id.to_be_bytes());
+                put_bytes(&mut out, name.as_bytes());
+            }
+            Request::ReadView { id, name } => {
+                out.push(7);
+                out.extend_from_slice(&id.to_be_bytes());
+                put_bytes(&mut out, name.as_bytes());
+            }
         }
         out
     }
@@ -197,6 +240,19 @@ impl Request {
             2 => Request::Relations,
             3 => Request::Ping,
             4 => Request::Shutdown,
+            5 => Request::InstallView {
+                id: r.u64()?,
+                name: r.string()?,
+                text: r.string()?,
+            },
+            6 => Request::DropView {
+                id: r.u64()?,
+                name: r.string()?,
+            },
+            7 => Request::ReadView {
+                id: r.u64()?,
+                name: r.string()?,
+            },
             other => return Err(DecodeError::new(format!("bad request tag {other}"))),
         };
         r.finish()?;
@@ -431,6 +487,12 @@ pub enum ServeError {
     },
     /// The server is shutting down and no longer admits queries.
     ShuttingDown,
+    /// A standing-view request failed: duplicate install, unknown view
+    /// name, or a definition the maintenance planner rejects.
+    View {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl ServeError {
@@ -462,6 +524,10 @@ impl ServeError {
                 put_bytes(out, detail.as_bytes());
             }
             ServeError::ShuttingDown => out.push(4),
+            ServeError::View { detail } => {
+                out.push(5);
+                put_bytes(out, detail.as_bytes());
+            }
         }
     }
 
@@ -479,6 +545,9 @@ impl ServeError {
                 detail: r.string()?,
             },
             4 => ServeError::ShuttingDown,
+            5 => ServeError::View {
+                detail: r.string()?,
+            },
             other => return Err(DecodeError::new(format!("bad serve error code {other}"))),
         })
     }
@@ -496,6 +565,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Protocol { detail } => write!(f, "protocol error: {detail}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::View { detail } => write!(f, "view error: {detail}"),
         }
     }
 }
@@ -616,6 +686,19 @@ mod tests {
         round_trip_request(Request::Relations);
         round_trip_request(Request::Ping);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::InstallView {
+            id: 11,
+            name: "hot".into(),
+            text: "(join (scan r00) (scan r02) (= key key))".into(),
+        });
+        round_trip_request(Request::DropView {
+            id: 12,
+            name: "hot".into(),
+        });
+        round_trip_request(Request::ReadView {
+            id: 13,
+            name: "hot".into(),
+        });
     }
 
     #[test]
@@ -652,6 +735,12 @@ mod tests {
         round_trip_response(Response::Error {
             id: 5,
             error: ServeError::ShuttingDown,
+        });
+        round_trip_response(Response::Error {
+            id: 6,
+            error: ServeError::View {
+                detail: "view `hot` is not installed".into(),
+            },
         });
         round_trip_response(Response::Stats(vec![
             ("submitted".into(), 10),
@@ -699,6 +788,19 @@ mod tests {
         let mut padded = full.clone();
         padded.push(0);
         assert!(Request::decode(&padded).is_err());
+        // The view requests fail truncation just as cleanly.
+        let install = Request::InstallView {
+            id: 2,
+            name: "v".into(),
+            text: "(scan r00)".into(),
+        }
+        .encode();
+        for cut in 0..install.len() {
+            assert!(
+                Request::decode(&install[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
     }
 
     #[test]

@@ -189,6 +189,37 @@ impl ServerShared {
                     Box::new(move |response| cb_shared.send(&cb_writer, client, &response)),
                 );
             }
+            Request::InstallView { id, name, text } => {
+                let cb_shared = Arc::clone(self);
+                let cb_writer = Arc::clone(writer);
+                self.handle.install_view(
+                    client,
+                    id,
+                    name,
+                    text,
+                    Box::new(move |response| cb_shared.send(&cb_writer, client, &response)),
+                );
+            }
+            Request::DropView { id, name } => {
+                let cb_shared = Arc::clone(self);
+                let cb_writer = Arc::clone(writer);
+                self.handle.drop_view(
+                    client,
+                    id,
+                    name,
+                    Box::new(move |response| cb_shared.send(&cb_writer, client, &response)),
+                );
+            }
+            Request::ReadView { id, name } => {
+                let cb_shared = Arc::clone(self);
+                let cb_writer = Arc::clone(writer);
+                self.handle.read_view(
+                    client,
+                    id,
+                    name,
+                    Box::new(move |response| cb_shared.send(&cb_writer, client, &response)),
+                );
+            }
             Request::Stats => {
                 let rows = self.handle.stats().rows();
                 self.send(writer, client, &Response::Stats(rows));

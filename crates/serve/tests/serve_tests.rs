@@ -1091,6 +1091,296 @@ fn shutdown_with_zero_clients_does_not_hang() {
 }
 
 #[test]
+fn standing_views_stay_byte_identical_under_writes() {
+    // The IVM differential contract, end to end through the engine: after
+    // every write batch, a maintained view must be byte-identical to
+    // re-running its defining query from scratch against the current
+    // catalog — at every lane count.
+    let views = [
+        ("vjoin", "(join (scan r00) (scan r01) (= key key))"),
+        ("vset", "(union (scan r02) (scan r03))"),
+    ];
+    for lanes in [1usize, 2, 4] {
+        let mut config = test_config();
+        config.lanes = lanes;
+        let mut engine = Engine::new(small_db(), config).expect("engine");
+        let handle = engine.handle();
+        let replies = Replies::default();
+        let c = handle.register_client();
+        for (name, text) in views {
+            handle.install_view(
+                c,
+                0,
+                name.to_string(),
+                text.to_string(),
+                replies.reply_for(c),
+            );
+        }
+        assert!(engine.run_batch());
+        handle.quiesce();
+        let got = replies.take();
+        assert_eq!(got.len(), 2);
+        for (_, response) in &got {
+            assert!(
+                !result(response).schema.is_empty(),
+                "install acks with the view schema"
+            );
+        }
+        assert_eq!(handle.stats().views_installed.load(Ordering::Relaxed), 2);
+
+        // Write batches touching every base relation: appends (inserts,
+        // duplicate-heavy keys) and deletes, interleaved.
+        let writes = [
+            "(append (restrict (scan r00) (< key 4)) r01)",
+            "(append (restrict (scan r00) (< key 6)) r02)",
+            "(delete r03 (< key 8))",
+            "(append (restrict (scan r00) (= key 2)) r01)",
+            "(delete r01 (= key 2))",
+            "(append (restrict (scan r00) (< key 3)) r03)",
+        ];
+        for (i, text) in writes.iter().enumerate() {
+            handle.submit(
+                c,
+                i as u64,
+                Priority::Normal,
+                false,
+                text.to_string(),
+                replies.reply_for(c),
+            );
+            assert!(engine.run_batch());
+            handle.quiesce();
+            replies.take();
+
+            for (name, text) in views {
+                handle.read_view(c, 100, name.to_string(), replies.reply_for(c));
+                handle.submit(
+                    c,
+                    200,
+                    Priority::Normal,
+                    false,
+                    text.to_string(),
+                    replies.reply_for(c),
+                );
+                assert!(engine.run_batch());
+                handle.quiesce();
+                let got = replies.take();
+                assert_eq!(got.len(), 2);
+                let by_id = |id: u64| {
+                    got.iter()
+                        .map(|(_, r)| result(r))
+                        .find(|r| r.id == id)
+                        .expect("reply present")
+                };
+                let maintained = by_id(100).tuples.clone();
+                let mut fresh = by_id(200).tuples.clone();
+                fresh.sort();
+                assert_eq!(
+                    maintained, fresh,
+                    "lanes={lanes}: view {name} diverged after write {i}"
+                );
+            }
+        }
+
+        let stats = handle.stats();
+        assert!(
+            stats.delta_pages.load(Ordering::Relaxed) > 0,
+            "lanes={lanes}: maintenance moved delta pages"
+        );
+        assert_eq!(
+            stats.view_reads_served.load(Ordering::Relaxed),
+            (writes.len() * views.len()) as u64
+        );
+        // View traffic must not disturb the query-path conservation
+        // identities: every read is executed, fused, or joined — view
+        // reads are none of those — and parsing stays a statement about
+        // query traffic only.
+        assert_eq!(
+            stats.reads.load(Ordering::Relaxed),
+            stats.read_execs.load(Ordering::Relaxed)
+                + stats.fused.load(Ordering::Relaxed)
+                + stats.inflight_joins.load(Ordering::Relaxed)
+        );
+        assert_eq!(
+            stats.parses.load(Ordering::Relaxed),
+            stats.plan_cache_misses.load(Ordering::Relaxed)
+        );
+
+        // Drop both views; reads now answer "not installed".
+        for (name, _) in views {
+            handle.drop_view(c, 300, name.to_string(), replies.reply_for(c));
+        }
+        assert!(engine.run_batch());
+        handle.quiesce();
+        assert_eq!(replies.take().len(), 2);
+        handle.read_view(c, 301, "vjoin".to_string(), replies.reply_for(c));
+        assert!(engine.run_batch());
+        handle.quiesce();
+        let got = replies.take();
+        assert!(
+            matches!(
+                &got[0].1,
+                Response::Error {
+                    error: ServeError::View { .. },
+                    ..
+                }
+            ),
+            "read of a dropped view fails, got {:?}",
+            got[0].1
+        );
+    }
+}
+
+#[test]
+fn view_install_rejects_duplicates_updates_and_bad_queries() {
+    let mut engine = Engine::new(small_db(), test_config()).expect("engine");
+    let handle = engine.handle();
+    let replies = Replies::default();
+    let c = handle.register_client();
+    let view_error = |response: &Response| -> String {
+        match response {
+            Response::Error {
+                error: ServeError::View { detail },
+                ..
+            } => detail.clone(),
+            other => panic!("expected a view error, got {other:?}"),
+        }
+    };
+
+    handle.install_view(
+        c,
+        0,
+        "v".to_string(),
+        "(scan r02)".to_string(),
+        replies.reply_for(c),
+    );
+    // Same batch: the duplicate is refused at dispatch, before the first
+    // install even materializes.
+    handle.install_view(
+        c,
+        1,
+        "v".to_string(),
+        "(scan r03)".to_string(),
+        replies.reply_for(c),
+    );
+    // A view definition must be read-only.
+    handle.install_view(
+        c,
+        2,
+        "w".to_string(),
+        "(append (scan r00) r01)".to_string(),
+        replies.reply_for(c),
+    );
+    // Unknown relations are a parse error, not a view error.
+    handle.install_view(
+        c,
+        3,
+        "x".to_string(),
+        "(scan r99)".to_string(),
+        replies.reply_for(c),
+    );
+    // Dropping / reading names never installed.
+    handle.drop_view(c, 4, "nope".to_string(), replies.reply_for(c));
+    handle.read_view(c, 5, "nope".to_string(), replies.reply_for(c));
+    assert!(engine.run_batch());
+    handle.quiesce();
+
+    let got = replies.take();
+    assert_eq!(got.len(), 6);
+    for (_, response) in &got {
+        match response {
+            Response::Result(r) => assert_eq!(r.id, 0, "only the first install succeeds"),
+            Response::Error { id: 1, error, .. } => {
+                assert!(error.to_string().contains("already installed"), "{error}");
+            }
+            Response::Error { id: 2, .. } => {
+                assert!(view_error(response).contains("read-only"));
+            }
+            Response::Error { id: 3, error, .. } => {
+                assert!(matches!(error, ServeError::Parse { .. }), "{error}");
+            }
+            Response::Error { id: 4 | 5, .. } => {
+                assert!(view_error(response).contains("not installed"));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(handle.stats().views_installed.load(Ordering::Relaxed), 1);
+    // Failed installs retracted their name: `x` is installable now.
+    handle.install_view(
+        c,
+        6,
+        "x".to_string(),
+        "(scan r03)".to_string(),
+        replies.reply_for(c),
+    );
+    assert!(engine.run_batch());
+    handle.quiesce();
+    let got = replies.take();
+    assert_eq!(result(&got[0].1).id, 6, "name freed after a failed install");
+}
+
+#[test]
+fn socket_view_round_trip_maintains_across_writes() {
+    let db = small_db();
+    let config = test_config();
+    let engine = Engine::new(db, config).expect("engine");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = Server::start(listener, engine).expect("server");
+    let addr = server.local_addr();
+    let text = "(join (scan r00) (scan r01) (= key key))";
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    match client.install_view("v", text).expect("install") {
+        Response::Result(r) => assert!(!r.schema.is_empty()),
+        other => panic!("install failed: {other:?}"),
+    }
+    for key in 0..4 {
+        let write = format!("(append (restrict (scan r00) (= key {key})) r01)");
+        match client
+            .query(&write, Priority::Normal, false)
+            .expect("write")
+        {
+            Response::Result(_) => {}
+            other => panic!("write failed: {other:?}"),
+        }
+    }
+    let maintained = match client.read_view("v").expect("read view") {
+        Response::Result(r) => r.tuples,
+        other => panic!("read failed: {other:?}"),
+    };
+    let mut fresh = match client.query(text, Priority::Normal, false).expect("query") {
+        Response::Result(r) => r.tuples,
+        other => panic!("query failed: {other:?}"),
+    };
+    fresh.sort();
+    assert_eq!(maintained, fresh, "socket view read matches fresh run");
+
+    match client.request(&Request::Stats).expect("stats") {
+        Response::Stats(rows) => {
+            let get = |k: &str| {
+                rows.iter()
+                    .find(|(name, _)| name == k)
+                    .map(|(_, v)| *v)
+                    .expect("counter present")
+            };
+            assert_eq!(get("views_installed"), 1);
+            assert!(get("delta_pages") > 0);
+            assert_eq!(get("view_reads_served"), 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    match client.drop_view("v").expect("drop") {
+        Response::Result(_) => {}
+        other => panic!("drop failed: {other:?}"),
+    }
+    assert!(matches!(
+        client.request(&Request::Shutdown).expect("shutdown"),
+        Response::Ok
+    ));
+    server.join();
+}
+
+#[test]
 fn mux_mode_serves_many_clients_from_one_reader() {
     let db = small_db();
     let config = test_config();

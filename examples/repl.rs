@@ -133,6 +133,10 @@ fn main() {
                 println!("`:priority` is for the serve client; this shell has no queueing");
                 continue;
             }
+            ReplCommand::Install(..) | ReplCommand::Drop(_) | ReplCommand::View(_) => {
+                println!("standing views live in the serve engine; use the serve client");
+                continue;
+            }
             ReplCommand::Optimize(on) => {
                 optimizing = on;
                 println!("optimizer {}", if on { "on" } else { "off" });
